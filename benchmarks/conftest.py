@@ -1,0 +1,83 @@
+"""Shared benchmark fixtures: session-scoped pools and sampler specs.
+
+Every benchmark regenerates one paper table or figure on the scaled
+synthetic pools.  Pools are built once per session; repeat counts are
+deliberately smaller than the paper's 1000 (Monte-Carlo error scales as
+1/sqrt(repeats) and the method ordering resolves at far fewer runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OASISSampler
+from repro.datasets import load_benchmark
+from repro.experiments import SamplerSpec
+from repro.samplers import ImportanceSampler, PassiveSampler, StratifiedSampler
+
+# Repeats per sampler configuration in the experiment benchmarks.
+N_REPEATS = 10
+
+
+@pytest.fixture(scope="session")
+def pools():
+    """Lazily-built cache of the small-scale benchmark pools."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = load_benchmark(name, scale="small", random_state=42)
+        return cache[name]
+
+    return get
+
+
+def standard_specs(pool, *, oasis_k=(30, 60, 120), calibrated=False):
+    """The paper's Figure 2 line-up: Passive, Stratified, IS, OASIS K."""
+    threshold = pool.threshold
+
+    def oasis_factory(k):
+        return lambda p, s, o, r: OASISSampler(
+            p, s, o, n_strata=k, threshold=threshold, random_state=r
+        )
+
+    specs = [
+        SamplerSpec(
+            "Passive",
+            lambda p, s, o, r: PassiveSampler(p, s, o, random_state=r),
+            use_calibrated_scores=calibrated,
+        ),
+        SamplerSpec(
+            "Stratified",
+            lambda p, s, o, r: StratifiedSampler(
+                p, s, o, n_strata=30, random_state=r
+            ),
+            use_calibrated_scores=calibrated,
+        ),
+        SamplerSpec(
+            "IS",
+            lambda p, s, o, r: ImportanceSampler(
+                p, s, o, threshold=threshold, random_state=r
+            ),
+            use_calibrated_scores=calibrated,
+        ),
+    ]
+    for k in oasis_k:
+        specs.append(
+            SamplerSpec(
+                f"OASIS {k}",
+                oasis_factory(k),
+                use_calibrated_scores=calibrated,
+            )
+        )
+    return specs
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark but execute it only once.
+
+    Experiment regenerators are too heavy for repeated timing rounds;
+    a single round still records wall-clock in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Extension benchmark: Welinder-style semi-supervised estimation.
+
+The paper's related work (section 7) argues the semi-supervised
+generative approach of Welinder et al. [26] is unsuited to ER
+evaluation: it has no biased-sampling mechanism, so uniform labelling
+under extreme imbalance sees almost no positives, and its parametric
+score-distribution assumption introduces bias that labels cannot fix.
+This benchmark quantifies both effects against OASIS on Abt-Buy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import OASISSampler
+from repro.experiments import format_table
+from repro.oracle import DeterministicOracle
+from repro.samplers import SemiSupervisedEstimator
+from repro.utils import spawn_rngs
+
+from conftest import run_once
+
+BUDGETS = [300, 1000, 3000]
+N_REPEATS = 8
+
+
+def _mean_errors(pool):
+    true_f = pool.performance["f_measure"]
+    rows = []
+    for budget in BUDGETS:
+        semi, oasis = [], []
+        for rng in spawn_rngs(123, N_REPEATS):
+            estimator = SemiSupervisedEstimator(threshold=0.5, random_state=rng)
+            estimator.fit(
+                pool.scores_calibrated,
+                DeterministicOracle(pool.true_labels),
+                n_labels=budget,
+            )
+            error = abs(estimator.estimate - true_f)
+            semi.append(1.0 if np.isnan(error) else error)
+
+            sampler = OASISSampler(
+                pool.predictions,
+                pool.scores_calibrated,
+                DeterministicOracle(pool.true_labels),
+                random_state=rng,
+            )
+            sampler.sample_until_budget(budget)
+            error = abs(sampler.estimate - true_f)
+            oasis.append(1.0 if np.isnan(error) else error)
+        rows.append([budget, float(np.mean(semi)), float(np.mean(oasis))])
+    return rows
+
+
+def test_extension_semisupervised_bias(benchmark, pools, capsys):
+    pool = pools("abt_buy")
+    rows = run_once(benchmark, lambda: _mean_errors(pool))
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["budget", "semi-supervised", "OASIS"],
+            rows,
+            title="Extension: Welinder-style mixture model vs OASIS "
+                  "(abt_buy, calibrated scores)",
+        ))
+
+    # The measured shape (also visible in the committed run): at the
+    # tiniest budget the mixture model can lead — it exploits every
+    # unlabelled score, the "lazy" appeal of [26] — but it improves
+    # only slowly with more labels (parametric bias floor), while
+    # OASIS overtakes it and keeps converging.
+    for budget, semi, oasis in rows[1:]:
+        assert oasis < semi, f"OASIS behind at budget {budget}"
+    semi_improvement = rows[0][1] - rows[-1][1]
+    oasis_improvement = rows[0][2] - rows[-1][2]
+    assert oasis_improvement > semi_improvement

@@ -1,0 +1,70 @@
+"""Calibrated vs uncalibrated similarity scores (a mini Figure 3).
+
+The static IS baseline trusts the scores it is given: raw SVM margins
+make its fixed instrumental distribution far from optimal.  OASIS
+learns the oracle probabilities from incoming labels and recovers.
+
+Run:  python examples/calibration_effect.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeterministicOracle,
+    ImportanceSampler,
+    OASISSampler,
+    load_benchmark,
+)
+
+BUDGET = 800
+N_REPEATS = 8
+
+
+def mean_error(factory, pool, scores):
+    errors = []
+    for seed in range(N_REPEATS):
+        sampler = factory(scores, seed)
+        sampler.sample_until_budget(BUDGET)
+        if not np.isnan(sampler.estimate):
+            errors.append(abs(sampler.estimate - pool.performance["f_measure"]))
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def main():
+    pool = load_benchmark("abt_buy", scale="small", random_state=42)
+    print(f"pool: {len(pool)} pairs, true F = "
+          f"{pool.performance['f_measure']:.4f}")
+    print(f"mean |F_hat - F| after {BUDGET} labels "
+          f"({N_REPEATS} runs each):\n")
+
+    def make_is(scores, seed):
+        return ImportanceSampler(
+            pool.predictions, scores,
+            DeterministicOracle(pool.true_labels),
+            threshold=pool.threshold, random_state=seed,
+        )
+
+    def make_oasis(scores, seed):
+        return OASISSampler(
+            pool.predictions, scores,
+            DeterministicOracle(pool.true_labels),
+            n_strata=60, threshold=pool.threshold, random_state=seed,
+        )
+
+    rows = [
+        ("IS, uncalibrated margins", make_is, pool.scores),
+        ("IS, calibrated probs", make_is, pool.scores_calibrated),
+        ("OASIS, uncalibrated margins", make_oasis, pool.scores),
+        ("OASIS, calibrated probs", make_oasis, pool.scores_calibrated),
+    ]
+    for label, factory, scores in rows:
+        print(f"  {label:30s} {mean_error(factory, pool, scores):.4f}")
+
+    print(
+        "\ncalibration matters most for static IS; OASIS adapts its "
+        "instrumental distribution from labels and degrades far less."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` use the
+classic ``setup.py develop`` path instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

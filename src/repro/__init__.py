@@ -1,0 +1,56 @@
+"""Reproduction of "In Search of an Entity Resolution OASIS" (VLDB 2017).
+
+OASIS — Optimal Asymptotic Sequential Importance Sampling — evaluates
+entity-resolution systems under extreme class imbalance, estimating the
+F-measure of a predicted resolution with far fewer oracle labels than
+passive sampling while remaining statistically consistent.
+
+Quickstart::
+
+    from repro import OASISSampler, DeterministicOracle
+
+    oracle = DeterministicOracle(true_labels)
+    sampler = OASISSampler(predictions, scores, oracle, random_state=0)
+    sampler.sample_until_budget(500)
+    print(sampler.estimate)           # F-measure estimate
+    print(sampler.labels_consumed)    # distinct labels used
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import OASISSampler, Strata, csf_stratify, stratify
+from repro.core.estimators import AISEstimator
+from repro.datasets import BENCHMARK_NAMES, load_benchmark
+from repro.measures import f_measure, pool_performance, precision, recall
+from repro.oracle import CrowdOracle, DeterministicOracle, NoisyOracle
+from repro.samplers import (
+    ImportanceSampler,
+    OSSSampler,
+    PassiveSampler,
+    StratifiedSampler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OASISSampler",
+    "Strata",
+    "csf_stratify",
+    "stratify",
+    "AISEstimator",
+    "BENCHMARK_NAMES",
+    "load_benchmark",
+    "f_measure",
+    "pool_performance",
+    "precision",
+    "recall",
+    "CrowdOracle",
+    "DeterministicOracle",
+    "NoisyOracle",
+    "ImportanceSampler",
+    "OSSSampler",
+    "PassiveSampler",
+    "StratifiedSampler",
+    "__version__",
+]

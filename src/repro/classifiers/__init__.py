@@ -1,0 +1,29 @@
+"""From-scratch pair classifiers (paper sections 6.1.2 and 6.3.4).
+
+scikit-learn is not available offline, so every classifier type the
+paper evaluates is implemented here on numpy: linear SVM (the main
+pipeline classifier), logistic regression, a one-hidden-layer neural
+network, AdaBoost over decision stumps, and an RBF-kernel SVM
+approximated with random Fourier features.  Platt scaling provides the
+calibrated probability scores of section 6.3.2.
+"""
+
+from repro.classifiers.adaboost import AdaBoostClassifier
+from repro.classifiers.base import StandardScaler, train_test_split
+from repro.classifiers.calibration import PlattCalibrator
+from repro.classifiers.linear_svm import LinearSVM
+from repro.classifiers.logistic import LogisticRegression
+from repro.classifiers.mlp import MLPClassifier
+from repro.classifiers.rbf_svm import RBFSampler, RbfSVM
+
+__all__ = [
+    "AdaBoostClassifier",
+    "StandardScaler",
+    "train_test_split",
+    "PlattCalibrator",
+    "LinearSVM",
+    "LogisticRegression",
+    "MLPClassifier",
+    "RBFSampler",
+    "RbfSVM",
+]

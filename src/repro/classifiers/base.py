@@ -1,0 +1,77 @@
+"""Shared classifier infrastructure: scaling, splitting, base API."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = ["BinaryClassifier", "StandardScaler", "train_test_split"]
+
+
+class BinaryClassifier(abc.ABC):
+    """Common API for the pair classifiers.
+
+    Labels are {0, 1}.  ``decision_function`` returns real-valued
+    margin scores (positive => predicted match); ``predict`` thresholds
+    them at zero.  Subclasses that natively produce probabilities also
+    expose ``predict_proba``.
+    """
+
+    @abc.abstractmethod
+    def fit(self, X, y) -> "BinaryClassifier":
+        """Train on features ``X`` (n, d) and binary labels ``y``."""
+
+    @abc.abstractmethod
+    def decision_function(self, X) -> np.ndarray:
+        """Real-valued scores; sign gives the predicted class."""
+
+    def predict(self, X) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int8)
+
+    @staticmethod
+    def _validate_training_data(X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D; got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
+        classes = set(np.unique(y).tolist())
+        if not classes <= {0, 1}:
+            raise ValueError(f"labels must be binary 0/1; found {classes}")
+        if len(classes) < 2:
+            raise ValueError("training data must contain both classes")
+        return X, y.astype(np.int8)
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean, unit variance."""
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        # Constant columns carry no signal; avoid division by zero.
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(n: int, train_fraction: float = 0.5, *, random_state=None):
+    """Random index split of ``range(n)`` into train/test index arrays."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1); got {train_fraction}")
+    rng = ensure_rng(random_state)
+    order = rng.permutation(n)
+    cut = int(round(n * train_fraction))
+    cut = min(max(cut, 1), n - 1)
+    return np.sort(order[:cut]), np.sort(order[cut:])

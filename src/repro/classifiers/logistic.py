@@ -1,0 +1,73 @@
+"""L2-regularised logistic regression via Newton's method (IRLS)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BinaryClassifier
+from repro.utils import expit
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(BinaryClassifier):
+    """Binary logistic regression with an L2 penalty.
+
+    Fitted by iteratively reweighted least squares (Newton steps on the
+    penalised log-likelihood), which converges in a handful of
+    iterations on the low-dimensional similarity features ER pipelines
+    produce.  ``predict_proba`` outputs are natively near-calibrated,
+    giving the probabilistic score regime of the paper.
+
+    Parameters
+    ----------
+    reg:
+        L2 penalty applied to the weights (not the intercept).
+    max_iter:
+        Maximum Newton iterations.
+    tol:
+        Convergence threshold on the parameter update norm.
+    """
+
+    def __init__(self, reg: float = 1e-4, max_iter: int = 100, tol: float = 1e-8):
+        if reg < 0:
+            raise ValueError(f"reg must be non-negative; got {reg}")
+        self.reg = reg
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = self._validate_training_data(X, y)
+        n, d = X.shape
+        # Augment with a bias column; keep the bias unpenalised.
+        Xb = np.hstack([X, np.ones((n, 1))])
+        theta = np.zeros(d + 1)
+        penalty = np.full(d + 1, self.reg)
+        penalty[-1] = 0.0
+        target = y.astype(float)
+
+        self.n_iter_ = 0
+        for iteration in range(self.max_iter):
+            p = expit(Xb @ theta)
+            gradient = Xb.T @ (p - target) / n + penalty * theta
+            # Hessian with a ridge floor so it stays invertible when the
+            # data are separable and p saturates at 0/1.
+            r = np.maximum(p * (1.0 - p), 1e-10)
+            hessian = (Xb * r[:, None]).T @ Xb / n + np.diag(penalty + 1e-12)
+            update = np.linalg.solve(hessian, gradient)
+            theta -= update
+            self.n_iter_ = iteration + 1
+            if np.linalg.norm(update) < self.tol:
+                break
+
+        self.coef_ = theta[:-1]
+        self.intercept_ = float(theta[-1])
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(match | features) under the fitted model."""
+        return expit(self.decision_function(X))

@@ -1,0 +1,133 @@
+"""One-hidden-layer perceptron trained with Adam (the paper's 'NN')."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BinaryClassifier
+from repro.utils import ensure_rng, expit
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(BinaryClassifier):
+    """Multi-layer perceptron with one tanh hidden layer.
+
+    Architecture: input -> tanh(hidden) -> linear output, trained on
+    the logistic loss with the Adam optimiser.  ``decision_function``
+    returns the pre-sigmoid logit; ``predict_proba`` the sigmoid of it.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the single hidden layer.
+    learning_rate:
+        Adam step size.
+    n_epochs:
+        Passes over the training data.
+    batch_size:
+        Mini-batch size.
+    reg:
+        L2 penalty on all weight matrices.
+    class_weight:
+        ``None`` or ``"balanced"`` per-class loss weighting.
+    random_state:
+        Seed or generator for init and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        learning_rate: float = 1e-2,
+        n_epochs: int = 100,
+        batch_size: int = 64,
+        reg: float = 1e-4,
+        class_weight: str | None = "balanced",
+        random_state=None,
+    ):
+        if hidden_units < 1:
+            raise ValueError(f"hidden_units must be >= 1; got {hidden_units}")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.reg = reg
+        self.class_weight = class_weight
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = self._validate_training_data(X, y)
+        rng = ensure_rng(self.random_state)
+        n, d = X.shape
+        h = self.hidden_units
+        target = y.astype(float)
+
+        if self.class_weight == "balanced":
+            n_pos = max(int(y.sum()), 1)
+            n_neg = max(n - int(y.sum()), 1)
+            sample_w = np.where(y == 1, n / (2.0 * n_pos), n / (2.0 * n_neg))
+        else:
+            sample_w = np.ones(n)
+
+        # Glorot-style initialisation.
+        params = {
+            "W1": rng.normal(0.0, np.sqrt(2.0 / (d + h)), size=(d, h)),
+            "b1": np.zeros(h),
+            "W2": rng.normal(0.0, np.sqrt(2.0 / (h + 1)), size=h),
+            "b2": 0.0,
+        }
+        moments = {
+            k: [np.zeros_like(np.asarray(v, dtype=float)),
+                np.zeros_like(np.asarray(v, dtype=float))]
+            for k, v in params.items()
+        }
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for __ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                step += 1
+                batch = order[start : start + self.batch_size]
+                xb, tb, wb = X[batch], target[batch], sample_w[batch]
+                m = len(batch)
+
+                hidden = np.tanh(xb @ params["W1"] + params["b1"])
+                logits = hidden @ params["W2"] + params["b2"]
+                probs = expit(logits)
+
+                # Weighted logistic-loss gradient wrt logits.
+                delta = wb * (probs - tb) / m
+                grads = {
+                    "W2": hidden.T @ delta + self.reg * params["W2"],
+                    "b2": float(delta.sum()),
+                }
+                back = np.outer(delta, params["W2"]) * (1.0 - hidden**2)
+                grads["W1"] = xb.T @ back + self.reg * params["W1"]
+                grads["b1"] = back.sum(axis=0)
+
+                for key in params:
+                    g = np.asarray(grads[key], dtype=float)
+                    m1, m2 = moments[key]
+                    m1[...] = beta1 * m1 + (1 - beta1) * g
+                    m2[...] = beta2 * m2 + (1 - beta2) * g * g
+                    m1_hat = m1 / (1 - beta1**step)
+                    m2_hat = m2 / (1 - beta2**step)
+                    update = self.learning_rate * m1_hat / (np.sqrt(m2_hat) + eps)
+                    if np.isscalar(params[key]):
+                        params[key] = params[key] - float(update)
+                    else:
+                        params[key] = params[key] - update
+
+        self._params = params
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        p = self._params
+        hidden = np.tanh(X @ p["W1"] + p["b1"])
+        return hidden @ p["W2"] + p["b2"]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Sigmoid output of the network (approximate probabilities)."""
+        return expit(self.decision_function(X))

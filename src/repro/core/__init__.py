@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the OASIS sampler and its parts.
+
+Components map to the paper as follows:
+
+* :mod:`repro.core.stratification` — Algorithm 1 (CSF stratification).
+* :mod:`repro.core.bayes` — section 4.2.2 Beta-Bernoulli latent model.
+* :mod:`repro.core.instrumental` — Eqns (5), (6), (12).
+* :mod:`repro.core.initialisation` — Algorithm 2.
+* :mod:`repro.core.estimators` — Eqn (3) AIS F-measure estimator.
+* :mod:`repro.core.oasis` — Algorithm 3, tying everything together.
+"""
+
+from repro.core.bayes import BetaBernoulliModel
+from repro.core.estimators import AISEstimator, sample_f_measure_history
+from repro.core.initialisation import initialise_from_scores
+from repro.core.instrumental import (
+    epsilon_greedy,
+    optimal_instrumental_pointwise,
+    stratified_optimal_instrumental,
+)
+from repro.core.oasis import OASISSampler
+from repro.core.stratification import Strata, csf_stratify, equal_size_stratify, stratify
+
+__all__ = [
+    "BetaBernoulliModel",
+    "AISEstimator",
+    "sample_f_measure_history",
+    "initialise_from_scores",
+    "epsilon_greedy",
+    "optimal_instrumental_pointwise",
+    "stratified_optimal_instrumental",
+    "OASISSampler",
+    "Strata",
+    "csf_stratify",
+    "equal_size_stratify",
+    "stratify",
+]

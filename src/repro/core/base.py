@@ -1,0 +1,162 @@
+"""Shared sampler infrastructure (paper Definition 4's setting).
+
+Every evaluation sampler — OASIS and the baselines — shares the same
+contract: it holds (predictions, scores, oracle) for a pool, draws
+items with replacement, queries the oracle for *new* items only (label
+caching: footnote 5 — a repeated draw is free), and maintains an
+F-measure estimate whose history is indexed both by iteration and by
+distinct labels consumed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.oracle.base import BaseOracle
+from repro.utils import check_in_range, ensure_rng
+
+__all__ = ["BaseEvaluationSampler"]
+
+
+class BaseEvaluationSampler(abc.ABC):
+    """Base class for label-efficient F-measure samplers.
+
+    Parameters
+    ----------
+    predictions:
+        Predicted labels (R-hat membership) per pool item.
+    scores:
+        Similarity scores per pool item.
+    oracle:
+        Labelling oracle queried for ground truth.
+    alpha:
+        F-measure weight.
+    random_state:
+        Seed or generator for the sampling randomness.
+
+    Attributes
+    ----------
+    estimate:
+        Current F-measure estimate (NaN while undefined).
+    history:
+        F estimate after every iteration.
+    budget_history:
+        Distinct labels consumed after every iteration; plotting
+        ``history`` against ``budget_history`` gives the paper's
+        label-budget curves.
+    queried_labels:
+        Cache of oracle labels by pool index.
+    """
+
+    def __init__(self, predictions, scores, oracle: BaseOracle, *,
+                 alpha: float = 0.5, random_state=None):
+        predictions = np.asarray(predictions)
+        scores = np.asarray(scores, dtype=float)
+        if predictions.shape != scores.shape or predictions.ndim != 1:
+            raise ValueError(
+                f"predictions {predictions.shape} and scores {scores.shape} "
+                "must be aligned 1-D arrays"
+            )
+        if len(predictions) == 0:
+            raise ValueError("pool must be non-empty")
+        unique = set(np.unique(predictions).tolist())
+        if not unique <= {0, 1}:
+            raise ValueError(f"predictions must be binary; found {unique}")
+        check_in_range(alpha, 0.0, 1.0, "alpha")
+
+        self.predictions = predictions.astype(np.int8)
+        self.scores = scores
+        self.oracle = oracle
+        self.alpha = alpha
+        self.rng = ensure_rng(random_state)
+
+        self.queried_labels: dict[int, int] = {}
+        self.history: list[float] = []
+        self.budget_history: list[int] = []
+        self.sampled_indices: list[int] = []
+
+    @property
+    def n_items(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def labels_consumed(self) -> int:
+        """Distinct oracle labels consumed so far (the budget)."""
+        return len(self.queried_labels)
+
+    @property
+    def estimate(self) -> float:
+        if not self.history:
+            return float("nan")
+        return self.history[-1]
+
+    def _query_label(self, index: int) -> int:
+        """Oracle label for ``index`` with caching (footnote 5)."""
+        index = int(index)
+        cached = self.queried_labels.get(index)
+        if cached is not None:
+            return cached
+        label = int(self.oracle.label(index))
+        if label not in (0, 1):
+            raise ValueError(f"oracle returned non-binary label {label}")
+        self.queried_labels[index] = label
+        return label
+
+    @abc.abstractmethod
+    def _step(self) -> None:
+        """Perform one sampling iteration, appending to the histories."""
+
+    def sample(self, n_iterations: int) -> float:
+        """Run ``n_iterations`` sampling steps; return the estimate."""
+        if n_iterations < 0:
+            raise ValueError(f"n_iterations must be non-negative; got {n_iterations}")
+        for __ in range(n_iterations):
+            self._step()
+        return self.estimate
+
+    def sample_until_budget(self, budget: int, *, max_iterations: int | None = None) -> float:
+        """Sample until ``budget`` distinct labels have been consumed.
+
+        ``max_iterations`` bounds the loop for safety; it defaults to
+        50x the budget (re-draws of cached items consume iterations but
+        not budget).
+        """
+        if budget <= 0:
+            raise ValueError(f"budget must be positive; got {budget}")
+        budget = min(budget, self.n_items)
+        if max_iterations is None:
+            max_iterations = 50 * budget
+        iterations = 0
+        while self.labels_consumed < budget and iterations < max_iterations:
+            self._step()
+            iterations += 1
+        return self.estimate
+
+    def sample_distinct(self, n_labels: int, **kwargs) -> float:
+        """Alias for :meth:`sample_until_budget`.
+
+        Matches the naming of the original author implementation, where
+        ``sample_distinct(n)`` consumes exactly ``n`` distinct oracle
+        labels.
+        """
+        return self.sample_until_budget(n_labels, **kwargs)
+
+    def estimate_at_budgets(self, budgets) -> np.ndarray:
+        """Estimates recorded at given distinct-label budgets.
+
+        For each requested budget b, returns the latest estimate at the
+        last iteration where ``labels_consumed <= b`` (NaN if the run
+        never reached that point or the estimate was undefined).
+        """
+        budgets = np.asarray(budgets, dtype=int)
+        consumed = np.asarray(self.budget_history, dtype=int)
+        history = np.asarray(self.history, dtype=float)
+        out = np.full(len(budgets), np.nan)
+        if len(consumed) == 0:
+            return out
+        positions = np.searchsorted(consumed, budgets, side="right") - 1
+        valid = positions >= 0
+        out[valid] = history[positions[valid]]
+        return out

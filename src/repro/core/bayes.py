@@ -1,0 +1,103 @@
+"""Stratified Beta-Bernoulli model of the oracle (paper section 4.2.2).
+
+Each stratum k has a latent match probability pi_k with a Beta prior;
+oracle labels observed from that stratum update the conjugate posterior
+(Eqn 10), and the point estimate is the posterior mean (Eqn 11).
+Remark 4's practical modification — retroactively down-weighting the
+prior by 1/n_k as labels accumulate — is available via
+``decaying_prior=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive
+
+__all__ = ["BetaBernoulliModel"]
+
+
+class BetaBernoulliModel:
+    """Independent Beta-Bernoulli posteriors, one per stratum.
+
+    Hyperparameters follow the paper's layout: a 2 x K matrix ``gamma``
+    whose row 0 tracks matches (label 1) and row 1 non-matches
+    (label 0), so the posterior mean is ``gamma[0] / gamma.sum(axis=0)``.
+
+    Parameters
+    ----------
+    prior_gamma:
+        2 x K array of prior hyperparameters Gamma^(0); both entries of
+        every column must be positive for a proper Beta prior.
+    decaying_prior:
+        Enable Remark 4: each column's *prior* contribution is divided
+        by the number of labels n_k observed in that stratum, shrinking
+        the influence of a misspecified prior as data arrives.
+    """
+
+    def __init__(self, prior_gamma, *, decaying_prior: bool = False):
+        prior = np.array(prior_gamma, dtype=float)
+        if prior.ndim != 2 or prior.shape[0] != 2:
+            raise ValueError(f"prior_gamma must have shape (2, K); got {prior.shape}")
+        if np.any(prior <= 0):
+            raise ValueError("prior hyperparameters must be strictly positive")
+        self._prior = prior
+        self._counts = np.zeros_like(prior)  # observed label counts
+        self.decaying_prior = decaying_prior
+
+    @property
+    def n_strata(self) -> int:
+        return self._prior.shape[1]
+
+    @property
+    def labels_per_stratum(self) -> np.ndarray:
+        """n_k: number of oracle labels observed from each stratum."""
+        return self._counts.sum(axis=0)
+
+    @property
+    def gamma(self) -> np.ndarray:
+        """Current posterior hyperparameters Gamma^(t) (2 x K).
+
+        With the decaying prior, the prior columns are scaled by
+        1 / max(n_k, 1) before adding the observed counts (Remark 4).
+        """
+        if self.decaying_prior:
+            scale = 1.0 / np.maximum(self.labels_per_stratum, 1.0)
+            return self._prior * scale + self._counts
+        return self._prior + self._counts
+
+    def update(self, stratum: int, label: int) -> None:
+        """Record one oracle label from ``stratum`` (Eqn 10)."""
+        if not 0 <= stratum < self.n_strata:
+            raise IndexError(f"stratum {stratum} out of range [0, {self.n_strata})")
+        if label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1; got {label}")
+        row = 0 if label == 1 else 1
+        self._counts[row, stratum] += 1.0
+
+    def posterior_mean(self) -> np.ndarray:
+        """Point estimate pi-hat per stratum: the posterior mean (Eqn 11)."""
+        gamma = self.gamma
+        return gamma[0] / gamma.sum(axis=0)
+
+    def posterior_variance(self) -> np.ndarray:
+        """Posterior variance of pi_k (diagnostic for uncertainty)."""
+        gamma = self.gamma
+        total = gamma.sum(axis=0)
+        return gamma[0] * gamma[1] / (total**2 * (total + 1.0))
+
+    def credible_interval(self, level: float = 0.95) -> np.ndarray:
+        """Equal-tailed Beta credible intervals, shape (2, K)."""
+        from scipy import stats
+
+        check_positive(level, "level")
+        if not level < 1:
+            raise ValueError(f"level must be < 1; got {level}")
+        gamma = self.gamma
+        lower = stats.beta.ppf((1 - level) / 2, gamma[0], gamma[1])
+        upper = stats.beta.ppf(1 - (1 - level) / 2, gamma[0], gamma[1])
+        return np.vstack([lower, upper])
+
+    def reset(self) -> None:
+        """Discard all observed labels, restoring the prior."""
+        self._counts[:] = 0.0

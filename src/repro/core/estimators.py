@@ -1,0 +1,174 @@
+"""Importance-weighted F-measure estimation (paper Eqn 3, section 5.2).
+
+The AIS estimator is a ratio of importance-weighted sample sums:
+
+    F-hat = sum_t w_t l_t lhat_t
+            -------------------------------------------------
+            alpha sum_t w_t lhat_t + (1-alpha) sum_t w_t l_t
+
+where w_t = p(z_t) / q_t(z_t).  :class:`AISEstimator` maintains those
+running sums incrementally (numerator, weighted predicted positives,
+weighted actual positives) and can report F, precision and recall at
+every iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_in_range
+
+__all__ = ["AISEstimator", "sample_f_measure_history"]
+
+
+class AISEstimator:
+    """Online ratio-of-sums estimator for F-measure, precision, recall.
+
+    Parameters
+    ----------
+    alpha:
+        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+    track_observations:
+        Keep the per-observation (weight, label, prediction) triples so
+        delta-method confidence intervals can be computed on demand
+        (:meth:`confidence_interval`).  Costs three floats per update.
+    """
+
+    def __init__(self, alpha: float = 0.5, *, track_observations: bool = False):
+        check_in_range(alpha, 0.0, 1.0, "alpha")
+        self.alpha = alpha
+        self.track_observations = track_observations
+        self._weighted_tp = 0.0  # sum w * l * lhat
+        self._weighted_pred = 0.0  # sum w * lhat
+        self._weighted_true = 0.0  # sum w * l
+        self.n_observations = 0
+        self._observations: list[tuple[float, float, float]] = []
+
+    def update(self, label: int, prediction: int, weight: float = 1.0) -> None:
+        """Fold in one observation (l_t, lhat_t) with weight w_t."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative; got {weight}")
+        label = float(label)
+        prediction = float(prediction)
+        self._weighted_tp += weight * label * prediction
+        self._weighted_pred += weight * prediction
+        self._weighted_true += weight * label
+        self.n_observations += 1
+        if self.track_observations:
+            self._observations.append((weight, label, prediction))
+
+    def f_measure(self, alpha: float | None = None) -> float:
+        """Current F_alpha estimate; NaN while undefined."""
+        if alpha is None:
+            alpha = self.alpha
+        else:
+            check_in_range(alpha, 0.0, 1.0, "alpha")
+        denominator = alpha * self._weighted_pred + (1.0 - alpha) * self._weighted_true
+        if denominator <= 0:
+            return float("nan")
+        return self._weighted_tp / denominator
+
+    @property
+    def estimate(self) -> float:
+        return self.f_measure()
+
+    @property
+    def precision(self) -> float:
+        return self.f_measure(alpha=1.0)
+
+    @property
+    def recall(self) -> float:
+        return self.f_measure(alpha=0.0)
+
+    def variance_estimate(self, alpha: float | None = None) -> float:
+        """Delta-method variance of the ratio estimator.
+
+        Writing the estimate as F = A/B with A the weighted TP mean and
+        B the weighted denominator mean, the first-order expansion
+        gives  Var(F) ~ mean[(w (f_num - F f_den))^2] / (T B^2).
+        Requires ``track_observations=True``; NaN while the estimate is
+        undefined.
+        """
+        if not self.track_observations:
+            raise RuntimeError(
+                "variance_estimate requires track_observations=True"
+            )
+        if alpha is None:
+            alpha = self.alpha
+        f_hat = self.f_measure(alpha)
+        if np.isnan(f_hat) or self.n_observations == 0:
+            return float("nan")
+        obs = np.asarray(self._observations)
+        weights, labels, preds = obs[:, 0], obs[:, 1], obs[:, 2]
+        f_num = labels * preds
+        f_den = alpha * preds + (1.0 - alpha) * labels
+        t = self.n_observations
+        b_bar = float(np.sum(weights * f_den)) / t
+        if b_bar <= 0:
+            return float("nan")
+        influence = weights * (f_num - f_hat * f_den)
+        return float(np.mean(influence**2) / (t * b_bar**2))
+
+    def confidence_interval(self, level: float = 0.95,
+                            alpha: float | None = None) -> tuple:
+        """Normal-approximation confidence interval for the estimate.
+
+        Based on the asymptotic normality of the importance-weighted
+        ratio estimator; clipped to [0, 1].  Returns (NaN, NaN) while
+        the estimate is undefined.
+        """
+        from scipy import stats
+
+        check_in_range(level, 0.0, 1.0, "level", low_open=True, high_open=True)
+        f_hat = self.f_measure(alpha)
+        variance = self.variance_estimate(alpha)
+        if np.isnan(f_hat) or np.isnan(variance):
+            return (float("nan"), float("nan"))
+        z = float(stats.norm.ppf(0.5 + level / 2.0))
+        half = z * np.sqrt(variance)
+        return (max(0.0, f_hat - half), min(1.0, f_hat + half))
+
+    def state(self) -> dict:
+        """Snapshot of the running sums (for checkpoint/diagnostics)."""
+        return {
+            "weighted_tp": self._weighted_tp,
+            "weighted_pred": self._weighted_pred,
+            "weighted_true": self._weighted_true,
+            "n_observations": self.n_observations,
+        }
+
+    def reset(self) -> None:
+        self._weighted_tp = 0.0
+        self._weighted_pred = 0.0
+        self._weighted_true = 0.0
+        self.n_observations = 0
+        self._observations.clear()
+
+
+def sample_f_measure_history(labels, predictions, weights=None, alpha: float = 0.5):
+    """Vectorised trajectory of the AIS estimate after each observation.
+
+    Equivalent to feeding the sequence through :class:`AISEstimator`
+    and recording the estimate at every step — used to post-process
+    recorded sampling runs without re-simulation.
+
+    Returns an array of length T with NaN where the estimate is
+    undefined.
+    """
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    labels = np.asarray(labels, dtype=float)
+    predictions = np.asarray(predictions, dtype=float)
+    if weights is None:
+        weights = np.ones_like(labels)
+    else:
+        weights = np.asarray(weights, dtype=float)
+    if not (len(labels) == len(predictions) == len(weights)):
+        raise ValueError("labels, predictions and weights must share length")
+
+    tp = np.cumsum(weights * labels * predictions)
+    pred = np.cumsum(weights * predictions)
+    true = np.cumsum(weights * labels)
+    denominator = alpha * pred + (1.0 - alpha) * true
+    with np.errstate(invalid="ignore", divide="ignore"):
+        history = np.where(denominator > 0, tp / denominator, np.nan)
+    return history

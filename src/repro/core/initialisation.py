@@ -1,0 +1,136 @@
+"""Initialisation of the Bayesian model (paper Algorithm 2, section 4.3).
+
+The similarity scores carry enough information to bootstrap OASIS: the
+mean score per stratum is a guess for pi_k (with a logit mapping when
+scores are not probabilities), the mean prediction per stratum gives
+lambda_k, and a plug-in computation yields the initial F-measure guess.
+The prior hyperparameters follow as Gamma^(0) = eta * [pi; 1 - pi].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stratification import Strata
+from repro.utils import check_in_range, check_positive, expit
+
+__all__ = ["Initialisation", "initialise_from_scores"]
+
+
+@dataclass(frozen=True)
+class Initialisation:
+    """Output of Algorithm 2 plus the prior construction.
+
+    Attributes
+    ----------
+    pi:
+        Initial per-stratum oracle-probability guesses pi-hat^(0).
+    f_measure:
+        Initial F-measure guess F-hat^(0).
+    prior_gamma:
+        2 x K prior hyperparameter matrix Gamma^(0).
+    mean_predictions:
+        lambda_k per stratum (needed by the instrumental distribution).
+    """
+
+    pi: np.ndarray
+    f_measure: float
+    prior_gamma: np.ndarray
+    mean_predictions: np.ndarray
+
+
+def initialise_from_scores(
+    strata: Strata,
+    predictions,
+    *,
+    alpha: float = 0.5,
+    prior_strength: float | None = None,
+    scores_are_probabilities: bool | None = None,
+    threshold: float = 0.0,
+    score_scale: float | str | None = None,
+) -> Initialisation:
+    """Run Algorithm 2 and build the prior.
+
+    Parameters
+    ----------
+    strata:
+        Stratification of the pool (carries the scores).
+    predictions:
+        Predicted labels per pool item.
+    alpha:
+        F-measure weight.
+    prior_strength:
+        eta > 0 controlling prior concentration; defaults to ``2 * K``
+        (the value used throughout the paper's experiments).
+    scores_are_probabilities:
+        If None, auto-detect: scores already within [0, 1] are taken as
+        probabilities; otherwise they are shifted by ``threshold`` and
+        squashed through the logistic function (Algorithm 2 line 4).
+    threshold:
+        The decision threshold tau for uncalibrated scores.
+    score_scale:
+        Divisor applied to shifted margins before the logistic squash:
+        ``pi = expit((score - threshold) / score_scale)``.  The paper's
+        Algorithm 2 uses raw shifted scores (``score_scale = 1``, the
+        default here, kept for fidelity); margin scales are classifier-
+        specific, so a scale-aware choice can sharpen badly-scaled
+        priors considerably — pass ``"auto"`` for ``0.5 * std(scores)``
+        or any positive number.  See the score-scale ablation benchmark.
+
+    Returns
+    -------
+    Initialisation
+    """
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    predictions = np.asarray(predictions, dtype=float)
+    if predictions.shape != strata.allocations.shape:
+        raise ValueError("predictions must align with the stratified pool")
+    if prior_strength is None:
+        prior_strength = 2.0 * strata.n_strata
+    check_positive(prior_strength, "prior_strength")
+
+    scores = strata.scores
+    if scores_are_probabilities is None:
+        scores_are_probabilities = bool(
+            scores.min() >= 0.0 and scores.max() <= 1.0
+        )
+
+    mean_scores = strata.mean_scores()
+    if scores_are_probabilities:
+        pi = np.clip(mean_scores, 0.0, 1.0)
+    else:
+        if score_scale is None:
+            scale = 1.0
+        elif score_scale == "auto":
+            spread = float(np.std(scores))
+            scale = 0.5 * spread if spread > 0 else 1.0
+        else:
+            scale = float(score_scale)
+            if scale <= 0:
+                raise ValueError(f"score_scale must be positive; got {scale}")
+        pi = expit((mean_scores - threshold) / scale)
+        pi = np.asarray(pi, dtype=float)
+
+    # Keep the prior proper: Beta parameters must be positive, so pull
+    # pi strictly inside (0, 1).
+    pi = np.clip(pi, 1e-6, 1.0 - 1e-6)
+
+    mean_predictions = strata.stratum_means(predictions)
+    sizes = strata.sizes.astype(float)
+
+    # Algorithm 2 line 8: plug-in F estimate from the stratified guesses.
+    estimated_tp = float(np.sum(sizes * pi * mean_predictions))
+    predicted_pos = float(np.sum(sizes * mean_predictions))
+    actual_pos = float(np.sum(sizes * pi))
+    denominator = alpha * predicted_pos + (1.0 - alpha) * actual_pos
+    f_measure = estimated_tp / denominator if denominator > 0 else float("nan")
+
+    prior_gamma = prior_strength * np.vstack([pi, 1.0 - pi])
+    return Initialisation(
+        pi=pi,
+        f_measure=f_measure,
+        prior_gamma=prior_gamma,
+        mean_predictions=mean_predictions,
+    )

@@ -1,0 +1,128 @@
+"""Instrumental distributions (paper Eqns 5, 6 and 12).
+
+The asymptotically optimal instrumental distribution concentrates
+sampling effort where items contribute most to the variance of the
+F-measure estimator.  It depends on the unknown F-measure and oracle
+probabilities, so OASIS plugs in running estimates; mixing with the
+underlying distribution (epsilon-greedy, Eqn 6) keeps every item
+reachable, which is what the consistency proof requires (Remark 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_in_range, normalise
+
+__all__ = [
+    "optimal_instrumental_pointwise",
+    "stratified_optimal_instrumental",
+    "epsilon_greedy",
+]
+
+
+def optimal_instrumental_pointwise(
+    underlying,
+    predictions,
+    oracle_probabilities,
+    f_measure: float,
+    alpha: float = 0.5,
+) -> np.ndarray:
+    """Per-item asymptotically optimal instrumental distribution (Eqn 5).
+
+    Parameters
+    ----------
+    underlying:
+        The target distribution p(z) over pool items (usually uniform).
+    predictions:
+        Predicted labels per item (l-hat).
+    oracle_probabilities:
+        True or estimated oracle probabilities p(1|z) per item.
+    f_measure:
+        The (estimated) F-measure the distribution is optimal for.
+    alpha:
+        F-measure weight.
+
+    Returns
+    -------
+    Probability vector over pool items.
+    """
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    p = np.asarray(underlying, dtype=float)
+    pred = np.asarray(predictions, dtype=float)
+    prob = np.clip(np.asarray(oracle_probabilities, dtype=float), 0.0, 1.0)
+    if np.isnan(f_measure):
+        # No information about F yet: fall back to the underlying
+        # distribution, the only choice that is always valid.
+        return normalise(p)
+    f = float(np.clip(f_measure, 0.0, 1.0))
+
+    negative_term = (1.0 - alpha) * (1.0 - pred) * f * np.sqrt(prob)
+    positive_term = pred * np.sqrt(
+        (alpha * f) ** 2 * (1.0 - prob) + (1.0 - f) ** 2 * prob
+    )
+    weights = p * (negative_term + positive_term)
+    return normalise(weights)
+
+
+def stratified_optimal_instrumental(
+    stratum_weights,
+    mean_predictions,
+    pi,
+    f_measure: float,
+    alpha: float = 0.5,
+) -> np.ndarray:
+    """Stratified optimal instrumental distribution v* (section 4.2.3).
+
+    The per-item Eqn (5) with the pool quantities replaced by their
+    stratified counterparts: omega_k for p(z), lambda_k for l-hat and
+    pi_k for p(1|z).
+
+    Parameters
+    ----------
+    stratum_weights:
+        omega_k = |P_k| / N.
+    mean_predictions:
+        lambda_k: mean predicted label within each stratum.
+    pi:
+        Estimated (or true) per-stratum match probabilities.
+    f_measure:
+        Current F-measure estimate F-hat.
+    alpha:
+        F-measure weight.
+
+    Returns
+    -------
+    Probability vector over strata.
+    """
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    omega = np.asarray(stratum_weights, dtype=float)
+    lam = np.clip(np.asarray(mean_predictions, dtype=float), 0.0, 1.0)
+    pi = np.clip(np.asarray(pi, dtype=float), 0.0, 1.0)
+    if np.isnan(f_measure):
+        return normalise(omega)
+    f = float(np.clip(f_measure, 0.0, 1.0))
+
+    negative_term = (1.0 - alpha) * (1.0 - lam) * f * np.sqrt(pi)
+    positive_term = lam * np.sqrt(
+        (alpha * f) ** 2 * (1.0 - pi) + (1.0 - f) ** 2 * pi
+    )
+    weights = omega * (negative_term + positive_term)
+    return normalise(weights)
+
+
+def epsilon_greedy(optimal, underlying, epsilon: float) -> np.ndarray:
+    """Mix the optimal distribution with the underlying one (Eqn 6/12).
+
+    ``q = epsilon * p + (1 - epsilon) * q*`` with ``0 < epsilon <= 1``;
+    guarantees q(z) >= epsilon * p(z) > 0 wherever p(z) > 0, the
+    condition Theorem 1 needs (Remark 5).
+    """
+    check_in_range(epsilon, 0.0, 1.0, "epsilon", low_open=True)
+    optimal = np.asarray(optimal, dtype=float)
+    underlying = np.asarray(underlying, dtype=float)
+    if optimal.shape != underlying.shape:
+        raise ValueError(
+            f"shape mismatch: optimal {optimal.shape} vs underlying {underlying.shape}"
+        )
+    return epsilon * underlying + (1.0 - epsilon) * optimal

@@ -1,0 +1,212 @@
+"""The OASIS sampler (paper Algorithm 3, section 4.4).
+
+Each iteration: compute the epsilon-greedy stratified instrumental
+distribution v^(t) from the current Bayesian model, draw a stratum then
+a pair uniformly within it, query the oracle (with label caching),
+update the Beta posterior and the importance-weighted F estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import BaseEvaluationSampler
+from repro.core.bayes import BetaBernoulliModel
+from repro.core.estimators import AISEstimator
+from repro.core.initialisation import initialise_from_scores
+from repro.core.instrumental import epsilon_greedy, stratified_optimal_instrumental
+from repro.core.stratification import Strata, stratify
+from repro.oracle.base import BaseOracle
+from repro.utils import check_in_range, check_positive
+
+__all__ = ["OASISSampler"]
+
+
+class OASISSampler(BaseEvaluationSampler):
+    """Optimal Asymptotic Sequential Importance Sampling.
+
+    Parameters
+    ----------
+    predictions:
+        Predicted labels (R-hat membership) per pool item.
+    scores:
+        Similarity scores per pool item (probabilities or margins).
+    oracle:
+        Labelling oracle.
+    alpha:
+        F-measure weight (paper experiments use 0.5).
+    epsilon:
+        Greediness 0 < epsilon <= 1 (paper experiments use 1e-3).
+        Small epsilon exploits the optimal distribution; epsilon = 1 is
+        pure passive sampling.
+    n_strata:
+        Requested number of CSF strata K-tilde (30-60 recommended).
+    prior_strength:
+        eta for the prior Gamma^(0) = eta * [pi; 1-pi]; defaults to 2K.
+    stratification_method:
+        "csf" (Algorithm 1) or "equal_size".
+    strata:
+        Pre-built :class:`Strata` to reuse (skips stratification).
+    decaying_prior:
+        Enable the Remark 4 prior decay (default True: the paper
+        reports it speeds convergence of pi-hat and adds robustness to
+        misspecified priors; disable to recover the plain conjugate
+        update).
+    scores_are_probabilities:
+        Passed to initialisation; None auto-detects from score range.
+    threshold:
+        Decision threshold tau used in the logit mapping of
+        uncalibrated scores.
+    score_scale:
+        Optional divisor for the margin-to-probability squash in
+        initialisation; see
+        :func:`repro.core.initialisation.initialise_from_scores`.
+        The default (None = raw scores) follows the paper; "auto"
+        standardises the margins first, which can sharpen priors for
+        small-scale margins considerably.
+    record_diagnostics:
+        When True, record per-iteration snapshots of pi-hat and v^(t)
+        (needed by the Figure 4 convergence experiment; costs memory).
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        predictions,
+        scores,
+        oracle: BaseOracle,
+        *,
+        alpha: float = 0.5,
+        epsilon: float = 1e-3,
+        n_strata: int = 30,
+        prior_strength: float | None = None,
+        stratification_method: str = "csf",
+        strata: Strata | None = None,
+        decaying_prior: bool = True,
+        scores_are_probabilities: bool | None = None,
+        threshold: float = 0.0,
+        score_scale: float | str | None = None,
+        record_diagnostics: bool = False,
+        random_state=None,
+    ):
+        super().__init__(predictions, scores, oracle, alpha=alpha,
+                         random_state=random_state)
+        check_in_range(epsilon, 0.0, 1.0, "epsilon", low_open=True)
+        self.epsilon = epsilon
+
+        if strata is not None:
+            if strata.n_items != self.n_items:
+                raise ValueError(
+                    f"strata cover {strata.n_items} items but the pool has "
+                    f"{self.n_items}"
+                )
+            self.strata = strata
+        else:
+            check_positive(n_strata, "n_strata")
+            self.strata = stratify(self.scores, n_strata, stratification_method)
+
+        init = initialise_from_scores(
+            self.strata,
+            self.predictions,
+            alpha=alpha,
+            prior_strength=prior_strength,
+            scores_are_probabilities=scores_are_probabilities,
+            threshold=threshold,
+            score_scale=score_scale,
+        )
+        self._initialisation = init
+        self.model = BetaBernoulliModel(init.prior_gamma, decaying_prior=decaying_prior)
+        self._estimator = AISEstimator(alpha=alpha, track_observations=True)
+        # F-hat^(0): the score-based guess seeds the instrumental
+        # distribution until weighted observations arrive.
+        self._current_f = init.f_measure
+        self._mean_predictions = init.mean_predictions
+        self._stratum_weights = self.strata.weights
+
+        self.record_diagnostics = record_diagnostics
+        self.pi_history: list[np.ndarray] = []
+        self.instrumental_history: list[np.ndarray] = []
+        self.weight_history: list[float] = []
+
+    @property
+    def n_strata(self) -> int:
+        return self.strata.n_strata
+
+    @property
+    def initial_f_measure(self) -> float:
+        """The score-based F-hat^(0) from Algorithm 2."""
+        return self._initialisation.f_measure
+
+    @property
+    def pi_estimate(self) -> np.ndarray:
+        """Current posterior-mean estimate of the stratum probabilities."""
+        return self.model.posterior_mean()
+
+    def instrumental_distribution(self) -> np.ndarray:
+        """The epsilon-greedy stratified distribution v^(t) (Eqn 12)."""
+        optimal = stratified_optimal_instrumental(
+            self._stratum_weights,
+            self._mean_predictions,
+            self.model.posterior_mean(),
+            self._current_f,
+            alpha=self.alpha,
+        )
+        return epsilon_greedy(optimal, self._stratum_weights, self.epsilon)
+
+    def optimal_distribution(self) -> np.ndarray:
+        """The un-mixed v*^(t) estimate (diagnostic for Figure 4)."""
+        return stratified_optimal_instrumental(
+            self._stratum_weights,
+            self._mean_predictions,
+            self.model.posterior_mean(),
+            self._current_f,
+            alpha=self.alpha,
+        )
+
+    def _step(self) -> None:
+        # (3) instrumental distribution from the current model state.
+        v = self.instrumental_distribution()
+        # (4) draw a stratum, (5) then a pair uniformly within it.
+        stratum = int(self.rng.choice(self.n_strata, p=v))
+        index = self.strata.sample_in_stratum(stratum, self.rng)
+        # (6) importance weight w_t = omega_k / v_k  (p uniform on pool,
+        # within-stratum draw uniform, so p(z)/q(z) reduces to this).
+        weight = self._stratum_weights[stratum] / v[stratum]
+        # (7) oracle label (cached re-draws are free) and (8) prediction.
+        label = self._query_label(index)
+        prediction = int(self.predictions[index])
+        # (9)-(10) posterior update.
+        self.model.update(stratum, label)
+        # (11) F estimate update.
+        self._estimator.update(label, prediction, weight)
+        estimate = self._estimator.estimate
+        if not np.isnan(estimate):
+            self._current_f = estimate
+
+        self.sampled_indices.append(index)
+        self.history.append(estimate)
+        self.budget_history.append(self.labels_consumed)
+        if self.record_diagnostics:
+            self.pi_history.append(self.model.posterior_mean())
+            self.instrumental_history.append(v)
+            self.weight_history.append(weight)
+
+    @property
+    def precision_estimate(self) -> float:
+        """Importance-weighted precision estimate (alpha = 1)."""
+        return self._estimator.precision
+
+    @property
+    def recall_estimate(self) -> float:
+        """Importance-weighted recall estimate (alpha = 0)."""
+        return self._estimator.recall
+
+    def confidence_interval(self, level: float = 0.95) -> tuple:
+        """Asymptotic confidence interval for the F-measure estimate.
+
+        Delta-method normal approximation on the importance-weighted
+        ratio estimator (an extension beyond the paper; see
+        :meth:`repro.core.estimators.AISEstimator.confidence_interval`).
+        """
+        return self._estimator.confidence_interval(level)

@@ -1,0 +1,185 @@
+"""Score stratification (paper section 4.2.1, Algorithm 1, Figure 1).
+
+Stratification here is a *parameter-reduction* device: the pool's N
+oracle probabilities are replaced by K per-stratum probabilities, with
+similarity scores serving as the homogeneity proxy.  The cumulative
+sqrt(F) (CSF) method of Dalenius & Hodges targets minimal intra-stratum
+score variance; an equal-size alternative is provided for the ablation
+mentioned alongside [14].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive
+
+__all__ = ["Strata", "csf_stratify", "equal_size_stratify", "stratify"]
+
+
+class Strata:
+    """A partition of pool items into strata, with per-stratum stats.
+
+    Parameters
+    ----------
+    allocations:
+        Integer array mapping each pool item to its stratum index in
+        ``[0, K)``.  Stratum indices must be contiguous (no empty
+        strata) — the factory functions below guarantee this.
+    scores:
+        Similarity scores per pool item (kept for initialisation).
+    """
+
+    def __init__(self, allocations, scores):
+        allocations = np.asarray(allocations, dtype=np.int64)
+        scores = np.asarray(scores, dtype=float)
+        if allocations.shape != scores.shape:
+            raise ValueError(
+                f"allocations {allocations.shape} and scores {scores.shape} "
+                "must align"
+            )
+        if len(allocations) == 0:
+            raise ValueError("cannot stratify an empty pool")
+        n_strata = int(allocations.max()) + 1
+        counts = np.bincount(allocations, minlength=n_strata)
+        if np.any(counts == 0):
+            raise ValueError("stratum indices must be contiguous (no empty strata)")
+        self.allocations = allocations
+        self.scores = scores
+        self.n_strata = n_strata
+        self.sizes = counts
+        # Pool items grouped by stratum for O(1) within-stratum draws.
+        order = np.argsort(allocations, kind="stable")
+        boundaries = np.cumsum(counts)[:-1]
+        self._members = np.split(order, boundaries)
+
+    def __len__(self) -> int:
+        return self.n_strata
+
+    @property
+    def n_items(self) -> int:
+        return len(self.allocations)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Stratum weights omega_k = |P_k| / N."""
+        return self.sizes / self.n_items
+
+    def members(self, k: int) -> np.ndarray:
+        """Pool indices of the items in stratum ``k``."""
+        return self._members[k]
+
+    def mean_scores(self) -> np.ndarray:
+        """Mean similarity score per stratum (Algorithm 2, line 2)."""
+        sums = np.bincount(self.allocations, weights=self.scores, minlength=self.n_strata)
+        return sums / self.sizes
+
+    def stratum_means(self, values) -> np.ndarray:
+        """Mean of an arbitrary per-item array within each stratum."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.allocations.shape:
+            raise ValueError("values must align with the pool")
+        sums = np.bincount(self.allocations, weights=values, minlength=self.n_strata)
+        return sums / self.sizes
+
+    def sample_in_stratum(self, k: int, rng) -> int:
+        """Draw one pool index uniformly from stratum ``k``."""
+        members = self._members[k]
+        return int(members[rng.integers(len(members))])
+
+
+def _allocations_from_edges(scores: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin scores by right-open edges, then compact away empty strata."""
+    # searchsorted over interior edges: item falls in stratum i when
+    # edges[i] <= score < edges[i+1]; the last bin is right-closed.
+    allocations = np.searchsorted(edges[1:-1], scores, side="right")
+    # Remove empty strata, renumbering contiguously (Algorithm 1 line 19).
+    used, compact = np.unique(allocations, return_inverse=True)
+    return compact
+
+
+def csf_stratify(
+    scores,
+    n_strata: int = 30,
+    *,
+    n_bins: int | None = None,
+) -> Strata:
+    """Cumulative sqrt(F) stratification (Algorithm 1).
+
+    Builds a histogram of the scores with ``n_bins`` bins, computes the
+    cumulative sum of sqrt(bin counts), and cuts it into ``n_strata``
+    equal-width intervals on that scale.  Bins are then mapped back to
+    score thresholds.  The returned number of strata may be smaller
+    than requested (empty strata are dropped) — exactly as the paper's
+    Algorithm 1 notes ("not guaranteed K = K-tilde").
+
+    Parameters
+    ----------
+    scores:
+        Pool similarity scores.
+    n_strata:
+        Desired number of strata K-tilde.
+    n_bins:
+        Histogram resolution M; defaults to ``max(10 * n_strata, 100)``.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or len(scores) == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    n_strata = int(check_positive(n_strata, "n_strata"))
+    if n_bins is None:
+        n_bins = max(10 * n_strata, 100)
+    n_bins = int(check_positive(n_bins, "n_bins"))
+
+    if np.ptp(scores) == 0:
+        # All scores identical: a single stratum is the only option.
+        return Strata(np.zeros(len(scores), dtype=np.int64), scores)
+
+    counts, bin_edges = np.histogram(scores, bins=n_bins)
+    csf = np.cumsum(np.sqrt(counts))
+    width = csf[-1] / n_strata
+
+    # Walk the histogram, cutting a stratum whenever the cumulative
+    # sqrt(F) crosses the next multiple of ``width`` (Alg. 1 lines 8-18).
+    edges = [bin_edges[0]]
+    next_cut = width
+    for j in range(n_bins - 1):
+        if len(edges) - 1 >= n_strata - 1:
+            break
+        if csf[j] >= next_cut:
+            edges.append(bin_edges[j + 1])
+            next_cut = (len(edges) - 1 + 1) * width
+    edges.append(bin_edges[-1])
+    allocations = _allocations_from_edges(scores, np.asarray(edges))
+    return Strata(allocations, scores)
+
+
+def equal_size_stratify(scores, n_strata: int = 30) -> Strata:
+    """Equal-size stratification: quantile cuts of the score ranking.
+
+    The alternative mentioned in section 4.2.1 (cf. the equal-size
+    method of [14]): each stratum receives ~N/K items, ties broken by
+    stable sort order.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or len(scores) == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    n_strata = int(check_positive(n_strata, "n_strata"))
+    n_strata = min(n_strata, len(scores))
+    order = np.argsort(scores, kind="stable")
+    allocations = np.empty(len(scores), dtype=np.int64)
+    # Spread items as evenly as possible across strata.
+    splits = np.array_split(order, n_strata)
+    for k, chunk in enumerate(splits):
+        allocations[chunk] = k
+    # Guard against empty chunks when K ~ N.
+    used, compact = np.unique(allocations, return_inverse=True)
+    return Strata(compact, scores)
+
+
+def stratify(scores, n_strata: int = 30, method: str = "csf") -> Strata:
+    """Dispatch to a stratification method by name ("csf" or "equal_size")."""
+    if method == "csf":
+        return csf_stratify(scores, n_strata)
+    if method == "equal_size":
+        return equal_size_stratify(scores, n_strata)
+    raise ValueError(f"unknown stratification method {method!r}")

@@ -1,0 +1,51 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper evaluates on six public datasets (Table 1).  Offline, we
+generate seeded synthetic equivalents that preserve the properties the
+samplers are sensitive to: class-imbalance ratio, pool size regime,
+score-distribution shape and ground-truth availability.  See DESIGN.md
+section 4 for the substitution rationale.
+"""
+
+from repro.datasets.benchmark import (
+    BENCHMARK_NAMES,
+    BenchmarkPool,
+    dataset_summary,
+    load_benchmark,
+)
+from repro.datasets.citations import generate_citation_dedup, generate_citation_pair
+from repro.datasets.corruption import (
+    abbreviate_tokens,
+    corrupt_string,
+    drop_tokens,
+    perturb_number,
+    typo_string,
+)
+from repro.datasets.entities import (
+    PaperEntityGenerator,
+    ProductEntityGenerator,
+    RestaurantEntityGenerator,
+)
+from repro.datasets.products import generate_product_pair
+from repro.datasets.restaurants import generate_restaurant_pair
+from repro.datasets.tweets import generate_tweets
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkPool",
+    "dataset_summary",
+    "load_benchmark",
+    "generate_citation_dedup",
+    "generate_citation_pair",
+    "abbreviate_tokens",
+    "corrupt_string",
+    "drop_tokens",
+    "perturb_number",
+    "typo_string",
+    "PaperEntityGenerator",
+    "ProductEntityGenerator",
+    "RestaurantEntityGenerator",
+    "generate_product_pair",
+    "generate_restaurant_pair",
+    "generate_tweets",
+]

@@ -1,0 +1,238 @@
+"""Vocabulary-driven entity generators.
+
+Each generator fabricates *entities* (the latent objects records refer
+to) with seeded randomness: products with brand/model/title/price,
+academic papers with authors/title/venue/year, restaurant listings with
+name/address/city/cuisine/phone.  Generators emit plain dicts; the
+dataset modules render them into noisy :class:`~repro.pipeline.Record`
+objects per source.
+"""
+
+from __future__ import annotations
+
+from repro.utils import ensure_rng
+
+__all__ = [
+    "ProductEntityGenerator",
+    "PaperEntityGenerator",
+    "RestaurantEntityGenerator",
+]
+
+_BRANDS = [
+    "acme", "zenith", "polar", "vertex", "nimbus", "quasar", "stellar",
+    "orion", "fluxon", "kinetic", "aurora", "pinnacle", "cascade", "ember",
+    "granite", "halcyon", "iris", "jade", "krypton", "lumen",
+]
+_PRODUCT_NOUNS = [
+    "speaker", "headphones", "monitor", "keyboard", "camera", "printer",
+    "router", "charger", "tablet", "projector", "microphone", "scanner",
+    "turntable", "subwoofer", "receiver", "adapter", "enclosure", "dock",
+]
+_PRODUCT_ADJECTIVES = [
+    "wireless", "portable", "compact", "digital", "professional",
+    "ergonomic", "premium", "ultra", "smart", "rugged", "slim", "gaming",
+]
+_DESCRIPTION_FILLER = [
+    "high performance", "easy setup", "long battery life", "low latency",
+    "studio quality", "energy efficient", "plug and play", "award winning",
+    "heavy duty", "limited edition", "sleek design", "crystal clear sound",
+    "fast shipping", "two year warranty", "usb connectivity", "bluetooth",
+    "noise cancelling", "anti glare", "high resolution", "surround sound",
+]
+
+_FIRST_NAMES = [
+    "alice", "bruno", "carla", "deepak", "elena", "felix", "grace",
+    "hiro", "ines", "jonas", "keiko", "liam", "mira", "nadia", "oscar",
+    "priya", "quentin", "rosa", "stefan", "tanya", "umar", "vera",
+    "wei", "xenia", "yusuf", "zoe",
+]
+_LAST_NAMES = [
+    "anderson", "baptiste", "chen", "dimitrov", "eriksen", "fernandez",
+    "gupta", "hansen", "ivanov", "jensen", "kowalski", "larsen", "moreau",
+    "nakamura", "okafor", "petrov", "quinn", "rossi", "schmidt", "tanaka",
+    "ullman", "vasquez", "weber", "xu", "yamamoto", "zhang",
+]
+_TITLE_TOPICS = [
+    "entity resolution", "record linkage", "importance sampling",
+    "query optimisation", "stream processing", "crowdsourcing",
+    "active learning", "data cleaning", "schema matching", "indexing",
+    "approximate inference", "transaction processing", "graph mining",
+    "federated search", "provenance tracking", "duplicate detection",
+]
+_TITLE_PATTERNS = [
+    "efficient {topic} for large scale systems",
+    "a survey of {topic} techniques",
+    "scalable {topic} with probabilistic guarantees",
+    "on the complexity of {topic}",
+    "adaptive {topic} in distributed databases",
+    "towards practical {topic}",
+    "learning based {topic} revisited",
+    "{topic} under resource constraints",
+]
+_VENUES = [
+    ("very large data bases", "vldb"),
+    ("international conference on management of data", "sigmod"),
+    ("international conference on data engineering", "icde"),
+    ("conference on information and knowledge management", "cikm"),
+    ("knowledge discovery and data mining", "kdd"),
+    ("extending database technology", "edbt"),
+]
+
+_RESTAURANT_STYLES = [
+    "bistro", "grill", "kitchen", "cafe", "diner", "trattoria", "cantina",
+    "brasserie", "tavern", "eatery", "house", "garden",
+]
+_RESTAURANT_NAMES = [
+    "golden", "blue", "silver", "rustic", "urban", "coastal", "royal",
+    "little", "grand", "old town", "corner", "harbour", "sunset",
+    "lakeside", "midnight", "emerald", "copper", "ivory",
+]
+_CUISINES = [
+    "italian", "french", "japanese", "mexican", "indian", "thai",
+    "mediterranean", "american", "chinese", "spanish", "korean", "greek",
+]
+_STREETS = [
+    "main", "oak", "maple", "cedar", "elm", "park", "lake", "hill",
+    "river", "church", "market", "bridge", "station", "garden", "mill",
+]
+_CITIES = [
+    "springfield", "riverton", "lakeview", "fairmont", "brookside",
+    "hillcrest", "westfield", "eastport", "northgate", "southbank",
+]
+
+
+class ProductEntityGenerator:
+    """Fabricates e-commerce product entities.
+
+    Each entity has a brand, model code, short name, long description
+    and price — the field mix of the Abt-Buy / Amazon-GoogleProducts
+    schemas (short text, long text, numeric).
+
+    Parameters
+    ----------
+    variant_prob:
+        Probability that a new entity is a *variant* of an earlier one:
+        same brand/series name with a different model code and nearby
+        price.  Variants are distinct entities whose records look very
+        similar — the hard negatives that give real product-matching
+        datasets (Amazon-GoogleProducts especially) their low
+        precision.
+    """
+
+    def __init__(self, random_state=None, *, variant_prob: float = 0.0):
+        if not 0.0 <= variant_prob < 1.0:
+            raise ValueError(f"variant_prob must be in [0, 1); got {variant_prob}")
+        self._rng = ensure_rng(random_state)
+        self.variant_prob = variant_prob
+
+    def generate(self, n: int) -> list[dict]:
+        entities = []
+        for entity_id in range(n):
+            rng = self._rng
+            if entities and rng.random() < self.variant_prob:
+                parent = entities[int(rng.integers(len(entities)))]
+                entity = self._make_variant(entity_id, parent, rng)
+            else:
+                entity = self._make_fresh(entity_id, rng)
+            entities.append(entity)
+        return entities
+
+    @staticmethod
+    def _make_fresh(entity_id: int, rng) -> dict:
+        brand = rng.choice(_BRANDS)
+        adjective = rng.choice(_PRODUCT_ADJECTIVES)
+        noun = rng.choice(_PRODUCT_NOUNS)
+        model = f"{rng.choice(list('abcdefgh'))}{rng.integers(100, 9999)}"
+        name = f"{brand} {adjective} {noun} {model}"
+        n_filler = int(rng.integers(3, 7))
+        filler = rng.choice(_DESCRIPTION_FILLER, size=n_filler, replace=False)
+        description = f"{name} {' '.join(filler)}"
+        price = round(float(rng.lognormal(4.0, 0.8)), 2)
+        return {
+            "entity_id": entity_id,
+            "name": name,
+            "description": description,
+            "price": price,
+        }
+
+    @staticmethod
+    def _make_variant(entity_id: int, parent: dict, rng) -> dict:
+        """A sibling product: same series, new model code, nearby price."""
+        tokens = parent["name"].split()
+        model = f"{rng.choice(list('abcdefgh'))}{rng.integers(100, 9999)}"
+        name = " ".join([*tokens[:-1], model])
+        n_filler = int(rng.integers(3, 7))
+        filler = rng.choice(_DESCRIPTION_FILLER, size=n_filler, replace=False)
+        description = f"{name} {' '.join(filler)}"
+        price = round(parent["price"] * float(rng.uniform(0.85, 1.15)), 2)
+        return {
+            "entity_id": entity_id,
+            "name": name,
+            "description": description,
+            "price": price,
+        }
+
+
+class PaperEntityGenerator:
+    """Fabricates bibliographic entities (papers) for citation datasets."""
+
+    def __init__(self, random_state=None):
+        self._rng = ensure_rng(random_state)
+
+    def generate(self, n: int) -> list[dict]:
+        entities = []
+        for entity_id in range(n):
+            rng = self._rng
+            n_authors = int(rng.integers(1, 5))
+            authors = []
+            for __ in range(n_authors):
+                first = rng.choice(_FIRST_NAMES)
+                last = rng.choice(_LAST_NAMES)
+                authors.append(f"{first} {last}")
+            pattern = rng.choice(_TITLE_PATTERNS)
+            title = pattern.format(topic=rng.choice(_TITLE_TOPICS))
+            venue_full, venue_abbrev = _VENUES[int(rng.integers(len(_VENUES)))]
+            year = int(rng.integers(1995, 2017))
+            entities.append(
+                {
+                    "entity_id": entity_id,
+                    "title": title,
+                    "authors": ", ".join(authors),
+                    "venue": venue_full,
+                    "venue_abbrev": venue_abbrev,
+                    "year": year,
+                }
+            )
+        return entities
+
+
+class RestaurantEntityGenerator:
+    """Fabricates restaurant listings (name/address/city/cuisine/phone)."""
+
+    def __init__(self, random_state=None):
+        self._rng = ensure_rng(random_state)
+
+    def generate(self, n: int) -> list[dict]:
+        entities = []
+        for entity_id in range(n):
+            rng = self._rng
+            name = (
+                f"{rng.choice(_RESTAURANT_NAMES)} "
+                f"{rng.choice(_CUISINES)} {rng.choice(_RESTAURANT_STYLES)}"
+            )
+            number = int(rng.integers(1, 999))
+            address = f"{number} {rng.choice(_STREETS)} street"
+            city = rng.choice(_CITIES)
+            cuisine = rng.choice(_CUISINES)
+            phone = f"{rng.integers(200, 999)} {rng.integers(200, 999)} {rng.integers(1000, 9999)}"
+            entities.append(
+                {
+                    "entity_id": entity_id,
+                    "name": name,
+                    "address": address,
+                    "city": city,
+                    "cuisine": cuisine,
+                    "phone": phone,
+                }
+            )
+        return entities

@@ -1,0 +1,34 @@
+"""Experiment harness: repeated trials, aggregation and diagnostics.
+
+Drives the comparisons of paper section 6: run each sampler many times
+on a fixed pool, align the estimate trajectories on the distinct-label
+budget axis, and aggregate into the expected-absolute-error and
+standard-deviation curves of Figures 2-3, the convergence diagnostics
+of Figure 4, and the per-classifier errors of Figure 5.
+"""
+
+from repro.experiments.aggregate import TrajectoryStats, aggregate_trajectories
+from repro.experiments.convergence import ConvergenceDiagnostics, run_convergence_experiment
+from repro.experiments.persistence import (
+    load_results,
+    save_results,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import SamplerSpec, run_trials
+
+__all__ = [
+    "TrajectoryStats",
+    "aggregate_trajectories",
+    "ConvergenceDiagnostics",
+    "run_convergence_experiment",
+    "load_results",
+    "save_results",
+    "stats_from_dict",
+    "stats_to_dict",
+    "format_series",
+    "format_table",
+    "SamplerSpec",
+    "run_trials",
+]

@@ -1,0 +1,104 @@
+"""Aggregation of trial trajectories into the paper's plotted curves.
+
+Figure 2/3 plot, per label budget: the expected absolute error
+E|F-hat - F| and the standard deviation of F-hat, averaged over
+repeated runs.  The paper only plots points where the estimate is
+defined with probability over 95% (section 6.3.1); the same rule is
+applied here via ``defined_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TrajectoryStats", "aggregate_trajectories"]
+
+# The paper's plotting rule: show a budget point only when at least
+# this fraction of runs have a well-defined estimate there.
+WELL_DEFINED_FRACTION = 0.95
+
+
+@dataclass
+class TrajectoryStats:
+    """Aggregated error curves for one sampler.
+
+    Attributes
+    ----------
+    budgets:
+        Label-budget grid.
+    abs_error:
+        Expected absolute error per budget (NaN where undefined).
+    std_dev:
+        Standard deviation of the estimate per budget.
+    bias:
+        Mean signed error per budget.
+    defined_fraction:
+        Fraction of runs whose estimate is defined per budget.
+    """
+
+    name: str
+    budgets: np.ndarray
+    abs_error: np.ndarray
+    std_dev: np.ndarray
+    bias: np.ndarray
+    defined_fraction: np.ndarray
+
+    def final_abs_error(self) -> float:
+        """Absolute error at the largest plotted budget."""
+        defined = ~np.isnan(self.abs_error)
+        if not defined.any():
+            return float("nan")
+        return float(self.abs_error[defined][-1])
+
+    def labels_to_reach(self, tolerance: float) -> float:
+        """Smallest budget with abs. error at or below ``tolerance``.
+
+        The quantity behind the paper's headline "83% fewer labels":
+        compare this across methods at a fixed tolerance.  Returns NaN
+        if the tolerance is never reached.
+        """
+        ok = np.where(
+            ~np.isnan(self.abs_error) & (self.abs_error <= tolerance)
+        )[0]
+        if len(ok) == 0:
+            return float("nan")
+        return float(self.budgets[ok[0]])
+
+
+def aggregate_trajectories(result, *, min_defined=WELL_DEFINED_FRACTION) -> TrajectoryStats:
+    """Aggregate one :class:`~repro.experiments.runner.TrialResult`.
+
+    Budget points where fewer than ``min_defined`` of the runs have a
+    defined estimate are masked to NaN (the paper's 95% rule).
+    """
+    estimates = result.estimates
+    n_repeats = estimates.shape[0]
+    defined = ~np.isnan(estimates)
+    defined_fraction = defined.sum(axis=0) / n_repeats
+
+    errors = estimates - result.true_value
+    # All-NaN columns legitimately aggregate to NaN (estimate never
+    # defined at that budget); silence numpy's empty-slice warnings.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        abs_error = np.nanmean(np.abs(errors), axis=0)
+        std_dev = np.nanstd(estimates, axis=0)
+        bias = np.nanmean(errors, axis=0)
+
+    mask = defined_fraction < min_defined
+    abs_error = np.where(mask, np.nan, abs_error)
+    std_dev = np.where(mask, np.nan, std_dev)
+    bias = np.where(mask, np.nan, bias)
+
+    return TrajectoryStats(
+        name=result.name,
+        budgets=result.budgets,
+        abs_error=abs_error,
+        std_dev=std_dev,
+        bias=bias,
+        defined_fraction=defined_fraction,
+    )

@@ -1,0 +1,196 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's experiments without writing code::
+
+    python -m repro.experiments datasets
+    python -m repro.experiments compare --dataset abt_buy --budget 2000
+    python -m repro.experiments convergence --dataset abt_buy
+    python -m repro.experiments calibration --dataset abt_buy
+
+Each subcommand prints the corresponding table/series in the same
+format as the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import OASISSampler
+from repro.datasets import BENCHMARK_NAMES, dataset_summary, load_benchmark
+from repro.experiments.aggregate import aggregate_trajectories
+from repro.experiments.convergence import run_convergence_experiment
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import SamplerSpec, run_trials
+from repro.oracle import DeterministicOracle
+from repro.samplers import (
+    ImportanceSampler,
+    OSSSampler,
+    PassiveSampler,
+    StratifiedSampler,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the OASIS paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="print Tables 1-2")
+    datasets.add_argument("--scale", default="tiny", choices=["tiny", "small"])
+    datasets.add_argument("--seed", type=int, default=42)
+
+    compare = sub.add_parser("compare", help="Figure 2 style comparison")
+    compare.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
+    compare.add_argument("--scale", default="small", choices=["tiny", "small"])
+    compare.add_argument("--budget", type=int, default=2000)
+    compare.add_argument("--repeats", type=int, default=10)
+    compare.add_argument("--n-strata", type=int, default=30)
+    compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument(
+        "--calibrated", action="store_true",
+        help="use calibrated probabilities instead of margins",
+    )
+    compare.add_argument(
+        "--include-oss", action="store_true",
+        help="add the OSS (adaptive Neyman) extension baseline",
+    )
+
+    convergence = sub.add_parser("convergence", help="Figure 4 diagnostics")
+    convergence.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
+    convergence.add_argument("--scale", default="small", choices=["tiny", "small"])
+    convergence.add_argument("--iterations", type=int, default=10_000)
+    convergence.add_argument("--n-strata", type=int, default=30)
+    convergence.add_argument("--seed", type=int, default=42)
+
+    calibration = sub.add_parser("calibration", help="Figure 3 comparison")
+    calibration.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
+    calibration.add_argument("--scale", default="small", choices=["tiny", "small"])
+    calibration.add_argument("--budget", type=int, default=2000)
+    calibration.add_argument("--repeats", type=int, default=10)
+    calibration.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _budget_grid(budget: int) -> list[int]:
+    grid = [50, 100, 250, 500, 1000, 2000, 4000, 8000, 16000]
+    out = [b for b in grid if b < budget]
+    out.append(budget)
+    return out
+
+
+def _cmd_datasets(args) -> None:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        pool = load_benchmark(name, scale=args.scale, random_state=args.seed)
+        row = dataset_summary(pool)
+        rows.append([
+            row["dataset"], row["size"], row["imbalance_ratio"],
+            row["n_matches"], row["precision"], row["recall"],
+            row["f_measure"],
+        ])
+    print(format_table(
+        ["dataset", "size", "imb_ratio", "matches", "P", "R", "F"],
+        rows,
+        title=f"Tables 1-2 (scale={args.scale})",
+    ))
+
+
+def _cmd_compare(args) -> None:
+    pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    threshold = pool.threshold
+    k = args.n_strata
+    specs = [
+        SamplerSpec("Passive", lambda p, s, o, r: PassiveSampler(
+            p, s, o, random_state=r), use_calibrated_scores=args.calibrated),
+        SamplerSpec("Stratified", lambda p, s, o, r: StratifiedSampler(
+            p, s, o, n_strata=k, random_state=r),
+            use_calibrated_scores=args.calibrated),
+        SamplerSpec("IS", lambda p, s, o, r: ImportanceSampler(
+            p, s, o, threshold=threshold, random_state=r),
+            use_calibrated_scores=args.calibrated),
+        SamplerSpec(f"OASIS {k}", lambda p, s, o, r: OASISSampler(
+            p, s, o, n_strata=k, threshold=threshold, random_state=r),
+            use_calibrated_scores=args.calibrated),
+    ]
+    if args.include_oss:
+        specs.append(SamplerSpec("OSS", lambda p, s, o, r: OSSSampler(
+            p, s, o, n_strata=k, random_state=r),
+            use_calibrated_scores=args.calibrated))
+
+    print(f"pool {args.dataset}: {len(pool)} items, "
+          f"true F = {pool.performance['f_measure']:.4f}")
+    results = run_trials(
+        pool, specs, budgets=_budget_grid(args.budget),
+        n_repeats=args.repeats, random_state=args.seed,
+    )
+    for name, result in results.items():
+        stats = aggregate_trajectories(result)
+        print(format_series(f"{name} abs_err", stats.budgets, stats.abs_error))
+
+
+def _cmd_convergence(args) -> None:
+    pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    sampler = OASISSampler(
+        pool.predictions,
+        pool.scores_calibrated,
+        DeterministicOracle(pool.true_labels),
+        n_strata=args.n_strata,
+        record_diagnostics=True,
+        random_state=args.seed,
+    )
+    diag = run_convergence_experiment(
+        sampler, pool.true_labels, pool.performance["f_measure"],
+        n_iterations=args.iterations,
+    )
+    checkpoints = np.linspace(0, args.iterations - 1, 10).astype(int)
+    print(f"convergence on {args.dataset} (K={args.n_strata}, "
+          f"{args.iterations} iterations)")
+    print(format_series("|F_hat - F|", diag.budgets[checkpoints],
+                        diag.f_abs_error[checkpoints]))
+    print(format_series("mean |pi err|", diag.budgets[checkpoints],
+                        diag.pi_abs_error[checkpoints]))
+    print(format_series("KL(v*||v_hat)", diag.budgets[checkpoints],
+                        diag.kl_from_optimal[checkpoints]))
+
+
+def _cmd_calibration(args) -> None:
+    pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    threshold = pool.threshold
+    specs = [
+        SamplerSpec("IS uncal", lambda p, s, o, r: ImportanceSampler(
+            p, s, o, threshold=threshold, random_state=r)),
+        SamplerSpec("IS cal", lambda p, s, o, r: ImportanceSampler(
+            p, s, o, random_state=r), use_calibrated_scores=True),
+        SamplerSpec("OASIS uncal", lambda p, s, o, r: OASISSampler(
+            p, s, o, n_strata=60, threshold=threshold, random_state=r)),
+        SamplerSpec("OASIS cal", lambda p, s, o, r: OASISSampler(
+            p, s, o, n_strata=60, random_state=r), use_calibrated_scores=True),
+    ]
+    print(f"pool {args.dataset}: true F = {pool.performance['f_measure']:.4f}")
+    results = run_trials(
+        pool, specs, budgets=_budget_grid(args.budget),
+        n_repeats=args.repeats, random_state=args.seed,
+    )
+    for name, result in results.items():
+        stats = aggregate_trajectories(result)
+        print(format_series(f"{name} abs_err", stats.budgets, stats.abs_error))
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "compare": _cmd_compare,
+    "convergence": _cmd_convergence,
+    "calibration": _cmd_calibration,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0

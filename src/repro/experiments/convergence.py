@@ -1,0 +1,117 @@
+"""Model-convergence diagnostics (paper Figure 4).
+
+Tracks, along a single OASIS run: (a) the absolute error of the
+F-measure estimate, (b) the mean absolute error of the stratum
+probability estimates pi-hat, (c) the mean absolute error of the
+estimated optimal instrumental distribution v*-hat, and (d) the KL
+divergence from the true optimum v* to the estimate.  The true optimum
+is computed from ground truth (true per-stratum match rates and the
+true pool F-measure) — quantities a real evaluation never sees, used
+here purely as the yardstick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrumental import stratified_optimal_instrumental
+from repro.core.oasis import OASISSampler
+from repro.measures.divergence import kl_divergence
+
+__all__ = ["ConvergenceDiagnostics", "run_convergence_experiment"]
+
+
+@dataclass
+class ConvergenceDiagnostics:
+    """Per-iteration diagnostics of one OASIS run (Figure 4's series).
+
+    All arrays are indexed by iteration; ``budgets`` gives the distinct
+    labels consumed at each iteration for plotting on the budget axis.
+    """
+
+    budgets: np.ndarray
+    f_abs_error: np.ndarray
+    pi_abs_error: np.ndarray
+    v_abs_error: np.ndarray
+    kl_from_optimal: np.ndarray
+    true_pi: np.ndarray
+    true_v: np.ndarray
+
+    def budget_to_reach_pi(self, tolerance: float) -> float:
+        """First label budget where the pi error falls below tolerance."""
+        ok = np.where(self.pi_abs_error <= tolerance)[0]
+        if len(ok) == 0:
+            return float("nan")
+        return float(self.budgets[ok[0]])
+
+    def budget_to_reach_kl(self, tolerance: float) -> float:
+        """First label budget where the KL divergence falls below tolerance."""
+        ok = np.where(self.kl_from_optimal <= tolerance)[0]
+        if len(ok) == 0:
+            return float("nan")
+        return float(self.budgets[ok[0]])
+
+
+def true_stratum_probabilities(strata, true_labels) -> np.ndarray:
+    """Ground-truth pi_k: the match rate within each stratum."""
+    return strata.stratum_means(np.asarray(true_labels, dtype=float))
+
+
+def run_convergence_experiment(
+    sampler: OASISSampler,
+    true_labels,
+    true_f_measure: float,
+    *,
+    n_iterations: int,
+) -> ConvergenceDiagnostics:
+    """Run ``sampler`` and compare its model against ground truth.
+
+    The sampler must have been constructed with
+    ``record_diagnostics=True`` so pi-hat and v^(t) snapshots exist.
+    """
+    if not sampler.record_diagnostics:
+        raise ValueError("sampler must be built with record_diagnostics=True")
+    sampler.sample(n_iterations)
+
+    strata = sampler.strata
+    true_pi = true_stratum_probabilities(strata, true_labels)
+    mean_predictions = strata.stratum_means(sampler.predictions)
+    true_v = stratified_optimal_instrumental(
+        strata.weights,
+        mean_predictions,
+        true_pi,
+        true_f_measure,
+        alpha=sampler.alpha,
+    )
+
+    history_f = np.asarray(sampler.history, dtype=float)
+    pi_history = np.asarray(sampler.pi_history, dtype=float)
+    f_abs_error = np.abs(history_f - true_f_measure)
+
+    pi_abs_error = np.abs(pi_history - true_pi).mean(axis=1)
+
+    n_steps = len(pi_history)
+    v_abs_error = np.empty(n_steps)
+    kl = np.empty(n_steps)
+    for t in range(n_steps):
+        v_estimate = stratified_optimal_instrumental(
+            strata.weights,
+            mean_predictions,
+            pi_history[t],
+            history_f[t] if not np.isnan(history_f[t]) else sampler.initial_f_measure,
+            alpha=sampler.alpha,
+        )
+        v_abs_error[t] = np.abs(v_estimate - true_v).mean()
+        kl[t] = kl_divergence(true_v, v_estimate)
+
+    return ConvergenceDiagnostics(
+        budgets=np.asarray(sampler.budget_history, dtype=int),
+        f_abs_error=f_abs_error,
+        pi_abs_error=pi_abs_error,
+        v_abs_error=v_abs_error,
+        kl_from_optimal=kl,
+        true_pi=true_pi,
+        true_v=true_v,
+    )

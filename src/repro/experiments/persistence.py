@@ -1,0 +1,92 @@
+"""Saving and loading experiment results.
+
+Long sweeps (Figure 2 takes minutes per dataset) should be run once and
+analysed many times.  These helpers serialise
+:class:`~repro.experiments.runner.TrialResult` collections and
+:class:`~repro.experiments.aggregate.TrajectoryStats` to plain JSON —
+no pickle, so results are portable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.aggregate import TrajectoryStats
+from repro.experiments.runner import TrialResult
+
+__all__ = ["save_results", "load_results", "stats_to_dict", "stats_from_dict"]
+
+
+def _encode_array(array: np.ndarray) -> list:
+    """JSON-encode an array, mapping NaN to None."""
+    out = []
+    for value in np.asarray(array, dtype=float).ravel().tolist():
+        out.append(None if np.isnan(value) else value)
+    return out
+
+
+def _decode_array(values, shape=None) -> np.ndarray:
+    array = np.array(
+        [np.nan if v is None else float(v) for v in values], dtype=float
+    )
+    if shape is not None:
+        array = array.reshape(shape)
+    return array
+
+
+def save_results(results: dict, path) -> None:
+    """Serialise a ``{name: TrialResult}`` mapping to a JSON file."""
+    payload = {}
+    for name, result in results.items():
+        payload[name] = {
+            "name": result.name,
+            "budgets": [int(b) for b in result.budgets],
+            "estimates": _encode_array(result.estimates),
+            "estimates_shape": list(result.estimates.shape),
+            "true_value": float(result.true_value),
+        }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def load_results(path) -> dict:
+    """Load a ``{name: TrialResult}`` mapping saved by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    results = {}
+    for name, entry in payload.items():
+        results[name] = TrialResult(
+            name=entry["name"],
+            budgets=np.asarray(entry["budgets"], dtype=int),
+            estimates=_decode_array(
+                entry["estimates"], shape=tuple(entry["estimates_shape"])
+            ),
+            true_value=entry["true_value"],
+        )
+    return results
+
+
+def stats_to_dict(stats: TrajectoryStats) -> dict:
+    """JSON-ready dict of one aggregated error curve."""
+    return {
+        "name": stats.name,
+        "budgets": [int(b) for b in stats.budgets],
+        "abs_error": _encode_array(stats.abs_error),
+        "std_dev": _encode_array(stats.std_dev),
+        "bias": _encode_array(stats.bias),
+        "defined_fraction": _encode_array(stats.defined_fraction),
+    }
+
+
+def stats_from_dict(payload: dict) -> TrajectoryStats:
+    """Inverse of :func:`stats_to_dict`."""
+    return TrajectoryStats(
+        name=payload["name"],
+        budgets=np.asarray(payload["budgets"], dtype=int),
+        abs_error=_decode_array(payload["abs_error"]),
+        std_dev=_decode_array(payload["std_dev"]),
+        bias=_decode_array(payload["bias"]),
+        defined_fraction=_decode_array(payload["defined_fraction"]),
+    )

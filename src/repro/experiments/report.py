@@ -1,0 +1,93 @@
+"""ASCII rendering of experiment results.
+
+Every benchmark prints the rows/series the corresponding paper table
+or figure reports; these helpers keep that output consistent and
+readable in test logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value, width: int) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            text = "nan"
+        elif abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:.4f}".rstrip("0").rstrip(".")
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render a list-of-rows table with right-aligned columns."""
+    columns = list(zip(*([headers] + [list(map(str, _stringify(r))) for r in rows]))) \
+        if rows else [(h,) for h in headers]
+    widths = [max(len(str(cell)) for cell in column) for column in columns]
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(v, w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _stringify(row):
+    out = []
+    for value in row:
+        if isinstance(value, float):
+            out.append(f"{value:.4f}")
+        else:
+            out.append(value)
+    return out
+
+
+def format_series(name: str, xs, ys, *, x_label: str = "budget",
+                  y_label: str = "value", max_points: int = 12) -> str:
+    """Render an (x, y) series as a compact two-row table.
+
+    Long series are subsampled to ``max_points`` evenly-spaced points —
+    enough to read off the curve's shape in a log.
+    """
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    if len(xs) > max_points:
+        step = max(len(xs) // max_points, 1)
+        keep = list(range(0, len(xs), step))
+        if keep[-1] != len(xs) - 1:
+            keep.append(len(xs) - 1)
+        xs = [xs[i] for i in keep]
+        ys = [ys[i] for i in keep]
+
+    def fmt(value):
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "nan"
+            return f"{value:.4g}"
+        return str(value)
+
+    x_cells = [fmt(x) for x in xs]
+    y_cells = [fmt(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    label_width = max(len(x_label), len(y_label))
+    x_row = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    y_row = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    return (
+        f"{name}\n"
+        f"{x_label.ljust(label_width)}  {x_row}\n"
+        f"{y_label.ljust(label_width)}  {y_row}"
+    )

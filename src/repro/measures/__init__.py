@@ -1,0 +1,43 @@
+"""Evaluation measures for entity resolution.
+
+Implements the pairwise F-measure family of the paper (Eqn 1) together
+with confusion-matrix counting and the divergence diagnostics used in
+the convergence experiments (Fig. 4).
+"""
+
+from repro.measures.cluster import (
+    cluster_precision_recall,
+    clusters_from_pairs,
+    merge_distance,
+    pairs_from_clusters,
+)
+from repro.measures.confusion import ConfusionCounts, confusion_counts
+from repro.measures.divergence import absolute_error, kl_divergence, total_variation
+from repro.measures.fmeasure import (
+    alpha_from_beta,
+    beta_from_alpha,
+    f_measure,
+    f_measure_from_counts,
+    pool_performance,
+    precision,
+    recall,
+)
+
+__all__ = [
+    "cluster_precision_recall",
+    "clusters_from_pairs",
+    "merge_distance",
+    "pairs_from_clusters",
+    "ConfusionCounts",
+    "confusion_counts",
+    "absolute_error",
+    "kl_divergence",
+    "total_variation",
+    "alpha_from_beta",
+    "beta_from_alpha",
+    "f_measure",
+    "f_measure_from_counts",
+    "pool_performance",
+    "precision",
+    "recall",
+]

@@ -1,0 +1,71 @@
+"""Confusion-matrix counting for pairwise ER evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import check_same_length
+
+__all__ = ["ConfusionCounts", "confusion_counts"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True/false positive/negative counts over a labelled sample.
+
+    The counts may be fractional: importance-weighted samples contribute
+    their weight rather than 1.
+    """
+
+    tp: float
+    fp: float
+    fn: float
+    tn: float
+
+    @property
+    def total(self) -> float:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def predicted_positives(self) -> float:
+        return self.tp + self.fp
+
+    @property
+    def actual_positives(self) -> float:
+        return self.tp + self.fn
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+
+def confusion_counts(true_labels, pred_labels, weights=None) -> ConfusionCounts:
+    """Count (optionally weighted) TP/FP/FN/TN.
+
+    Parameters
+    ----------
+    true_labels, pred_labels:
+        Binary arrays: oracle labels ``l`` and predictions ``l-hat``.
+    weights:
+        Optional importance weights; defaults to 1 per item.
+    """
+    true_labels = np.asarray(true_labels, dtype=float)
+    pred_labels = np.asarray(pred_labels, dtype=float)
+    check_same_length(true_labels, pred_labels, names=["true_labels", "pred_labels"])
+    if weights is None:
+        weights = np.ones_like(true_labels)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        check_same_length(true_labels, weights, names=["true_labels", "weights"])
+
+    tp = float(np.sum(weights * true_labels * pred_labels))
+    fp = float(np.sum(weights * (1.0 - true_labels) * pred_labels))
+    fn = float(np.sum(weights * true_labels * (1.0 - pred_labels)))
+    tn = float(np.sum(weights * (1.0 - true_labels) * (1.0 - pred_labels)))
+    return ConfusionCounts(tp=tp, fp=fp, fn=fn, tn=tn)

@@ -1,0 +1,49 @@
+"""Divergences and error metrics for convergence diagnostics (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_probability_vector, check_same_length
+
+__all__ = ["kl_divergence", "total_variation", "absolute_error"]
+
+
+def kl_divergence(p, q, *, epsilon: float = 1e-12) -> float:
+    """KL(p || q) between discrete distributions, in nats.
+
+    Terms where ``p == 0`` contribute zero.  Where ``q == 0`` but
+    ``p > 0`` the divergence is infinite; a small ``epsilon`` floor on
+    ``q`` keeps the diagnostic finite (the paper's Fig. 4d tracks
+    KL from the optimal instrumental distribution to its estimate,
+    which the epsilon-greedy mixture keeps strictly positive anyway).
+    """
+    p = check_probability_vector(p, "p")
+    q = check_probability_vector(q, "q")
+    check_same_length(p, q, names=["p", "q"])
+    q = np.clip(q, epsilon, None)
+    support = p > 0
+    return float(np.sum(p[support] * (np.log(p[support]) - np.log(q[support]))))
+
+
+def total_variation(p, q) -> float:
+    """Total variation distance ``0.5 * sum |p - q|``."""
+    p = check_probability_vector(p, "p")
+    q = check_probability_vector(q, "q")
+    check_same_length(p, q, names=["p", "q"])
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def absolute_error(estimate, truth) -> float:
+    """Mean absolute error, ignoring NaN estimates.
+
+    For scalar inputs this is plain ``|estimate - truth|``; NaN
+    estimates (undefined F-measure) propagate as NaN so aggregation
+    code can decide how to treat the undefined region.
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    err = np.abs(estimate - truth)
+    if err.ndim == 0:
+        return float(err)
+    return float(np.nanmean(err))

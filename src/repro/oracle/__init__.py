@@ -1,0 +1,21 @@
+"""Labelling oracles (paper Definition 4).
+
+An oracle answers binary match/non-match queries on record pairs.  The
+paper's experiments use a deterministic oracle built from ground truth;
+the theory covers randomised oracles, which we also provide.
+"""
+
+from repro.oracle.base import BaseOracle, CountingOracle
+from repro.oracle.callback import CallbackOracle
+from repro.oracle.crowd import CrowdOracle
+from repro.oracle.deterministic import DeterministicOracle
+from repro.oracle.noisy import NoisyOracle
+
+__all__ = [
+    "BaseOracle",
+    "CallbackOracle",
+    "CountingOracle",
+    "CrowdOracle",
+    "DeterministicOracle",
+    "NoisyOracle",
+]

@@ -1,0 +1,63 @@
+"""Oracle protocol and query accounting.
+
+Oracles label record pairs identified by integer pool indices.  The
+samplers never see ground truth directly — they only see oracle
+responses — which mirrors the paper's efficient-evaluation setting
+where each query costs money/time.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["BaseOracle", "CountingOracle"]
+
+
+class BaseOracle(abc.ABC):
+    """Randomised labelling oracle ``Oracle: pair index -> {0, 1}``."""
+
+    @abc.abstractmethod
+    def label(self, index: int) -> int:
+        """Return a (possibly noisy) binary label for pool item ``index``."""
+
+    @abc.abstractmethod
+    def probability(self, index: int) -> float:
+        """The oracle probability ``p(1|z)`` for pool item ``index``.
+
+        Exposed for diagnostics and the exact-optimum computations of
+        the convergence experiments; samplers must not consult it.
+        """
+
+    def __call__(self, index: int) -> int:
+        return self.label(index)
+
+
+class CountingOracle(BaseOracle):
+    """Wrapper that counts queries to an inner oracle.
+
+    ``n_queries`` counts every call; ``n_distinct`` counts distinct pool
+    items queried, which is the paper's notion of label budget
+    (footnote 5: re-queries of a cached pair are free).
+    """
+
+    def __init__(self, inner: BaseOracle):
+        self.inner = inner
+        self.n_queries = 0
+        self._seen: set[int] = set()
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self._seen)
+
+    def label(self, index: int) -> int:
+        self.n_queries += 1
+        self._seen.add(int(index))
+        return self.inner.label(index)
+
+    def probability(self, index: int) -> float:
+        return self.inner.probability(index)
+
+    def reset(self) -> None:
+        """Clear the query counters (not the inner oracle)."""
+        self.n_queries = 0
+        self._seen.clear()

@@ -1,0 +1,52 @@
+"""Adapter turning any labelling callback into an oracle.
+
+Real evaluations plug OASIS into an annotation UI or crowdsourcing
+queue; this adapter wraps whatever callable provides those labels so
+users need not subclass :class:`~repro.oracle.base.BaseOracle`.
+"""
+
+from __future__ import annotations
+
+from repro.oracle.base import BaseOracle
+
+__all__ = ["CallbackOracle"]
+
+
+class CallbackOracle(BaseOracle):
+    """Oracle delegating to a user-supplied ``label_fn(index) -> {0,1}``.
+
+    Parameters
+    ----------
+    label_fn:
+        Callable returning the binary label for a pool index.  May be
+        randomised (crowd queue, annotator pool) or deterministic.
+    probability_fn:
+        Optional callable returning p(1|z) for diagnostics; if omitted,
+        :meth:`probability` raises ``NotImplementedError`` (samplers
+        never need it — only convergence diagnostics do).
+    """
+
+    def __init__(self, label_fn, probability_fn=None):
+        if not callable(label_fn):
+            raise TypeError("label_fn must be callable")
+        if probability_fn is not None and not callable(probability_fn):
+            raise TypeError("probability_fn must be callable or None")
+        self._label_fn = label_fn
+        self._probability_fn = probability_fn
+
+    def label(self, index: int) -> int:
+        label = int(self._label_fn(int(index)))
+        if label not in (0, 1):
+            raise ValueError(
+                f"label_fn returned {label!r} for index {index}; "
+                "labels must be 0 or 1"
+            )
+        return label
+
+    def probability(self, index: int) -> float:
+        if self._probability_fn is None:
+            raise NotImplementedError(
+                "no probability_fn supplied; CallbackOracle only answers "
+                "label queries"
+            )
+        return float(self._probability_fn(int(index)))

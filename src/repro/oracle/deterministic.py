@@ -1,0 +1,42 @@
+"""Deterministic ground-truth oracle (the paper's experimental regime)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.oracle.base import BaseOracle
+
+__all__ = ["DeterministicOracle"]
+
+
+class DeterministicOracle(BaseOracle):
+    """Oracle backed by a fixed ground-truth label vector.
+
+    Oracle probabilities are exactly 0 or 1 (paper section 6.1.1: "we
+    are in the regime of a deterministic Oracle").
+    """
+
+    def __init__(self, true_labels):
+        labels = np.asarray(true_labels)
+        if labels.ndim != 1:
+            raise ValueError(f"true_labels must be 1-D; got shape {labels.shape}")
+        unique = set(np.unique(labels).tolist())
+        if not unique <= {0, 1}:
+            raise ValueError(f"true_labels must be binary; found values {unique}")
+        self._labels = labels.astype(np.int8)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def label(self, index: int) -> int:
+        return int(self._labels[index])
+
+    def probability(self, index: int) -> float:
+        return float(self._labels[index])
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Read-only view of the ground-truth labels (for diagnostics)."""
+        view = self._labels.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,61 @@
+"""Bernoulli noisy oracle with arbitrary per-item probabilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.oracle.base import BaseOracle
+from repro.utils import ensure_rng
+
+__all__ = ["NoisyOracle"]
+
+
+class NoisyOracle(BaseOracle):
+    """Oracle drawing labels ``l ~ Bernoulli(p(1|z))``.
+
+    Two construction styles are supported:
+
+    * direct probabilities — pass ``probabilities`` with p(1|z) per item;
+    * flip noise on ground truth — pass ``true_labels`` and ``flip_prob``;
+      then ``p(1|z) = 1 - flip_prob`` for matches and ``flip_prob`` for
+      non-matches, modelling an annotator with symmetric error rate.
+    """
+
+    def __init__(
+        self,
+        probabilities=None,
+        *,
+        true_labels=None,
+        flip_prob: float = 0.0,
+        random_state=None,
+    ):
+        if (probabilities is None) == (true_labels is None):
+            raise ValueError("pass exactly one of probabilities / true_labels")
+        if probabilities is not None:
+            probs = np.asarray(probabilities, dtype=float)
+            if np.any((probs < 0) | (probs > 1)):
+                raise ValueError("probabilities must lie in [0, 1]")
+        else:
+            if not 0.0 <= flip_prob < 0.5:
+                raise ValueError(f"flip_prob must be in [0, 0.5); got {flip_prob}")
+            labels = np.asarray(true_labels, dtype=float)
+            probs = labels * (1.0 - flip_prob) + (1.0 - labels) * flip_prob
+        if probs.ndim != 1:
+            raise ValueError(f"probabilities must be 1-D; got shape {probs.shape}")
+        self._probs = probs
+        self._rng = ensure_rng(random_state)
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def label(self, index: int) -> int:
+        return int(self._rng.random() < self._probs[index])
+
+    def probability(self, index: int) -> float:
+        return float(self._probs[index])
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,63 @@
+"""Entity-resolution pipeline substrate (paper section 6.1.2).
+
+Implements the full pipeline the paper evaluates on: record storage,
+string/numeric normalisation, attribute-level similarity measures,
+pairwise feature construction, blocking for pool reduction, and the
+threshold matcher producing a predicted resolution.
+"""
+
+from repro.pipeline.blocking import sorted_neighbourhood_pairs, token_blocking_pairs
+from repro.pipeline.features import FieldSpec, PairFeatureExtractor
+from repro.pipeline.matching import ERPipeline, threshold_match
+from repro.pipeline.multisource import MultiSourcePool, multi_source_pairs
+from repro.pipeline.normalise import impute_missing_numeric, normalise_string, to_float
+from repro.pipeline.records import (
+    MatchRelation,
+    Record,
+    RecordStore,
+    build_pair_pool,
+    cross_product_pairs,
+    dedup_pairs,
+)
+from repro.pipeline.similarity import (
+    cosine_tfidf_similarity,
+    jaccard_ngram_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    ngrams,
+    normalised_numeric_similarity,
+    TfidfVectoriser,
+)
+
+__all__ = [
+    "sorted_neighbourhood_pairs",
+    "token_blocking_pairs",
+    "FieldSpec",
+    "PairFeatureExtractor",
+    "ERPipeline",
+    "threshold_match",
+    "MultiSourcePool",
+    "multi_source_pairs",
+    "impute_missing_numeric",
+    "normalise_string",
+    "to_float",
+    "MatchRelation",
+    "Record",
+    "RecordStore",
+    "build_pair_pool",
+    "cross_product_pairs",
+    "dedup_pairs",
+    "cosine_tfidf_similarity",
+    "jaccard_ngram_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan_similarity",
+    "ngrams",
+    "normalised_numeric_similarity",
+    "TfidfVectoriser",
+]

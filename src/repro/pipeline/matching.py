@@ -1,0 +1,107 @@
+"""Matching stage and end-to-end pipeline orchestration.
+
+The matcher turns similarity scores into a predicted relation R-hat by
+thresholding (paper section 2.1: "sufficiently high-scoring pairs are
+used to construct R-hat").  :class:`ERPipeline` wires together feature
+extraction, a trained pair classifier and the matcher, producing the
+triple every sampler consumes: (scores, predictions, pool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.features import PairFeatureExtractor
+from repro.pipeline.records import RecordStore
+
+__all__ = ["threshold_match", "ERPipeline"]
+
+
+def threshold_match(scores, threshold: float = 0.0) -> np.ndarray:
+    """Predicted labels: 1 where ``score >= threshold``.
+
+    The natural threshold is 0 for margin scores (SVM distances) and
+    0.5 for probabilistic scores.
+    """
+    scores = np.asarray(scores, dtype=float)
+    return (scores >= threshold).astype(np.int8)
+
+
+class ERPipeline:
+    """End-to-end ER pipeline: features -> classifier -> matcher.
+
+    Parameters
+    ----------
+    extractor:
+        A fitted or unfitted :class:`PairFeatureExtractor`.
+    classifier:
+        Any object with ``fit(X, y)`` and ``decision_function(X)``
+        (margin scores) and optionally ``predict_proba(X)``.
+    threshold:
+        Match threshold applied to the classifier's scores.
+    use_probabilities:
+        If True, score pairs with calibrated probabilities (threshold
+        should then be 0.5) — the paper's "calibrated scores" setting.
+    """
+
+    def __init__(
+        self,
+        extractor: PairFeatureExtractor,
+        classifier,
+        *,
+        threshold: float = 0.0,
+        use_probabilities: bool = False,
+    ):
+        self.extractor = extractor
+        self.classifier = classifier
+        self.threshold = threshold
+        self.use_probabilities = use_probabilities
+
+    def fit(
+        self,
+        store_a: RecordStore,
+        store_b: RecordStore,
+        train_pairs,
+        train_labels,
+    ) -> "ERPipeline":
+        """Fit the extractor on the stores and the classifier on pairs.
+
+        ``train_pairs`` is a labelled subset of the pair space — the
+        paper trains its classifiers "on a random subset of the entire
+        dataset (including ground truth labels)"; training data need
+        not be representative (section 2.1.1).
+        """
+        self.extractor.fit(store_a, store_b)
+        features = self.extractor.transform(train_pairs)
+        self.classifier.fit(features, np.asarray(train_labels))
+        return self
+
+    def score_pairs(self, pairs) -> np.ndarray:
+        """Similarity scores for pairs: margins or probabilities."""
+        features = self.extractor.transform(pairs)
+        if self.use_probabilities:
+            if not hasattr(self.classifier, "predict_proba"):
+                raise AttributeError(
+                    "classifier has no predict_proba; wrap it with "
+                    "PlattCalibrator or set use_probabilities=False"
+                )
+            return self.classifier.predict_proba(features)
+        return self.classifier.decision_function(features)
+
+    def predict_pairs(self, pairs, scores=None) -> np.ndarray:
+        """Predicted match labels for pairs (R-hat membership)."""
+        if scores is None:
+            scores = self.score_pairs(pairs)
+        return threshold_match(scores, self.threshold)
+
+    def resolve(self, pairs) -> dict:
+        """Score and match a pool in one pass.
+
+        Returns a dict with ``scores`` and ``predictions`` aligned to
+        ``pairs`` — the sampler-facing output of the whole pipeline.
+        """
+        scores = self.score_pairs(pairs)
+        return {
+            "scores": scores,
+            "predictions": threshold_match(scores, self.threshold),
+        }

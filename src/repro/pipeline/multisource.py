@@ -1,0 +1,98 @@
+"""Multi-source ER support (paper Remark 1).
+
+The paper notes OASIS "applies equally well to multi-source ER on
+relations over larger product spaces".  The sampler consumes only
+(scores, predictions, oracle) over a pool, so multi-source reduces to
+pool construction: concatenate the sources into one global record
+index space and enumerate cross-source candidate pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.records import RecordStore
+
+__all__ = ["MultiSourcePool", "multi_source_pairs"]
+
+
+class MultiSourcePool:
+    """K record sources merged into one global index space.
+
+    Global record index = source offset + local index; the pool's
+    candidate pairs are all cross-source pairs (records of the same
+    source are never candidates, matching two-source conventions —
+    include a source twice to deduplicate within it).
+    """
+
+    def __init__(self, stores):
+        stores = list(stores)
+        if len(stores) < 2:
+            raise ValueError(f"need at least two sources; got {len(stores)}")
+        self.stores = stores
+        sizes = [len(store) for store in stores]
+        if any(size == 0 for size in sizes):
+            raise ValueError("every source must be non-empty")
+        self.offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self.total_records = int(np.sum(sizes))
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.stores)
+
+    def global_index(self, source: int, local_index: int) -> int:
+        """Map a (source, local index) pair to the global index."""
+        if not 0 <= source < self.n_sources:
+            raise IndexError(f"source {source} out of range")
+        if not 0 <= local_index < len(self.stores[source]):
+            raise IndexError(
+                f"record {local_index} out of range for source {source}"
+            )
+        return int(self.offsets[source]) + local_index
+
+    def locate(self, global_index: int) -> tuple[int, int]:
+        """Map a global index back to (source, local index)."""
+        if not 0 <= global_index < self.total_records:
+            raise IndexError(f"global index {global_index} out of range")
+        source = int(np.searchsorted(self.offsets, global_index, side="right")) - 1
+        return source, global_index - int(self.offsets[source])
+
+    def record(self, global_index: int):
+        """The record at a global index."""
+        source, local = self.locate(global_index)
+        return self.stores[source][local]
+
+    def entity_ids(self) -> np.ndarray:
+        """Entity ids across all sources, in global index order."""
+        return np.concatenate([store.entity_ids() for store in self.stores])
+
+    def cross_source_pairs(self) -> np.ndarray:
+        """All cross-source candidate pairs as global (i, j) indices."""
+        return multi_source_pairs(self.stores)
+
+    def true_labels(self, pairs: np.ndarray) -> np.ndarray:
+        """Ground-truth labels for global-index pairs via entity ids."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        ids = self.entity_ids()
+        return (ids[pairs[:, 0]] == ids[pairs[:, 1]]).astype(np.int8)
+
+
+def multi_source_pairs(stores) -> np.ndarray:
+    """All cross-source pairs over K sources, in global indices.
+
+    For sources of sizes n_1..n_K this enumerates sum_{a<b} n_a * n_b
+    pairs — the multi-source product space of Remark 1.
+    """
+    stores = list(stores)
+    if len(stores) < 2:
+        raise ValueError(f"need at least two sources; got {len(stores)}")
+    sizes = [len(store) for store in stores]
+    offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+
+    blocks = []
+    for a in range(len(stores)):
+        for b in range(a + 1, len(stores)):
+            left = np.repeat(np.arange(sizes[a]) + offsets[a], sizes[b])
+            right = np.tile(np.arange(sizes[b]) + offsets[b], sizes[a])
+            blocks.append(np.column_stack([left, right]))
+    return np.concatenate(blocks, axis=0)

@@ -1,0 +1,64 @@
+"""Pre-processing: string normalisation and numeric imputation.
+
+Mirrors the paper's pipeline pre-processing (section 6.1.2): strings are
+normalised by removing symbols, accents and capitalisation; numeric
+fields are coerced to floats with mean imputation for missing values.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+import numpy as np
+
+__all__ = ["normalise_string", "to_float", "impute_missing_numeric"]
+
+_NON_ALNUM = re.compile(r"[^a-z0-9\s]+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalise_string(value) -> str:
+    """Normalise text: strip accents, symbols and capitalisation.
+
+    ``None`` (a missing value) normalises to the empty string, which
+    downstream similarity measures treat as "no information".
+    """
+    if value is None:
+        return ""
+    text = str(value)
+    # Decompose accented characters and drop the combining marks.
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = text.lower()
+    text = _NON_ALNUM.sub(" ", text)
+    text = _WHITESPACE.sub(" ", text).strip()
+    return text
+
+
+def to_float(value) -> float:
+    """Coerce a field value to float; unparseable/missing become NaN."""
+    if value is None:
+        return float("nan")
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return float(value)
+    text = str(value).strip().replace(",", "").replace("$", "")
+    if not text:
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return float("nan")
+
+
+def impute_missing_numeric(values) -> np.ndarray:
+    """Replace NaNs with the mean of the observed values.
+
+    If every value is missing, impute zeros (there is no mean to use).
+    """
+    arr = np.asarray([to_float(v) for v in values], dtype=float)
+    missing = np.isnan(arr)
+    if missing.all():
+        return np.zeros_like(arr)
+    arr[missing] = arr[~missing].mean()
+    return arr

@@ -1,0 +1,176 @@
+"""Record and pair-space abstractions.
+
+A :class:`RecordStore` is a minimal in-memory database table: a schema
+(ordered field names) plus rows.  The pair space of two stores is the
+candidate set the ER classifier scores; the :class:`MatchRelation`
+holds the ground-truth relation R (paper Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import ensure_rng
+
+__all__ = [
+    "Record",
+    "RecordStore",
+    "MatchRelation",
+    "cross_product_pairs",
+    "dedup_pairs",
+    "build_pair_pool",
+]
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single record: an id, an entity id (ground truth) and fields."""
+
+    record_id: int
+    entity_id: int
+    fields: dict = field(default_factory=dict)
+
+    def __getitem__(self, key):
+        return self.fields[key]
+
+    def get(self, key, default=None):
+        return self.fields.get(key, default)
+
+
+class RecordStore:
+    """An ordered collection of records sharing a schema.
+
+    Acts as one database (D1 or D2 in the paper).  Field access is
+    validated against the schema so malformed generators fail fast.
+    """
+
+    def __init__(self, schema, records=None, name: str = "db"):
+        self.schema = tuple(schema)
+        self.name = name
+        self._records: list[Record] = []
+        if records is not None:
+            for record in records:
+                self.add(record)
+
+    def add(self, record: Record) -> None:
+        extra = set(record.fields) - set(self.schema)
+        if extra:
+            raise ValueError(
+                f"record {record.record_id} has fields {sorted(extra)} "
+                f"outside schema {self.schema}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def field_values(self, name: str) -> list:
+        """All values of one field, in record order (None if missing)."""
+        if name not in self.schema:
+            raise KeyError(f"unknown field {name!r}; schema is {self.schema}")
+        return [record.get(name) for record in self._records]
+
+    def entity_ids(self) -> np.ndarray:
+        return np.array([record.entity_id for record in self._records])
+
+
+class MatchRelation:
+    """Ground-truth matching relation R over a pair pool.
+
+    Stores, for an explicit list of pairs ``(i, j)``, whether each pair
+    is a true match.  Built from entity ids: a pair matches iff both
+    records share an entity id.
+    """
+
+    def __init__(self, pairs, labels):
+        self.pairs = np.asarray(pairs, dtype=np.int64)
+        self.labels = np.asarray(labels, dtype=np.int8)
+        if self.pairs.ndim != 2 or self.pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (n, 2); got {self.pairs.shape}")
+        if len(self.pairs) != len(self.labels):
+            raise ValueError("pairs and labels must have equal length")
+
+    @classmethod
+    def from_entity_ids(cls, store_a: RecordStore, store_b: RecordStore, pairs):
+        """Label each pair by entity-id equality."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        ids_a = store_a.entity_ids()
+        ids_b = store_b.entity_ids()
+        labels = (ids_a[pairs[:, 0]] == ids_b[pairs[:, 1]]).astype(np.int8)
+        return cls(pairs, labels)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def n_matches(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Non-matches per match (paper Table 1's 'Imb. Ratio')."""
+        matches = self.n_matches
+        if matches == 0:
+            return float("inf")
+        return (len(self) - matches) / matches
+
+
+def cross_product_pairs(n_a: int, n_b: int) -> np.ndarray:
+    """Full pair space D1 x D2 as an (n_a * n_b, 2) index array."""
+    left = np.repeat(np.arange(n_a), n_b)
+    right = np.tile(np.arange(n_b), n_a)
+    return np.column_stack([left, right])
+
+
+def dedup_pairs(n: int) -> np.ndarray:
+    """All unordered distinct pairs of a single source (deduplication).
+
+    The paper treats cora deduplication as ER of a DB matched with
+    itself; the candidate space is the set of pairs i < j.
+    """
+    i, j = np.triu_indices(n, k=1)
+    return np.column_stack([i, j])
+
+
+def build_pair_pool(
+    pairs: np.ndarray,
+    pool_size: int | None = None,
+    *,
+    guarantee_indices=None,
+    random_state=None,
+) -> np.ndarray:
+    """Random pool of pairs (paper section 6.1.1 'Pooling').
+
+    Draws ``pool_size`` pairs uniformly without replacement from the
+    candidate set.  ``guarantee_indices`` forces specific rows (e.g.
+    known matches) into the pool, mirroring pools constructed to hit a
+    target match count (paper Table 2).
+    """
+    pairs = np.asarray(pairs)
+    n = len(pairs)
+    if pool_size is None or pool_size >= n:
+        return pairs.copy()
+    rng = ensure_rng(random_state)
+    if guarantee_indices is None:
+        chosen = rng.choice(n, size=pool_size, replace=False)
+    else:
+        guaranteed = np.unique(np.asarray(guarantee_indices, dtype=np.int64))
+        if len(guaranteed) > pool_size:
+            raise ValueError(
+                f"{len(guaranteed)} guaranteed rows exceed pool size {pool_size}"
+            )
+        remaining = np.setdiff1d(np.arange(n), guaranteed, assume_unique=False)
+        extra = rng.choice(
+            remaining, size=pool_size - len(guaranteed), replace=False
+        )
+        chosen = np.concatenate([guaranteed, extra])
+    chosen.sort()
+    return pairs[chosen]

@@ -1,0 +1,233 @@
+"""Attribute-level similarity measures (paper section 6.1.2).
+
+The paper's feature set: character-trigram Jaccard for short text,
+tf-idf cosine for long text, normalised absolute difference for numeric
+fields.  Edit-distance measures (Levenshtein, Jaro, Jaro-Winkler,
+Monge-Elkan) are included as the standard ER scoring toolbox the
+background section describes.
+
+All similarities return values in [0, 1], with 1 meaning identical.
+Empty/missing strings are handled explicitly: two empty strings give
+similarity 0 (missing data carries no evidence of a match).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+__all__ = [
+    "ngrams",
+    "jaccard_ngram_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "monge_elkan_similarity",
+    "normalised_numeric_similarity",
+    "TfidfVectoriser",
+    "cosine_tfidf_similarity",
+]
+
+
+def ngrams(text: str, n: int = 3, *, pad: bool = True) -> set:
+    """Character n-grams of ``text`` as a set.
+
+    Padding with ``n - 1`` sentinel characters on each side makes short
+    strings comparable (standard practice for trigram Jaccard).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1; got {n}")
+    if not text:
+        return set()
+    if pad:
+        padding = "\x00" * (n - 1)
+        text = f"{padding}{text}{padding}"
+    if len(text) < n:
+        return {text}
+    return {text[i : i + n] for i in range(len(text) - n + 1)}
+
+
+def jaccard_ngram_similarity(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity of character n-gram sets (short-text feature)."""
+    grams_a = ngrams(a, n)
+    grams_b = ngrams(b, n)
+    if not grams_a and not grams_b:
+        return 0.0
+    union = len(grams_a | grams_b)
+    if union == 0:
+        return 0.0
+    return len(grams_a & grams_b) / union
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance with unit insert/delete/substitute costs.
+
+    Classic two-row dynamic programme, O(len(a) * len(b)).
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to a [0, 1] similarity."""
+    if not a and not b:
+        return 0.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity: matching characters within a sliding window."""
+    if not a or not b:
+        return 0.0
+    if a == b:
+        return 1.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    # Count transpositions between the matched subsequences.
+    seq_a = [ch for i, ch in enumerate(a) if matched_a[i]]
+    seq_b = [ch for j, ch in enumerate(b) if matched_b[j]]
+    transpositions = sum(x != y for x, y in zip(seq_a, seq_b)) // 2
+    m = matches
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by shared prefixes (up to 4 chars)."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25]; got {prefix_weight}")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def monge_elkan_similarity(a: str, b: str, inner=jaro_winkler_similarity) -> float:
+    """Monge-Elkan: mean best inner similarity over tokens of ``a``.
+
+    Note the measure is asymmetric by definition; symmetrise by
+    averaging both directions if needed.
+    """
+    tokens_a = a.split()
+    tokens_b = b.split()
+    if not tokens_a or not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def normalised_numeric_similarity(x: float, y: float, scale: float | None = None) -> float:
+    """Numeric similarity: ``1 - |x - y| / scale`` clipped to [0, 1].
+
+    ``scale`` defaults to ``max(|x|, |y|)`` (relative deviation).  NaN
+    inputs (missing after imputation failure) give similarity 0.
+    """
+    x = float(x)
+    y = float(y)
+    if math.isnan(x) or math.isnan(y):
+        return 0.0
+    if scale is None:
+        scale = max(abs(x), abs(y))
+    if scale <= 0:
+        return 1.0 if x == y else 0.0
+    return max(0.0, 1.0 - abs(x - y) / scale)
+
+
+class TfidfVectoriser:
+    """Minimal tf-idf vectoriser over whitespace tokens.
+
+    Fits an idf table on a corpus and transforms documents into sparse
+    (dict) tf-idf vectors with L2 normalisation — enough to compute the
+    cosine similarities the pipeline uses for long text fields.
+    """
+
+    def __init__(self, *, min_df: int = 1, sublinear_tf: bool = True):
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1; got {min_df}")
+        self.min_df = min_df
+        self.sublinear_tf = sublinear_tf
+        self.idf_: dict[str, float] | None = None
+        self._n_docs = 0
+
+    def fit(self, corpus) -> "TfidfVectoriser":
+        doc_freq: Counter = Counter()
+        n_docs = 0
+        for document in corpus:
+            n_docs += 1
+            doc_freq.update(set(document.split()))
+        self._n_docs = n_docs
+        self.idf_ = {
+            token: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for token, df in doc_freq.items()
+            if df >= self.min_df
+        }
+        return self
+
+    def transform_one(self, document: str) -> dict[str, float]:
+        """tf-idf vector of a single document as a token -> weight dict."""
+        if self.idf_ is None:
+            raise RuntimeError("vectoriser must be fitted before transform")
+        counts = Counter(document.split())
+        vector: dict[str, float] = {}
+        for token, count in counts.items():
+            idf = self.idf_.get(token)
+            if idf is None:
+                continue
+            tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+            vector[token] = tf * idf
+        norm = math.sqrt(sum(v * v for v in vector.values()))
+        if norm > 0:
+            vector = {t: v / norm for t, v in vector.items()}
+        return vector
+
+    @staticmethod
+    def cosine(vec_a: dict[str, float], vec_b: dict[str, float]) -> float:
+        """Cosine similarity of two L2-normalised sparse vectors."""
+        if len(vec_a) > len(vec_b):
+            vec_a, vec_b = vec_b, vec_a
+        return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
+
+
+def cosine_tfidf_similarity(a: str, b: str, vectoriser: TfidfVectoriser) -> float:
+    """tf-idf cosine similarity between two documents (long-text feature)."""
+    return TfidfVectoriser.cosine(
+        vectoriser.transform_one(a), vectoriser.transform_one(b)
+    )

@@ -1,0 +1,29 @@
+"""Baseline evaluation samplers (paper section 6.2).
+
+Three baselines the paper compares against:
+
+* :class:`PassiveSampler` — uniform i.i.d. sampling with replacement.
+* :class:`StratifiedSampler` — proportional stratified sampling with a
+  stratified plug-in estimator (Druck & McCallum [14]).
+* :class:`ImportanceSampler` — static importance sampling from an
+  approximation of the optimal distribution built from scores
+  (Sawade et al. [24]).
+"""
+
+from repro.samplers.importance import ImportanceSampler
+from repro.samplers.oss import OSSSampler
+from repro.samplers.passive import PassiveSampler
+from repro.samplers.semisupervised import (
+    BetaMixtureModel,
+    SemiSupervisedEstimator,
+)
+from repro.samplers.stratified import StratifiedSampler
+
+__all__ = [
+    "ImportanceSampler",
+    "OSSSampler",
+    "PassiveSampler",
+    "BetaMixtureModel",
+    "SemiSupervisedEstimator",
+    "StratifiedSampler",
+]

@@ -1,0 +1,52 @@
+"""Passive (uniform) sampling baseline (paper section 6.2).
+
+Samples pool items uniformly at random with replacement and estimates
+the F-measure with the unweighted Eqn (1) on the labels gathered so
+far.  Under ER's extreme class imbalance the estimate stays undefined
+until the first (predicted or true) positive appears — the cold-start
+failure mode section 6.3.1 highlights.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import BaseEvaluationSampler
+from repro.core.estimators import AISEstimator
+
+__all__ = ["PassiveSampler"]
+
+
+class PassiveSampler(BaseEvaluationSampler):
+    """Uniform-with-replacement sampler with the plain F estimator.
+
+    Accepts the same (predictions, scores, oracle) triple as the other
+    samplers; the scores are unused but kept for interface parity.
+    """
+
+    def __init__(self, predictions, scores, oracle, *, alpha: float = 0.5,
+                 random_state=None):
+        super().__init__(predictions, scores, oracle, alpha=alpha,
+                         random_state=random_state)
+        self._estimator = AISEstimator(alpha=alpha, track_observations=True)
+
+    def _step(self) -> None:
+        index = int(self.rng.integers(self.n_items))
+        label = self._query_label(index)
+        prediction = int(self.predictions[index])
+        # Uniform sampling from the uniform target: unit weights.
+        self._estimator.update(label, prediction, 1.0)
+
+        self.sampled_indices.append(index)
+        self.history.append(self._estimator.estimate)
+        self.budget_history.append(self.labels_consumed)
+
+    @property
+    def precision_estimate(self) -> float:
+        return self._estimator.precision
+
+    @property
+    def recall_estimate(self) -> float:
+        return self._estimator.recall
+
+    def confidence_interval(self, level: float = 0.95) -> tuple:
+        """Normal-approximation confidence interval for the estimate."""
+        return self._estimator.confidence_interval(level)

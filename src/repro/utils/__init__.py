@@ -1,0 +1,23 @@
+"""Shared utilities: RNG handling, numeric transforms, validation."""
+
+from repro.utils.random import ensure_rng, spawn_rngs
+from repro.utils.transforms import expit, logit, normalise, safe_divide
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    check_same_length,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "expit",
+    "logit",
+    "normalise",
+    "safe_divide",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+    "check_same_length",
+]

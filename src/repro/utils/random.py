@@ -1,0 +1,53 @@
+"""Random-number generator handling.
+
+Every stochastic component in the library accepts a ``random_state``
+argument which may be ``None``, an integer seed, or a
+``numpy.random.Generator``.  Centralising the coercion here keeps every
+experiment reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(random_state=None) -> np.random.Generator:
+    """Coerce ``random_state`` into a ``numpy.random.Generator``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for nondeterministic entropy, an ``int`` seed, or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, an int, or a numpy Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators from a single source.
+
+    Uses ``SeedSequence.spawn`` so child streams are statistically
+    independent — the right way to seed repeated experiment trials.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(random_state, np.random.Generator):
+        seed_seq = random_state.bit_generator.seed_seq
+    else:
+        seed_seq = np.random.SeedSequence(random_state)
+    return [np.random.default_rng(child) for child in seed_seq.spawn(n)]

@@ -1,0 +1,65 @@
+"""Numeric transforms used across samplers and initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expit", "logit", "normalise", "safe_divide"]
+
+# Clip bound keeping exp() finite in float64.
+_LOGIT_CLIP = 1e-12
+
+
+def expit(x):
+    """Numerically stable logistic sigmoid ``1 / (1 + exp(-x))``."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def logit(p):
+    """Inverse sigmoid ``log(p / (1 - p))`` with clipping away from {0,1}."""
+    p = np.clip(np.asarray(p, dtype=float), _LOGIT_CLIP, 1.0 - _LOGIT_CLIP)
+    out = np.log(p) - np.log1p(-p)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def normalise(weights, axis=None):
+    """Normalise non-negative weights into a probability vector.
+
+    Falls back to the uniform distribution when all weights are zero,
+    which is the safe behaviour for an instrumental distribution (it can
+    never assign zero mass everywhere).
+    """
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum(axis=axis, keepdims=axis is not None)
+    if axis is None:
+        if total == 0:
+            return np.full_like(w, 1.0 / w.size)
+        return w / total
+    zero = (total == 0).squeeze()
+    out = np.divide(w, total, out=np.zeros_like(w), where=total != 0)
+    if np.any(zero):
+        out[..., zero] = 1.0 / w.shape[-1]
+    return out
+
+
+def safe_divide(num, den, fill=np.nan):
+    """Elementwise ``num / den`` returning ``fill`` where ``den == 0``."""
+    num = np.asarray(num, dtype=float)
+    den = np.asarray(den, dtype=float)
+    out = np.full(np.broadcast(num, den).shape, fill, dtype=float)
+    np.divide(num, den, out=out, where=den != 0)
+    if out.ndim == 0:
+        return float(out)
+    return out

@@ -1,0 +1,61 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+    "check_same_length",
+]
+
+
+def check_in_range(value, low, high, name, *, low_open=False, high_open=False):
+    """Validate ``low (<|<=) value (<|<=) high`` and return ``value``.
+
+    ``low_open``/``high_open`` make the corresponding bound strict.
+    """
+    value = float(value)
+    low_ok = value > low if low_open else value >= low
+    high_ok = value < high if high_open else value <= high
+    if not (low_ok and high_ok):
+        left = "(" if low_open else "["
+        right = ")" if high_open else "]"
+        raise ValueError(f"{name} must be in {left}{low}, {high}{right}; got {value}")
+    return value
+
+
+def check_positive(value, name, *, allow_zero=False):
+    """Validate that ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative; got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be positive; got {value}")
+    return value
+
+
+def check_probability_vector(p, name="p", *, atol=1e-8):
+    """Validate that ``p`` is a 1-D probability vector and return it."""
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional; got shape {p.shape}")
+    if np.any(p < -atol):
+        raise ValueError(f"{name} must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} must sum to 1; sums to {total}")
+    return np.clip(p, 0.0, None)
+
+
+def check_same_length(*arrays, names=None):
+    """Validate that all arrays share their first dimension length."""
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) > 1:
+        labels = names if names else [f"array{i}" for i in range(len(arrays))]
+        detail = ", ".join(f"{n}={l}" for n, l in zip(labels, lengths))
+        raise ValueError(f"length mismatch: {detail}")
+    return lengths[0] if lengths else 0

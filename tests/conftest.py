@@ -1,0 +1,54 @@
+"""Shared fixtures: small pools and benchmark caches.
+
+Expensive fixtures (benchmark pools) are session-scoped so the whole
+suite builds each one once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def tiny_abt_buy():
+    """The tiny Abt-Buy pool used across sampler tests."""
+    return load_benchmark("abt_buy", scale="tiny", random_state=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    """The tiny cora (dedup) pool: mild imbalance regime."""
+    return load_benchmark("cora", scale="tiny", random_state=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_tweets():
+    """The tiny balanced (non-ER) pool."""
+    return load_benchmark("tweets100k", scale="tiny", random_state=42)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def imbalanced_pool(rng):
+    """A synthetic score pool with heavy imbalance, no pipeline needed.
+
+    Returns dict with scores, predictions, true_labels where scores are
+    informative of the labels (high score => more likely match).
+    """
+    n = 5000
+    n_matches = 40
+    labels = np.zeros(n, dtype=np.int8)
+    match_idx = rng.choice(n, size=n_matches, replace=False)
+    labels[match_idx] = 1
+    # Scores: noisy logits correlated with the labels.
+    scores = rng.normal(loc=-2.0, scale=1.0, size=n)
+    scores[match_idx] = rng.normal(loc=2.0, scale=1.0, size=n_matches)
+    predictions = (scores > 0).astype(np.int8)
+    return {"scores": scores, "predictions": predictions, "true_labels": labels}

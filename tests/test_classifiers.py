@@ -1,0 +1,296 @@
+"""Tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    AdaBoostClassifier,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    PlattCalibrator,
+    RBFSampler,
+    RbfSVM,
+    StandardScaler,
+    train_test_split,
+)
+
+
+def linearly_separable(n=200, d=3, seed=0, margin=1.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w > 0).astype(np.int8)
+    X += margin * np.outer(2.0 * y - 1.0, w / np.linalg.norm(w))
+    return X, y
+
+
+def xor_data(n=400, seed=0):
+    """Non-linearly separable 2-D XOR-style data."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int8)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    lambda: LinearSVM(random_state=0),
+    lambda: LogisticRegression(),
+    lambda: MLPClassifier(random_state=0, n_epochs=60),
+    lambda: AdaBoostClassifier(n_estimators=30),
+    lambda: RbfSVM(random_state=0),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+class TestCommonBehaviour:
+    def test_separable_data_high_accuracy(self, factory):
+        X, y = linearly_separable()
+        model = factory().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_decision_function_shape(self, factory):
+        X, y = linearly_separable(n=80)
+        model = factory().fit(X, y)
+        assert model.decision_function(X).shape == (80,)
+
+    def test_rejects_single_class(self, factory):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(ValueError, match="both classes"):
+            factory().fit(X, np.zeros(10, dtype=int))
+
+    def test_rejects_non_binary_labels(self, factory):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.arange(10)
+        with pytest.raises(ValueError):
+            factory().fit(X, y)
+
+    def test_rejects_mismatched_lengths(self, factory):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            factory().fit(X, np.array([0, 1]))
+
+
+class TestLinearSVM:
+    def test_margins_are_signed_distances(self):
+        X, y = linearly_separable()
+        model = LinearSVM(random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        # Positive class should sit on the positive side on average.
+        assert margins[y == 1].mean() > 0 > margins[y == 0].mean()
+
+    def test_seed_reproducibility(self):
+        X, y = linearly_separable()
+        m1 = LinearSVM(random_state=3).fit(X, y)
+        m2 = LinearSVM(random_state=3).fit(X, y)
+        np.testing.assert_allclose(m1.coef_, m2.coef_)
+
+    def test_balanced_weighting_helps_imbalance(self):
+        rng = np.random.default_rng(0)
+        n_pos, n_neg = 15, 600
+        X = np.vstack(
+            [rng.normal(1.2, 1.0, size=(n_pos, 2)), rng.normal(-1.2, 1.0, size=(n_neg, 2))]
+        )
+        y = np.concatenate([np.ones(n_pos, dtype=int), np.zeros(n_neg, dtype=int)])
+        balanced = LinearSVM(random_state=0, class_weight="balanced").fit(X, y)
+        recall = balanced.predict(X)[y == 1].mean()
+        assert recall > 0.7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVM(reg=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(n_epochs=0)
+        with pytest.raises(ValueError):
+            LinearSVM(class_weight="bogus")
+
+
+class TestLogisticRegression:
+    def test_probabilities_in_unit_interval(self):
+        X, y = linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_probabilities_roughly_calibrated(self):
+        # On logistic-generated data the fitted probabilities should
+        # track empirical frequencies.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(5000, 2))
+        true_w = np.array([1.5, -1.0])
+        p = 1.0 / (1.0 + np.exp(-(X @ true_w)))
+        y = (rng.random(5000) < p).astype(np.int8)
+        model = LogisticRegression(reg=1e-6).fit(X, y)
+        probs = model.predict_proba(X)
+        bucket = (probs > 0.4) & (probs < 0.6)
+        assert y[bucket].mean() == pytest.approx(probs[bucket].mean(), abs=0.07)
+
+    def test_newton_converges_quickly(self):
+        X, y = linearly_separable(n=100)
+        model = LogisticRegression().fit(X, y)
+        assert model.n_iter_ <= 100
+
+    def test_regularisation_shrinks_weights(self):
+        X, y = linearly_separable()
+        small = LogisticRegression(reg=1e-6).fit(X, y)
+        large = LogisticRegression(reg=10.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+
+class TestMLP:
+    def test_solves_xor(self):
+        X, y = xor_data()
+        model = MLPClassifier(hidden_units=16, n_epochs=300, random_state=0)
+        model.fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_hidden_units_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_units=0)
+
+    def test_predict_proba_range(self):
+        X, y = linearly_separable(n=100)
+        model = MLPClassifier(random_state=0, n_epochs=30).fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestAdaBoost:
+    def test_solves_interval(self):
+        # Positive iff |x0| < 0.5: not linearly separable, but boosting
+        # composes stumps into the interval.  (XOR parity, by contrast,
+        # is the canonical slow case for stump boosting.)
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = (np.abs(X[:, 0]) < 0.5).astype(np.int8)
+        model = AdaBoostClassifier(n_estimators=60).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_margin_range(self):
+        X, y = linearly_separable(n=100)
+        model = AdaBoostClassifier(n_estimators=20).fit(X, y)
+        margins = model.decision_function(X)
+        assert np.all(np.abs(margins) <= 1.0 + 1e-9)
+
+    def test_more_estimators_no_worse_on_train(self):
+        X, y = xor_data(n=200, seed=2)
+        few = AdaBoostClassifier(n_estimators=5).fit(X, y)
+        many = AdaBoostClassifier(n_estimators=80).fit(X, y)
+        acc_few = (few.predict(X) == y).mean()
+        acc_many = (many.predict(X) == y).mean()
+        assert acc_many >= acc_few - 0.02
+
+    def test_estimator_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+
+
+class TestRbfSVM:
+    def test_solves_xor(self):
+        X, y = xor_data()
+        model = RbfSVM(n_components=300, random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_beats_linear_on_xor(self):
+        X, y = xor_data(seed=3)
+        linear = LinearSVM(random_state=0).fit(X, y)
+        rbf = RbfSVM(n_components=300, random_state=0).fit(X, y)
+        acc_linear = (linear.predict(X) == y).mean()
+        acc_rbf = (rbf.predict(X) == y).mean()
+        assert acc_rbf > acc_linear + 0.15
+
+    def test_explicit_gamma(self):
+        X, y = linearly_separable(n=100)
+        model = RbfSVM(gamma=0.5, random_state=0).fit(X, y)
+        assert model.decision_function(X).shape == (100,)
+
+
+class TestRBFSampler:
+    def test_kernel_approximation(self):
+        # Inner products of mapped features approximate the RBF kernel.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+        gamma = 0.7
+        sampler = RBFSampler(gamma=gamma, n_components=4000, random_state=0)
+        Z = sampler.fit_transform(X)
+        approx = Z @ Z.T
+        sq_dists = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        exact = np.exp(-gamma * sq_dists)
+        assert np.abs(approx - exact).max() < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBFSampler(gamma=-1.0)
+        with pytest.raises(ValueError):
+            RBFSampler(n_components=0)
+
+
+class TestPlattCalibrator:
+    def test_calibrated_probabilities_track_frequency(self):
+        X, y = linearly_separable(n=600, margin=0.3, seed=5)
+        model = PlattCalibrator(LinearSVM(random_state=0), random_state=0).fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+        # High-probability bucket should contain mostly positives.
+        confident = probs > 0.8
+        if confident.any():
+            assert y[confident].mean() > 0.7
+
+    def test_monotone_in_margin(self):
+        X, y = linearly_separable(n=300)
+        model = PlattCalibrator(LinearSVM(random_state=0), random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        probs = model.predict_proba(X)
+        order = np.argsort(margins)
+        assert np.all(np.diff(probs[order]) >= -1e-12)
+
+    def test_predict_uses_half_threshold(self):
+        X, y = linearly_separable(n=200)
+        model = PlattCalibrator(LinearSVM(random_state=0), random_state=0).fit(X, y)
+        preds = model.predict(X)
+        np.testing.assert_array_equal(preds, (model.predict_proba(X) >= 0.5).astype(np.int8))
+
+    def test_fold_validation(self):
+        with pytest.raises(ValueError, match="n_folds"):
+            PlattCalibrator(LinearSVM(), n_folds=1)
+
+    def test_handles_extreme_imbalance_folds(self):
+        # Few positives: some folds may miss the positive class; the
+        # calibrator must still fit.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = np.zeros(100, dtype=int)
+        y[:4] = 1
+        X[:4] += 3.0
+        model = PlattCalibrator(LinearSVM(random_state=0), random_state=0).fit(X, y)
+        assert np.all(np.isfinite(model.predict_proba(X)))
+
+
+class TestInfrastructure:
+    def test_scaler_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_scaler_constant_column(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_split_partition(self):
+        train, test = train_test_split(100, 0.3, random_state=0)
+        assert len(train) + len(test) == 100
+        assert len(np.intersect1d(train, test)) == 0
+
+    def test_split_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+
+    def test_split_never_empty(self):
+        train, test = train_test_split(2, 0.01, random_state=0)
+        assert len(train) >= 1
+        assert len(test) >= 1

@@ -1,0 +1,128 @@
+"""Tests for the delta-method confidence intervals (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AISEstimator, OASISSampler
+from repro.measures import pool_performance
+from repro.oracle import DeterministicOracle
+from repro.samplers import PassiveSampler
+
+
+class TestEstimatorVariance:
+    def test_requires_tracking(self):
+        est = AISEstimator()
+        est.update(1, 1)
+        with pytest.raises(RuntimeError, match="track_observations"):
+            est.variance_estimate()
+
+    def test_nan_when_undefined(self):
+        est = AISEstimator(track_observations=True)
+        est.update(0, 0)
+        assert np.isnan(est.variance_estimate())
+        lo, hi = est.confidence_interval()
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_variance_positive_on_mixed_sample(self):
+        est = AISEstimator(track_observations=True)
+        for label, pred in [(1, 1), (0, 1), (1, 0), (1, 1), (0, 0)]:
+            est.update(label, pred)
+        assert est.variance_estimate() > 0
+
+    def test_variance_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = AISEstimator(track_observations=True)
+        large = AISEstimator(track_observations=True)
+        data = [(int(rng.random() < 0.3), int(rng.random() < 0.4)) for __ in range(2000)]
+        for label, pred in data[:100]:
+            small.update(label, pred)
+        for label, pred in data:
+            large.update(label, pred)
+        assert large.variance_estimate() < small.variance_estimate()
+
+    def test_interval_contains_estimate(self):
+        est = AISEstimator(track_observations=True)
+        rng = np.random.default_rng(1)
+        for __ in range(200):
+            est.update(int(rng.random() < 0.5), int(rng.random() < 0.5))
+        lo, hi = est.confidence_interval(0.95)
+        assert lo <= est.estimate <= hi
+
+    def test_higher_level_wider_interval(self):
+        est = AISEstimator(track_observations=True)
+        rng = np.random.default_rng(2)
+        for __ in range(300):
+            est.update(int(rng.random() < 0.4), int(rng.random() < 0.5))
+        lo90, hi90 = est.confidence_interval(0.90)
+        lo99, hi99 = est.confidence_interval(0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_level_validation(self):
+        est = AISEstimator(track_observations=True)
+        est.update(1, 1)
+        with pytest.raises(ValueError, match="level"):
+            est.confidence_interval(1.0)
+
+    def test_interval_clipped_to_unit(self):
+        est = AISEstimator(track_observations=True)
+        # A tiny all-positive sample: estimate 1.0, wide uncertainty.
+        est.update(1, 1)
+        est.update(1, 1)
+        lo, hi = est.confidence_interval(0.99)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_reset_clears_observations(self):
+        est = AISEstimator(track_observations=True)
+        est.update(1, 1)
+        est.reset()
+        est.update(1, 1)
+        assert est.n_observations == 1
+
+
+class TestCoverage:
+    def test_passive_coverage_near_nominal(self):
+        """On uniform sampling the CI should cover truth most of the time."""
+        rng = np.random.default_rng(3)
+        n = 2000
+        labels = (rng.random(n) < 0.1).astype(np.int8)
+        scores = labels + rng.normal(0, 0.3, size=n)
+        predictions = (scores > 0.5).astype(np.int8)
+        true_f = pool_performance(labels, predictions)["f_measure"]
+
+        covered = 0
+        trials = 30
+        for seed in range(trials):
+            sampler = PassiveSampler(
+                predictions, scores, DeterministicOracle(labels),
+                random_state=seed,
+            )
+            sampler.sample(600)
+            lo, hi = sampler.confidence_interval(0.95)
+            if lo <= true_f <= hi:
+                covered += 1
+        # Loose lower bound: nominal 95%, tolerate Monte-Carlo noise.
+        assert covered / trials >= 0.8
+
+
+class TestSamplerIntegration:
+    def test_oasis_interval_available(self, imbalanced_pool):
+        pool = imbalanced_pool
+        sampler = OASISSampler(
+            pool["predictions"], pool["scores"],
+            DeterministicOracle(pool["true_labels"]), random_state=0,
+        )
+        sampler.sample_until_budget(300)
+        lo, hi = sampler.confidence_interval(0.95)
+        assert 0.0 <= lo <= sampler.estimate <= hi <= 1.0
+
+    def test_oasis_interval_narrows(self, imbalanced_pool):
+        pool = imbalanced_pool
+        sampler = OASISSampler(
+            pool["predictions"], pool["scores"],
+            DeterministicOracle(pool["true_labels"]), random_state=1,
+        )
+        sampler.sample_until_budget(150)
+        early = sampler.confidence_interval(0.95)
+        sampler.sample_until_budget(1200)
+        late = sampler.confidence_interval(0.95)
+        assert (late[1] - late[0]) < (early[1] - early[0])

@@ -1,0 +1,93 @@
+"""Tests for the shared sampler base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.oracle import DeterministicOracle
+from repro.samplers import PassiveSampler
+
+
+def make(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.3).astype(np.int8)
+    scores = labels + rng.normal(0, 0.4, size=n)
+    predictions = (scores > 0.5).astype(np.int8)
+    return PassiveSampler(
+        predictions, scores, DeterministicOracle(labels), random_state=seed
+    )
+
+
+class TestValidation:
+    def test_misaligned_inputs(self):
+        oracle = DeterministicOracle([1, 0])
+        with pytest.raises(ValueError, match="aligned"):
+            PassiveSampler(np.array([1, 0]), np.array([0.5]), oracle)
+
+    def test_two_dimensional_rejected(self):
+        oracle = DeterministicOracle([1, 0])
+        with pytest.raises(ValueError):
+            PassiveSampler(
+                np.array([[1, 0]]), np.array([[0.5, 0.2]]), oracle
+            )
+
+    def test_bad_oracle_label_rejected(self):
+        class BadOracle:
+            def label(self, index):
+                return 7
+
+        sampler = PassiveSampler(
+            np.array([1, 0]), np.array([1.0, 0.0]), BadOracle(), random_state=0
+        )
+        with pytest.raises(ValueError, match="non-binary"):
+            sampler.sample(5)
+
+
+class TestSamplingContract:
+    def test_estimate_nan_before_sampling(self):
+        assert np.isnan(make().estimate)
+
+    def test_sample_zero_iterations(self):
+        sampler = make()
+        sampler.sample(0)
+        assert sampler.history == []
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make().sample(-1)
+
+    def test_sample_distinct_alias(self):
+        a = make(seed=3)
+        b = make(seed=3)
+        a.sample_until_budget(20)
+        b.sample_distinct(20)
+        assert a.labels_consumed == b.labels_consumed
+        np.testing.assert_allclose(a.history, b.history, equal_nan=True)
+
+    def test_budget_capped_at_pool_size(self):
+        sampler = make(n=30)
+        sampler.sample_until_budget(10_000, max_iterations=100_000)
+        assert sampler.labels_consumed <= 30
+
+    def test_max_iterations_bounds_loop(self):
+        sampler = make(n=40)
+        sampler.sample_until_budget(40, max_iterations=5)
+        assert len(sampler.history) == 5
+
+    def test_estimate_at_budgets_empty_history(self):
+        sampler = make()
+        out = sampler.estimate_at_budgets([10, 20])
+        assert np.isnan(out).all()
+
+    def test_estimate_at_budgets_before_first_label(self):
+        sampler = make()
+        sampler.sample(10)
+        out = sampler.estimate_at_budgets([0])
+        # Budget 0 precedes every record: NaN.
+        assert np.isnan(out[0])
+
+    def test_query_label_caches(self):
+        sampler = make()
+        first = sampler._query_label(3)
+        second = sampler._query_label(3)
+        assert first == second
+        assert sampler.labels_consumed == 1

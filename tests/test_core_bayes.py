@@ -1,0 +1,147 @@
+"""Tests for the stratified Beta-Bernoulli model (section 4.2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BetaBernoulliModel
+
+
+def uniform_prior(k=3, strength=2.0):
+    return strength * np.vstack([np.full(k, 0.5), np.full(k, 0.5)])
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(2, K\)"):
+            BetaBernoulliModel(np.ones((3, 4)))
+
+    def test_positivity_validation(self):
+        bad = np.array([[1.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="positive"):
+            BetaBernoulliModel(bad)
+
+    def test_n_strata(self):
+        model = BetaBernoulliModel(uniform_prior(7))
+        assert model.n_strata == 7
+
+
+class TestUpdates:
+    def test_posterior_mean_prior_only(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        np.testing.assert_allclose(model.posterior_mean(), [0.5, 0.5])
+
+    def test_match_label_raises_mean(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        model.update(0, 1)
+        mean = model.posterior_mean()
+        assert mean[0] > 0.5
+        assert mean[1] == pytest.approx(0.5)
+
+    def test_nonmatch_label_lowers_mean(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        model.update(1, 0)
+        assert model.posterior_mean()[1] < 0.5
+
+    def test_conjugate_update_arithmetic(self):
+        # Beta(1,1) + 3 matches + 1 non-match = Beta(4, 2) -> mean 2/3.
+        prior = np.array([[1.0], [1.0]])
+        model = BetaBernoulliModel(prior)
+        for __ in range(3):
+            model.update(0, 1)
+        model.update(0, 0)
+        assert model.posterior_mean()[0] == pytest.approx(4.0 / 6.0)
+
+    def test_labels_per_stratum(self):
+        model = BetaBernoulliModel(uniform_prior(3))
+        model.update(0, 1)
+        model.update(0, 0)
+        model.update(2, 1)
+        np.testing.assert_array_equal(model.labels_per_stratum, [2, 0, 1])
+
+    def test_invalid_stratum(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        with pytest.raises(IndexError):
+            model.update(5, 1)
+
+    def test_invalid_label(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        with pytest.raises(ValueError, match="label"):
+            model.update(0, 2)
+
+    def test_reset(self):
+        model = BetaBernoulliModel(uniform_prior(2))
+        model.update(0, 1)
+        model.reset()
+        np.testing.assert_allclose(model.posterior_mean(), [0.5, 0.5])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 1)), max_size=60))
+    def test_property_mean_in_unit_interval(self, updates):
+        model = BetaBernoulliModel(uniform_prior(3))
+        for stratum, label in updates:
+            model.update(stratum, label)
+        mean = model.posterior_mean()
+        assert np.all((mean > 0) & (mean < 1))
+
+    def test_posterior_concentrates_on_truth(self):
+        rng = np.random.default_rng(0)
+        true_pi = 0.2
+        model = BetaBernoulliModel(uniform_prior(1, strength=2.0))
+        for __ in range(2000):
+            model.update(0, int(rng.random() < true_pi))
+        assert model.posterior_mean()[0] == pytest.approx(true_pi, abs=0.03)
+
+
+class TestDecayingPrior:
+    def test_no_labels_equals_plain_prior(self):
+        prior = uniform_prior(2, strength=10.0)
+        plain = BetaBernoulliModel(prior)
+        decayed = BetaBernoulliModel(prior, decaying_prior=True)
+        np.testing.assert_allclose(plain.posterior_mean(), decayed.posterior_mean())
+
+    def test_decay_weakens_prior_influence(self):
+        # A badly misspecified prior (pi ~ 0.9) against all-zero labels:
+        # the decaying model must approach 0 much faster.
+        prior = 20.0 * np.vstack([[0.9, 0.9], [0.1, 0.1]])
+        plain = BetaBernoulliModel(prior)
+        decayed = BetaBernoulliModel(prior, decaying_prior=True)
+        for __ in range(10):
+            plain.update(0, 0)
+            decayed.update(0, 0)
+        assert decayed.posterior_mean()[0] < plain.posterior_mean()[0]
+
+    def test_decay_only_affects_sampled_strata(self):
+        prior = uniform_prior(2, strength=8.0)
+        model = BetaBernoulliModel(prior, decaying_prior=True)
+        model.update(0, 1)
+        # Stratum 1 has no labels: prior untouched.
+        assert model.posterior_mean()[1] == pytest.approx(0.5)
+
+    def test_gamma_matrix_shape(self):
+        model = BetaBernoulliModel(uniform_prior(4), decaying_prior=True)
+        assert model.gamma.shape == (2, 4)
+
+
+class TestUncertainty:
+    def test_variance_shrinks_with_data(self):
+        model = BetaBernoulliModel(uniform_prior(1))
+        before = model.posterior_variance()[0]
+        for __ in range(50):
+            model.update(0, 1)
+        after = model.posterior_variance()[0]
+        assert after < before
+
+    def test_credible_interval_contains_mean(self):
+        model = BetaBernoulliModel(uniform_prior(3))
+        model.update(0, 1)
+        interval = model.credible_interval(0.9)
+        mean = model.posterior_mean()
+        assert np.all(interval[0] <= mean)
+        assert np.all(mean <= interval[1])
+
+    def test_credible_interval_level_validation(self):
+        model = BetaBernoulliModel(uniform_prior(1))
+        with pytest.raises(ValueError):
+            model.credible_interval(1.0)

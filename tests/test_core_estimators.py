@@ -1,0 +1,130 @@
+"""Tests for the AIS F-measure estimator (Eqn 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AISEstimator, sample_f_measure_history
+from repro.measures import f_measure
+
+
+class TestAISEstimator:
+    def test_undefined_before_positives(self):
+        est = AISEstimator()
+        assert np.isnan(est.estimate)
+        est.update(0, 0, 1.0)
+        assert np.isnan(est.estimate)
+
+    def test_matches_plain_f_with_unit_weights(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=100)
+        preds = rng.integers(0, 2, size=100)
+        est = AISEstimator(alpha=0.5)
+        for l, p in zip(labels, preds):
+            est.update(int(l), int(p))
+        assert est.estimate == pytest.approx(f_measure(labels, preds, alpha=0.5))
+
+    def test_precision_recall_properties(self):
+        est = AISEstimator()
+        observations = [(1, 1), (1, 0), (0, 1), (1, 1)]
+        for l, p in observations:
+            est.update(l, p)
+        labels = [o[0] for o in observations]
+        preds = [o[1] for o in observations]
+        assert est.precision == pytest.approx(f_measure(labels, preds, alpha=1.0))
+        assert est.recall == pytest.approx(f_measure(labels, preds, alpha=0.0))
+
+    def test_weight_scale_invariance(self):
+        # Scaling every weight by a constant leaves the ratio unchanged.
+        est1 = AISEstimator()
+        est2 = AISEstimator()
+        data = [(1, 1, 0.5), (0, 1, 2.0), (1, 0, 1.5)]
+        for l, p, w in data:
+            est1.update(l, p, w)
+            est2.update(l, p, 10.0 * w)
+        assert est1.estimate == pytest.approx(est2.estimate)
+
+    def test_weighted_bias_correction(self):
+        # Items sampled at double rate with half weight contribute the
+        # same as unit-weight single draws.
+        est_plain = AISEstimator()
+        est_weighted = AISEstimator()
+        for __ in range(4):
+            est_plain.update(1, 1, 1.0)
+        est_plain.update(0, 1, 1.0)
+        for __ in range(8):
+            est_weighted.update(1, 1, 0.5)
+        est_weighted.update(0, 1, 1.0)
+        assert est_weighted.estimate == pytest.approx(est_plain.estimate)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            AISEstimator().update(1, 1, -1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            AISEstimator(alpha=-0.1)
+
+    def test_state_snapshot(self):
+        est = AISEstimator()
+        est.update(1, 1, 2.0)
+        state = est.state()
+        assert state["weighted_tp"] == pytest.approx(2.0)
+        assert state["n_observations"] == 1
+
+    def test_reset(self):
+        est = AISEstimator()
+        est.update(1, 1)
+        est.reset()
+        assert np.isnan(est.estimate)
+        assert est.n_observations == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1), st.integers(0, 1), st.floats(0.01, 100.0)
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(0, 1),
+    )
+    def test_property_estimate_in_range(self, observations, alpha):
+        est = AISEstimator(alpha=alpha)
+        for label, pred, weight in observations:
+            est.update(label, pred, weight)
+        value = est.estimate
+        assert np.isnan(value) or 0.0 <= value <= 1.0
+
+
+class TestVectorisedHistory:
+    def test_matches_online_estimator(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=50)
+        preds = rng.integers(0, 2, size=50)
+        weights = rng.random(50) + 0.1
+        history = sample_f_measure_history(labels, preds, weights)
+
+        est = AISEstimator()
+        for t, (l, p, w) in enumerate(zip(labels, preds, weights)):
+            est.update(int(l), int(p), float(w))
+            if np.isnan(est.estimate):
+                assert np.isnan(history[t])
+            else:
+                assert history[t] == pytest.approx(est.estimate)
+
+    def test_nan_prefix(self):
+        history = sample_f_measure_history([0, 0, 1], [0, 0, 1])
+        assert np.isnan(history[0])
+        assert np.isnan(history[1])
+        assert history[2] == pytest.approx(1.0)
+
+    def test_default_weights(self):
+        history = sample_f_measure_history([1, 1], [1, 0])
+        assert history[-1] == pytest.approx(f_measure([1, 1], [1, 0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="share length"):
+            sample_f_measure_history([1], [1, 0])

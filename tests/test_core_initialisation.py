@@ -1,0 +1,109 @@
+"""Tests for Algorithm 2 initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import csf_stratify, initialise_from_scores
+from repro.core.stratification import Strata
+
+
+def probability_pool(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    scores = rng.beta(1, 8, size=n)
+    predictions = (scores > 0.5).astype(np.int8)
+    return scores, predictions
+
+
+class TestInitialisation:
+    def test_pi_from_probability_scores(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 10)
+        init = initialise_from_scores(strata, predictions)
+        # With calibrated scores, pi guesses are the stratum mean scores.
+        np.testing.assert_allclose(
+            init.pi, np.clip(strata.mean_scores(), 1e-6, 1 - 1e-6), atol=1e-9
+        )
+
+    def test_pi_from_margin_scores_sigmoid(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=300)
+        predictions = (scores > 0).astype(np.int8)
+        strata = csf_stratify(scores, 8)
+        init = initialise_from_scores(strata, predictions, threshold=0.0)
+        assert np.all((init.pi > 0) & (init.pi < 1))
+        # Higher-score strata get higher pi.
+        assert np.all(np.diff(init.pi) >= -1e-12)
+
+    def test_threshold_shifts_sigmoid(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=300)
+        predictions = (scores > 1.0).astype(np.int8)
+        strata = csf_stratify(scores, 8)
+        low = initialise_from_scores(strata, predictions, threshold=0.0)
+        high = initialise_from_scores(strata, predictions, threshold=1.0)
+        assert np.all(high.pi <= low.pi + 1e-12)
+
+    def test_prior_strength_default_2k(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 10)
+        init = initialise_from_scores(strata, predictions)
+        column_sums = init.prior_gamma.sum(axis=0)
+        np.testing.assert_allclose(column_sums, 2.0 * strata.n_strata)
+
+    def test_prior_gamma_structure(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 10)
+        init = initialise_from_scores(strata, predictions, prior_strength=4.0)
+        np.testing.assert_allclose(init.prior_gamma[0], 4.0 * init.pi)
+        np.testing.assert_allclose(init.prior_gamma[1], 4.0 * (1 - init.pi))
+
+    def test_f_guess_reasonable_for_good_scores(self):
+        # Scores that equal the true probabilities and a prediction
+        # threshold at 0.5 should give an F guess in (0, 1).
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 15)
+        init = initialise_from_scores(strata, predictions)
+        assert 0.0 < init.f_measure < 1.0
+
+    def test_f_guess_nan_when_nothing_predicted_or_scored(self):
+        strata = Strata([0, 0], np.array([0.0, 0.0]))
+        init = initialise_from_scores(
+            strata, [0, 0], scores_are_probabilities=True
+        )
+        # pi is clipped to ~1e-6 so the denominator is positive but the
+        # estimated F is essentially zero.
+        assert init.f_measure == pytest.approx(0.0, abs=1e-5)
+
+    def test_alpha_one_gives_precision_style_guess(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 10)
+        init = initialise_from_scores(strata, predictions, alpha=1.0)
+        sizes = strata.sizes.astype(float)
+        lam = strata.stratum_means(predictions)
+        expected = float(np.sum(sizes * init.pi * lam) / np.sum(sizes * lam))
+        assert init.f_measure == pytest.approx(expected)
+
+    def test_prediction_misalignment_raises(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 5)
+        with pytest.raises(ValueError, match="align"):
+            initialise_from_scores(strata, predictions[:-5])
+
+    def test_invalid_prior_strength(self):
+        scores, predictions = probability_pool()
+        strata = csf_stratify(scores, 5)
+        with pytest.raises(ValueError, match="prior_strength"):
+            initialise_from_scores(strata, predictions, prior_strength=0.0)
+
+    def test_explicit_probability_flag_overrides_detection(self):
+        # Margin-looking scores forced to be treated as probabilities.
+        scores = np.array([0.1, 0.2, 0.9, 0.8])
+        predictions = np.array([0, 0, 1, 1])
+        strata = csf_stratify(scores, 2)
+        as_probs = initialise_from_scores(
+            strata, predictions, scores_are_probabilities=True
+        )
+        as_margins = initialise_from_scores(
+            strata, predictions, scores_are_probabilities=False
+        )
+        assert not np.allclose(as_probs.pi, as_margins.pi)

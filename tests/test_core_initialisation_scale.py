@@ -1,0 +1,129 @@
+"""Tests for the scale-aware margin initialisation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import csf_stratify, initialise_from_scores
+from repro.core.oasis import OASISSampler
+from repro.oracle import DeterministicOracle
+from repro.samplers import ImportanceSampler
+
+
+@pytest.fixture
+def margin_pool(rng):
+    scores = rng.normal(scale=0.3, size=400)  # small-scale margins
+    predictions = (scores > 0.2).astype(np.int8)
+    return scores, predictions
+
+
+class TestScoreScaleInitialisation:
+    def test_default_matches_raw_paper_behaviour(self, margin_pool):
+        scores, predictions = margin_pool
+        strata = csf_stratify(scores, 8)
+        default = initialise_from_scores(strata, predictions, threshold=0.2)
+        explicit_raw = initialise_from_scores(
+            strata, predictions, threshold=0.2, score_scale=1.0
+        )
+        np.testing.assert_allclose(default.pi, explicit_raw.pi)
+
+    def test_auto_scale_sharpens_priors(self, margin_pool):
+        scores, predictions = margin_pool
+        strata = csf_stratify(scores, 8)
+        raw = initialise_from_scores(strata, predictions, threshold=0.2)
+        auto = initialise_from_scores(
+            strata, predictions, threshold=0.2, score_scale="auto"
+        )
+        # Sharper squash: the spread of pi guesses widens.
+        assert auto.pi.max() - auto.pi.min() > raw.pi.max() - raw.pi.min()
+
+    def test_numeric_scale(self, margin_pool):
+        scores, predictions = margin_pool
+        strata = csf_stratify(scores, 8)
+        sharp = initialise_from_scores(
+            strata, predictions, threshold=0.2, score_scale=0.05
+        )
+        assert np.all((sharp.pi > 0) & (sharp.pi < 1))
+        # Extremely sharp squash saturates the extremes.
+        assert sharp.pi.min() < 0.05
+        assert sharp.pi.max() > 0.95
+
+    def test_invalid_scale(self, margin_pool):
+        scores, predictions = margin_pool
+        strata = csf_stratify(scores, 8)
+        with pytest.raises(ValueError, match="score_scale"):
+            initialise_from_scores(
+                strata, predictions, score_scale=-1.0,
+                scores_are_probabilities=False,
+            )
+
+    def test_probability_scores_ignore_scale(self, rng):
+        scores = rng.random(200)
+        predictions = (scores > 0.5).astype(np.int8)
+        strata = csf_stratify(scores, 5)
+        a = initialise_from_scores(
+            strata, predictions, scores_are_probabilities=True
+        )
+        b = initialise_from_scores(
+            strata, predictions, scores_are_probabilities=True,
+            score_scale=0.01,
+        )
+        np.testing.assert_allclose(a.pi, b.pi)
+
+    def test_constant_scores_auto_scale_safe(self):
+        scores = np.full(50, 0.7)
+        predictions = np.ones(50, dtype=np.int8)
+        strata = csf_stratify(scores, 5)
+        init = initialise_from_scores(
+            strata, predictions, scores_are_probabilities=False,
+            score_scale="auto",
+        )
+        assert np.all(np.isfinite(init.pi))
+
+
+class TestScoreScaleSamplers:
+    def test_oasis_accepts_scale(self, imbalanced_pool):
+        pool = imbalanced_pool
+        sampler = OASISSampler(
+            pool["predictions"],
+            pool["scores"],
+            DeterministicOracle(pool["true_labels"]),
+            score_scale="auto",
+            random_state=0,
+        )
+        sampler.sample_until_budget(100)
+        assert 0.0 <= sampler.estimate <= 1.0
+
+    def test_is_accepts_scale(self, imbalanced_pool):
+        pool = imbalanced_pool
+        sampler = ImportanceSampler(
+            pool["predictions"],
+            pool["scores"],
+            DeterministicOracle(pool["true_labels"]),
+            score_scale="auto",
+            random_state=0,
+        )
+        sampler.sample_until_budget(100)
+        assert 0.0 <= sampler.estimate <= 1.0
+
+    def test_is_invalid_scale(self, imbalanced_pool):
+        pool = imbalanced_pool
+        with pytest.raises(ValueError, match="score_scale"):
+            ImportanceSampler(
+                pool["predictions"],
+                pool["scores"],
+                DeterministicOracle(pool["true_labels"]),
+                score_scale=0.0,
+            )
+
+    def test_scale_changes_instrumental(self, imbalanced_pool):
+        pool = imbalanced_pool
+        raw = ImportanceSampler(
+            pool["predictions"], pool["scores"],
+            DeterministicOracle(pool["true_labels"]), random_state=0,
+        )
+        sharp = ImportanceSampler(
+            pool["predictions"], pool["scores"],
+            DeterministicOracle(pool["true_labels"]),
+            score_scale=0.1, random_state=0,
+        )
+        assert not np.allclose(raw.instrumental, sharp.instrumental)

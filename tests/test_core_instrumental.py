@@ -1,0 +1,130 @@
+"""Tests for the instrumental distributions (Eqns 5, 6, 12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    epsilon_greedy,
+    optimal_instrumental_pointwise,
+    stratified_optimal_instrumental,
+)
+from repro.utils import normalise
+
+
+class TestPointwiseOptimal:
+    def test_is_probability_vector(self):
+        q = optimal_instrumental_pointwise(
+            normalise(np.ones(6)),
+            [1, 1, 0, 0, 1, 0],
+            [0.9, 0.2, 0.05, 0.5, 0.99, 0.01],
+            f_measure=0.7,
+        )
+        assert q.sum() == pytest.approx(1.0)
+        assert np.all(q >= 0)
+
+    def test_nan_f_falls_back_to_underlying(self):
+        p = normalise([1.0, 2.0, 3.0])
+        q = optimal_instrumental_pointwise(p, [1, 0, 1], [0.5, 0.5, 0.5], float("nan"))
+        np.testing.assert_allclose(q, p)
+
+    def test_zero_probability_nonpredicted_gets_zero_mass(self):
+        # l-hat = 0 and p(1|z) = 0: the item cannot contribute to F.
+        q = optimal_instrumental_pointwise(
+            normalise(np.ones(3)), [0, 1, 1], [0.0, 0.5, 0.5], 0.5
+        )
+        assert q[0] == pytest.approx(0.0)
+
+    def test_predicted_positive_weighted_higher(self):
+        # Same oracle probability: a predicted positive carries both FP
+        # and TP risk and should receive more mass than a non-predicted
+        # item at moderate p.
+        q = optimal_instrumental_pointwise(
+            normalise(np.ones(2)), [1, 0], [0.5, 0.5], 0.5
+        )
+        assert q[0] > q[1]
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            optimal_instrumental_pointwise(
+                normalise(np.ones(2)), [1, 0], [0.5, 0.5], 0.5, alpha=2.0
+            )
+
+
+class TestStratifiedOptimal:
+    def test_matches_pointwise_on_singleton_strata(self):
+        # With one item per stratum the stratified formula reduces to
+        # the pointwise one.
+        predictions = np.array([1, 0, 1, 0])
+        probs = np.array([0.9, 0.3, 0.6, 0.05])
+        weights = normalise(np.ones(4))
+        f = 0.6
+        pointwise = optimal_instrumental_pointwise(weights, predictions, probs, f)
+        stratified = stratified_optimal_instrumental(weights, predictions, probs, f)
+        np.testing.assert_allclose(stratified, pointwise, atol=1e-12)
+
+    def test_probability_vector(self):
+        v = stratified_optimal_instrumental(
+            [0.8, 0.15, 0.05], [0.0, 0.5, 1.0], [0.01, 0.4, 0.95], 0.5
+        )
+        assert v.sum() == pytest.approx(1.0)
+
+    def test_nan_f_gives_weights(self):
+        omega = np.array([0.5, 0.3, 0.2])
+        v = stratified_optimal_instrumental(omega, [0, 1, 1], [0.1, 0.5, 0.9], float("nan"))
+        np.testing.assert_allclose(v, omega)
+
+    def test_pure_negative_stratum_mass_scales_with_pi(self):
+        # Non-predicted strata matter only through possible FNs: mass
+        # grows with pi.
+        v = stratified_optimal_instrumental(
+            [0.5, 0.5], [0.0, 0.0], [0.01, 0.49], 0.5
+        )
+        assert v[1] > v[0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 10),
+        st.floats(0.01, 0.99),
+        st.floats(0, 1),
+    )
+    def test_property_valid_distribution(self, k, f, alpha):
+        rng = np.random.default_rng(k)
+        omega = normalise(rng.random(k) + 1e-3)
+        lam = rng.random(k)
+        pi = rng.random(k)
+        v = stratified_optimal_instrumental(omega, lam, pi, f, alpha=alpha)
+        assert v.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(v >= 0)
+
+
+class TestEpsilonGreedy:
+    def test_epsilon_one_is_underlying(self):
+        optimal = np.array([1.0, 0.0])
+        underlying = np.array([0.5, 0.5])
+        np.testing.assert_allclose(
+            epsilon_greedy(optimal, underlying, 1.0), underlying
+        )
+
+    def test_lower_bound_guarantee(self):
+        # q >= epsilon * p everywhere (Remark 5's consistency condition).
+        optimal = np.array([1.0, 0.0, 0.0])
+        underlying = normalise(np.ones(3))
+        for eps in [1e-3, 0.1, 0.5]:
+            q = epsilon_greedy(optimal, underlying, eps)
+            assert np.all(q >= eps * underlying - 1e-15)
+
+    def test_preserves_total_mass(self):
+        optimal = normalise([3.0, 1.0, 1.0])
+        underlying = normalise(np.ones(3))
+        q = epsilon_greedy(optimal, underlying, 0.2)
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_epsilon_zero_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            epsilon_greedy(np.ones(2) / 2, np.ones(2) / 2, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            epsilon_greedy(np.ones(2) / 2, np.ones(3) / 3, 0.5)

@@ -1,0 +1,150 @@
+"""Tests for CSF / equal-size stratification (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import Strata, csf_stratify, equal_size_stratify, stratify
+
+score_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.integers(1, 300),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestStrataContainer:
+    def test_basic_stats(self):
+        strata = Strata([0, 0, 1, 1, 1], [0.1, 0.2, 0.7, 0.8, 0.9])
+        assert strata.n_strata == 2
+        np.testing.assert_array_equal(strata.sizes, [2, 3])
+        np.testing.assert_allclose(strata.weights, [0.4, 0.6])
+
+    def test_mean_scores(self):
+        strata = Strata([0, 0, 1], [0.2, 0.4, 1.0])
+        np.testing.assert_allclose(strata.mean_scores(), [0.3, 1.0])
+
+    def test_stratum_means_arbitrary_values(self):
+        strata = Strata([0, 1, 1], [0.0, 1.0, 1.0])
+        np.testing.assert_allclose(strata.stratum_means([1.0, 0.0, 1.0]), [1.0, 0.5])
+
+    def test_members_partition_pool(self):
+        strata = Strata([1, 0, 1, 0], [0.9, 0.1, 0.8, 0.2])
+        all_members = np.concatenate([strata.members(k) for k in range(2)])
+        assert sorted(all_members.tolist()) == [0, 1, 2, 3]
+
+    def test_members_in_right_stratum(self):
+        allocations = [1, 0, 1, 0, 1]
+        strata = Strata(allocations, np.arange(5, dtype=float))
+        for k in range(2):
+            for idx in strata.members(k):
+                assert allocations[idx] == k
+
+    def test_sample_in_stratum(self):
+        strata = Strata([0, 0, 1], [0.0, 0.1, 0.9])
+        rng = np.random.default_rng(0)
+        draws = {strata.sample_in_stratum(1, rng) for __ in range(10)}
+        assert draws == {2}
+
+    def test_rejects_gap_in_indices(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            Strata([0, 2], [0.0, 1.0])
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError, match="empty"):
+            Strata(np.array([], dtype=int), np.array([]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="align"):
+            Strata([0, 0], [1.0])
+
+
+class TestCSFStratify:
+    def test_respects_requested_maximum(self):
+        scores = np.random.default_rng(0).normal(size=1000)
+        strata = csf_stratify(scores, 30)
+        assert strata.n_strata <= 30
+
+    def test_identical_scores_single_stratum(self):
+        strata = csf_stratify(np.full(50, 0.5), 10)
+        assert strata.n_strata == 1
+
+    def test_strata_ordered_by_score(self):
+        scores = np.random.default_rng(1).normal(size=500)
+        strata = csf_stratify(scores, 20)
+        means = strata.mean_scores()
+        assert np.all(np.diff(means) > 0)
+
+    def test_heavy_tail_gives_unequal_sizes(self):
+        # ER-like score distribution: mass at low scores, thin tail of
+        # high ones -> strata sizes span orders of magnitude (Fig. 1).
+        rng = np.random.default_rng(2)
+        scores = np.concatenate([rng.beta(1, 20, size=5000), rng.beta(20, 1, size=50)])
+        strata = csf_stratify(scores, 30)
+        assert strata.sizes.max() / strata.sizes.min() > 10
+
+    def test_single_item(self):
+        strata = csf_stratify(np.array([0.3]), 5)
+        assert strata.n_strata == 1
+        assert strata.n_items == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            csf_stratify(np.array([]), 5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            csf_stratify(np.array([1.0, 2.0]), 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(score_arrays, st.integers(1, 40))
+    def test_property_valid_partition(self, scores, k):
+        strata = csf_stratify(scores, k)
+        # Partition: every item allocated, indices contiguous from 0.
+        assert strata.n_items == len(scores)
+        assert strata.sizes.sum() == len(scores)
+        assert strata.n_strata <= max(k, 1)
+        assert np.all(strata.sizes > 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(score_arrays, st.integers(1, 40))
+    def test_property_score_monotone_allocation(self, scores, k):
+        strata = csf_stratify(scores, k)
+        # Higher score can never land in a lower stratum.
+        order = np.argsort(scores, kind="stable")
+        allocations = strata.allocations[order]
+        assert np.all(np.diff(allocations) >= 0)
+
+
+class TestEqualSizeStratify:
+    def test_sizes_nearly_equal(self):
+        scores = np.random.default_rng(0).normal(size=1000)
+        strata = equal_size_stratify(scores, 10)
+        assert strata.sizes.max() - strata.sizes.min() <= 1
+
+    def test_k_capped_by_pool(self):
+        strata = equal_size_stratify(np.array([1.0, 2.0, 3.0]), 10)
+        assert strata.n_strata <= 3
+
+    def test_ordered_by_score(self):
+        scores = np.random.default_rng(0).normal(size=200)
+        strata = equal_size_stratify(scores, 8)
+        means = strata.mean_scores()
+        assert np.all(np.diff(means) > 0)
+
+
+class TestDispatch:
+    def test_csf(self):
+        scores = np.random.default_rng(0).random(100)
+        assert stratify(scores, 5, "csf").n_strata <= 5
+
+    def test_equal_size(self):
+        scores = np.random.default_rng(0).random(100)
+        strata = stratify(scores, 5, "equal_size")
+        assert strata.sizes.max() - strata.sizes.min() <= 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown stratification"):
+            stratify(np.array([1.0]), 2, "quantum")

@@ -1,0 +1,110 @@
+"""Tests for the named benchmark pools (Tables 1-2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BENCHMARK_NAMES, dataset_summary, load_benchmark
+from repro.measures import pool_performance
+
+
+class TestLoadBenchmark:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_benchmark("abt_buy", scale="huge")
+
+    def test_all_names_listed(self):
+        assert set(BENCHMARK_NAMES) == {
+            "amazon_google",
+            "restaurant",
+            "dblp_acm",
+            "abt_buy",
+            "cora",
+            "tweets100k",
+        }
+
+    def test_tiny_pool_structure(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        n = len(pool)
+        assert pool.scores.shape == (n,)
+        assert pool.scores_calibrated.shape == (n,)
+        assert pool.predictions.shape == (n,)
+        assert pool.true_labels.shape == (n,)
+        assert pool.pairs.shape == (n, 2)
+        assert pool.features.shape[0] == n
+
+    def test_match_count_and_ratio(self, tiny_abt_buy):
+        assert tiny_abt_buy.n_matches == 15
+        assert tiny_abt_buy.imbalance_ratio == pytest.approx(150.0)
+
+    def test_calibrated_scores_are_probabilities(self, tiny_abt_buy):
+        cal = tiny_abt_buy.scores_calibrated
+        assert np.all((cal >= 0) & (cal <= 1))
+
+    def test_predictions_follow_threshold(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        np.testing.assert_array_equal(
+            pool.predictions, (pool.scores >= pool.threshold).astype(np.int8)
+        )
+
+    def test_performance_matches_recomputation(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        perf = pool_performance(pool.true_labels, pool.predictions)
+        assert pool.performance["f_measure"] == pytest.approx(perf["f_measure"])
+
+    def test_scores_informative(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        mean_match = pool.scores[pool.true_labels == 1].mean()
+        mean_nonmatch = pool.scores[pool.true_labels == 0].mean()
+        assert mean_match > mean_nonmatch
+
+    def test_deterministic_given_seed(self):
+        a = load_benchmark("restaurant", scale="tiny", random_state=11)
+        b = load_benchmark("restaurant", scale="tiny", random_state=11)
+        np.testing.assert_allclose(a.scores, b.scores)
+        np.testing.assert_array_equal(a.true_labels, b.true_labels)
+
+    def test_different_seeds_differ(self):
+        a = load_benchmark("restaurant", scale="tiny", random_state=1)
+        b = load_benchmark("restaurant", scale="tiny", random_state=2)
+        assert not np.array_equal(a.scores, b.scores)
+
+    def test_tweets_pool_balanced(self, tiny_tweets):
+        assert tiny_tweets.imbalance_ratio == pytest.approx(1.0, abs=0.15)
+        assert tiny_tweets.pairs is None
+
+    def test_cora_dedup_pairs_valid(self, tiny_cora):
+        # Dedup pairs must be strictly upper-triangular (i < j).
+        assert np.all(tiny_cora.pairs[:, 0] < tiny_cora.pairs[:, 1])
+
+    def test_custom_classifier(self):
+        from repro.classifiers import LogisticRegression
+
+        pool = load_benchmark(
+            "abt_buy", scale="tiny", classifier=LogisticRegression(), random_state=0
+        )
+        assert len(pool) > 0
+        assert np.isfinite(pool.scores).all()
+
+
+class TestDatasetSummary:
+    def test_summary_keys(self, tiny_abt_buy):
+        row = dataset_summary(tiny_abt_buy)
+        assert set(row) == {
+            "dataset",
+            "size",
+            "imbalance_ratio",
+            "n_matches",
+            "precision",
+            "recall",
+            "f_measure",
+        }
+
+    def test_summary_values(self, tiny_abt_buy):
+        row = dataset_summary(tiny_abt_buy)
+        assert row["dataset"] == "abt_buy"
+        assert row["size"] == len(tiny_abt_buy)
+        assert row["n_matches"] == tiny_abt_buy.n_matches

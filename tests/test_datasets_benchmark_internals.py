@@ -1,0 +1,114 @@
+"""Unit tests for the benchmark-construction internals."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.benchmark import (
+    _assemble_pool,
+    _required_entities,
+    _select_threshold,
+    _training_rows,
+)
+from repro.utils import ensure_rng
+
+
+class TestSelectThreshold:
+    def test_none_target_gives_zero(self):
+        assert _select_threshold([1.0, 2.0], [1, 1], None) == 0.0
+
+    def test_no_positives_gives_zero(self):
+        assert _select_threshold([1.0, 2.0], [0, 0], 0.5) == 0.0
+
+    def test_full_recall_keeps_all_positives(self):
+        scores = np.array([0.2, 0.5, 0.9, -1.0])
+        labels = np.array([1, 1, 1, 0])
+        threshold = _select_threshold(scores, labels, 1.0)
+        kept = (scores[labels == 1] >= threshold).mean()
+        assert kept == 1.0
+
+    def test_half_recall_keeps_about_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=1000)
+        labels = np.ones(1000, dtype=int)
+        threshold = _select_threshold(scores, labels, 0.5)
+        kept = (scores >= threshold).mean()
+        assert kept == pytest.approx(0.5, abs=0.05)
+
+    def test_threshold_never_negative(self):
+        # Margins all negative: the threshold clips at 0 so the matcher
+        # never accepts below-zero margins just to chase recall.
+        scores = np.array([-3.0, -2.0, -1.0])
+        labels = np.array([1, 1, 1])
+        assert _select_threshold(scores, labels, 1.0) == 0.0
+
+
+class TestAssemblePool:
+    def test_counts(self):
+        rng = ensure_rng(0)
+        labels = np.zeros(1000, dtype=np.int8)
+        labels[:50] = 1
+        rows = _assemble_pool(labels, n_matches=20, ratio=10, rng=rng)
+        chosen = labels[rows]
+        assert chosen.sum() == 20
+        assert len(rows) == 20 + 200
+
+    def test_no_duplicates(self):
+        rng = ensure_rng(1)
+        labels = np.zeros(500, dtype=np.int8)
+        labels[:100] = 1
+        rows = _assemble_pool(labels, n_matches=30, ratio=3, rng=rng)
+        assert len(set(rows.tolist())) == len(rows)
+
+    def test_insufficient_matches_raises(self):
+        rng = ensure_rng(0)
+        labels = np.zeros(100, dtype=np.int8)
+        labels[:5] = 1
+        with pytest.raises(RuntimeError, match="matches"):
+            _assemble_pool(labels, n_matches=10, ratio=2, rng=rng)
+
+    def test_insufficient_nonmatches_raises(self):
+        rng = ensure_rng(0)
+        labels = np.ones(100, dtype=np.int8)
+        labels[:5] = 0
+        with pytest.raises(RuntimeError, match="non-matches"):
+            _assemble_pool(labels, n_matches=10, ratio=10, rng=rng)
+
+
+class TestTrainingRows:
+    def test_enriched_in_matches(self):
+        rng = ensure_rng(0)
+        labels = np.zeros(5000, dtype=np.int8)
+        labels[:100] = 1
+        rows = _training_rows(labels, np.array([]), rng, n_pos=40, n_neg=400)
+        fraction_pos = labels[rows].mean()
+        # 40/440 ~ 9% positives vs 2% in the population.
+        assert fraction_pos > 0.05
+
+    def test_caps_at_available(self):
+        rng = ensure_rng(0)
+        labels = np.zeros(100, dtype=np.int8)
+        labels[:5] = 1
+        rows = _training_rows(labels, np.array([]), rng, n_pos=50, n_neg=50)
+        assert labels[rows].sum() == 5
+
+
+class TestRequiredEntities:
+    def test_two_source_covers_pool(self):
+        config = {"domain": "products", "overlap": 0.5}
+        n = _required_entities(config, n_matches=50, pool_size=50_000)
+        # Store size ~ overlap*n + (n - overlap*n)/2; the pair space
+        # must exceed the pool with slack.
+        shared = 0.5 * n
+        store = shared + (n - shared) / 2
+        assert store**2 >= 50_000
+
+    def test_dedup_sizing(self):
+        config = {"domain": "dedup"}
+        n = _required_entities(config, n_matches=300, pool_size=15_000)
+        assert n >= 100  # ~3 matching pairs per entity
+
+    def test_match_constraint_binds(self):
+        config = {"domain": "products", "overlap": 0.1}
+        n = _required_entities(config, n_matches=100, pool_size=100)
+        # With 10% overlap we need >= 1300 entities for 130 shared.
+        assert n * 0.1 >= 1.2 * 100

@@ -1,0 +1,117 @@
+"""Tests for the record-corruption noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    abbreviate_tokens,
+    corrupt_string,
+    drop_tokens,
+    perturb_number,
+    typo_string,
+)
+
+words = st.text(alphabet="abcdef ", min_size=1, max_size=30)
+
+
+class TestTypoString:
+    def test_zero_typos_identity(self):
+        rng = np.random.default_rng(0)
+        assert typo_string("hello world", 0, rng) == "hello world"
+
+    def test_single_typo_changes_little(self):
+        rng = np.random.default_rng(0)
+        out = typo_string("abcdefgh", 1, rng)
+        assert abs(len(out) - 8) <= 1
+
+    def test_never_crashes_on_empty(self):
+        rng = np.random.default_rng(0)
+        out = typo_string("", 3, rng)
+        assert isinstance(out, str)
+
+    @given(words, st.integers(0, 5))
+    def test_property_returns_string(self, text, n):
+        out = typo_string(text, n, np.random.default_rng(0))
+        assert isinstance(out, str)
+
+    def test_deterministic_given_rng(self):
+        a = typo_string("determinism", 3, np.random.default_rng(9))
+        b = typo_string("determinism", 3, np.random.default_rng(9))
+        assert a == b
+
+
+class TestAbbreviateTokens:
+    def test_prob_one_abbreviates_all_long_tokens(self):
+        rng = np.random.default_rng(0)
+        out = abbreviate_tokens("john michael smith", 1.0, rng)
+        assert out == "j m s"
+
+    def test_prob_zero_identity(self):
+        rng = np.random.default_rng(0)
+        assert abbreviate_tokens("john smith", 0.0, rng) == "john smith"
+
+    def test_single_letter_tokens_kept(self):
+        rng = np.random.default_rng(0)
+        assert abbreviate_tokens("a b", 1.0, rng) == "a b"
+
+
+class TestDropTokens:
+    def test_prob_zero_identity(self):
+        rng = np.random.default_rng(0)
+        assert drop_tokens("keep all tokens", 0.0, rng) == "keep all tokens"
+
+    def test_never_empties(self):
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            out = drop_tokens("one two three", 0.99, rng)
+            assert len(out.split()) >= 1
+
+    def test_empty_input_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert drop_tokens("", 0.5, rng) == ""
+
+
+class TestPerturbNumber:
+    def test_zero_noise_identity(self):
+        rng = np.random.default_rng(0)
+        assert perturb_number(10.0, 0.0, rng) == pytest.approx(10.0)
+
+    def test_missing_prob_one(self):
+        rng = np.random.default_rng(0)
+        assert perturb_number(10.0, 0.1, rng, missing_prob=1.0) is None
+
+    def test_noise_scale(self):
+        rng = np.random.default_rng(0)
+        draws = [perturb_number(100.0, 0.05, rng) for __ in range(500)]
+        assert np.std(draws) == pytest.approx(5.0, rel=0.3)
+
+
+class TestCorruptString:
+    def test_no_noise_identity(self):
+        rng = np.random.default_rng(0)
+        out = corrupt_string("pristine text", rng, typo_rate=0.0)
+        assert out == "pristine text"
+
+    def test_missing(self):
+        rng = np.random.default_rng(0)
+        assert corrupt_string("x", rng, missing_prob=1.0) is None
+
+    def test_higher_rate_more_damage(self):
+        base = "the quick brown fox jumps over the lazy dog"
+        light_changes = 0
+        heavy_changes = 0
+        for seed in range(30):
+            light = corrupt_string(base, np.random.default_rng(seed), typo_rate=0.01)
+            heavy = corrupt_string(base, np.random.default_rng(seed), typo_rate=0.2)
+            light_changes += light != base
+            heavy_changes += heavy != base
+        assert heavy_changes >= light_changes
+
+    @given(words)
+    def test_property_type_stable(self, text):
+        out = corrupt_string(
+            text, np.random.default_rng(1), typo_rate=0.1, drop_prob=0.1
+        )
+        assert out is None or isinstance(out, str)

@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PaperEntityGenerator,
+    ProductEntityGenerator,
+    RestaurantEntityGenerator,
+    generate_citation_dedup,
+    generate_citation_pair,
+    generate_product_pair,
+    generate_restaurant_pair,
+    generate_tweets,
+)
+from repro.pipeline import MatchRelation, cross_product_pairs, dedup_pairs
+
+
+class TestEntityGenerators:
+    def test_product_fields(self):
+        entities = ProductEntityGenerator(0).generate(10)
+        assert len(entities) == 10
+        for e in entities:
+            assert set(e) == {"entity_id", "name", "description", "price"}
+            assert e["price"] > 0
+
+    def test_paper_fields(self):
+        entities = PaperEntityGenerator(0).generate(5)
+        for e in entities:
+            assert 1995 <= e["year"] < 2017
+            assert e["venue_abbrev"]
+
+    def test_restaurant_fields(self):
+        entities = RestaurantEntityGenerator(0).generate(5)
+        for e in entities:
+            assert "street" in e["address"]
+
+    def test_entity_ids_sequential(self):
+        entities = ProductEntityGenerator(0).generate(7)
+        assert [e["entity_id"] for e in entities] == list(range(7))
+
+    def test_variants_share_series_name(self):
+        entities = ProductEntityGenerator(0, variant_prob=0.9).generate(40)
+        # With high variant probability, many entities share all but
+        # the model code of their name.
+        prefixes = [" ".join(e["name"].split()[:-1]) for e in entities]
+        assert len(set(prefixes)) < len(prefixes)
+
+    def test_variant_prob_validation(self):
+        with pytest.raises(ValueError, match="variant_prob"):
+            ProductEntityGenerator(0, variant_prob=1.5)
+
+    def test_deterministic(self):
+        a = ProductEntityGenerator(3).generate(5)
+        b = ProductEntityGenerator(3).generate(5)
+        assert a == b
+
+
+class TestTwoSourceGenerators:
+    @pytest.mark.parametrize(
+        "generate",
+        [generate_product_pair, generate_restaurant_pair, generate_citation_pair],
+    )
+    def test_overlap_controls_matches(self, generate):
+        store_a, store_b = generate(60, overlap=0.5, random_state=0)
+        pairs = cross_product_pairs(len(store_a), len(store_b))
+        relation = MatchRelation.from_entity_ids(store_a, store_b, pairs)
+        assert relation.n_matches == 30
+
+    @pytest.mark.parametrize(
+        "generate",
+        [generate_product_pair, generate_restaurant_pair, generate_citation_pair],
+    )
+    def test_zero_overlap_no_matches(self, generate):
+        store_a, store_b = generate(30, overlap=0.0, random_state=0)
+        pairs = cross_product_pairs(len(store_a), len(store_b))
+        relation = MatchRelation.from_entity_ids(store_a, store_b, pairs)
+        assert relation.n_matches == 0
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            generate_product_pair(10, overlap=1.5)
+
+    def test_matched_records_similar_but_not_identical(self):
+        store_a, store_b = generate_product_pair(
+            40, overlap=1.0, noise_level=1.0, random_state=0
+        )
+        ids_a = store_a.entity_ids()
+        ids_b = store_b.entity_ids()
+        differing = 0
+        for i, eid in enumerate(ids_a):
+            j = int(np.nonzero(ids_b == eid)[0][0])
+            if store_a[i].fields != store_b[j].fields:
+                differing += 1
+        assert differing > len(store_a) / 2
+
+    def test_reproducible(self):
+        a1, b1 = generate_product_pair(20, random_state=5)
+        a2, b2 = generate_product_pair(20, random_state=5)
+        assert [r.fields for r in a1] == [r.fields for r in a2]
+        assert [r.fields for r in b1] == [r.fields for r in b2]
+
+
+class TestDedupGenerator:
+    def test_duplicate_clusters_exist(self):
+        store = generate_citation_dedup(50, mean_duplicates=3.0, random_state=0)
+        ids = store.entity_ids()
+        __, counts = np.unique(ids, return_counts=True)
+        assert counts.max() >= 2
+        assert len(store) > 50
+
+    def test_matching_pairs_from_clusters(self):
+        store = generate_citation_dedup(40, mean_duplicates=3.0, random_state=1)
+        pairs = dedup_pairs(len(store))
+        relation = MatchRelation.from_entity_ids(store, store, pairs)
+        assert relation.n_matches > 0
+        # Mild imbalance: far less extreme than two-source ER.
+        assert relation.imbalance_ratio < 500
+
+    def test_mean_duplicates_validation(self):
+        with pytest.raises(ValueError, match="mean_duplicates"):
+            generate_citation_dedup(10, mean_duplicates=0.5)
+
+
+class TestTweets:
+    def test_shapes(self):
+        X, y = generate_tweets(500, random_state=0)
+        assert X.shape == (500, 4)
+        assert y.shape == (500,)
+
+    def test_balanced(self):
+        __, y = generate_tweets(2000, random_state=0)
+        assert y.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_fraction_control(self):
+        __, y = generate_tweets(2000, positive_fraction=0.2, random_state=0)
+        assert y.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_separation_makes_classes_separable(self):
+        X, y = generate_tweets(3000, separation=4.0, random_state=0)
+        centre_pos = X[y == 1].mean(axis=0)
+        centre_neg = X[y == 0].mean(axis=0)
+        assert np.linalg.norm(centre_pos - centre_neg) > 3.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="positive_fraction"):
+            generate_tweets(100, positive_fraction=0.0)

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    generate_citation_dedup,
+    generate_citation_pair,
+    generate_product_pair,
+    generate_restaurant_pair,
+    generate_tweets,
+)
+from repro.pipeline import MatchRelation, cross_product_pairs, dedup_pairs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_entities=st.integers(10, 80),
+    overlap=st.floats(0.0, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_two_source_match_count_equals_overlap(n_entities, overlap, seed):
+    """Matches == shared entities, exactly, for every generator."""
+    expected = int(round(overlap * n_entities))
+    for generate in (
+        generate_product_pair,
+        generate_restaurant_pair,
+        generate_citation_pair,
+    ):
+        store_a, store_b = generate(n_entities, overlap, random_state=seed)
+        pairs = cross_product_pairs(len(store_a), len(store_b))
+        relation = MatchRelation.from_entity_ids(store_a, store_b, pairs)
+        assert relation.n_matches == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_entities=st.integers(10, 60),
+    mean_duplicates=st.floats(1.0, 5.0),
+    seed=st.integers(0, 1000),
+)
+def test_dedup_store_covers_all_entities(n_entities, mean_duplicates, seed):
+    store = generate_citation_dedup(
+        n_entities, mean_duplicates=mean_duplicates, random_state=seed
+    )
+    ids = store.entity_ids()
+    # Every entity appears at least once; ids within range.
+    assert set(np.unique(ids)) == set(range(n_entities))
+    assert len(store) >= n_entities
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_items=st.integers(50, 500),
+    fraction=st.floats(0.05, 0.95),
+    seed=st.integers(0, 1000),
+)
+def test_tweets_fraction_and_shape(n_items, fraction, seed):
+    features, labels = generate_tweets(
+        n_items, positive_fraction=fraction, random_state=seed
+    )
+    assert features.shape == (n_items, 4)
+    assert labels.sum() == int(round(n_items * fraction))
+
+
+@settings(max_examples=10, deadline=None)
+@given(noise=st.floats(0.0, 3.0), seed=st.integers(0, 500))
+def test_product_records_always_well_formed(noise, seed):
+    store_a, store_b = generate_product_pair(
+        20, overlap=0.5, noise_level=noise, random_state=seed
+    )
+    for store in (store_a, store_b):
+        for record in store:
+            name = record.get("name")
+            assert name is None or isinstance(name, str)
+            price = record.get("price")
+            assert price is None or price == price  # not NaN
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_higher_noise_lowers_match_similarity(seed):
+    """More corruption must make matched records less alike."""
+    from repro.pipeline.similarity import jaccard_ngram_similarity
+    from repro.pipeline.normalise import normalise_string
+
+    def mean_match_similarity(noise):
+        store_a, store_b = generate_product_pair(
+            40, overlap=1.0, noise_level=noise, random_state=seed
+        )
+        ids_b = store_b.entity_ids()
+        sims = []
+        for i, record in enumerate(store_a):
+            j = int(np.nonzero(ids_b == record.entity_id)[0][0])
+            sims.append(jaccard_ngram_similarity(
+                normalise_string(record.get("name")),
+                normalise_string(store_b[j].get("name")),
+            ))
+        return float(np.mean(sims))
+
+    assert mean_match_similarity(0.0) >= mean_match_similarity(3.0) - 0.05

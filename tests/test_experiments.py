@@ -1,0 +1,230 @@
+"""Tests for the experiment harness (runner, aggregation, convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OASISSampler
+from repro.experiments import (
+    SamplerSpec,
+    aggregate_trajectories,
+    format_series,
+    format_table,
+    run_trials,
+    run_convergence_experiment,
+)
+from repro.oracle import DeterministicOracle, NoisyOracle
+from repro.samplers import PassiveSampler
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        SamplerSpec(
+            "OASIS",
+            lambda p, s, o, r: OASISSampler(p, s, o, random_state=r),
+        ),
+        SamplerSpec(
+            "Passive",
+            lambda p, s, o, r: PassiveSampler(p, s, o, random_state=r),
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def trial_results(tiny_abt_buy, specs):
+    return run_trials(
+        tiny_abt_buy,
+        specs,
+        budgets=[50, 100, 200],
+        n_repeats=8,
+        random_state=0,
+    )
+
+
+class TestRunTrials:
+    def test_result_shapes(self, trial_results):
+        for result in trial_results.values():
+            assert result.estimates.shape == (8, 3)
+            np.testing.assert_array_equal(result.budgets, [50, 100, 200])
+
+    def test_true_value_recorded(self, trial_results, tiny_abt_buy):
+        for result in trial_results.values():
+            assert result.true_value == pytest.approx(
+                tiny_abt_buy.performance["f_measure"]
+            )
+
+    def test_oasis_estimates_defined_everywhere(self, trial_results):
+        oasis = trial_results["OASIS"]
+        assert not np.isnan(oasis.estimates).any()
+
+    def test_repeats_differ(self, trial_results):
+        oasis = trial_results["OASIS"]
+        assert len(np.unique(oasis.estimates[:, -1])) > 1
+
+    def test_budget_validation(self, tiny_abt_buy, specs):
+        with pytest.raises(ValueError, match="budgets"):
+            run_trials(tiny_abt_buy, specs, budgets=[], n_repeats=2)
+        with pytest.raises(ValueError, match="budgets"):
+            run_trials(tiny_abt_buy, specs, budgets=[0, 10], n_repeats=2)
+
+    def test_reproducible_given_seed(self, tiny_abt_buy, specs):
+        a = run_trials(
+            tiny_abt_buy, specs[:1], budgets=[50], n_repeats=3, random_state=5
+        )
+        b = run_trials(
+            tiny_abt_buy, specs[:1], budgets=[50], n_repeats=3, random_state=5
+        )
+        np.testing.assert_allclose(
+            a["OASIS"].estimates, b["OASIS"].estimates, equal_nan=True
+        )
+
+    def test_custom_oracle_factory(self, tiny_abt_buy, specs):
+        results = run_trials(
+            tiny_abt_buy,
+            specs[:1],
+            budgets=[50],
+            n_repeats=2,
+            oracle_factory=lambda labels, rng: NoisyOracle(
+                true_labels=labels, flip_prob=0.05, random_state=rng
+            ),
+            random_state=0,
+        )
+        assert "OASIS" in results
+
+    def test_calibrated_scores_flag(self, tiny_abt_buy):
+        spec = SamplerSpec(
+            "OASIS cal",
+            lambda p, s, o, r: OASISSampler(p, s, o, random_state=r),
+            use_calibrated_scores=True,
+        )
+        results = run_trials(
+            tiny_abt_buy, [spec], budgets=[50], n_repeats=2, random_state=0
+        )
+        assert np.isfinite(results["OASIS cal"].estimates).all()
+
+
+class TestAggregate:
+    def test_curve_shapes(self, trial_results):
+        stats = aggregate_trajectories(trial_results["OASIS"])
+        assert stats.abs_error.shape == (3,)
+        assert stats.std_dev.shape == (3,)
+        assert stats.defined_fraction.shape == (3,)
+
+    def test_oasis_error_decreases(self, trial_results):
+        stats = aggregate_trajectories(trial_results["OASIS"])
+        assert stats.abs_error[-1] <= stats.abs_error[0] + 0.05
+
+    def test_well_defined_rule_masks(self, trial_results):
+        # Passive on an imbalanced tiny pool is often undefined at 50
+        # labels; wherever defined_fraction < 0.95 the curve is NaN.
+        stats = aggregate_trajectories(trial_results["Passive"])
+        masked = stats.defined_fraction < 0.95
+        assert np.all(np.isnan(stats.abs_error[masked]))
+
+    def test_final_abs_error(self, trial_results):
+        stats = aggregate_trajectories(trial_results["OASIS"])
+        assert stats.final_abs_error() == pytest.approx(stats.abs_error[-1])
+
+    def test_labels_to_reach(self, trial_results):
+        stats = aggregate_trajectories(trial_results["OASIS"])
+        generous = stats.labels_to_reach(1.0)
+        assert generous == 50.0  # first budget already within 1.0
+        assert np.isnan(stats.labels_to_reach(0.0)) or stats.labels_to_reach(0.0) >= 50
+
+
+class TestConvergenceExperiment:
+    def test_diagnostics_shapes(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        oracle = DeterministicOracle(pool.true_labels)
+        sampler = OASISSampler(
+            pool.predictions,
+            pool.scores_calibrated,
+            oracle,
+            n_strata=10,
+            record_diagnostics=True,
+            random_state=0,
+        )
+        diag = run_convergence_experiment(
+            sampler,
+            pool.true_labels,
+            pool.performance["f_measure"],
+            n_iterations=300,
+        )
+        assert len(diag.f_abs_error) == 300
+        assert len(diag.pi_abs_error) == 300
+        assert len(diag.kl_from_optimal) == 300
+        assert diag.true_v.sum() == pytest.approx(1.0)
+
+    def test_pi_error_decreases(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        oracle = DeterministicOracle(pool.true_labels)
+        sampler = OASISSampler(
+            pool.predictions,
+            pool.scores_calibrated,
+            oracle,
+            n_strata=10,
+            record_diagnostics=True,
+            random_state=1,
+        )
+        diag = run_convergence_experiment(
+            sampler,
+            pool.true_labels,
+            pool.performance["f_measure"],
+            n_iterations=800,
+        )
+        assert diag.pi_abs_error[-1] < diag.pi_abs_error[0]
+
+    def test_requires_diagnostics_enabled(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        oracle = DeterministicOracle(pool.true_labels)
+        sampler = OASISSampler(
+            pool.predictions, pool.scores, oracle, random_state=0
+        )
+        with pytest.raises(ValueError, match="record_diagnostics"):
+            run_convergence_experiment(
+                sampler, pool.true_labels, 0.5, n_iterations=10
+            )
+
+    def test_budget_to_reach_helpers(self, tiny_abt_buy):
+        pool = tiny_abt_buy
+        oracle = DeterministicOracle(pool.true_labels)
+        sampler = OASISSampler(
+            pool.predictions,
+            pool.scores_calibrated,
+            oracle,
+            n_strata=10,
+            record_diagnostics=True,
+            random_state=2,
+        )
+        diag = run_convergence_experiment(
+            sampler, pool.true_labels, pool.performance["f_measure"], n_iterations=200
+        )
+        assert np.isnan(diag.budget_to_reach_pi(0.0)) or diag.budget_to_reach_pi(0.0) >= 0
+        loose = diag.budget_to_reach_kl(1e9)
+        assert loose == diag.budgets[0]
+
+
+class TestReportFormatting:
+    def test_format_table_basic(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["b", 0.5]], title="T"
+        )
+        assert "T" in out
+        assert "name" in out
+        assert "a" in out
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_series_subsamples(self):
+        out = format_series("curve", list(range(100)), [0.5] * 100, max_points=5)
+        assert out.count("0.5") <= 8
+
+    def test_format_series_nan(self):
+        out = format_series("c", [1, 2], [float("nan"), 0.25])
+        assert "nan" in out
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            format_series("c", [1], [1, 2])

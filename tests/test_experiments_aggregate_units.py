@@ -1,0 +1,84 @@
+"""Direct unit tests for trajectory aggregation (no sampling involved)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.aggregate import aggregate_trajectories
+from repro.experiments.runner import TrialResult
+
+
+def make_result(estimates, true_value=0.5, budgets=None):
+    estimates = np.asarray(estimates, dtype=float)
+    if budgets is None:
+        budgets = np.arange(1, estimates.shape[1] + 1) * 10
+    return TrialResult(
+        name="test",
+        budgets=np.asarray(budgets),
+        estimates=estimates,
+        true_value=true_value,
+    )
+
+
+class TestAggregation:
+    def test_exact_abs_error(self):
+        result = make_result([[0.6, 0.55], [0.4, 0.45]], true_value=0.5)
+        stats = aggregate_trajectories(result, min_defined=0.0)
+        np.testing.assert_allclose(stats.abs_error, [0.1, 0.05])
+
+    def test_bias_signed(self):
+        result = make_result([[0.6, 0.6], [0.7, 0.7]], true_value=0.5)
+        stats = aggregate_trajectories(result, min_defined=0.0)
+        np.testing.assert_allclose(stats.bias, [0.15, 0.15])
+
+    def test_std_dev(self):
+        result = make_result([[0.4, 0.4], [0.6, 0.6]], true_value=0.5)
+        stats = aggregate_trajectories(result, min_defined=0.0)
+        np.testing.assert_allclose(stats.std_dev, [0.1, 0.1])
+
+    def test_defined_fraction(self):
+        result = make_result([[np.nan, 0.5], [0.5, 0.5], [np.nan, 0.5], [0.5, 0.5]])
+        stats = aggregate_trajectories(result, min_defined=0.0)
+        np.testing.assert_allclose(stats.defined_fraction, [0.5, 1.0])
+
+    def test_95_percent_rule_masks_column(self):
+        estimates = np.full((10, 2), 0.5)
+        estimates[0, 0] = np.nan  # 90% defined at first budget
+        stats = aggregate_trajectories(make_result(estimates))
+        assert np.isnan(stats.abs_error[0])
+        assert not np.isnan(stats.abs_error[1])
+
+    def test_all_nan_column(self):
+        result = make_result([[np.nan, 0.5], [np.nan, 0.6]])
+        stats = aggregate_trajectories(result, min_defined=0.0)
+        assert np.isnan(stats.abs_error[0])
+
+    def test_final_abs_error_skips_trailing_nan(self):
+        estimates = np.full((10, 3), 0.6)
+        estimates[:, 2] = np.nan
+        stats = aggregate_trajectories(make_result(estimates, true_value=0.5))
+        assert stats.final_abs_error() == pytest.approx(0.1)
+
+    def test_final_abs_error_all_undefined(self):
+        stats = aggregate_trajectories(make_result(np.full((4, 2), np.nan)))
+        assert np.isnan(stats.final_abs_error())
+
+    def test_labels_to_reach_first_crossing(self):
+        estimates = np.array([[0.9, 0.6, 0.52, 0.51]] * 10)
+        stats = aggregate_trajectories(
+            make_result(estimates, true_value=0.5, budgets=[10, 20, 30, 40])
+        )
+        assert stats.labels_to_reach(0.05) == 30.0
+
+    def test_labels_to_reach_never(self):
+        estimates = np.full((5, 2), 0.9)
+        stats = aggregate_trajectories(make_result(estimates, true_value=0.5))
+        assert np.isnan(stats.labels_to_reach(0.01))
+
+    def test_labels_to_reach_ignores_undefined_prefix(self):
+        estimates = np.column_stack(
+            [np.full(10, np.nan), np.full(10, 0.5)]
+        )
+        stats = aggregate_trajectories(
+            make_result(estimates, true_value=0.5, budgets=[10, 20])
+        )
+        assert stats.labels_to_reach(0.01) == 20.0

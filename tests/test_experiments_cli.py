@@ -1,0 +1,73 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.scale == "tiny"
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "cora", "--budget", "500",
+             "--repeats", "3", "--calibrated", "--include-oss"]
+        )
+        assert args.dataset == "cora"
+        assert args.budget == 500
+        assert args.calibrated is True
+        assert args.include_oss is True
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "abt_buy" in out
+        assert "imb_ratio" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--dataset", "abt_buy", "--scale", "tiny",
+            "--budget", "150", "--repeats", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OASIS 30 abs_err" in out
+        assert "Passive abs_err" in out
+
+    def test_compare_with_oss(self, capsys):
+        main([
+            "compare", "--dataset", "abt_buy", "--scale", "tiny",
+            "--budget", "100", "--repeats", "2", "--include-oss",
+        ])
+        assert "OSS abs_err" in capsys.readouterr().out
+
+    def test_convergence_command(self, capsys):
+        code = main([
+            "convergence", "--dataset", "abt_buy", "--scale", "tiny",
+            "--iterations", "300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KL(v*||v_hat)" in out
+
+    def test_calibration_command(self, capsys):
+        code = main([
+            "calibration", "--dataset", "abt_buy", "--scale", "tiny",
+            "--budget", "120", "--repeats", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IS uncal abs_err" in out
+        assert "OASIS cal abs_err" in out

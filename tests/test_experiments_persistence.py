@@ -1,0 +1,90 @@
+"""Tests for experiment result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    aggregate_trajectories,
+    load_results,
+    save_results,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.experiments.runner import TrialResult
+
+
+@pytest.fixture
+def results():
+    rng = np.random.default_rng(0)
+    estimates = rng.random((5, 3))
+    estimates[0, 0] = np.nan
+    return {
+        "OASIS": TrialResult(
+            name="OASIS",
+            budgets=np.array([10, 20, 40]),
+            estimates=estimates,
+            true_value=0.45,
+        ),
+        "Passive": TrialResult(
+            name="Passive",
+            budgets=np.array([10, 20, 40]),
+            estimates=np.full((5, 3), np.nan),
+            true_value=0.45,
+        ),
+    }
+
+
+class TestSaveLoadResults:
+    def test_round_trip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert set(loaded) == {"OASIS", "Passive"}
+        for name in results:
+            np.testing.assert_allclose(
+                loaded[name].estimates, results[name].estimates, equal_nan=True
+            )
+            np.testing.assert_array_equal(
+                loaded[name].budgets, results[name].budgets
+            )
+            assert loaded[name].true_value == results[name].true_value
+
+    def test_file_is_plain_json(self, results, tmp_path):
+        import json
+
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        payload = json.loads(path.read_text())
+        assert "OASIS" in payload
+        # NaNs serialised as nulls, not the non-standard NaN literal.
+        assert "NaN" not in path.read_text()
+
+    def test_aggregation_survives_round_trip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        original = aggregate_trajectories(results["OASIS"], min_defined=0.0)
+        recovered = aggregate_trajectories(loaded["OASIS"], min_defined=0.0)
+        np.testing.assert_allclose(
+            original.abs_error, recovered.abs_error, equal_nan=True
+        )
+
+
+class TestStatsDictRoundTrip:
+    def test_round_trip(self, results):
+        stats = aggregate_trajectories(results["OASIS"], min_defined=0.0)
+        recovered = stats_from_dict(stats_to_dict(stats))
+        assert recovered.name == stats.name
+        np.testing.assert_allclose(
+            recovered.abs_error, stats.abs_error, equal_nan=True
+        )
+        np.testing.assert_allclose(
+            recovered.defined_fraction, stats.defined_fraction
+        )
+
+    def test_dict_is_json_serialisable(self, results):
+        import json
+
+        stats = aggregate_trajectories(results["Passive"], min_defined=0.0)
+        text = json.dumps(stats_to_dict(stats))
+        assert "Passive" in text

@@ -1,0 +1,103 @@
+"""Tests for cluster-based evaluation measures."""
+
+import pytest
+
+from repro.measures import (
+    cluster_precision_recall,
+    clusters_from_pairs,
+    merge_distance,
+    pairs_from_clusters,
+)
+
+
+class TestClustersFromPairs:
+    def test_transitive_closure(self):
+        # 0-1 and 1-2 match: {0,1,2} despite 0-2 not being declared.
+        clusters = clusters_from_pairs(
+            [[0, 1], [1, 2], [3, 4]], [1, 1, 0], n_records=5
+        )
+        as_sets = {frozenset(c) for c in clusters}
+        assert frozenset({0, 1, 2}) in as_sets
+        assert frozenset({3}) in as_sets
+        assert frozenset({4}) in as_sets
+
+    def test_no_matches_all_singletons(self):
+        clusters = clusters_from_pairs([[0, 1]], [0], n_records=3)
+        assert all(len(c) == 1 for c in clusters)
+        assert len(clusters) == 3
+
+    def test_covers_all_records(self):
+        clusters = clusters_from_pairs([[0, 3], [2, 4]], [1, 1], n_records=6)
+        covered = set().union(*clusters)
+        assert covered == set(range(6))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            clusters_from_pairs([[0, 1]], [1, 0], n_records=2)
+
+
+class TestPairsFromClusters:
+    def test_triangle(self):
+        assert pairs_from_clusters([{0, 1, 2}]) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_singletons_produce_nothing(self):
+        assert pairs_from_clusters([{0}, {1}]) == set()
+
+    def test_round_trip_with_closure(self):
+        clusters = [{0, 1, 2}, {3, 4}, {5}]
+        pairs = sorted(pairs_from_clusters(clusters))
+        rebuilt = clusters_from_pairs(pairs, [1] * len(pairs), n_records=6)
+        assert {frozenset(c) for c in rebuilt} == {frozenset(c) for c in clusters}
+
+
+class TestClusterPrecisionRecall:
+    def test_perfect(self):
+        clusters = [{0, 1}, {2}]
+        out = cluster_precision_recall(clusters, clusters)
+        assert out["precision"] == out["recall"] == out["f_measure"] == 1.0
+
+    def test_partial(self):
+        predicted = [{0, 1}, {2}, {3}]
+        truth = [{0, 1}, {2, 3}]
+        out = cluster_precision_recall(predicted, truth)
+        assert out["precision"] == pytest.approx(1 / 3)
+        assert out["recall"] == pytest.approx(1 / 2)
+
+    def test_disjoint(self):
+        out = cluster_precision_recall([{0, 1}], [{0}, {1}])
+        assert out["f_measure"] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            cluster_precision_recall([], [{0}])
+
+
+class TestMergeDistance:
+    def test_identical_zero(self):
+        clusters = [{0, 1, 2}, {3}]
+        assert merge_distance(clusters, clusters) == 0
+
+    def test_single_merge(self):
+        assert merge_distance([{0}, {1}], [{0, 1}]) == 1
+
+    def test_single_split(self):
+        assert merge_distance([{0, 1}], [{0}, {1}]) == 1
+
+    def test_split_then_merge(self):
+        # {0,1},{2,3} -> {0,2},{1,3}: split both, merge both = 4 ops.
+        predicted = [{0, 1}, {2, 3}]
+        truth = [{0, 2}, {1, 3}]
+        assert merge_distance(predicted, truth) == 4
+
+    def test_record_in_two_true_clusters_raises(self):
+        with pytest.raises(ValueError, match="two true clusters"):
+            merge_distance([{0}], [{0}, {0}])
+
+    def test_record_missing_from_truth_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            merge_distance([{0, 1}], [{0}])
+
+    def test_symmetric_for_these_cases(self):
+        a = [{0, 1}, {2}, {3, 4}]
+        b = [{0}, {1, 2}, {3, 4}]
+        assert merge_distance(a, b) == merge_distance(b, a)

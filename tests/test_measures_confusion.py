@@ -1,0 +1,57 @@
+"""Tests for confusion-matrix counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.measures import ConfusionCounts, confusion_counts
+
+
+class TestConfusionCounts:
+    def test_basic_counting(self):
+        counts = confusion_counts([1, 1, 0, 0], [1, 0, 1, 0])
+        assert counts.tp == 1
+        assert counts.fn == 1
+        assert counts.fp == 1
+        assert counts.tn == 1
+
+    def test_weighted_counting(self):
+        counts = confusion_counts([1, 0], [1, 1], weights=[3.0, 0.5])
+        assert counts.tp == pytest.approx(3.0)
+        assert counts.fp == pytest.approx(0.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            confusion_counts([1, 0], [1])
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            confusion_counts([1, 0], [1, 0], weights=[1.0])
+
+    def test_derived_totals(self):
+        counts = ConfusionCounts(tp=2, fp=3, fn=4, tn=5)
+        assert counts.total == 14
+        assert counts.predicted_positives == 5
+        assert counts.actual_positives == 6
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        c = a + b
+        assert (c.tp, c.fp, c.fn, c.tn) == (11, 22, 33, 44)
+
+    def test_frozen(self):
+        counts = ConfusionCounts(1, 2, 3, 4)
+        with pytest.raises(AttributeError):
+            counts.tp = 99
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=40),
+        st.lists(st.integers(0, 1), min_size=1, max_size=40),
+    )
+    def test_property_partition(self, true, pred):
+        n = min(len(true), len(pred))
+        counts = confusion_counts(true[:n], pred[:n])
+        # The four cells always partition the sample.
+        assert counts.total == pytest.approx(n)

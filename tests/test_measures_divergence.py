@@ -1,0 +1,81 @@
+"""Tests for divergences and error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.measures import absolute_error, kl_divergence, total_variation
+from repro.utils import normalise
+
+
+class TestKLDivergence:
+    def test_identical_distributions_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_value(self):
+        p = [0.5, 0.5]
+        q = [0.9, 0.1]
+        expected = 0.5 * np.log(0.5 / 0.9) + 0.5 * np.log(0.5 / 0.1)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_zero_p_terms_ignored(self):
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_asymmetric(self):
+        p = [0.8, 0.1, 0.1]
+        q = [0.4, 0.4, 0.2]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_invalid_distribution_raises(self):
+        with pytest.raises(ValueError):
+            kl_divergence([0.5, 0.2], [0.5, 0.5])
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+    )
+    def test_property_non_negative(self, wp, wq):
+        n = min(len(wp), len(wq))
+        p = normalise(wp[:n])
+        q = normalise(wq[:n])
+        assert kl_divergence(p, q) >= -1e-9
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_disjoint_one(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = [0.8, 0.2]
+        q = [0.4, 0.6]
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10),
+    )
+    def test_property_bounds(self, wp, wq):
+        n = min(len(wp), len(wq))
+        p = normalise(wp[:n])
+        q = normalise(wq[:n])
+        tv = total_variation(p, q)
+        assert -1e-9 <= tv <= 1.0 + 1e-9
+
+
+class TestAbsoluteError:
+    def test_scalar(self):
+        assert absolute_error(0.7, 0.5) == pytest.approx(0.2)
+
+    def test_array_mean(self):
+        assert absolute_error([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_nan_ignored_in_arrays(self):
+        assert absolute_error([np.nan, 2.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_scalar_nan_propagates(self):
+        assert np.isnan(absolute_error(float("nan"), 0.5))

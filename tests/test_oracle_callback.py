@@ -1,0 +1,58 @@
+"""Tests for the callback oracle adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core import OASISSampler
+from repro.oracle import CallbackOracle
+
+
+class TestCallbackOracle:
+    def test_delegates_to_callable(self):
+        labels = [1, 0, 1]
+        oracle = CallbackOracle(lambda i: labels[i])
+        assert [oracle.label(i) for i in range(3)] == labels
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            CallbackOracle("not a function")
+
+    def test_rejects_bad_probability_fn(self):
+        with pytest.raises(TypeError, match="probability_fn"):
+            CallbackOracle(lambda i: 1, probability_fn=0.5)
+
+    def test_non_binary_return_rejected(self):
+        oracle = CallbackOracle(lambda i: 2)
+        with pytest.raises(ValueError, match="must be 0 or 1"):
+            oracle.label(0)
+
+    def test_probability_without_fn_raises(self):
+        oracle = CallbackOracle(lambda i: 1)
+        with pytest.raises(NotImplementedError):
+            oracle.probability(0)
+
+    def test_probability_with_fn(self):
+        oracle = CallbackOracle(lambda i: 1, probability_fn=lambda i: 0.75)
+        assert oracle.probability(0) == pytest.approx(0.75)
+
+    def test_boolean_returns_coerced(self):
+        oracle = CallbackOracle(lambda i: i > 1)
+        assert oracle.label(0) == 0
+        assert oracle.label(2) == 1
+
+    def test_drives_oasis(self, imbalanced_pool):
+        pool = imbalanced_pool
+        truth = pool["true_labels"]
+        calls = []
+
+        def annotate(index):
+            calls.append(index)
+            return int(truth[index])
+
+        sampler = OASISSampler(
+            pool["predictions"], pool["scores"], CallbackOracle(annotate),
+            random_state=0,
+        )
+        sampler.sample_until_budget(100)
+        # One callback invocation per distinct label (caching upstream).
+        assert len(calls) == sampler.labels_consumed == 100

@@ -1,0 +1,85 @@
+"""Tests for blocking schemes."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    Record,
+    RecordStore,
+    sorted_neighbourhood_pairs,
+    token_blocking_pairs,
+)
+
+
+@pytest.fixture
+def stores():
+    schema = ("name",)
+    names_a = ["acme rocket", "zenith lamp", "polar fridge"]
+    names_b = ["acme rocket pro", "stellar lamp", "unrelated thing"]
+    store_a = RecordStore(schema)
+    store_b = RecordStore(schema)
+    for i, name in enumerate(names_a):
+        store_a.add(Record(i, i, {"name": name}))
+    for i, name in enumerate(names_b):
+        store_b.add(Record(i, i, {"name": name}))
+    return store_a, store_b
+
+
+class TestTokenBlocking:
+    def test_shared_tokens_paired(self, stores):
+        pairs = token_blocking_pairs(*stores, "name")
+        pair_set = {tuple(p) for p in pairs}
+        assert (0, 0) in pair_set  # share "acme" and "rocket"
+        assert (1, 1) in pair_set  # share "lamp"
+
+    def test_unrelated_not_paired(self, stores):
+        pairs = token_blocking_pairs(*stores, "name")
+        pair_set = {tuple(p) for p in pairs}
+        assert (2, 2) not in pair_set  # fridge vs unrelated thing
+
+    def test_reduces_pair_space(self, stores):
+        pairs = token_blocking_pairs(*stores, "name")
+        assert len(pairs) < 9  # full cross product is 3 x 3
+
+    def test_max_block_size_drops_stopword_blocks(self):
+        schema = ("name",)
+        store_a = RecordStore(schema)
+        store_b = RecordStore(schema)
+        for i in range(5):
+            store_a.add(Record(i, i, {"name": f"the item{i}"}))
+            store_b.add(Record(i, i, {"name": f"the other{i}"}))
+        unlimited = token_blocking_pairs(store_a, store_b, "name")
+        limited = token_blocking_pairs(store_a, store_b, "name", max_block_size=4)
+        assert len(unlimited) == 25  # "the" pairs everything
+        assert len(limited) == 0
+
+    def test_empty_result_shape(self):
+        schema = ("name",)
+        store_a = RecordStore(schema)
+        store_b = RecordStore(schema)
+        store_a.add(Record(0, 0, {"name": "aaa"}))
+        store_b.add(Record(0, 0, {"name": "bbb"}))
+        pairs = token_blocking_pairs(store_a, store_b, "name")
+        assert pairs.shape == (0, 2)
+
+
+class TestSortedNeighbourhood:
+    def test_nearby_keys_paired(self, stores):
+        pairs = sorted_neighbourhood_pairs(*stores, "name", window=3)
+        pair_set = {tuple(p) for p in pairs}
+        assert (0, 0) in pair_set  # "acme rocket" sorts beside "acme rocket pro"
+
+    def test_window_validation(self, stores):
+        with pytest.raises(ValueError, match="window"):
+            sorted_neighbourhood_pairs(*stores, "name", window=1)
+
+    def test_larger_window_supersets_smaller(self, stores):
+        small = {tuple(p) for p in sorted_neighbourhood_pairs(*stores, "name", window=2)}
+        large = {tuple(p) for p in sorted_neighbourhood_pairs(*stores, "name", window=5)}
+        assert small <= large
+
+    def test_pairs_are_cross_source(self, stores):
+        pairs = sorted_neighbourhood_pairs(*stores, "name", window=6)
+        store_a, store_b = stores
+        assert np.all(pairs[:, 0] < len(store_a))
+        assert np.all(pairs[:, 1] < len(store_b))

@@ -1,0 +1,84 @@
+"""Blocking quality on realistic generated data.
+
+Blocking is a recall/efficiency trade: it must discard most of the
+pair space while keeping most true matches.  These tests measure both
+sides on generated product catalogues.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_product_pair
+from repro.pipeline import (
+    MatchRelation,
+    cross_product_pairs,
+    sorted_neighbourhood_pairs,
+    token_blocking_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def catalogues():
+    store_a, store_b = generate_product_pair(
+        150, overlap=0.5, noise_level=1.0, random_state=3
+    )
+    pairs = cross_product_pairs(len(store_a), len(store_b))
+    relation = MatchRelation.from_entity_ids(store_a, store_b, pairs)
+    match_set = {
+        tuple(p) for p in relation.pairs[relation.labels == 1]
+    }
+    return store_a, store_b, len(pairs), match_set
+
+
+class TestTokenBlockingQuality:
+    def test_recall_high(self, catalogues):
+        store_a, store_b, __, match_set = catalogues
+        blocked = {tuple(p) for p in token_blocking_pairs(store_a, store_b, "name")}
+        recall = len(blocked & match_set) / len(match_set)
+        # Name corruption is mild: token blocking must retain nearly
+        # every true match.
+        assert recall > 0.9
+
+    def test_reduction_substantial(self, catalogues):
+        store_a, store_b, n_pairs, __ = catalogues
+        blocked = token_blocking_pairs(store_a, store_b, "name")
+        assert len(blocked) < 0.5 * n_pairs
+
+    def test_description_field_blocks_more_pairs(self, catalogues):
+        # Long-text fields share more tokens -> weaker reduction.
+        store_a, store_b, __, ___ = catalogues
+        by_name = token_blocking_pairs(store_a, store_b, "name")
+        by_description = token_blocking_pairs(store_a, store_b, "description")
+        assert len(by_description) >= len(by_name)
+
+
+class TestSortedNeighbourhoodQuality:
+    def test_recall_reasonable(self, catalogues):
+        store_a, store_b, __, match_set = catalogues
+        blocked = {
+            tuple(p)
+            for p in sorted_neighbourhood_pairs(store_a, store_b, "name", window=10)
+        }
+        recall = len(blocked & match_set) / len(match_set)
+        # Sort-key corruption can displace some matches out of the
+        # window; most should survive.
+        assert recall > 0.5
+
+    def test_reduction_much_stronger_than_token(self, catalogues):
+        store_a, store_b, n_pairs, __ = catalogues
+        blocked = sorted_neighbourhood_pairs(store_a, store_b, "name", window=10)
+        assert len(blocked) < 0.1 * n_pairs
+
+    def test_recall_grows_with_window(self, catalogues):
+        store_a, store_b, __, match_set = catalogues
+
+        def recall(window):
+            blocked = {
+                tuple(p)
+                for p in sorted_neighbourhood_pairs(
+                    store_a, store_b, "name", window=window
+                )
+            }
+            return len(blocked & match_set)
+
+        assert recall(20) >= recall(4)

@@ -1,0 +1,99 @@
+"""Tests for pairwise feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import FieldSpec, PairFeatureExtractor, Record, RecordStore
+
+
+@pytest.fixture
+def stores():
+    schema = ("name", "blurb", "price")
+    store_a = RecordStore(schema, name="a")
+    store_b = RecordStore(schema, name="b")
+    rows_a = [
+        ("acme rocket", "fast reliable rocket for travel", 100.0),
+        ("zenith lamp", "warm light for the desk", 20.0),
+    ]
+    rows_b = [
+        ("acme rocket x", "fast rocket travel kit", 95.0),
+        ("polar fridge", "keeps things very cold", 450.0),
+    ]
+    for i, (name, blurb, price) in enumerate(rows_a):
+        store_a.add(Record(i, i, {"name": name, "blurb": blurb, "price": price}))
+    for i, (name, blurb, price) in enumerate(rows_b):
+        store_b.add(Record(i, i, {"name": name, "blurb": blurb, "price": price}))
+    return store_a, store_b
+
+
+@pytest.fixture
+def extractor():
+    return PairFeatureExtractor(
+        [
+            FieldSpec("name", "short_text"),
+            FieldSpec("blurb", "long_text"),
+            FieldSpec("price", "numeric"),
+        ]
+    )
+
+
+class TestFieldSpec:
+    def test_valid_kinds(self):
+        for kind in ("short_text", "long_text", "numeric"):
+            assert FieldSpec("f", kind).kind == kind
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FieldSpec("f", "image")
+
+
+class TestPairFeatureExtractor:
+    def test_requires_specs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PairFeatureExtractor([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PairFeatureExtractor([FieldSpec("x"), FieldSpec("x", "numeric")])
+
+    def test_transform_before_fit_raises(self, extractor):
+        with pytest.raises(RuntimeError, match="fitted"):
+            extractor.transform([[0, 0]])
+
+    def test_shapes(self, stores, extractor):
+        features = extractor.fit_transform(*stores, [[0, 0], [0, 1], [1, 1]])
+        assert features.shape == (3, 3)
+
+    def test_matching_pair_scores_higher(self, stores, extractor):
+        features = extractor.fit_transform(*stores, [[0, 0], [0, 1]])
+        # Pair (0,0) is the same rocket; (0,1) is rocket vs fridge.
+        assert features[0, 0] > features[1, 0]  # name Jaccard
+        assert features[0, 1] > features[1, 1]  # blurb tf-idf cosine
+        assert features[0, 2] > features[1, 2]  # price similarity
+
+    def test_feature_ranges(self, stores, extractor):
+        features = extractor.fit_transform(*stores, [[i, j] for i in range(2) for j in range(2)])
+        assert np.all(features >= 0.0)
+        assert np.all(features <= 1.0)
+
+    def test_feature_names(self, extractor):
+        assert extractor.feature_names == [
+            "name:short_text",
+            "blurb:long_text",
+            "price:numeric",
+        ]
+
+    def test_bad_pair_shape(self, stores, extractor):
+        extractor.fit(*stores)
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            extractor.transform([0, 1])
+
+    def test_missing_values_yield_zero_similarity(self):
+        schema = ("name",)
+        store_a = RecordStore(schema)
+        store_b = RecordStore(schema)
+        store_a.add(Record(0, 0, {"name": None}))
+        store_b.add(Record(0, 0, {"name": "something"}))
+        extractor = PairFeatureExtractor([FieldSpec("name", "short_text")])
+        features = extractor.fit_transform(store_a, store_b, [[0, 0]])
+        assert features[0, 0] == pytest.approx(0.0)

@@ -1,0 +1,115 @@
+"""Tests for multi-source ER support (Remark 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_product_pair
+from repro.oracle import DeterministicOracle
+from repro.core import OASISSampler
+from repro.pipeline import (
+    MultiSourcePool,
+    Record,
+    RecordStore,
+    multi_source_pairs,
+)
+
+
+def make_store(entity_ids):
+    store = RecordStore(("f",))
+    for i, eid in enumerate(entity_ids):
+        store.add(Record(i, eid, {"f": str(eid)}))
+    return store
+
+
+@pytest.fixture
+def three_sources():
+    return [
+        make_store([0, 1, 2]),
+        make_store([1, 3]),
+        make_store([2, 3, 4, 5]),
+    ]
+
+
+class TestMultiSourcePairs:
+    def test_pair_count(self, three_sources):
+        pairs = multi_source_pairs(three_sources)
+        # 3*2 + 3*4 + 2*4 = 26 cross-source pairs.
+        assert len(pairs) == 26
+
+    def test_no_intra_source_pairs(self, three_sources):
+        pool = MultiSourcePool(three_sources)
+        pairs = pool.cross_source_pairs()
+        for i, j in pairs:
+            assert pool.locate(int(i))[0] != pool.locate(int(j))[0]
+
+    def test_requires_two_sources(self):
+        with pytest.raises(ValueError, match="two sources"):
+            multi_source_pairs([make_store([0])])
+
+
+class TestMultiSourcePool:
+    def test_global_index_round_trip(self, three_sources):
+        pool = MultiSourcePool(three_sources)
+        for source in range(3):
+            for local in range(len(three_sources[source])):
+                global_index = pool.global_index(source, local)
+                assert pool.locate(global_index) == (source, local)
+
+    def test_total_records(self, three_sources):
+        assert MultiSourcePool(three_sources).total_records == 9
+
+    def test_record_access(self, three_sources):
+        pool = MultiSourcePool(three_sources)
+        # Source 1, local 0 has entity id 1.
+        assert pool.record(pool.global_index(1, 0)).entity_id == 1
+
+    def test_entity_ids_concatenated(self, three_sources):
+        ids = MultiSourcePool(three_sources).entity_ids()
+        np.testing.assert_array_equal(ids, [0, 1, 2, 1, 3, 2, 3, 4, 5])
+
+    def test_true_labels(self, three_sources):
+        pool = MultiSourcePool(three_sources)
+        pairs = pool.cross_source_pairs()
+        labels = pool.true_labels(pairs)
+        # Matches: entity 1 (src0-src1), entity 2 (src0-src2),
+        # entity 3 (src1-src2).
+        assert labels.sum() == 3
+
+    def test_bounds_checks(self, three_sources):
+        pool = MultiSourcePool(three_sources)
+        with pytest.raises(IndexError):
+            pool.global_index(5, 0)
+        with pytest.raises(IndexError):
+            pool.locate(99)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MultiSourcePool([make_store([0]), RecordStore(("f",))])
+
+
+class TestEndToEndThreeSources:
+    def test_oasis_on_three_source_pool(self):
+        # Three product catalogues sharing entities pairwise.
+        store_a, store_b = generate_product_pair(
+            60, overlap=0.6, noise_level=0.8, random_state=0
+        )
+        store_c, __ = generate_product_pair(
+            60, overlap=0.6, noise_level=0.8, random_state=0
+        )
+        pool = MultiSourcePool([store_a, store_b, store_c])
+        pairs = pool.cross_source_pairs()
+        labels = pool.true_labels(pairs)
+        assert labels.sum() > 0
+
+        # Score with a noisy proxy of the truth (the sampler only needs
+        # scores correlated with labels).
+        rng = np.random.default_rng(1)
+        scores = labels + rng.normal(0, 0.4, size=len(labels))
+        predictions = (scores > 0.5).astype(np.int8)
+
+        sampler = OASISSampler(
+            predictions, scores, DeterministicOracle(labels),
+            threshold=0.5, random_state=0,
+        )
+        sampler.sample_until_budget(500)
+        assert 0.0 <= sampler.estimate <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for string normalisation and numeric imputation."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import impute_missing_numeric, normalise_string, to_float
+
+
+class TestNormaliseString:
+    def test_lowercases(self):
+        assert normalise_string("HeLLo") == "hello"
+
+    def test_strips_symbols(self):
+        assert normalise_string("a.b,c!d?") == "a b c d"
+
+    def test_strips_accents(self):
+        assert normalise_string("café résumé") == "cafe resume"
+
+    def test_collapses_whitespace(self):
+        assert normalise_string("  a   b  ") == "a b"
+
+    def test_none_becomes_empty(self):
+        assert normalise_string(None) == ""
+
+    def test_numbers_survive(self):
+        assert normalise_string("Model X-200") == "model x 200"
+
+    def test_idempotent(self):
+        once = normalise_string("Éclair #42!")
+        assert normalise_string(once) == once
+
+
+class TestToFloat:
+    def test_plain_number(self):
+        assert to_float("3.5") == pytest.approx(3.5)
+
+    def test_int_passthrough(self):
+        assert to_float(7) == pytest.approx(7.0)
+
+    def test_currency_and_commas(self):
+        assert to_float("$1,234.50") == pytest.approx(1234.5)
+
+    def test_none_is_nan(self):
+        assert np.isnan(to_float(None))
+
+    def test_garbage_is_nan(self):
+        assert np.isnan(to_float("n/a"))
+
+    def test_empty_string_is_nan(self):
+        assert np.isnan(to_float("  "))
+
+
+class TestImputeMissingNumeric:
+    def test_no_missing_unchanged(self):
+        out = impute_missing_numeric([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_mean_imputation(self):
+        out = impute_missing_numeric([1.0, None, 3.0])
+        assert out[1] == pytest.approx(2.0)
+
+    def test_all_missing_gives_zeros(self):
+        out = impute_missing_numeric([None, "bad"])
+        np.testing.assert_allclose(out, [0.0, 0.0])
+
+    def test_mixed_types(self):
+        out = impute_missing_numeric(["5", 15, None])
+        assert out[2] == pytest.approx(10.0)

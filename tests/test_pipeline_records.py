@@ -1,0 +1,132 @@
+"""Tests for record stores, pair spaces and the match relation."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    MatchRelation,
+    Record,
+    RecordStore,
+    build_pair_pool,
+    cross_product_pairs,
+    dedup_pairs,
+)
+
+
+def make_store(entity_ids, name="db"):
+    store = RecordStore(("f",), name=name)
+    for i, eid in enumerate(entity_ids):
+        store.add(Record(record_id=i, entity_id=eid, fields={"f": str(eid)}))
+    return store
+
+
+class TestRecordStore:
+    def test_add_and_len(self):
+        store = make_store([1, 2, 3])
+        assert len(store) == 3
+
+    def test_schema_violation_raises(self):
+        store = RecordStore(("a",))
+        with pytest.raises(ValueError, match="outside schema"):
+            store.add(Record(0, 0, {"b": 1}))
+
+    def test_field_values_order(self):
+        store = make_store([5, 7])
+        assert store.field_values("f") == ["5", "7"]
+
+    def test_field_values_unknown_field(self):
+        store = make_store([1])
+        with pytest.raises(KeyError, match="unknown field"):
+            store.field_values("nope")
+
+    def test_missing_field_is_none(self):
+        store = RecordStore(("a", "b"))
+        store.add(Record(0, 0, {"a": 1}))
+        assert store.field_values("b") == [None]
+
+    def test_entity_ids(self):
+        store = make_store([4, 4, 9])
+        np.testing.assert_array_equal(store.entity_ids(), [4, 4, 9])
+
+    def test_record_getitem(self):
+        record = Record(0, 1, {"x": "v"})
+        assert record["x"] == "v"
+        assert record.get("missing", "d") == "d"
+
+
+class TestPairSpaces:
+    def test_cross_product_shape(self):
+        pairs = cross_product_pairs(3, 4)
+        assert pairs.shape == (12, 2)
+
+    def test_cross_product_coverage(self):
+        pairs = cross_product_pairs(2, 2)
+        assert {tuple(p) for p in pairs} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_dedup_pairs_count(self):
+        pairs = dedup_pairs(5)
+        assert len(pairs) == 10  # C(5, 2)
+
+    def test_dedup_pairs_strictly_upper(self):
+        pairs = dedup_pairs(6)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+
+
+class TestMatchRelation:
+    def test_from_entity_ids(self):
+        store_a = make_store([1, 2])
+        store_b = make_store([2, 3])
+        pairs = cross_product_pairs(2, 2)
+        relation = MatchRelation.from_entity_ids(store_a, store_b, pairs)
+        # Only (record 1 of A, record 0 of B) shares entity 2.
+        assert relation.n_matches == 1
+        match_row = relation.pairs[relation.labels == 1][0]
+        assert tuple(match_row) == (1, 0)
+
+    def test_imbalance_ratio(self):
+        relation = MatchRelation([[0, 0], [0, 1], [1, 0], [1, 1]], [1, 0, 0, 0])
+        assert relation.imbalance_ratio == pytest.approx(3.0)
+
+    def test_no_matches_infinite_ratio(self):
+        relation = MatchRelation([[0, 0]], [0])
+        assert relation.imbalance_ratio == float("inf")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            MatchRelation([[0, 1, 2]], [0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            MatchRelation([[0, 1]], [0, 1])
+
+
+class TestBuildPairPool:
+    def test_full_pool_when_size_none(self):
+        pairs = cross_product_pairs(3, 3)
+        pool = build_pair_pool(pairs)
+        assert len(pool) == 9
+
+    def test_subsampling(self):
+        pairs = cross_product_pairs(10, 10)
+        pool = build_pair_pool(pairs, 25, random_state=0)
+        assert len(pool) == 25
+        # No duplicate rows.
+        assert len({tuple(p) for p in pool}) == 25
+
+    def test_guaranteed_rows_included(self):
+        pairs = cross_product_pairs(10, 10)
+        pool = build_pair_pool(pairs, 5, guarantee_indices=[3, 77], random_state=0)
+        pool_set = {tuple(p) for p in pool}
+        assert tuple(pairs[3]) in pool_set
+        assert tuple(pairs[77]) in pool_set
+
+    def test_too_many_guarantees_raises(self):
+        pairs = cross_product_pairs(3, 3)
+        with pytest.raises(ValueError, match="exceed pool size"):
+            build_pair_pool(pairs, 2, guarantee_indices=[0, 1, 2])
+
+    def test_deterministic_given_seed(self):
+        pairs = cross_product_pairs(8, 8)
+        a = build_pair_pool(pairs, 10, random_state=5)
+        b = build_pair_pool(pairs, 10, random_state=5)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,187 @@
+"""Tests for attribute-level similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pipeline import (
+    TfidfVectoriser,
+    cosine_tfidf_similarity,
+    jaccard_ngram_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    ngrams,
+    normalised_numeric_similarity,
+)
+
+text_strategy = st.text(alphabet="abcdefg ", max_size=20)
+
+
+class TestNgrams:
+    def test_basic_trigrams(self):
+        grams = ngrams("abc", 3, pad=False)
+        assert grams == {"abc"}
+
+    def test_padding_adds_boundary_grams(self):
+        grams = ngrams("ab", 2)
+        assert "\x00a" in grams
+        assert "b\x00" in grams
+
+    def test_empty_string(self):
+        assert ngrams("") == set()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_ngram_similarity("hello", "hello") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert jaccard_ngram_similarity("aaa", "zzz") == pytest.approx(0.0)
+
+    def test_empty_pair_is_zero(self):
+        assert jaccard_ngram_similarity("", "") == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_ngram_similarity("abc", "") == 0.0
+
+    @given(text_strategy, text_strategy)
+    def test_property_symmetric(self, a, b):
+        assert jaccard_ngram_similarity(a, b) == pytest.approx(
+            jaccard_ngram_similarity(b, a)
+        )
+
+    @given(text_strategy, text_strategy)
+    def test_property_bounded(self, a, b):
+        assert 0.0 <= jaccard_ngram_similarity(a, b) <= 1.0
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=20))
+    def test_property_identity(self, a):
+        assert jaccard_ngram_similarity(a, a) == pytest.approx(1.0)
+
+
+class TestLevenshtein:
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_cases(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("", "") == 0
+
+    def test_similarity_identical(self):
+        assert levenshtein_similarity("same", "same") == pytest.approx(1.0)
+
+    def test_similarity_empty_pair(self):
+        assert levenshtein_similarity("", "") == 0.0
+
+    @given(text_strategy, text_strategy)
+    def test_property_symmetric(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(text_strategy, text_strategy, text_strategy)
+    def test_property_triangle_inequality(self, a, b, c):
+        ab = levenshtein_distance(a, b)
+        bc = levenshtein_distance(b, c)
+        ac = levenshtein_distance(a, c)
+        assert ac <= ab + bc
+
+    @given(text_strategy, text_strategy)
+    def test_property_bounded_by_longest(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Classic MARTHA/MARHTA example: Jaro = 0.944...
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == pytest.approx(0.0)
+
+    def test_winkler_boosts_prefix(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted >= plain
+
+    def test_winkler_invalid_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    @given(text_strategy, text_strategy)
+    def test_property_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestMongeElkan:
+    def test_identical_tokens(self):
+        assert monge_elkan_similarity("john smith", "john smith") == pytest.approx(1.0)
+
+    def test_token_reorder_robust(self):
+        assert monge_elkan_similarity("smith john", "john smith") == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert monge_elkan_similarity("", "anything") == 0.0
+
+
+class TestNumericSimilarity:
+    def test_equal_values(self):
+        assert normalised_numeric_similarity(5.0, 5.0) == pytest.approx(1.0)
+
+    def test_relative_difference(self):
+        # |10-5| / max(10,5) = 0.5.
+        assert normalised_numeric_similarity(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_nan_gives_zero(self):
+        assert normalised_numeric_similarity(float("nan"), 1.0) == 0.0
+
+    def test_zero_pair(self):
+        assert normalised_numeric_similarity(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_explicit_scale(self):
+        assert normalised_numeric_similarity(1.0, 3.0, scale=4.0) == pytest.approx(0.5)
+
+    @given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+    def test_property_bounded(self, x, y):
+        assert 0.0 <= normalised_numeric_similarity(x, y) <= 1.0
+
+
+class TestTfidf:
+    def test_identical_documents(self):
+        corpus = ["red apple pie", "green pear tart", "red pear pie"]
+        vec = TfidfVectoriser().fit(corpus)
+        assert cosine_tfidf_similarity("red apple pie", "red apple pie", vec) == pytest.approx(1.0)
+
+    def test_disjoint_documents(self):
+        vec = TfidfVectoriser().fit(["aa bb", "cc dd"])
+        assert cosine_tfidf_similarity("aa bb", "cc dd", vec) == pytest.approx(0.0)
+
+    def test_unknown_tokens_ignored(self):
+        vec = TfidfVectoriser().fit(["known words here"])
+        assert cosine_tfidf_similarity("unknown", "unknown", vec) == 0.0
+
+    def test_rare_tokens_weigh_more(self):
+        # Shared rare token should beat shared common token.
+        corpus = ["common rare1", "common rare2", "common other", "common thing"]
+        vec = TfidfVectoriser().fit(corpus)
+        rare = cosine_tfidf_similarity("rare1 x", "rare1 y", vec)
+        common = cosine_tfidf_similarity("common x", "common y", vec)
+        assert rare >= common
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            TfidfVectoriser().transform_one("text")
+
+    def test_min_df_filters(self):
+        vec = TfidfVectoriser(min_df=2).fit(["once upon", "upon twice"])
+        assert "once" not in vec.idf_
+        assert "upon" in vec.idf_

@@ -1,0 +1,159 @@
+"""Hypothesis property tests for sampler invariants.
+
+These exercise every sampler against randomly generated pools and
+check the contracts the rest of the library (and the consistency
+theory) relies on: budget accounting, estimate ranges, cache coherence
+and instrumental-distribution floors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OASISSampler
+from repro.oracle import DeterministicOracle
+from repro.samplers import (
+    ImportanceSampler,
+    OSSSampler,
+    PassiveSampler,
+    StratifiedSampler,
+)
+
+ALL_SAMPLERS = [
+    OASISSampler,
+    ImportanceSampler,
+    PassiveSampler,
+    StratifiedSampler,
+    OSSSampler,
+]
+
+
+@st.composite
+def pools(draw):
+    """Random small pools with at least one positive and one negative."""
+    n = draw(st.integers(20, 120))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    labels = np.zeros(n, dtype=np.int8)
+    n_pos = draw(st.integers(1, max(1, n // 4)))
+    labels[rng.choice(n, size=n_pos, replace=False)] = 1
+    scores = labels * 2.0 + rng.normal(0, 1.0, size=n)
+    predictions = (scores > 1.0).astype(np.int8)
+    return scores, predictions, labels, seed
+
+
+@pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+class TestInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(pool=pools(), n_steps=st.integers(1, 60))
+    def test_budget_and_history_invariants(self, sampler_cls, pool, n_steps):
+        scores, predictions, labels, seed = pool
+        sampler = sampler_cls(
+            predictions, scores, DeterministicOracle(labels), random_state=seed
+        )
+        sampler.sample(n_steps)
+
+        # Histories align with iterations.
+        assert len(sampler.history) == n_steps
+        assert len(sampler.budget_history) == n_steps
+        assert len(sampler.sampled_indices) == n_steps
+
+        # Budget counts distinct labels, never exceeds iterations or
+        # pool size, and is non-decreasing.
+        budgets = np.asarray(sampler.budget_history)
+        assert budgets[-1] == len(sampler.queried_labels)
+        assert budgets[-1] <= min(n_steps, len(scores))
+        assert np.all(np.diff(budgets) >= 0)
+
+        # Every estimate is NaN or within [0, 1].
+        history = np.asarray(sampler.history, dtype=float)
+        defined = ~np.isnan(history)
+        assert np.all((history[defined] >= 0) & (history[defined] <= 1))
+
+        # Cached labels agree with the oracle's ground truth.
+        for index, label in sampler.queried_labels.items():
+            assert label == labels[index]
+
+    @settings(max_examples=10, deadline=None)
+    @given(pool=pools())
+    def test_determinism(self, sampler_cls, pool):
+        scores, predictions, labels, seed = pool
+        runs = []
+        for __ in range(2):
+            sampler = sampler_cls(
+                predictions, scores, DeterministicOracle(labels),
+                random_state=seed,
+            )
+            sampler.sample(30)
+            runs.append(list(sampler.sampled_indices))
+        assert runs[0] == runs[1]
+
+
+class TestOASISSpecificProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(pool=pools(), epsilon=st.floats(0.01, 1.0))
+    def test_instrumental_floor(self, pool, epsilon):
+        scores, predictions, labels, seed = pool
+        sampler = OASISSampler(
+            predictions, scores, DeterministicOracle(labels),
+            epsilon=epsilon, random_state=seed,
+        )
+        sampler.sample(20)
+        v = sampler.instrumental_distribution()
+        floor = epsilon * sampler.strata.weights
+        assert np.all(v >= floor - 1e-12)
+        assert v.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(pool=pools(), n_strata=st.integers(1, 40))
+    def test_arbitrary_strata_counts(self, pool, n_strata):
+        scores, predictions, labels, seed = pool
+        sampler = OASISSampler(
+            predictions, scores, DeterministicOracle(labels),
+            n_strata=n_strata, random_state=seed,
+        )
+        sampler.sample(15)
+        assert 1 <= sampler.n_strata <= max(n_strata, 1)
+        # pi estimates stay in the open unit interval.
+        pi = sampler.pi_estimate
+        assert np.all((pi > 0) & (pi < 1))
+
+    @settings(max_examples=10, deadline=None)
+    @given(pool=pools(), alpha=st.floats(0.0, 1.0))
+    def test_alpha_sweep(self, pool, alpha):
+        scores, predictions, labels, seed = pool
+        sampler = OASISSampler(
+            predictions, scores, DeterministicOracle(labels),
+            alpha=alpha, random_state=seed,
+        )
+        sampler.sample_until_budget(min(40, len(scores)))
+        estimate = sampler.estimate
+        assert np.isnan(estimate) or 0.0 <= estimate <= 1.0
+
+
+class TestExhaustiveLabelling:
+    """Labelling the whole pool must recover the exact F-measure."""
+
+    @pytest.mark.parametrize(
+        "sampler_cls", [OASISSampler, ImportanceSampler, PassiveSampler]
+    )
+    def test_full_budget_exactness(self, sampler_cls):
+        from repro.measures import pool_performance
+
+        rng = np.random.default_rng(0)
+        n = 60
+        labels = (rng.random(n) < 0.3).astype(np.int8)
+        scores = labels + rng.normal(0, 0.5, size=n)
+        predictions = (scores > 0.5).astype(np.int8)
+        true_f = pool_performance(labels, predictions)["f_measure"]
+
+        sampler = sampler_cls(
+            predictions, scores, DeterministicOracle(labels), random_state=1
+        )
+        # Generous iteration allowance to hit every item via resampling.
+        sampler.sample_until_budget(n, max_iterations=200_000)
+        if sampler.labels_consumed == n:
+            # All labels seen: weighted estimate within sampling noise of
+            # the exact value (weights make it near-exact, not exact).
+            assert sampler.estimate == pytest.approx(true_f, abs=0.15)

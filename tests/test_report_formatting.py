@@ -1,0 +1,61 @@
+"""Extra tests for report rendering edge cases."""
+
+import math
+
+from repro.experiments import format_series, format_table
+
+
+class TestFormatTableNumbers:
+    def test_large_numbers_scientific(self):
+        out = format_table(["x"], [[123456.789]])
+        assert "e+" in out or "123456" in out
+
+    def test_tiny_numbers_scientific(self):
+        out = format_table(["x"], [[0.00001234]])
+        assert "e-" in out
+
+    def test_nan_rendered(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_mixed_types_row(self):
+        out = format_table(
+            ["name", "count", "score"], [["abc", 10, 0.5]]
+        )
+        assert "abc" in out
+        assert "10" in out
+
+    def test_zero(self):
+        out = format_table(["x"], [[0.0]])
+        assert "0" in out
+
+    def test_trailing_zeros_stripped(self):
+        out = format_table(["x"], [[0.5000]])
+        assert "0.5000" not in out
+        assert "0.5" in out
+
+
+class TestFormatSeriesEdges:
+    def test_single_point(self):
+        out = format_series("s", [1], [0.25])
+        assert "0.25" in out
+
+    def test_integers_not_mangled(self):
+        out = format_series("s", [100, 200], [1, 2])
+        assert "100" in out
+        assert "200" in out
+
+    def test_last_point_always_kept(self):
+        xs = list(range(50))
+        ys = [0.0] * 49 + [9.875]
+        out = format_series("s", xs, ys, max_points=5)
+        assert "9.875" in out
+
+    def test_custom_labels(self):
+        out = format_series("s", [1], [2.0], x_label="t", y_label="err")
+        assert "t " in out or out.splitlines()[1].startswith("t")
+        assert "err" in out
+
+    def test_infinity_rendered(self):
+        out = format_series("s", [1], [math.inf])
+        assert "inf" in out

@@ -1,0 +1,202 @@
+"""Tests for the baseline samplers (Passive, Stratified, IS)."""
+
+import numpy as np
+import pytest
+
+from repro.measures import f_measure, pool_performance
+from repro.oracle import CountingOracle, DeterministicOracle
+from repro.samplers import ImportanceSampler, PassiveSampler, StratifiedSampler
+
+
+def true_f(pool):
+    return pool_performance(pool["true_labels"], pool["predictions"])["f_measure"]
+
+
+class TestPassiveSampler:
+    def test_estimate_matches_plain_f_on_sampled_items(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = PassiveSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=0
+        )
+        sampler.sample(500)
+        idx = np.asarray(sampler.sampled_indices)
+        expected = f_measure(
+            pool["true_labels"][idx], pool["predictions"][idx]
+        )
+        assert sampler.estimate == pytest.approx(expected)
+
+    def test_cold_start_undefined(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = PassiveSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=0
+        )
+        sampler.sample(3)
+        # On a 1:125 pool, three uniform draws almost surely miss every
+        # positive: the estimate stays NaN.
+        assert np.isnan(sampler.history[0]) or sampler.history[0] >= 0
+
+    def test_converges_with_large_budget(self, imbalanced_pool):
+        pool = imbalanced_pool
+        errs = []
+        for seed in range(5):
+            oracle = DeterministicOracle(pool["true_labels"])
+            sampler = PassiveSampler(
+                pool["predictions"], pool["scores"], oracle, random_state=seed
+            )
+            sampler.sample_until_budget(3000, max_iterations=100_000)
+            if not np.isnan(sampler.estimate):
+                errs.append(abs(sampler.estimate - true_f(pool)))
+        assert errs and np.mean(errs) < 0.25
+
+    def test_precision_recall_exposed(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = PassiveSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=1
+        )
+        sampler.sample(2000)
+        assert 0.0 <= sampler.precision_estimate <= 1.0
+        assert 0.0 <= sampler.recall_estimate <= 1.0
+
+
+class TestStratifiedSampler:
+    def test_proportional_allocation(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = StratifiedSampler(
+            pool["predictions"], pool["scores"], oracle, n_strata=10, random_state=0
+        )
+        sampler.sample(2000)
+        # Sampled stratum frequencies should track the stratum weights.
+        counts = np.bincount(
+            sampler.strata.allocations[np.asarray(sampler.sampled_indices)],
+            minlength=sampler.n_strata,
+        )
+        observed = counts / counts.sum()
+        np.testing.assert_allclose(observed, sampler.strata.weights, atol=0.05)
+
+    def test_estimate_converges(self, imbalanced_pool):
+        pool = imbalanced_pool
+        errs = []
+        for seed in range(5):
+            oracle = DeterministicOracle(pool["true_labels"])
+            sampler = StratifiedSampler(
+                pool["predictions"], pool["scores"], oracle, random_state=seed
+            )
+            sampler.sample_until_budget(3000, max_iterations=100_000)
+            if not np.isnan(sampler.estimate):
+                errs.append(abs(sampler.estimate - true_f(pool)))
+        assert errs and np.mean(errs) < 0.25
+
+    def test_prebuilt_strata(self, imbalanced_pool):
+        from repro.core import csf_stratify
+
+        pool = imbalanced_pool
+        strata = csf_stratify(pool["scores"], 15)
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = StratifiedSampler(
+            pool["predictions"], pool["scores"], oracle, strata=strata
+        )
+        assert sampler.strata is strata
+
+    def test_strata_size_mismatch(self, imbalanced_pool):
+        from repro.core import csf_stratify
+
+        pool = imbalanced_pool
+        strata = csf_stratify(pool["scores"][:100], 5)
+        oracle = DeterministicOracle(pool["true_labels"])
+        with pytest.raises(ValueError, match="cover"):
+            StratifiedSampler(
+                pool["predictions"], pool["scores"], oracle, strata=strata
+            )
+
+
+class TestImportanceSampler:
+    def test_instrumental_static_and_positive(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = ImportanceSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=0
+        )
+        q = sampler.instrumental
+        assert q.sum() == pytest.approx(1.0)
+        assert np.all(q > 0)
+        before = q.copy()
+        sampler.sample(100)
+        np.testing.assert_array_equal(before, sampler.instrumental)
+
+    def test_oversamples_predicted_positives(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = ImportanceSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=0
+        )
+        q = sampler.instrumental
+        mass_pred = q[pool["predictions"] == 1].sum()
+        frac_pred = pool["predictions"].mean()
+        # Predicted positives hold far more instrumental mass than
+        # their population share.
+        assert mass_pred > 5 * frac_pred
+
+    def test_estimate_converges(self, imbalanced_pool):
+        pool = imbalanced_pool
+        errs = []
+        for seed in range(5):
+            oracle = DeterministicOracle(pool["true_labels"])
+            sampler = ImportanceSampler(
+                pool["predictions"], pool["scores"], oracle, random_state=seed
+            )
+            sampler.sample_until_budget(1000, max_iterations=100_000)
+            errs.append(abs(sampler.estimate - true_f(pool)))
+        assert np.mean(errs) < 0.1
+
+    def test_beats_passive_under_imbalance(self, imbalanced_pool):
+        pool = imbalanced_pool
+        is_errs, passive_errs = [], []
+        for seed in range(6):
+            oracle = DeterministicOracle(pool["true_labels"])
+            s = ImportanceSampler(
+                pool["predictions"], pool["scores"], oracle, random_state=seed
+            )
+            s.sample_until_budget(200)
+            is_errs.append(abs(s.estimate - true_f(pool)))
+            p = PassiveSampler(
+                pool["predictions"],
+                pool["scores"],
+                DeterministicOracle(pool["true_labels"]),
+                random_state=seed,
+            )
+            p.sample_until_budget(200)
+            passive_errs.append(
+                abs(p.estimate - true_f(pool)) if not np.isnan(p.estimate) else 1.0
+            )
+        assert np.mean(is_errs) < np.mean(passive_errs)
+
+    def test_probability_scores_accepted(self, imbalanced_pool):
+        pool = imbalanced_pool
+        probs = 1.0 / (1.0 + np.exp(-pool["scores"]))
+        oracle = DeterministicOracle(pool["true_labels"])
+        sampler = ImportanceSampler(
+            pool["predictions"], probs, oracle, random_state=0
+        )
+        sampler.sample_until_budget(200)
+        assert 0.0 <= sampler.estimate <= 1.0
+
+    def test_epsilon_validation(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = DeterministicOracle(pool["true_labels"])
+        with pytest.raises(ValueError, match="epsilon"):
+            ImportanceSampler(
+                pool["predictions"], pool["scores"], oracle, epsilon=2.0
+            )
+
+    def test_label_cache_counts_budget_once(self, imbalanced_pool):
+        pool = imbalanced_pool
+        oracle = CountingOracle(DeterministicOracle(pool["true_labels"]))
+        sampler = ImportanceSampler(
+            pool["predictions"], pool["scores"], oracle, random_state=0
+        )
+        sampler.sample(500)
+        assert oracle.n_queries == sampler.labels_consumed

@@ -1,0 +1,97 @@
+"""Tests for the OSS (adaptive Neyman-allocation) sampler extension."""
+
+import numpy as np
+import pytest
+
+from repro.measures import pool_performance
+from repro.oracle import DeterministicOracle
+from repro.samplers import OSSSampler, StratifiedSampler
+
+
+def make(pool, seed=0, **kw):
+    return OSSSampler(
+        pool["predictions"],
+        pool["scores"],
+        DeterministicOracle(pool["true_labels"]),
+        random_state=seed,
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_epsilon_validation(self, imbalanced_pool):
+        with pytest.raises(ValueError, match="epsilon"):
+            make(imbalanced_pool, epsilon=0.0)
+
+    def test_strata_mismatch(self, imbalanced_pool):
+        from repro.core import csf_stratify
+
+        strata = csf_stratify(imbalanced_pool["scores"][:50], 5)
+        with pytest.raises(ValueError, match="cover"):
+            make(imbalanced_pool, strata=strata)
+
+    def test_allocation_is_distribution(self, imbalanced_pool):
+        sampler = make(imbalanced_pool)
+        allocation = sampler.allocation()
+        assert allocation.sum() == pytest.approx(1.0)
+        assert np.all(allocation > 0)
+
+
+class TestAdaptivity:
+    def test_allocation_shifts_toward_uncertain_strata(self, imbalanced_pool):
+        sampler = make(imbalanced_pool, epsilon=0.01)
+        initial = sampler.allocation().copy()
+        sampler.sample(800)
+        final = sampler.allocation()
+        assert not np.allclose(initial, final)
+        # Certain (all-zero-label, heavily sampled) strata lose mass:
+        # variance estimates shrink where labels are unanimous.
+        heavily_sampled = sampler._n_sampled > 30
+        if heavily_sampled.any():
+            unanimous = heavily_sampled & (sampler._sum_true == 0)
+            if unanimous.any():
+                k = int(np.nonzero(unanimous)[0][0])
+                assert final[k] < initial[k]
+
+    def test_estimate_converges(self, imbalanced_pool):
+        pool = imbalanced_pool
+        true_f = pool_performance(pool["true_labels"], pool["predictions"])[
+            "f_measure"
+        ]
+        errs = []
+        for seed in range(5):
+            sampler = make(pool, seed=seed)
+            sampler.sample_until_budget(2500, max_iterations=100_000)
+            if not np.isnan(sampler.estimate):
+                errs.append(abs(sampler.estimate - true_f))
+        assert errs and np.mean(errs) < 0.25
+
+    def test_competitive_with_proportional(self, imbalanced_pool):
+        # Neyman allocation should be no worse than proportional
+        # allocation on average at a modest budget.
+        pool = imbalanced_pool
+        true_f = pool_performance(pool["true_labels"], pool["predictions"])[
+            "f_measure"
+        ]
+
+        def mean_error(cls):
+            errors = []
+            for seed in range(6):
+                sampler = cls(
+                    pool["predictions"],
+                    pool["scores"],
+                    DeterministicOracle(pool["true_labels"]),
+                    random_state=seed,
+                )
+                sampler.sample_until_budget(800, max_iterations=50_000)
+                error = abs(sampler.estimate - true_f)
+                errors.append(1.0 if np.isnan(error) else error)
+            return np.mean(errors)
+
+        assert mean_error(OSSSampler) <= mean_error(StratifiedSampler) * 1.25
+
+    def test_histories_aligned(self, imbalanced_pool):
+        sampler = make(imbalanced_pool)
+        sampler.sample(100)
+        assert len(sampler.history) == 100
+        assert len(sampler.budget_history) == 100

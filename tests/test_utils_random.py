@@ -1,0 +1,67 @@
+"""Tests for RNG coercion and spawning."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(3)).random(3)
+        b = ensure_rng(3).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="random_state"):
+            ensure_rng("seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_deterministic_from_seed(self):
+        a = [g.random(3).tolist() for g in spawn_rngs(11, 2)]
+        b = [g.random(3).tolist() for g in spawn_rngs(11, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+        assert all(isinstance(c, np.random.Generator) for c in children)

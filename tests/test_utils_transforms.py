@@ -1,0 +1,93 @@
+"""Tests for numeric transforms (expit/logit/normalise/safe_divide)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import expit, logit, normalise, safe_divide
+
+
+class TestExpit:
+    def test_zero(self):
+        assert expit(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert expit(3.0) + expit(-3.0) == pytest.approx(1.0)
+
+    def test_extreme_negative_no_overflow(self):
+        assert expit(-1000.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_extreme_positive(self):
+        assert expit(1000.0) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        out = expit(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(expit(1.2), float)
+
+    @given(st.floats(-50, 50))
+    def test_range(self, x):
+        assert 0.0 <= expit(x) <= 1.0
+
+    @given(st.floats(-20, 20))
+    def test_logit_inverse(self, x):
+        # Round-trip is exact well inside the sigmoid's float64 range;
+        # beyond ~25 the clip in logit() limits attainable precision.
+        assert logit(expit(x)) == pytest.approx(x, rel=1e-6, abs=1e-6)
+
+
+class TestLogit:
+    def test_half(self):
+        assert logit(0.5) == pytest.approx(0.0)
+
+    def test_clipping_at_zero(self):
+        assert np.isfinite(logit(0.0))
+
+    def test_clipping_at_one(self):
+        assert np.isfinite(logit(1.0))
+
+    def test_monotone(self):
+        out = logit(np.array([0.1, 0.4, 0.9]))
+        assert np.all(np.diff(out) > 0)
+
+
+class TestNormalise:
+    def test_simple(self):
+        np.testing.assert_allclose(normalise([1, 1, 2]), [0.25, 0.25, 0.5])
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        np.testing.assert_allclose(normalise([0.0, 0.0]), [0.5, 0.5])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalise([1.0, -0.5])
+
+    def test_sums_to_one(self):
+        out = normalise(np.random.default_rng(0).random(20))
+        assert out.sum() == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+    def test_property_probability_vector(self, weights):
+        out = normalise(weights)
+        assert np.all(out >= 0)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSafeDivide:
+    def test_plain(self):
+        assert safe_divide(6.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_denominator_gives_fill(self):
+        assert np.isnan(safe_divide(1.0, 0.0))
+
+    def test_custom_fill(self):
+        assert safe_divide(1.0, 0.0, fill=-1.0) == -1.0
+
+    def test_vectorised(self):
+        out = safe_divide(np.array([1.0, 2.0]), np.array([0.0, 4.0]))
+        assert np.isnan(out[0])
+        assert out[1] == pytest.approx(0.5)

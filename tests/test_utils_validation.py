@@ -1,0 +1,86 @@
+"""Tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+    check_same_length,
+)
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(0.5, 0, 1, "x") == 0.5
+
+    def test_boundary_closed(self):
+        assert check_in_range(0.0, 0, 1, "x") == 0.0
+        assert check_in_range(1.0, 0, 1, "x") == 1.0
+
+    def test_low_open_excludes_bound(self):
+        with pytest.raises(ValueError, match=r"\(0"):
+            check_in_range(0.0, 0, 1, "x", low_open=True)
+
+    def test_high_open_excludes_bound(self):
+        with pytest.raises(ValueError, match=r"1\)"):
+            check_in_range(1.0, 0, 1, "x", high_open=True)
+
+    def test_outside_raises_with_name(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            check_in_range(2.0, 0, 1, "epsilon")
+
+
+class TestCheckPositive:
+    def test_positive_ok(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(0.0, "x")
+
+    def test_zero_allowed_when_requested(self):
+        assert check_positive(0.0, "x", allow_zero=True) == 0.0
+
+    def test_negative_always_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", allow_zero=True)
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        p = check_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(p, [0.25, 0.75])
+
+    def test_not_summing_raises(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector([0.5, 0.1])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_probability_vector([1.5, -0.5])
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_probability_vector([[0.5, 0.5]])
+
+    def test_small_negative_noise_clipped(self):
+        p = check_probability_vector([1.0 + 1e-10, -1e-10])
+        assert np.all(p >= 0)
+
+
+class TestCheckSameLength:
+    def test_equal(self):
+        assert check_same_length([1, 2], [3, 4]) == 2
+
+    def test_empty_call(self):
+        assert check_same_length() == 0
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            check_same_length([1], [2, 3])
+
+    def test_names_in_message(self):
+        with pytest.raises(ValueError, match="left=1, right=2"):
+            check_same_length([1], [2, 3], names=["left", "right"])
