@@ -1,0 +1,51 @@
+"""Batched sampling: the same OASIS estimate, an order of magnitude faster.
+
+The batched engine freezes the instrumental distribution for a block of
+B draws and vectorises everything inside the block — stratum choices,
+within-stratum draws, the (deduplicated) oracle round-trip, and the
+posterior/estimator updates.  A batch of one is bit-identical to the
+sequential path; larger blocks trade per-draw adaptivity for wall-clock
+speed.
+
+Run:  PYTHONPATH=src python examples/batched_sampling.py
+"""
+
+import time
+
+from repro import DeterministicOracle, OASISSampler, load_benchmark
+
+BUDGET = 1000
+
+
+def build_sampler(pool):
+    return OASISSampler(
+        pool.predictions,
+        pool.scores_calibrated,
+        DeterministicOracle(pool.true_labels),
+        random_state=0,
+    )
+
+
+def main():
+    pool = load_benchmark("cora", scale="small", random_state=42)
+    true_f = pool.performance["f_measure"]
+    print(f"pool: {len(pool)} record pairs, true F = {true_f:.4f}\n")
+
+    print(f"{'mode':>14s} {'estimate':>9s} {'|error|':>8s} "
+          f"{'labels':>7s} {'time':>9s}")
+    for batch_size in [1, 16, 64, 256]:
+        sampler = build_sampler(pool)
+        start = time.perf_counter()
+        sampler.sample_until_budget(BUDGET, batch_size=batch_size)
+        elapsed = time.perf_counter() - start
+        mode = "sequential" if batch_size == 1 else f"batch B={batch_size}"
+        print(f"{mode:>14s} {sampler.estimate:9.4f} "
+              f"{abs(sampler.estimate - true_f):8.4f} "
+              f"{sampler.labels_consumed:7d} {elapsed * 1e3:7.1f} ms")
+
+    print("\nEvery mode targets the same estimand; batching only changes "
+          "how often\nthe proposal is refreshed (and how fast the loop runs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,9 @@ Quickstart::
     print(sampler.estimate)           # F-measure estimate
     print(sampler.labels_consumed)    # distinct labels used
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for the quickstart and batched-mode examples, and the
+docs/ tree for the API reference and the paper-to-implementation
+mapping of every table and figure.
 """
 
 from repro.core import OASISSampler, Strata, csf_stratify, stratify

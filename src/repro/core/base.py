@@ -6,6 +6,20 @@ items with replacement, queries the oracle for *new* items only (label
 caching: footnote 5 — a repeated draw is free), and maintains an
 F-measure estimate whose history is indexed both by iteration and by
 distinct labels consumed.
+
+Two execution paths share that contract:
+
+* the sequential path (:meth:`BaseEvaluationSampler.sample`), one
+  oracle query per iteration, exactly as the paper specifies; and
+* the batched path (:meth:`BaseEvaluationSampler.sample_batch`), which
+  freezes the sampler's proposal for a block of ``B`` draws and
+  amortises the per-iteration Python overhead across the block.
+  Holding the instrumental distribution fixed over a block is the
+  standard adaptive-importance-sampling relaxation (Delyon & Portier):
+  the weights stay unbiased because each draw's weight uses the
+  proposal it was actually drawn from.  ``sample_batch`` with
+  ``batch_size=1`` is bit-identical to one sequential step under the
+  same random state.
 """
 
 from __future__ import annotations
@@ -73,6 +87,10 @@ class BaseEvaluationSampler(abc.ABC):
         self.rng = ensure_rng(random_state)
 
         self.queried_labels: dict[int, int] = {}
+        # Array mirror of ``queried_labels`` (-1 = unqueried) so the
+        # batched path can resolve cache hits with one gather instead
+        # of a Python dict probe per draw.
+        self._label_cache = np.full(len(predictions), -1, dtype=np.int8)
         self.history: list[float] = []
         self.budget_history: list[int] = []
         self.sampled_indices: list[int] = []
@@ -102,36 +120,140 @@ class BaseEvaluationSampler(abc.ABC):
         if label not in (0, 1):
             raise ValueError(f"oracle returned non-binary label {label}")
         self.queried_labels[index] = label
+        self._label_cache[index] = label
         return label
+
+    def _query_labels(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk cached oracle lookup for a batch of draws.
+
+        Cache hits are resolved with one vectorised gather; the
+        remaining distinct indices are forwarded to the oracle's
+        :meth:`~repro.oracle.base.BaseOracle.query_many` in
+        first-occurrence order, so randomised oracles consume their
+        randomness exactly as the sequential path would.
+
+        Returns
+        -------
+        labels:
+            int64 label array aligned with ``indices``.
+        new_mask:
+            Boolean array marking the positions that consumed a fresh
+            distinct label (the first occurrence of each
+            previously-unqueried index); its cumulative sum is the
+            intra-batch label-budget trajectory.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        labels = self._label_cache[indices].astype(np.int64)
+        new_mask = np.zeros(len(indices), dtype=bool)
+        unknown = labels < 0
+        if np.any(unknown):
+            unknown_pos = np.flatnonzero(unknown)
+            unknown_values = indices[unknown_pos]
+            unique, first_pos = np.unique(unknown_values, return_index=True)
+            order = np.argsort(first_pos)  # first-occurrence order
+            fresh = unique[order]
+            # ``query_many`` validates its own backend, but an oracle
+            # may override it wholesale — the sampler re-checks shape
+            # and label range at its trust boundary, mirroring what
+            # ``_query_label`` does for ``label``.
+            fresh_labels = np.asarray(self.oracle.query_many(fresh), dtype=np.int64)
+            if fresh_labels.shape != fresh.shape:
+                raise ValueError(
+                    f"oracle returned {fresh_labels.shape} labels for "
+                    f"{fresh.shape} queries"
+                )
+            if np.any((fresh_labels != 0) & (fresh_labels != 1)):
+                bad = fresh_labels[(fresh_labels != 0) & (fresh_labels != 1)][0]
+                raise ValueError(f"oracle returned non-binary label {bad}")
+            self._label_cache[fresh] = fresh_labels
+            for index, label in zip(fresh.tolist(), fresh_labels.tolist()):
+                self.queried_labels[index] = int(label)
+            labels[unknown_pos] = self._label_cache[unknown_values]
+            new_mask[unknown_pos[first_pos[order]]] = True
+        return labels, new_mask
 
     @abc.abstractmethod
     def _step(self) -> None:
         """Perform one sampling iteration, appending to the histories."""
 
-    def sample(self, n_iterations: int) -> float:
-        """Run ``n_iterations`` sampling steps; return the estimate."""
-        if n_iterations < 0:
-            raise ValueError(f"n_iterations must be non-negative; got {n_iterations}")
-        for __ in range(n_iterations):
+    def _step_batch(self, batch_size: int) -> None:
+        """Perform one batched iteration of ``batch_size`` draws.
+
+        The fallback loops :meth:`_step`, preserving exact sequential
+        semantics for samplers without a vectorised path; subclasses
+        override it to freeze their proposal over the block and update
+        model, estimator and histories in bulk.
+        """
+        for __ in range(batch_size):
             self._step()
+
+    def sample_batch(self, batch_size: int) -> float:
+        """Draw ``batch_size`` items under one frozen proposal.
+
+        The batched counterpart of a single :meth:`_step`: one proposal
+        computation is amortised over the whole block, the oracle is
+        queried once via :meth:`~repro.oracle.base.BaseOracle.query_many`
+        (with cache-aware deduplication), and the model/estimator
+        updates are vectorised.  Histories still gain one entry per
+        draw, so budget-indexed post-processing is unaffected.
+
+        ``sample_batch(1)`` is bit-identical to one sequential step
+        under the same random state.  Returns the updated estimate.
+        """
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+        self._step_batch(batch_size)
         return self.estimate
 
-    def sample_until_budget(self, budget: int, *, max_iterations: int | None = None) -> float:
+    def sample(self, n_iterations: int, *, batch_size: int = 1) -> float:
+        """Run ``n_iterations`` sampling draws; return the estimate.
+
+        With ``batch_size > 1`` the draws are executed in blocks of
+        (at most) ``batch_size`` via :meth:`sample_batch`; the proposal
+        is refreshed between blocks instead of between draws.
+        """
+        if n_iterations < 0:
+            raise ValueError(f"n_iterations must be non-negative; got {n_iterations}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+        if batch_size == 1:
+            for __ in range(n_iterations):
+                self._step()
+        else:
+            remaining = n_iterations
+            while remaining > 0:
+                block = min(batch_size, remaining)
+                self._step_batch(block)
+                remaining -= block
+        return self.estimate
+
+    def sample_until_budget(self, budget: int, *, batch_size: int = 1,
+                            max_iterations: int | None = None) -> float:
         """Sample until ``budget`` distinct labels have been consumed.
 
         ``max_iterations`` bounds the loop for safety; it defaults to
         50x the budget (re-draws of cached items consume iterations but
-        not budget).
+        not budget).  With ``batch_size > 1`` draws happen in blocks,
+        so the final budget may overshoot by up to ``batch_size - 1``
+        distinct labels.
         """
         if budget <= 0:
             raise ValueError(f"budget must be positive; got {budget}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
         budget = min(budget, self.n_items)
         if max_iterations is None:
             max_iterations = 50 * budget
         iterations = 0
         while self.labels_consumed < budget and iterations < max_iterations:
-            self._step()
-            iterations += 1
+            if batch_size == 1:
+                self._step()
+                iterations += 1
+            else:
+                block = min(batch_size, max_iterations - iterations)
+                self._step_batch(block)
+                iterations += block
         return self.estimate
 
     def sample_distinct(self, n_labels: int, **kwargs) -> float:

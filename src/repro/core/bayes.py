@@ -75,6 +75,34 @@ class BetaBernoulliModel:
         row = 0 if label == 1 else 1
         self._counts[row, stratum] += 1.0
 
+    def update_batch(self, strata, labels) -> None:
+        """Record a batch of oracle labels in one vectorised update.
+
+        Equivalent to calling :meth:`update` once per ``(stratum,
+        label)`` pair: the conjugate posterior depends only on the
+        per-stratum label counts, which are accumulated here with two
+        ``np.bincount`` calls instead of a Python loop.
+        """
+        strata = np.asarray(strata, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if strata.shape != labels.shape or strata.ndim != 1:
+            raise ValueError(
+                f"strata {strata.shape} and labels {labels.shape} must be "
+                "aligned 1-D arrays"
+            )
+        if len(strata) == 0:
+            return
+        if strata.min() < 0 or strata.max() >= self.n_strata:
+            raise IndexError(
+                f"stratum indices must lie in [0, {self.n_strata})"
+            )
+        if np.any((labels != 0) & (labels != 1)):
+            bad = labels[(labels != 0) & (labels != 1)][0]
+            raise ValueError(f"label must be 0 or 1; got {bad}")
+        matches = labels == 1
+        self._counts[0] += np.bincount(strata[matches], minlength=self.n_strata)
+        self._counts[1] += np.bincount(strata[~matches], minlength=self.n_strata)
+
     def posterior_mean(self) -> np.ndarray:
         """Point estimate pi-hat per stratum: the posterior mean (Eqn 11)."""
         gamma = self.gamma

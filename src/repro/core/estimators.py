@@ -57,6 +57,69 @@ class AISEstimator:
         if self.track_observations:
             self._observations.append((weight, label, prediction))
 
+    def update_batch(self, labels, predictions, weights=None) -> np.ndarray:
+        """Fold in a batch of observations with one vectorised update.
+
+        Equivalent to calling :meth:`update` per observation in order.
+        The running sums advance by cumulative sums computed in the
+        same left-to-right order as the sequential path, so the
+        post-batch state matches a sequential replay of the same
+        observations and a batch of one is bit-identical to a single
+        :meth:`update`.
+
+        Returns the per-observation estimate trajectory (the value
+        :attr:`estimate` would have reported after each observation;
+        NaN where undefined) so batched samplers can keep per-draw
+        histories without materialising intermediate states.
+        """
+        labels = np.asarray(labels, dtype=float)
+        predictions = np.asarray(predictions, dtype=float)
+        if labels.shape != predictions.shape or labels.ndim != 1:
+            raise ValueError(
+                f"labels {labels.shape} and predictions {predictions.shape} "
+                "must be aligned 1-D arrays"
+            )
+        if weights is None:
+            weights = np.ones_like(labels)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != labels.shape:
+                raise ValueError(
+                    f"weights {weights.shape} must align with labels "
+                    f"{labels.shape}"
+                )
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+        if len(labels) == 0:
+            return np.zeros(0)
+
+        # Cumulate with the running sum as the first term so additions
+        # happen in exactly the sequential left-to-right order — the
+        # post-batch state is bit-identical to a sequential replay.
+        def running(start, contributions):
+            return np.cumsum(np.concatenate([[start], contributions]))[1:]
+
+        tp_cum = running(self._weighted_tp, weights * labels * predictions)
+        pred_cum = running(self._weighted_pred, weights * predictions)
+        true_cum = running(self._weighted_true, weights * labels)
+        denominator = self.alpha * pred_cum + (1.0 - self.alpha) * true_cum
+        with np.errstate(invalid="ignore", divide="ignore"):
+            trajectory = np.where(
+                denominator > 0,
+                np.minimum(1.0, tp_cum / denominator),
+                np.nan,
+            )
+
+        self._weighted_tp = float(tp_cum[-1])
+        self._weighted_pred = float(pred_cum[-1])
+        self._weighted_true = float(true_cum[-1])
+        self.n_observations += len(labels)
+        if self.track_observations:
+            self._observations.extend(
+                zip(weights.tolist(), labels.tolist(), predictions.tolist())
+            )
+        return trajectory
+
     def f_measure(self, alpha: float | None = None) -> float:
         """Current F_alpha estimate; NaN while undefined."""
         if alpha is None:
@@ -66,7 +129,10 @@ class AISEstimator:
         denominator = alpha * self._weighted_pred + (1.0 - alpha) * self._weighted_true
         if denominator <= 0:
             return float("nan")
-        return self._weighted_tp / denominator
+        # The ratio is <= 1 mathematically (w l lhat <= w (a lhat + (1-a) l)
+        # termwise) but roundoff in the denominator can nudge it past 1
+        # when every observation is a true positive.
+        return min(1.0, self._weighted_tp / denominator)
 
     @property
     def estimate(self) -> float:
@@ -170,5 +236,7 @@ def sample_f_measure_history(labels, predictions, weights=None, alpha: float = 0
     true = np.cumsum(weights * labels)
     denominator = alpha * pred + (1.0 - alpha) * true
     with np.errstate(invalid="ignore", divide="ignore"):
-        history = np.where(denominator > 0, tp / denominator, np.nan)
+        history = np.where(
+            denominator > 0, np.minimum(1.0, tp / denominator), np.nan
+        )
     return history

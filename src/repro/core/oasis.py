@@ -188,9 +188,50 @@ class OASISSampler(BaseEvaluationSampler):
         self.history.append(estimate)
         self.budget_history.append(self.labels_consumed)
         if self.record_diagnostics:
-            self.pi_history.append(self.model.posterior_mean())
-            self.instrumental_history.append(v)
-            self.weight_history.append(weight)
+            # Snapshots must be copies owned by the history: aliasing
+            # live model state would let later updates silently rewrite
+            # the recorded Figure-4 convergence trajectories.
+            self.pi_history.append(np.array(self.model.posterior_mean(), copy=True))
+            self.instrumental_history.append(np.array(v, copy=True))
+            self.weight_history.append(float(weight))
+
+    def _step_batch(self, batch_size: int) -> None:
+        """One batched iteration: ``batch_size`` draws under a frozen v^(t).
+
+        The instrumental distribution is computed once for the block
+        (the Delyon & Portier block-adaptive relaxation of Algorithm
+        3); stratum choices, within-stratum draws, oracle queries and
+        the posterior/estimator updates are all vectorised.  Histories
+        gain one entry per draw: the estimate trajectory is exact (the
+        AIS running sums are replayed cumulatively) while the
+        diagnostic snapshots record the post-batch state for every
+        draw in the block, since intermediate posteriors are never
+        materialised.
+        """
+        v = self.instrumental_distribution()
+        strata_drawn = self.rng.choice(self.n_strata, p=v, size=batch_size)
+        indices = self.strata.sample_in_strata(strata_drawn, self.rng)
+        weights = self._stratum_weights[strata_drawn] / v[strata_drawn]
+        labels, new_mask = self._query_labels(indices)
+        predictions = self.predictions[indices]
+
+        self.model.update_batch(strata_drawn, labels)
+        trajectory = self._estimator.update_batch(labels, predictions, weights)
+        estimate = trajectory[-1]
+        if not np.isnan(estimate):
+            self._current_f = float(estimate)
+
+        self.sampled_indices.extend(int(i) for i in indices)
+        self.history.extend(trajectory.tolist())
+        consumed = self.labels_consumed
+        budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
+        self.budget_history.extend(int(b) for b in budgets)
+        if self.record_diagnostics:
+            pi = np.array(self.model.posterior_mean(), copy=True)
+            v_snapshot = np.array(v, copy=True)
+            self.pi_history.extend([pi] * batch_size)
+            self.instrumental_history.extend([v_snapshot] * batch_size)
+            self.weight_history.extend(float(w) for w in weights)
 
     @property
     def precision_estimate(self) -> float:

@@ -52,6 +52,10 @@ class Strata:
         order = np.argsort(allocations, kind="stable")
         boundaries = np.cumsum(counts)[:-1]
         self._members = np.split(order, boundaries)
+        # Flat layout of the same grouping for vectorised batch draws:
+        # stratum k occupies order[starts[k] : starts[k] + sizes[k]].
+        self._order = order
+        self._starts = np.concatenate([[0], boundaries])
 
     def __len__(self) -> int:
         return self.n_strata
@@ -86,6 +90,26 @@ class Strata:
         """Draw one pool index uniformly from stratum ``k``."""
         members = self._members[k]
         return int(members[rng.integers(len(members))])
+
+    def sample_in_strata(self, strata, rng) -> np.ndarray:
+        """Vectorised within-stratum draws, one per entry of ``strata``.
+
+        Equivalent to calling :meth:`sample_in_stratum` once per entry
+        but with a single bounded-integer RNG call and a single gather;
+        for one entry it consumes the random stream identically to the
+        scalar method.
+        """
+        strata = np.asarray(strata, dtype=np.int64)
+        if strata.ndim != 1:
+            raise ValueError(f"strata must be 1-D; got shape {strata.shape}")
+        if len(strata) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if strata.min() < 0 or strata.max() >= self.n_strata:
+            raise IndexError(
+                f"stratum indices must lie in [0, {self.n_strata})"
+            )
+        positions = rng.integers(0, self.sizes[strata])
+        return self._order[self._starts[strata] + positions]
 
 
 def _allocations_from_edges(scores: np.ndarray, edges: np.ndarray) -> np.ndarray:

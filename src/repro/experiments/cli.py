@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="use calibrated probabilities instead of margins",
     )
     compare.add_argument(
+        "--batch-size", type=int, default=1,
+        help="draws per proposal refresh (1 = sequential paper protocol)",
+    )
+    compare.add_argument(
         "--include-oss", action="store_true",
         help="add the OSS (adaptive Neyman) extension baseline",
     )
@@ -127,7 +131,8 @@ def _cmd_compare(args) -> None:
           f"true F = {pool.performance['f_measure']:.4f}")
     results = run_trials(
         pool, specs, budgets=_budget_grid(args.budget),
-        n_repeats=args.repeats, random_state=args.seed,
+        n_repeats=args.repeats, batch_size=args.batch_size,
+        random_state=args.seed,
     )
     for name, result in results.items():
         stats = aggregate_trajectories(result)

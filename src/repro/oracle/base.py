@@ -4,11 +4,20 @@ Oracles label record pairs identified by integer pool indices.  The
 samplers never see ground truth directly — they only see oracle
 responses — which mirrors the paper's efficient-evaluation setting
 where each query costs money/time.
+
+Oracles answer one index at a time (:meth:`BaseOracle.label`) or a
+whole batch in one call (:meth:`BaseOracle.query_many`).  The batch
+entry point deduplicates repeated indices so a randomised oracle is
+consulted exactly once per distinct pair — the bulk analogue of the
+samplers' label cache (paper footnote 5) — and lets backends answer
+vectorised by overriding :meth:`BaseOracle._label_batch`.
 """
 
 from __future__ import annotations
 
 import abc
+
+import numpy as np
 
 __all__ = ["BaseOracle", "CountingOracle"]
 
@@ -28,6 +37,57 @@ class BaseOracle(abc.ABC):
         the convergence experiments; samplers must not consult it.
         """
 
+    def _label_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Label a 1-D array of *distinct* pool indices.
+
+        Backends with a vectorised source of truth override this; the
+        default consults :meth:`label` per index in the given order, so
+        randomised oracles consume their randomness exactly as a
+        sequential loop would.
+        """
+        return np.fromiter(
+            (self.label(int(i)) for i in indices),
+            dtype=np.int8,
+            count=len(indices),
+        )
+
+    def query_many(self, indices) -> np.ndarray:
+        """Label a batch of pool indices in one call.
+
+        Repeated indices are deduplicated before the backend is
+        consulted — each distinct index is labelled exactly once (at
+        its first occurrence) and the result is broadcast to every
+        repeat, so a randomised oracle cannot contradict itself within
+        a batch.  Distinct indices are queried in first-occurrence
+        order, matching the randomness consumption of a sequential
+        loop with label caching.
+
+        Returns an ``int8`` array of labels aligned with ``indices``.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be 1-D; got shape {indices.shape}")
+        if len(indices) == 0:
+            return np.zeros(0, dtype=np.int8)
+        unique, first_pos, inverse = np.unique(
+            indices, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_pos)  # first-occurrence order
+        fresh_labels = np.asarray(self._label_batch(unique[order]))
+        if fresh_labels.shape != order.shape:
+            raise ValueError(
+                f"oracle returned {fresh_labels.shape} labels for "
+                f"{order.shape} distinct indices"
+            )
+        if np.any((fresh_labels != 0) & (fresh_labels != 1)):
+            bad = fresh_labels[(fresh_labels != 0) & (fresh_labels != 1)][0]
+            raise ValueError(f"oracle returned non-binary label {bad}")
+        # Realign: ``fresh_labels`` follows first-occurrence order;
+        # ``inverse`` indexes into the sorted ``unique`` array.
+        rank = np.empty_like(order)
+        rank[order] = np.arange(len(order))
+        return fresh_labels.astype(np.int8)[rank][inverse]
+
     def __call__(self, index: int) -> int:
         return self.label(index)
 
@@ -35,9 +95,12 @@ class BaseOracle(abc.ABC):
 class CountingOracle(BaseOracle):
     """Wrapper that counts queries to an inner oracle.
 
-    ``n_queries`` counts every call; ``n_distinct`` counts distinct pool
-    items queried, which is the paper's notion of label budget
-    (footnote 5: re-queries of a cached pair are free).
+    ``n_queries`` counts every :meth:`label` call plus, per
+    :meth:`query_many` call, the number of *deduplicated* queries
+    forwarded to the inner oracle — the calls a sequential loop with
+    intra-batch label caching would have made.  ``n_distinct`` counts
+    distinct pool items queried, which is the paper's notion of label
+    budget (footnote 5: re-queries of a cached pair are free).
     """
 
     def __init__(self, inner: BaseOracle):
@@ -53,6 +116,19 @@ class CountingOracle(BaseOracle):
         self.n_queries += 1
         self._seen.add(int(index))
         return self.inner.label(index)
+
+    def query_many(self, indices) -> np.ndarray:
+        """Batch labelling with query accounting.
+
+        ``n_queries`` increases by the number of *deduplicated* queries
+        forwarded to the inner oracle — the same count a sequential
+        loop with label caching inside one batch would produce.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        unique = np.unique(indices)
+        self.n_queries += len(unique)
+        self._seen.update(int(i) for i in unique)
+        return self.inner.query_many(indices)
 
     def probability(self, index: int) -> float:
         return self.inner.probability(index)

@@ -20,6 +20,8 @@ class CallbackOracle(BaseOracle):
     label_fn:
         Callable returning the binary label for a pool index.  May be
         randomised (crowd queue, annotator pool) or deterministic.
+        Batch queries (:meth:`~repro.oracle.base.BaseOracle.query_many`)
+        fall back to one call per distinct index.
     probability_fn:
         Optional callable returning p(1|z) for diagnostics; if omitted,
         :meth:`probability` raises ``NotImplementedError`` (samplers

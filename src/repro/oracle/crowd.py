@@ -71,6 +71,17 @@ class CrowdOracle(BaseOracle):
         votes = np.where(correct, truth, 1 - truth)
         return int(votes.sum() * 2 > len(votes))
 
+    def _label_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised majority votes: one worker panel per distinct index.
+
+        Draws a ``(batch, n_workers)`` uniform block, so the worker
+        randomness matches a sequential loop of :meth:`label` calls.
+        """
+        truth = self._labels[indices].astype(np.int64)
+        correct = self._rng.random((len(indices), len(self._accs))) < self._accs
+        votes = np.where(correct, truth[:, None], 1 - truth[:, None])
+        return (votes.sum(axis=1) * 2 > len(self._accs)).astype(np.int8)
+
     def probability(self, index: int) -> float:
         p = self._p_correct_majority
         return p if self._labels[index] == 1 else 1.0 - p

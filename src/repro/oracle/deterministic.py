@@ -31,6 +31,10 @@ class DeterministicOracle(BaseOracle):
     def label(self, index: int) -> int:
         return int(self._labels[index])
 
+    def _label_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised batch labelling: a single fancy-index gather."""
+        return self._labels[indices]
+
     def probability(self, index: int) -> float:
         return float(self._labels[index])
 

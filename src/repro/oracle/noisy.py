@@ -51,6 +51,16 @@ class NoisyOracle(BaseOracle):
     def label(self, index: int) -> int:
         return int(self._rng.random() < self._probs[index])
 
+    def _label_batch(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised Bernoulli draws, one uniform per distinct index.
+
+        Consumes the same random stream as a sequential loop of
+        :meth:`label` calls over ``indices``.
+        """
+        return (self._rng.random(len(indices)) < self._probs[indices]).astype(
+            np.int8
+        )
+
     def probability(self, index: int) -> float:
         return float(self._probs[index])
 

@@ -33,10 +33,25 @@ class OSSSampler(BaseEvaluationSampler):
 
     Parameters
     ----------
+    predictions:
+        Predicted labels (R-hat membership) per pool item.
+    scores:
+        Similarity scores per pool item; drive the stratification.
+    oracle:
+        Labelling oracle queried for ground truth.
+    alpha:
+        F-measure weight (0.5 balanced; 1 precision; 0 recall).
     n_strata:
         Requested CSF strata.
     epsilon:
         Mixing weight with proportional allocation (coverage floor).
+    stratification_method:
+        ``"csf"`` (Algorithm 1) or ``"equal_size"``.
+    strata:
+        Pre-built :class:`~repro.core.stratification.Strata` to reuse
+        (skips stratification).
+    random_state:
+        Seed or generator for the sampling randomness.
     """
 
     def __init__(
@@ -117,3 +132,31 @@ class OSSSampler(BaseEvaluationSampler):
         self.sampled_indices.append(index)
         self.history.append(self._stratified_estimate())
         self.budget_history.append(self.labels_consumed)
+
+    def _step_batch(self, batch_size: int) -> None:
+        """Batched draws under a Neyman allocation frozen for the block.
+
+        The allocation — the adaptive part of this sampler — is
+        recomputed once per batch rather than once per draw, the same
+        block-adaptive relaxation OASIS uses for its instrumental
+        distribution; draws and the oracle round-trip are vectorised,
+        and the plug-in estimate is replayed per draw.
+        """
+        allocation = self.allocation()
+        strata_drawn = self.rng.choice(
+            self.n_strata, p=allocation, size=batch_size
+        )
+        indices = self.strata.sample_in_strata(strata_drawn, self.rng)
+        labels, new_mask = self._query_labels(indices)
+        predictions = self.predictions[indices]
+
+        self.sampled_indices.extend(int(i) for i in indices)
+        consumed = self.labels_consumed
+        budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
+        self.budget_history.extend(int(b) for b in budgets)
+        for t in range(batch_size):
+            stratum = strata_drawn[t]
+            self._n_sampled[stratum] += 1
+            self._sum_true[stratum] += labels[t]
+            self._sum_tp[stratum] += labels[t] * predictions[t]
+            self.history.append(self._stratified_estimate())

@@ -9,6 +9,8 @@ failure mode section 6.3.1 highlights.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.base import BaseEvaluationSampler
 from repro.core.estimators import AISEstimator
 
@@ -20,6 +22,20 @@ class PassiveSampler(BaseEvaluationSampler):
 
     Accepts the same (predictions, scores, oracle) triple as the other
     samplers; the scores are unused but kept for interface parity.
+
+    Parameters
+    ----------
+    predictions:
+        Predicted labels (R-hat membership) per pool item.
+    scores:
+        Similarity scores per pool item; unused by this baseline but
+        accepted so sampler factories stay interchangeable.
+    oracle:
+        Labelling oracle queried for ground truth.
+    alpha:
+        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+    random_state:
+        Seed or generator for the sampling randomness.
     """
 
     def __init__(self, predictions, scores, oracle, *, alpha: float = 0.5,
@@ -38,6 +54,21 @@ class PassiveSampler(BaseEvaluationSampler):
         self.sampled_indices.append(index)
         self.history.append(self._estimator.estimate)
         self.budget_history.append(self.labels_consumed)
+
+    def _step_batch(self, batch_size: int) -> None:
+        """Batched uniform draws: one RNG call, one bulk oracle query."""
+        indices = self.rng.integers(self.n_items, size=batch_size)
+        labels, new_mask = self._query_labels(indices)
+        predictions = self.predictions[indices]
+        trajectory = self._estimator.update_batch(
+            labels, predictions, np.ones(batch_size)
+        )
+
+        self.sampled_indices.extend(int(i) for i in indices)
+        self.history.extend(trajectory.tolist())
+        consumed = self.labels_consumed
+        budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
+        self.budget_history.extend(int(b) for b in budgets)
 
     @property
     def precision_estimate(self) -> float:

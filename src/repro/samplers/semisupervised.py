@@ -166,13 +166,25 @@ class SemiSupervisedEstimator:
         self.model = BetaMixtureModel()
 
     def fit(self, scores, oracle, n_labels: int) -> "SemiSupervisedEstimator":
-        """Spend ``n_labels`` uniform labels and fit the mixture."""
+        """Spend ``n_labels`` uniform labels and fit the mixture.
+
+        Parameters
+        ----------
+        scores:
+            All pool scores in [0, 1].
+        oracle:
+            Labelling oracle; consulted once via its bulk
+            :meth:`~repro.oracle.base.BaseOracle.query_many` API.
+        n_labels:
+            Number of uniform-random labels to spend (capped at the
+            pool size).
+        """
         check_positive(n_labels, "n_labels")
         scores = np.asarray(scores, dtype=float)
         n = len(scores)
         n_labels = min(int(n_labels), n)
         chosen = self.rng.choice(n, size=n_labels, replace=False)
-        labels = np.array([oracle.label(int(i)) for i in chosen])
+        labels = oracle.query_many(chosen)
         self.model.fit(scores, chosen, labels)
         self.labels_consumed = n_labels
         return self
