@@ -234,9 +234,11 @@ class BaseEvaluationSampler(abc.ABC):
 
         ``max_iterations`` bounds the loop for safety; it defaults to
         50x the budget (re-draws of cached items consume iterations but
-        not budget).  With ``batch_size > 1`` draws happen in blocks,
-        so the final budget may overshoot by up to ``batch_size - 1``
-        distinct labels.
+        not budget).  The budget is exact for every ``batch_size``: a
+        draw consumes at most one distinct label, so each block is
+        capped at the remaining budget and the run stops with
+        ``labels_consumed == budget`` labels billed to the oracle
+        (unless ``max_iterations`` or the pool size intervenes).
         """
         if budget <= 0:
             raise ValueError(f"budget must be positive; got {budget}")
@@ -251,7 +253,11 @@ class BaseEvaluationSampler(abc.ABC):
                 self._step()
                 iterations += 1
             else:
-                block = min(batch_size, max_iterations - iterations)
+                block = min(
+                    batch_size,
+                    budget - self.labels_consumed,
+                    max_iterations - iterations,
+                )
                 self._step_batch(block)
                 iterations += block
         return self.estimate

@@ -5,24 +5,45 @@ on a fixed pool, align the estimate trajectories on the distinct-label
 budget axis, and aggregate into the expected-absolute-error and
 standard-deviation curves of Figures 2-3, the convergence diagnostics
 of Figure 4, and the per-classifier errors of Figure 5.
+
+Repeats fan out over a process pool (``run_trials(..., n_workers=N)``)
+with bit-identical results for any worker count, stream per-repeat
+checkpoints to disk (:class:`~repro.experiments.persistence.TrialStore`)
+for interrupt/resume, and scale to declarative scenario grids —
+dataset x oracle x batch size x sampler configuration — via
+:func:`~repro.experiments.sweep.run_sweep`.
 """
 
-from repro.experiments.aggregate import TrajectoryStats, aggregate_trajectories
+from repro.experiments.aggregate import (
+    TrajectoryStats,
+    aggregate_all,
+    aggregate_trajectories,
+)
 from repro.experiments.convergence import ConvergenceDiagnostics, run_convergence_experiment
 from repro.experiments.persistence import (
+    TrialStore,
     load_results,
     save_results,
     stats_from_dict,
     stats_to_dict,
 )
 from repro.experiments.report import format_series, format_table
-from repro.experiments.runner import SamplerSpec, run_trials
+from repro.experiments.runner import SamplerSpec, TrialResult, run_trials
+from repro.experiments.specs import (
+    OracleFactory,
+    SamplerFactory,
+    make_oracle_factory,
+    make_sampler_spec,
+)
+from repro.experiments.sweep import SweepConfig, SweepJob, expand_grid, run_sweep
 
 __all__ = [
     "TrajectoryStats",
+    "aggregate_all",
     "aggregate_trajectories",
     "ConvergenceDiagnostics",
     "run_convergence_experiment",
+    "TrialStore",
     "load_results",
     "save_results",
     "stats_from_dict",
@@ -30,5 +51,14 @@ __all__ = [
     "format_series",
     "format_table",
     "SamplerSpec",
+    "TrialResult",
     "run_trials",
+    "OracleFactory",
+    "SamplerFactory",
+    "make_oracle_factory",
+    "make_sampler_spec",
+    "SweepConfig",
+    "SweepJob",
+    "expand_grid",
+    "run_sweep",
 ]

@@ -1,4 +1,9 @@
-"""Entry point: ``python -m repro.experiments <command>``."""
+"""Entry point: ``python -m repro.experiments <command>``.
+
+Subcommands: ``datasets``, ``compare``, ``convergence``,
+``calibration`` and ``sweep`` (parallel, resumable scenario grids —
+see ``--workers`` / ``--out`` / ``--resume``).
+"""
 
 import sys
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TrajectoryStats", "aggregate_trajectories"]
+__all__ = ["TrajectoryStats", "aggregate_trajectories", "aggregate_all"]
 
 # The paper's plotting rule: show a budget point only when at least
 # this fraction of runs have a well-defined estimate there.
@@ -102,3 +102,16 @@ def aggregate_trajectories(result, *, min_defined=WELL_DEFINED_FRACTION) -> Traj
         bias=bias,
         defined_fraction=defined_fraction,
     )
+
+
+def aggregate_all(results: dict, *, min_defined=WELL_DEFINED_FRACTION) -> dict:
+    """Aggregate a ``{name: TrialResult}`` mapping curve-by-curve.
+
+    The convenience form used by the CLI and the sweep reports:
+    :func:`aggregate_trajectories` applied to every sampler of one
+    ``run_trials`` call, preserving insertion order.
+    """
+    return {
+        name: aggregate_trajectories(result, min_defined=min_defined)
+        for name, result in results.items()
+    }

@@ -6,9 +6,15 @@ Regenerates the paper's experiments without writing code::
     python -m repro.experiments compare --dataset abt_buy --budget 2000
     python -m repro.experiments convergence --dataset abt_buy
     python -m repro.experiments calibration --dataset abt_buy
+    python -m repro.experiments sweep --config sweep.json --workers 4 \
+        --out runs/sweep --resume
 
 Each subcommand prints the corresponding table/series in the same
-format as the benchmark suite.
+format as the benchmark suite.  ``compare``, ``calibration`` and
+``sweep`` accept ``--workers`` to fan repeated trials out over a
+process pool (estimates are bit-identical for any worker count);
+``sweep`` additionally checkpoints each completed repeat under
+``--out`` and ``--resume`` skips whatever already finished.
 """
 
 from __future__ import annotations
@@ -19,17 +25,13 @@ import numpy as np
 
 from repro.core import OASISSampler
 from repro.datasets import BENCHMARK_NAMES, dataset_summary, load_benchmark
-from repro.experiments.aggregate import aggregate_trajectories
+from repro.experiments.aggregate import aggregate_all
 from repro.experiments.convergence import run_convergence_experiment
 from repro.experiments.report import format_series, format_table
-from repro.experiments.runner import SamplerSpec, run_trials
+from repro.experiments.runner import run_trials
+from repro.experiments.specs import make_sampler_spec
+from repro.experiments.sweep import SweepConfig, run_sweep
 from repro.oracle import DeterministicOracle
-from repro.samplers import (
-    ImportanceSampler,
-    OSSSampler,
-    PassiveSampler,
-    StratifiedSampler,
-)
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-oss", action="store_true",
         help="add the OSS (adaptive Neyman) extension baseline",
     )
+    compare.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for the repeated trials",
+    )
 
     convergence = sub.add_parser("convergence", help="Figure 4 diagnostics")
     convergence.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
@@ -71,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     convergence.add_argument("--iterations", type=int, default=10_000)
     convergence.add_argument("--n-strata", type=int, default=30)
     convergence.add_argument("--seed", type=int, default=42)
+    convergence.add_argument(
+        "--batch-size", type=int, default=1,
+        help="draws per proposal refresh during the diagnostic run",
+    )
 
     calibration = sub.add_parser("calibration", help="Figure 3 comparison")
     calibration.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
@@ -78,6 +88,51 @@ def build_parser() -> argparse.ArgumentParser:
     calibration.add_argument("--budget", type=int, default=2000)
     calibration.add_argument("--repeats", type=int, default=10)
     calibration.add_argument("--seed", type=int, default=42)
+    calibration.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for the repeated trials",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative scenario grid: dataset x oracle x batch size",
+    )
+    sweep.add_argument(
+        "--config", default=None,
+        help="JSON sweep config (see repro.experiments.sweep.SweepConfig); "
+        "overrides the inline grid flags below",
+    )
+    sweep.add_argument(
+        "--datasets", nargs="+", default=["abt_buy"], choices=BENCHMARK_NAMES,
+        metavar="DATASET",
+    )
+    sweep.add_argument("--scale", default="tiny", choices=["tiny", "small"])
+    sweep.add_argument("--budgets", nargs="+", type=int, default=[50, 100, 200])
+    sweep.add_argument("--batch-sizes", nargs="+", type=int, default=[1])
+    sweep.add_argument("--repeats", type=int, default=10)
+    sweep.add_argument("--n-strata", type=int, default=30)
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument(
+        "--flip-prob", type=float, default=None,
+        help="also sweep a noisy oracle with this symmetric error rate",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width per job (results identical for any value)",
+    )
+    sweep.add_argument(
+        "--out", default=None,
+        help="run directory: shards stream here as repeats complete",
+    )
+    resume = sweep.add_mutually_exclusive_group()
+    resume.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help="skip shards already completed in --out (default)",
+    )
+    resume.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="recompute every shard even if present",
+    )
     return parser
 
 
@@ -105,38 +160,41 @@ def _cmd_datasets(args) -> None:
     ))
 
 
+def _print_abs_errors(results) -> None:
+    for name, stats in aggregate_all(results).items():
+        print(format_series(f"{name} abs_err", stats.budgets, stats.abs_error))
+
+
 def _cmd_compare(args) -> None:
     pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
     threshold = pool.threshold
     k = args.n_strata
+    calibrated = args.calibrated
     specs = [
-        SamplerSpec("Passive", lambda p, s, o, r: PassiveSampler(
-            p, s, o, random_state=r), use_calibrated_scores=args.calibrated),
-        SamplerSpec("Stratified", lambda p, s, o, r: StratifiedSampler(
-            p, s, o, n_strata=k, random_state=r),
-            use_calibrated_scores=args.calibrated),
-        SamplerSpec("IS", lambda p, s, o, r: ImportanceSampler(
-            p, s, o, threshold=threshold, random_state=r),
-            use_calibrated_scores=args.calibrated),
-        SamplerSpec(f"OASIS {k}", lambda p, s, o, r: OASISSampler(
-            p, s, o, n_strata=k, threshold=threshold, random_state=r),
-            use_calibrated_scores=args.calibrated),
+        make_sampler_spec(
+            "passive", name="Passive", use_calibrated_scores=calibrated),
+        make_sampler_spec(
+            "stratified", name="Stratified", n_strata=k,
+            use_calibrated_scores=calibrated),
+        make_sampler_spec(
+            "importance", name="IS", threshold=threshold,
+            use_calibrated_scores=calibrated),
+        make_sampler_spec(
+            "oasis", name=f"OASIS {k}", n_strata=k, threshold=threshold,
+            use_calibrated_scores=calibrated),
     ]
     if args.include_oss:
-        specs.append(SamplerSpec("OSS", lambda p, s, o, r: OSSSampler(
-            p, s, o, n_strata=k, random_state=r),
-            use_calibrated_scores=args.calibrated))
+        specs.append(make_sampler_spec(
+            "oss", name="OSS", n_strata=k, use_calibrated_scores=calibrated))
 
     print(f"pool {args.dataset}: {len(pool)} items, "
           f"true F = {pool.performance['f_measure']:.4f}")
     results = run_trials(
         pool, specs, budgets=_budget_grid(args.budget),
         n_repeats=args.repeats, batch_size=args.batch_size,
-        random_state=args.seed,
+        random_state=args.seed, n_workers=args.workers,
     )
-    for name, result in results.items():
-        stats = aggregate_trajectories(result)
-        print(format_series(f"{name} abs_err", stats.budgets, stats.abs_error))
+    _print_abs_errors(results)
 
 
 def _cmd_convergence(args) -> None:
@@ -151,7 +209,7 @@ def _cmd_convergence(args) -> None:
     )
     diag = run_convergence_experiment(
         sampler, pool.true_labels, pool.performance["f_measure"],
-        n_iterations=args.iterations,
+        n_iterations=args.iterations, batch_size=args.batch_size,
     )
     checkpoints = np.linspace(0, args.iterations - 1, 10).astype(int)
     print(f"convergence on {args.dataset} (K={args.n_strata}, "
@@ -168,23 +226,55 @@ def _cmd_calibration(args) -> None:
     pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
     threshold = pool.threshold
     specs = [
-        SamplerSpec("IS uncal", lambda p, s, o, r: ImportanceSampler(
-            p, s, o, threshold=threshold, random_state=r)),
-        SamplerSpec("IS cal", lambda p, s, o, r: ImportanceSampler(
-            p, s, o, random_state=r), use_calibrated_scores=True),
-        SamplerSpec("OASIS uncal", lambda p, s, o, r: OASISSampler(
-            p, s, o, n_strata=60, threshold=threshold, random_state=r)),
-        SamplerSpec("OASIS cal", lambda p, s, o, r: OASISSampler(
-            p, s, o, n_strata=60, random_state=r), use_calibrated_scores=True),
+        make_sampler_spec("importance", name="IS uncal", threshold=threshold),
+        make_sampler_spec(
+            "importance", name="IS cal", use_calibrated_scores=True),
+        make_sampler_spec(
+            "oasis", name="OASIS uncal", n_strata=60, threshold=threshold),
+        make_sampler_spec(
+            "oasis", name="OASIS cal", n_strata=60, use_calibrated_scores=True),
     ]
     print(f"pool {args.dataset}: true F = {pool.performance['f_measure']:.4f}")
     results = run_trials(
         pool, specs, budgets=_budget_grid(args.budget),
         n_repeats=args.repeats, random_state=args.seed,
+        n_workers=args.workers,
     )
-    for name, result in results.items():
-        stats = aggregate_trajectories(result)
-        print(format_series(f"{name} abs_err", stats.budgets, stats.abs_error))
+    _print_abs_errors(results)
+
+
+def _cmd_sweep(args) -> None:
+    if args.config is not None:
+        config = SweepConfig.from_json(args.config)
+    else:
+        oracles = [{"kind": "deterministic"}]
+        if args.flip_prob is not None:
+            oracles.append({"kind": "noisy", "flip_prob": args.flip_prob})
+        config = SweepConfig(
+            datasets=list(args.datasets),
+            budgets=list(args.budgets),
+            samplers=[
+                {"kind": "oasis", "n_strata": args.n_strata},
+                {"kind": "passive"},
+            ],
+            oracles=oracles,
+            batch_sizes=list(args.batch_sizes),
+            n_repeats=args.repeats,
+            seed=args.seed,
+            scale=args.scale,
+        )
+
+    def report(job, results):
+        print(f"[{job.index + 1}] {job.job_id}")
+        _print_abs_errors(results)
+
+    run_sweep(
+        config,
+        workers=args.workers,
+        out_dir=args.out,
+        resume=args.resume,
+        progress=report,
+    )
 
 
 _COMMANDS = {
@@ -192,6 +282,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "convergence": _cmd_convergence,
     "calibration": _cmd_calibration,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -65,15 +65,20 @@ def run_convergence_experiment(
     true_f_measure: float,
     *,
     n_iterations: int,
+    batch_size: int = 1,
 ) -> ConvergenceDiagnostics:
     """Run ``sampler`` and compare its model against ground truth.
 
     The sampler must have been constructed with
     ``record_diagnostics=True`` so pi-hat and v^(t) snapshots exist.
+    With ``batch_size > 1`` the run goes through the batched engine;
+    snapshots are still recorded per draw (the proposal is simply
+    constant within each block), so every series keeps one entry per
+    iteration.
     """
     if not sampler.record_diagnostics:
         raise ValueError("sampler must be built with record_diagnostics=True")
-    sampler.sample(n_iterations)
+    sampler.sample(n_iterations, batch_size=batch_size)
 
     strata = sampler.strata
     true_pi = true_stratum_probabilities(strata, true_labels)

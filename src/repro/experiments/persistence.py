@@ -1,15 +1,26 @@
-"""Saving and loading experiment results.
+"""Saving, loading and checkpointing experiment results.
 
 Long sweeps (Figure 2 takes minutes per dataset) should be run once and
 analysed many times.  These helpers serialise
 :class:`~repro.experiments.runner.TrialResult` collections and
 :class:`~repro.experiments.aggregate.TrajectoryStats` to plain JSON —
 no pickle, so results are portable and diffable.
+
+:class:`TrialStore` adds streaming checkpoint/resume on top: a run
+directory holds one JSON shard per completed (spec, repeat) task plus a
+``manifest.json`` recording the run's identity (pool fingerprint,
+budget grid, batch size, seed, oracle, spec list).  Shards are written
+atomically as repeats finish, so an interrupted run keeps everything
+completed so far; re-invoking the same configuration loads the shards
+on disk and computes only what is missing.  Deleting a shard file is
+enough to force recomputation of exactly that repeat.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +28,13 @@ import numpy as np
 from repro.experiments.aggregate import TrajectoryStats
 from repro.experiments.runner import TrialResult
 
-__all__ = ["save_results", "load_results", "stats_to_dict", "stats_from_dict"]
+__all__ = [
+    "save_results",
+    "load_results",
+    "stats_to_dict",
+    "stats_from_dict",
+    "TrialStore",
+]
 
 
 def _encode_array(array: np.ndarray) -> list:
@@ -66,6 +83,133 @@ def load_results(path) -> dict:
             true_value=entry["true_value"],
         )
     return results
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe shard-name fragment."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "x"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write-then-rename so an interrupt never leaves a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class TrialStore:
+    """Streaming checkpoint directory for one ``run_trials`` call.
+
+    Layout::
+
+        <directory>/
+            manifest.json            # run identity (config dict)
+            shards/
+                s00-OASIS-30__r0007.json   # one completed repeat
+
+    A shard is self-describing JSON: the spec name, repeat index,
+    budget grid and the NaN-encoded estimate row.  The set of completed
+    tasks is exactly the set of shard files on disk — deleting a file
+    (or losing it to an interrupt; writes are atomic) marks that repeat
+    as pending again.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.shard_dir = self.directory / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    def read_manifest(self) -> dict | None:
+        """The stored run configuration, or None before the first run."""
+        if not self.manifest_path.is_file():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    def ensure_config(self, config: dict, *, overwrite: bool = False) -> None:
+        """Record ``config`` as this run's identity, or validate a match.
+
+        A resumed run must be the *same* run: same pool content, budget
+        grid, batch size, seed and spec list.  Any mismatch raises
+        instead of silently mixing incompatible shards.  With
+        ``overwrite`` the stored manifest is replaced and every
+        existing shard is deleted — a new configuration invalidates the
+        old run wholesale, so no stale shard can leak into a later
+        resume.
+        """
+        existing = self.read_manifest()
+        if existing is not None and not overwrite:
+            mismatched = [
+                key
+                for key in sorted(set(existing) | set(config))
+                if existing.get(key) != config.get(key)
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"checkpoint at {self.directory} was created by a "
+                    f"different run configuration (mismatched keys: "
+                    f"{', '.join(mismatched)}); point the run at a fresh "
+                    "directory or delete the old one"
+                )
+            return
+        if existing is not None and existing != config:
+            for shard in self.shard_dir.glob("*.json"):
+                shard.unlink()
+        _atomic_write_text(
+            self.manifest_path, json.dumps(config, indent=1, sort_keys=True)
+        )
+
+    def shard_path(self, spec_index: int, spec_name: str, repeat: int) -> Path:
+        return self.shard_dir / (
+            f"s{spec_index:02d}-{_slug(spec_name)}__r{repeat:04d}.json"
+        )
+
+    def completed(self) -> list[str]:
+        """Names of the shard files currently on disk (sorted)."""
+        return sorted(p.name for p in self.shard_dir.glob("*.json"))
+
+    def load_shard(self, spec_index: int, spec_name: str, repeat: int,
+                   budgets=None) -> np.ndarray | None:
+        """The stored estimate row, or None if the shard is missing.
+
+        With ``budgets`` given, a shard recorded on a different budget
+        grid is treated as absent (defence in depth on top of the
+        manifest check — its estimate row would silently mean the wrong
+        columns).
+        """
+        path = self.shard_path(spec_index, spec_name, repeat)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            # A torn or hand-mangled shard is treated as absent; the
+            # repeat simply reruns.
+            return None
+        if budgets is not None:
+            stored = payload.get("budgets")
+            if stored is None or list(stored) != [int(b) for b in np.asarray(budgets)]:
+                return None
+        return _decode_array(payload["estimates"])
+
+    def save_shard(self, spec_index: int, spec_name: str, repeat: int,
+                   budgets, estimates_row) -> Path:
+        """Atomically persist one completed repeat."""
+        path = self.shard_path(spec_index, spec_name, repeat)
+        payload = {
+            "spec": spec_name,
+            "spec_index": int(spec_index),
+            "repeat": int(repeat),
+            "budgets": [int(b) for b in np.asarray(budgets)],
+            "estimates": _encode_array(estimates_row),
+        }
+        _atomic_write_text(path, json.dumps(payload))
+        return path
 
 
 def stats_to_dict(stats: TrajectoryStats) -> dict:

@@ -4,19 +4,38 @@ The paper's methodology (section 6.3): fix the pool, run each
 estimation method many times with independent randomness, and study
 the estimate trajectories statistically.  ``run_trials`` executes that
 loop, recording each run's F estimate at a grid of label budgets.
+
+Repeats are embarrassingly parallel: the block-adaptive relaxation
+keeps every run's weights unbiased on its own, and each (spec, repeat)
+task owns an independent ``SeedSequence``-derived random stream, so
+``run_trials`` can fan the tasks out over a ``concurrent.futures``
+process pool.  Task streams depend only on the root seed and the task's
+(spec, repeat) position — never on scheduling — which makes a parallel
+run bit-identical to the serial one.
+
+Every task spawns *two* child generators from its seed sequence: one
+for the oracle's noise, one for the sampler's draws.  Keeping the
+streams separate means a noisy oracle cannot perturb the sampler's draw
+sequence (and vice versa), so estimates are comparable across oracle
+types and batch sizes at the same seed.
+
+With ``checkpoint_dir`` set, each completed repeat is streamed to an
+on-disk shard (see :class:`~repro.experiments.persistence.TrialStore`);
+re-invoking the same run skips completed shards and resumes the rest.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.datasets.benchmark import BenchmarkPool
 from repro.oracle.deterministic import DeterministicOracle
-from repro.utils import spawn_rngs
 
-__all__ = ["SamplerSpec", "run_trials"]
+__all__ = ["SamplerSpec", "TrialResult", "run_trials"]
 
 
 @dataclass
@@ -29,7 +48,10 @@ class SamplerSpec:
         Display name ("OASIS 30", "Passive", ...).
     factory:
         Callable ``(predictions, scores, oracle, random_state) ->
-        sampler``; partial out any other keyword arguments.
+        sampler``; partial out any other keyword arguments.  Must be
+        picklable (e.g. built via
+        :func:`repro.experiments.specs.make_sampler_spec`) when
+        ``run_trials`` runs with ``n_workers > 1``.
     use_calibrated_scores:
         Feed the pool's calibrated probabilities instead of margins.
     """
@@ -54,6 +76,128 @@ class TrialResult:
     extras: dict = field(default_factory=dict)
 
 
+def _normalise_budgets(budgets) -> np.ndarray:
+    """Sorted, deduplicated, validated budget grid.
+
+    Duplicate entries would silently duplicate grid columns (and skew
+    any column-wise aggregation), so they are collapsed; positivity is
+    validated after deduplication.
+    """
+    budgets = np.unique(np.asarray(budgets, dtype=int))
+    if budgets.size == 0 or budgets[0] <= 0:
+        raise ValueError("budgets must be positive and non-empty")
+    return budgets
+
+
+def _run_one_trial(pool, spec, budgets, batch_size, oracle_factory,
+                   seed_seq) -> np.ndarray:
+    """Execute a single (spec, repeat) task; returns the estimate row.
+
+    Pure function of its arguments — the unit of work shipped to worker
+    processes.  ``seed_seq`` is split into one oracle stream and one
+    sampler stream so the two never interleave.
+    """
+    oracle_seq, sampler_seq = seed_seq.spawn(2)
+    oracle_rng = np.random.default_rng(oracle_seq)
+    sampler_rng = np.random.default_rng(sampler_seq)
+    if oracle_factory is None:
+        oracle = DeterministicOracle(pool.true_labels)
+    else:
+        oracle = oracle_factory(pool.true_labels, oracle_rng)
+    scores = pool.scores_calibrated if spec.use_calibrated_scores else pool.scores
+    sampler = spec.factory(pool.predictions, scores, oracle, sampler_rng)
+    sampler.sample_until_budget(int(budgets[-1]), batch_size=batch_size)
+    return sampler.estimate_at_budgets(budgets)
+
+
+# Worker-process state installed once per worker by the pool
+# initializer, so the (potentially large) pool arrays are pickled once
+# per worker instead of once per task.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(pool, specs, budgets, batch_size, oracle_factory) -> None:
+    _WORKER_STATE["context"] = (pool, specs, budgets, batch_size, oracle_factory)
+
+
+def _worker_trial(spec_index: int, seed_seq) -> np.ndarray:
+    pool, specs, budgets, batch_size, oracle_factory = _WORKER_STATE["context"]
+    return _run_one_trial(
+        pool, specs[spec_index], budgets, batch_size, oracle_factory, seed_seq
+    )
+
+
+def _check_picklable(specs, oracle_factory) -> None:
+    """Fail fast, with guidance, before a worker pool chokes mid-run."""
+    try:
+        pickle.dumps((specs, oracle_factory))
+    except Exception as exc:
+        raise ValueError(
+            "n_workers > 1 requires picklable sampler specs and oracle "
+            "factory (lambdas and closures cannot cross process "
+            "boundaries); build them with "
+            "repro.experiments.specs.make_sampler_spec / "
+            "make_oracle_factory"
+        ) from exc
+
+
+def _root_seed_sequence(random_state) -> np.random.SeedSequence:
+    if isinstance(random_state, np.random.SeedSequence):
+        return random_state
+    if isinstance(random_state, np.random.Generator):
+        return random_state.bit_generator.seed_seq
+    return np.random.SeedSequence(random_state)
+
+
+def _task_seed(root: np.random.SeedSequence, spec_index: int,
+               repeat: int) -> np.random.SeedSequence:
+    """The independent seed stream of one (spec, repeat) task.
+
+    Children are addressed by an explicit spawn key — the same
+    construction ``SeedSequence.spawn`` uses internally — so a task's
+    stream depends only on the root seed and its (spec, repeat)
+    coordinates.  In particular it does NOT depend on ``n_repeats``:
+    re-running a checkpointed grid with more repeats extends it
+    in-place, and the already-completed shards keep exactly the streams
+    they were computed with.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=(*root.spawn_key, spec_index, repeat),
+    )
+
+
+def _seed_descriptor(seed_seq: np.random.SeedSequence) -> dict:
+    """JSON-stable identity of a seed sequence for run manifests."""
+    entropy = seed_seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [str(e) for e in entropy]
+    else:
+        entropy = str(entropy)
+    return {"entropy": entropy, "spawn_key": [int(k) for k in seed_seq.spawn_key]}
+
+
+def _oracle_descriptor(oracle_factory) -> str:
+    if oracle_factory is None:
+        return "deterministic"
+    name = getattr(oracle_factory, "name", None)
+    if isinstance(name, str):
+        return name
+    return getattr(type(oracle_factory), "__qualname__", repr(oracle_factory))
+
+
+def _pool_fingerprint(pool) -> str:
+    """Cheap content hash so a checkpoint cannot resume onto a
+    different pool that happens to share a name."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for array in (pool.predictions, pool.true_labels):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    digest.update(np.ascontiguousarray(np.asarray(pool.scores, dtype=float)).tobytes())
+    return digest.hexdigest()[:16]
+
+
 def run_trials(
     pool: BenchmarkPool,
     specs: list[SamplerSpec],
@@ -63,6 +207,9 @@ def run_trials(
     batch_size: int = 1,
     oracle_factory=None,
     random_state=None,
+    n_workers: int = 1,
+    checkpoint_dir=None,
+    resume: bool = True,
 ) -> dict[str, TrialResult]:
     """Run every sampler spec ``n_repeats`` times on ``pool``.
 
@@ -73,8 +220,8 @@ def run_trials(
     specs:
         Sampler configurations to compare.
     budgets:
-        Increasing grid of distinct-label budgets at which estimates
-        are recorded; the run stops at ``budgets[-1]``.
+        Grid of distinct-label budgets at which estimates are recorded
+        (sorted and deduplicated); the run stops at the largest.
     n_repeats:
         Independent repetitions per spec (the paper uses 1000; scale
         to taste — Monte-Carlo error shrinks as 1/sqrt(repeats)).
@@ -83,44 +230,137 @@ def run_trials(
         sequential protocol; larger blocks run every sampler through
         its batched engine (one oracle round-trip and one vectorised
         update per block), trading per-draw adaptivity for wall-clock
-        speed.
+        speed.  Budgets are billed exactly for every batch size.
     oracle_factory:
         Callable ``(true_labels, rng) -> oracle``; defaults to the
         deterministic ground-truth oracle of the paper's experiments.
+        The ``rng`` is a child generator reserved for the oracle —
+        independent of the sampler's stream.
     random_state:
-        Seed for the independent per-run generators.
+        Seed (int / ``SeedSequence`` / ``Generator``) for the
+        independent per-task streams.  Required (non-None) when
+        ``checkpoint_dir`` is set, so a resumed run reproduces the
+        original streams.
+    n_workers:
+        Process-pool width.  1 (default) runs in-process; larger values
+        fan (spec, repeat) tasks out over ``n_workers`` processes.
+        Results are bit-identical for every value of ``n_workers``.
+    checkpoint_dir:
+        Optional run directory.  Each completed repeat is streamed to a
+        shard on disk; re-invoking with the same configuration skips
+        completed shards (see
+        :class:`~repro.experiments.persistence.TrialStore`).
+    resume:
+        With ``checkpoint_dir``: when True (default), completed shards
+        are loaded instead of recomputed; when False, everything is
+        recomputed and shards are overwritten.
 
     Returns
     -------
     dict mapping spec name to :class:`TrialResult`.
     """
-    budgets = np.asarray(sorted(budgets), dtype=int)
-    if len(budgets) == 0 or budgets[0] <= 0:
-        raise ValueError("budgets must be positive and non-empty")
+    budgets = _normalise_budgets(budgets)
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1; got {n_workers}")
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1; got {n_repeats}")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(
+            f"spec names must be unique (results and checkpoint shards "
+            f"are keyed by name); duplicated: {duplicates}"
+        )
     true_value = pool.performance["f_measure"]
-    rngs = spawn_rngs(random_state, n_repeats * len(specs))
+
+    root = _root_seed_sequence(random_state)
+    store = None
+    if checkpoint_dir is not None:
+        if random_state is None:
+            raise ValueError(
+                "checkpoint_dir requires a reproducible random_state "
+                "(int, SeedSequence or Generator), not None"
+            )
+        from repro.experiments.persistence import TrialStore
+
+        store = TrialStore(checkpoint_dir)
+        store.ensure_config(
+            {
+                "pool": getattr(pool, "name", "pool"),
+                "pool_fingerprint": _pool_fingerprint(pool),
+                "budgets": [int(b) for b in budgets],
+                "batch_size": int(batch_size),
+                "seed": _seed_descriptor(root),
+                "oracle": _oracle_descriptor(oracle_factory),
+                "specs": [spec.name for spec in specs],
+            },
+            overwrite=not resume,
+        )
+
+    # One seed sequence per (spec, repeat) task, addressed by position
+    # so the stream of task (s, r) never depends on worker count,
+    # scheduling, or which shards were resumed from disk.
+    def task_seed(spec_index: int, repeat: int) -> np.random.SeedSequence:
+        return _task_seed(root, spec_index, repeat)
+
+    estimates = {
+        spec.name: np.full((n_repeats, len(budgets)), np.nan) for spec in specs
+    }
+
+    pending: list[tuple[int, int]] = []
+    for spec_index, spec in enumerate(specs):
+        for repeat in range(n_repeats):
+            if store is not None and resume:
+                row = store.load_shard(spec_index, spec.name, repeat, budgets)
+                if row is not None and len(row) == len(budgets):
+                    estimates[spec.name][repeat] = row
+                    continue
+            pending.append((spec_index, repeat))
+
+    def record(spec_index: int, repeat: int, row: np.ndarray) -> None:
+        spec = specs[spec_index]
+        estimates[spec.name][repeat] = row
+        if store is not None:
+            store.save_shard(spec_index, spec.name, repeat, budgets, row)
+
+    if n_workers == 1 or not pending:
+        for spec_index, repeat in pending:
+            row = _run_one_trial(
+                pool, specs[spec_index], budgets, batch_size,
+                oracle_factory, task_seed(spec_index, repeat),
+            )
+            record(spec_index, repeat, row)
+    else:
+        _check_picklable(specs, oracle_factory)
+        max_workers = min(n_workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(pool, specs, budgets, batch_size, oracle_factory),
+        ) as executor:
+            futures = {
+                executor.submit(
+                    _worker_trial, spec_index, task_seed(spec_index, repeat)
+                ): (spec_index, repeat)
+                for spec_index, repeat in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                # Stream shard writes as repeats complete, so an
+                # interrupted sweep keeps everything finished so far.
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec_index, repeat = futures[future]
+                    record(spec_index, repeat, future.result())
 
     results: dict[str, TrialResult] = {}
-    rng_index = 0
     for spec in specs:
-        scores = pool.scores_calibrated if spec.use_calibrated_scores else pool.scores
-        estimates = np.full((n_repeats, len(budgets)), np.nan)
-        for repeat in range(n_repeats):
-            rng = rngs[rng_index]
-            rng_index += 1
-            if oracle_factory is None:
-                oracle = DeterministicOracle(pool.true_labels)
-            else:
-                oracle = oracle_factory(pool.true_labels, rng)
-            sampler = spec.factory(pool.predictions, scores, oracle, rng)
-            sampler.sample_until_budget(int(budgets[-1]), batch_size=batch_size)
-            estimates[repeat] = sampler.estimate_at_budgets(budgets)
         results[spec.name] = TrialResult(
             name=spec.name,
             budgets=budgets,
-            estimates=estimates,
+            estimates=estimates[spec.name],
             true_value=true_value,
         )
     return results

@@ -1,0 +1,160 @@
+"""Picklable sampler and oracle factories for parallel experiments.
+
+``run_trials`` accepts arbitrary callables as factories, which is
+convenient interactively but breaks process-parallel execution: a
+lambda closed over local state cannot be pickled into a worker.  This
+module provides declarative, picklable equivalents — a factory is a
+plain dataclass naming a sampler/oracle *kind* plus keyword arguments,
+so it serialises as data and rebuilds the object inside the worker.
+
+The same declarative form doubles as the JSON-friendly vocabulary of
+the scenario-sweep layer (:mod:`repro.experiments.sweep`): a sweep
+config names sampler and oracle kinds exactly as these factories do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.oasis import OASISSampler
+from repro.experiments.runner import SamplerSpec
+from repro.oracle.deterministic import DeterministicOracle
+from repro.oracle.noisy import NoisyOracle
+from repro.samplers.importance import ImportanceSampler
+from repro.samplers.oss import OSSSampler
+from repro.samplers.passive import PassiveSampler
+from repro.samplers.stratified import StratifiedSampler
+
+__all__ = [
+    "SAMPLER_KINDS",
+    "ORACLE_KINDS",
+    "SamplerFactory",
+    "OracleFactory",
+    "format_kwargs",
+    "make_sampler_spec",
+    "make_oracle_factory",
+]
+
+
+def format_kwargs(kind: str, kwargs: dict) -> str:
+    """Canonical display name ``kind(key=value,...)`` for a factory."""
+    if not kwargs:
+        return kind
+    inner = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+    return f"{kind}({inner})"
+
+SAMPLER_KINDS = {
+    "passive": PassiveSampler,
+    "stratified": StratifiedSampler,
+    "importance": ImportanceSampler,
+    "oasis": OASISSampler,
+    "oss": OSSSampler,
+}
+
+ORACLE_KINDS = {
+    "deterministic": DeterministicOracle,
+    "noisy": NoisyOracle,
+}
+
+
+@dataclass
+class SamplerFactory:
+    """Picklable ``(predictions, scores, oracle, rng) -> sampler``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SAMPLER_KINDS`.
+    kwargs:
+        Extra keyword arguments forwarded to the sampler constructor
+        (``n_strata``, ``epsilon``, ``threshold``, ...).
+    """
+
+    kind: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in SAMPLER_KINDS:
+            raise ValueError(
+                f"unknown sampler kind {self.kind!r}; "
+                f"choose from {sorted(SAMPLER_KINDS)}"
+            )
+
+    def __call__(self, predictions, scores, oracle, random_state):
+        cls = SAMPLER_KINDS[self.kind]
+        return cls(
+            predictions, scores, oracle,
+            random_state=random_state, **self.kwargs,
+        )
+
+
+@dataclass
+class OracleFactory:
+    """Picklable ``(true_labels, rng) -> oracle``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`ORACLE_KINDS`.
+    kwargs:
+        Extra keyword arguments for the oracle constructor (e.g.
+        ``flip_prob`` for the noisy oracle).
+    """
+
+    kind: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in ORACLE_KINDS:
+            raise ValueError(
+                f"unknown oracle kind {self.kind!r}; "
+                f"choose from {sorted(ORACLE_KINDS)}"
+            )
+
+    def __call__(self, true_labels, random_state):
+        if self.kind == "deterministic":
+            return DeterministicOracle(true_labels, **self.kwargs)
+        return NoisyOracle(
+            true_labels=true_labels, random_state=random_state, **self.kwargs
+        )
+
+    @property
+    def name(self) -> str:
+        """Compact display/shard name, e.g. ``noisy(flip_prob=0.05)``."""
+        return format_kwargs(self.kind, self.kwargs)
+
+
+def make_sampler_spec(
+    kind: str,
+    *,
+    name: str | None = None,
+    use_calibrated_scores: bool = False,
+    **kwargs,
+) -> SamplerSpec:
+    """Build a :class:`~repro.experiments.runner.SamplerSpec` that can
+    cross process boundaries.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SAMPLER_KINDS`.
+    name:
+        Display name; defaults to the kind plus any keyword arguments.
+    use_calibrated_scores:
+        Feed the pool's calibrated probabilities instead of margins.
+    kwargs:
+        Forwarded to the sampler constructor.
+    """
+    factory = SamplerFactory(kind, dict(kwargs))
+    if name is None:
+        name = format_kwargs(kind, kwargs)
+    return SamplerSpec(
+        name=name,
+        factory=factory,
+        use_calibrated_scores=use_calibrated_scores,
+    )
+
+
+def make_oracle_factory(kind: str, **kwargs) -> OracleFactory:
+    """Build a picklable oracle factory for :func:`run_trials`."""
+    return OracleFactory(kind, dict(kwargs))

@@ -1,0 +1,305 @@
+"""Declarative scenario sweeps: grid configs expanded into jobs.
+
+The paper evaluates every sampler on one pool/oracle scenario at a
+time; query-driven evaluation wants the full grid — dataset x oracle
+type x batch size x sampler configuration (``n_strata``, ``epsilon``,
+...).  A :class:`SweepConfig` declares that grid as plain data (JSON-
+friendly, so the CLI can load it from a file), :func:`expand_grid`
+expands it into one :class:`SweepJob` per (dataset, oracle, batch_size)
+cell, and :func:`run_sweep` drives every job through
+:func:`~repro.experiments.runner.run_trials` — parallel over a worker
+pool and resumable from its on-disk run directory.
+
+Seeding is hierarchical: the sweep's root seed spawns one
+``SeedSequence`` per job (by fixed grid position), and each job spawns
+one per (spec, repeat) task.  Streams therefore depend only on the
+config, never on execution order — the whole sweep is bit-identical
+for any worker count and across interrupt/resume cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.datasets.benchmark import BENCHMARK_NAMES, load_benchmark
+from repro.experiments.persistence import _slug, save_results
+from repro.experiments.runner import SamplerSpec, TrialResult, run_trials
+from repro.experiments.specs import (
+    ORACLE_KINDS,
+    SAMPLER_KINDS,
+    OracleFactory,
+    format_kwargs,
+    make_oracle_factory,
+    make_sampler_spec,
+)
+from repro.utils import spawn_seed_sequences
+
+__all__ = ["SweepConfig", "SweepJob", "expand_grid", "run_sweep"]
+
+
+@dataclass
+class SweepConfig:
+    """A declarative experiment grid.
+
+    Attributes
+    ----------
+    datasets:
+        Benchmark names (see :data:`repro.datasets.BENCHMARK_NAMES`).
+    budgets:
+        Distinct-label budget grid shared by every job.
+    samplers:
+        Sampler cells: each a dict with a ``kind`` key (one of
+        :data:`~repro.experiments.specs.SAMPLER_KINDS`) plus
+        constructor keywords — ``{"kind": "oasis", "n_strata": 30,
+        "epsilon": 1e-3}``.  Optional keys ``name`` and
+        ``use_calibrated_scores`` pass through to the spec.
+    oracles:
+        Oracle cells: dicts with ``kind`` (one of
+        :data:`~repro.experiments.specs.ORACLE_KINDS`) plus keywords,
+        e.g. ``{"kind": "noisy", "flip_prob": 0.05}``.
+    batch_sizes:
+        Draws per proposal refresh, one job per value.
+    n_repeats:
+        Independent repetitions per (job, sampler).
+    seed:
+        Root seed of the sweep's hierarchical stream tree.
+    scale:
+        Benchmark scale ("tiny" or "small").
+    """
+
+    datasets: list = field(default_factory=lambda: ["abt_buy"])
+    budgets: list = field(default_factory=lambda: [50, 100, 200])
+    samplers: list = field(default_factory=lambda: [
+        {"kind": "oasis", "n_strata": 30},
+        {"kind": "passive"},
+    ])
+    oracles: list = field(default_factory=lambda: [{"kind": "deterministic"}])
+    batch_sizes: list = field(default_factory=lambda: [1])
+    n_repeats: int = 10
+    seed: int = 42
+    scale: str = "tiny"
+
+    def __post_init__(self):
+        if not self.datasets:
+            raise ValueError("datasets must be non-empty")
+        unknown = [d for d in self.datasets if d not in BENCHMARK_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown datasets {unknown}; choose from {BENCHMARK_NAMES}"
+            )
+        if self.scale not in ("tiny", "small"):
+            raise ValueError(f"scale must be 'tiny' or 'small'; got {self.scale!r}")
+        if not self.samplers:
+            raise ValueError("samplers must be non-empty")
+        for cell in self.samplers:
+            kind = cell.get("kind")
+            if kind not in SAMPLER_KINDS:
+                raise ValueError(
+                    f"sampler cell {cell!r} needs a 'kind' in "
+                    f"{sorted(SAMPLER_KINDS)}"
+                )
+        for cell in self.oracles:
+            if cell.get("kind") not in ORACLE_KINDS:
+                raise ValueError(
+                    f"oracle cell {cell!r} needs a 'kind' in "
+                    f"{sorted(ORACLE_KINDS)}"
+                )
+        if not self.batch_sizes or any(int(b) < 1 for b in self.batch_sizes):
+            raise ValueError("batch_sizes must be non-empty positive integers")
+        if self.n_repeats < 1:
+            raise ValueError(f"n_repeats must be >= 1; got {self.n_repeats}")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep config keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, path) -> "SweepConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def to_dict(self) -> dict:
+        return {
+            "datasets": list(self.datasets),
+            "budgets": [int(b) for b in self.budgets],
+            "samplers": [dict(c) for c in self.samplers],
+            "oracles": [dict(c) for c in self.oracles],
+            "batch_sizes": [int(b) for b in self.batch_sizes],
+            "n_repeats": int(self.n_repeats),
+            "seed": int(self.seed),
+            "scale": self.scale,
+        }
+
+
+@dataclass
+class SweepJob:
+    """One grid cell: a dataset/oracle/batch-size scenario.
+
+    ``index`` is the job's fixed position in grid order — the key that
+    ties it to its seed stream and its run subdirectory, stable across
+    invocations of the same config.
+    """
+
+    index: int
+    dataset: str
+    scale: str
+    oracle: OracleFactory
+    batch_size: int
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.dataset}__{_slug(self.oracle.name)}__b{self.batch_size}"
+
+
+def expand_grid(config: SweepConfig) -> list[SweepJob]:
+    """Expand a config into jobs, in fixed dataset-major grid order."""
+    jobs = []
+    for dataset in config.datasets:
+        for oracle_cell in config.oracles:
+            cell = dict(oracle_cell)
+            oracle = make_oracle_factory(cell.pop("kind"), **cell)
+            for batch_size in config.batch_sizes:
+                jobs.append(SweepJob(
+                    index=len(jobs),
+                    dataset=dataset,
+                    scale=config.scale,
+                    oracle=oracle,
+                    batch_size=int(batch_size),
+                ))
+    return jobs
+
+
+def build_specs(config: SweepConfig, pool) -> list[SamplerSpec]:
+    """Instantiate the config's sampler cells against one pool.
+
+    Score-threshold samplers (importance, OASIS) that run on
+    uncalibrated margins default to the pool's own decision threshold
+    when the cell does not pin one — the pipeline's actual operating
+    point, matching what the paper's experiments feed them.
+    """
+    specs = []
+    for cell in config.samplers:
+        cell = dict(cell)
+        kind = cell.pop("kind")
+        name = cell.pop("name", None)
+        use_calibrated = bool(cell.pop("use_calibrated_scores", False))
+        if (
+            kind in ("importance", "oasis")
+            and not use_calibrated
+            and "threshold" not in cell
+        ):
+            cell["threshold"] = float(pool.threshold)
+        if name is None:
+            shown = {k: v for k, v in cell.items() if k != "threshold"}
+            name = format_kwargs(kind, shown)
+            if use_calibrated:
+                name += "+cal"
+        specs.append(make_sampler_spec(
+            kind, name=name, use_calibrated_scores=use_calibrated, **cell
+        ))
+    names = [spec.name for spec in specs]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"sampler cells produce duplicate names {duplicates}; "
+            "give the clashing cells explicit distinct 'name' keys"
+        )
+    return specs
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    workers: int = 1,
+    out_dir=None,
+    resume: bool = True,
+    progress=None,
+) -> dict[str, dict[str, TrialResult]]:
+    """Run every job of a sweep; returns ``{job_id: {spec: TrialResult}}``.
+
+    Parameters
+    ----------
+    config:
+        The declarative grid.
+    workers:
+        Worker-process count handed to each job's
+        :func:`~repro.experiments.runner.run_trials`; estimates are
+        bit-identical for every value.
+    out_dir:
+        Optional sweep directory.  Each job checkpoints into its own
+        subdirectory (``<out_dir>/<job_id>/``) as repeats complete, and
+        the sweep config plus each job's aggregated ``results.json``
+        are written alongside; re-invoking the same sweep resumes from
+        whatever shards exist.
+    resume:
+        When False, recompute every shard even if present.
+    progress:
+        Optional callable ``(job, results) -> None`` invoked as each
+        job finishes (the CLI uses it for incremental reporting).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1; got {workers}")
+    jobs = expand_grid(config)
+    job_seqs = spawn_seed_sequences(config.seed, len(jobs))
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        config_path = out_dir / "sweep.json"
+        if config_path.is_file():
+            # n_repeats may grow (or shrink) between invocations — task
+            # streams don't depend on it, so extending a finished sweep
+            # in place is supported; every other key must match.
+            stored = json.loads(config_path.read_text())
+            current = config.to_dict()
+            mismatched = [
+                key
+                for key in sorted(set(stored) | set(current))
+                if key != "n_repeats" and stored.get(key) != current.get(key)
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"sweep directory {out_dir} holds a different sweep "
+                    f"config (mismatched keys: {', '.join(mismatched)}); "
+                    "point the sweep at a fresh directory"
+                )
+        config_path.write_text(
+            json.dumps(config.to_dict(), indent=1, sort_keys=True)
+        )
+
+    pools: dict[str, object] = {}
+    results: dict[str, dict[str, TrialResult]] = {}
+    for job in jobs:
+        if job.dataset not in pools:
+            pools[job.dataset] = load_benchmark(
+                job.dataset, scale=config.scale, random_state=config.seed
+            )
+        pool = pools[job.dataset]
+        specs = build_specs(config, pool)
+        checkpoint_dir = None if out_dir is None else out_dir / job.job_id
+        job_results = run_trials(
+            pool,
+            specs,
+            budgets=config.budgets,
+            n_repeats=config.n_repeats,
+            batch_size=job.batch_size,
+            oracle_factory=job.oracle,
+            random_state=job_seqs[job.index],
+            n_workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+        results[job.job_id] = job_results
+        if out_dir is not None:
+            save_results(job_results, out_dir / job.job_id / "results.json")
+        if progress is not None:
+            progress(job, job_results)
+    return results

@@ -1,6 +1,6 @@
 """Shared utilities: RNG handling, numeric transforms, validation."""
 
-from repro.utils.random import ensure_rng, spawn_rngs
+from repro.utils.random import ensure_rng, spawn_rngs, spawn_seed_sequences
 from repro.utils.transforms import expit, logit, normalise, safe_divide
 from repro.utils.validation import (
     check_in_range,
@@ -12,6 +12,7 @@ from repro.utils.validation import (
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "spawn_seed_sequences",
     "expit",
     "logit",
     "normalise",

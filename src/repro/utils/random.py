@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "spawn_rngs", "spawn_seed_sequences"]
 
 
 def ensure_rng(random_state=None) -> np.random.Generator:
@@ -19,8 +19,9 @@ def ensure_rng(random_state=None) -> np.random.Generator:
     Parameters
     ----------
     random_state:
-        ``None`` for nondeterministic entropy, an ``int`` seed, or an
-        existing ``Generator`` (returned unchanged).
+        ``None`` for nondeterministic entropy, an ``int`` seed, a
+        ``SeedSequence``, or an existing ``Generator`` (returned
+        unchanged).
 
     Returns
     -------
@@ -32,10 +33,44 @@ def ensure_rng(random_state=None) -> np.random.Generator:
         return random_state
     if isinstance(random_state, (int, np.integer)):
         return np.random.default_rng(int(random_state))
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
     raise TypeError(
-        f"random_state must be None, an int, or a numpy Generator; "
-        f"got {type(random_state).__name__}"
+        f"random_state must be None, an int, a SeedSequence, or a numpy "
+        f"Generator; got {type(random_state).__name__}"
     )
+
+
+def spawn_seed_sequences(random_state, n: int) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` independent ``SeedSequence`` children from one source.
+
+    Unlike :func:`spawn_rngs` this returns the seed material itself, not
+    generators: a ``SeedSequence`` is cheap to pickle and ship to a
+    worker process, and can be spawned further (e.g. one child for the
+    oracle's noise, one for the sampler's draws) without the parent and
+    child streams ever overlapping.  The children depend only on
+    ``random_state`` and position, never on which process consumes them
+    — the property that makes parallel experiment runs bit-identical to
+    serial ones.
+
+    Parameters
+    ----------
+    random_state:
+        ``None``, an ``int`` seed, a ``SeedSequence`` (spawned
+        directly), or a ``Generator`` (its underlying seed sequence is
+        used).
+    n:
+        Number of children to spawn.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(random_state, np.random.SeedSequence):
+        seed_seq = random_state
+    elif isinstance(random_state, np.random.Generator):
+        seed_seq = random_state.bit_generator.seed_seq
+    else:
+        seed_seq = np.random.SeedSequence(random_state)
+    return list(seed_seq.spawn(n))
 
 
 def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:
@@ -44,10 +79,7 @@ def spawn_rngs(random_state, n: int) -> list[np.random.Generator]:
     Uses ``SeedSequence.spawn`` so child streams are statistically
     independent — the right way to seed repeated experiment trials.
     """
-    if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
-    if isinstance(random_state, np.random.Generator):
-        seed_seq = random_state.bit_generator.seed_seq
-    else:
-        seed_seq = np.random.SeedSequence(random_state)
-    return [np.random.default_rng(child) for child in seed_seq.spawn(n)]
+    return [
+        np.random.default_rng(child)
+        for child in spawn_seed_sequences(random_state, n)
+    ]

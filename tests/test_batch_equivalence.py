@@ -142,7 +142,9 @@ def test_sample_until_budget_batched_reaches_budget(imbalanced_pool):
     budget = 300
     batch_size = 64
     sampler.sample_until_budget(budget, batch_size=batch_size)
-    assert budget <= sampler.labels_consumed < budget + batch_size
+    # Exact-budget semantics: the final block is capped at the
+    # remaining budget, so batched runs bill exactly `budget` labels.
+    assert sampler.labels_consumed == budget
     # Per-draw budget history stays monotone through the blocks.
     assert all(
         a <= b

@@ -91,3 +91,94 @@ class TestSamplingContract:
         second = sampler._query_label(3)
         assert first == second
         assert sampler.labels_consumed == 1
+
+
+class TestExactBudget:
+    """Batched runs bill the oracle exactly ``budget`` distinct labels.
+
+    Regression for the old behaviour where the final block could
+    overshoot by up to ``batch_size - 1`` labels.
+    """
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 16, 64])
+    def test_labels_consumed_is_exact(self, batch_size):
+        sampler = make(n=200, seed=1)
+        sampler.sample_until_budget(50, batch_size=batch_size)
+        assert sampler.labels_consumed == 50
+
+    def test_identical_bill_across_batch_sizes(self):
+        consumed = []
+        for batch_size in (1, 4, 7, 32, 128):
+            sampler = make(n=300, seed=2)
+            sampler.sample_until_budget(80, batch_size=batch_size)
+            consumed.append(sampler.labels_consumed)
+        assert consumed == [80] * len(consumed)
+
+    def test_budget_smaller_than_batch(self):
+        sampler = make(n=200, seed=3)
+        sampler.sample_until_budget(5, batch_size=64)
+        assert sampler.labels_consumed == 5
+
+    def test_exactness_survives_cache_hits(self):
+        # A tiny pool forces many re-draws of cached items inside each
+        # block; the cap must count *distinct* labels, not draws.
+        sampler = make(n=25, seed=4)
+        sampler.sample_until_budget(20, batch_size=8)
+        assert sampler.labels_consumed == 20
+
+    def test_max_iterations_still_bounds(self):
+        sampler = make(n=40, seed=5)
+        sampler.sample_until_budget(40, batch_size=8, max_iterations=6)
+        assert len(sampler.history) == 6
+
+
+class TestEstimateAtBudgets:
+    """Edge cases of the budget-indexed history lookup."""
+
+    def _with_history(self, history, budget_history):
+        sampler = make()
+        sampler.history = list(history)
+        sampler.budget_history = list(budget_history)
+        return sampler
+
+    def test_budgets_below_first_entry_are_nan(self):
+        sampler = self._with_history([0.4, 0.5], [3, 4])
+        out = sampler.estimate_at_budgets([1, 2, 3])
+        assert np.isnan(out[0]) and np.isnan(out[1])
+        assert out[2] == pytest.approx(0.4)
+
+    def test_nan_prefixed_history_returns_nan_not_skip(self):
+        # Undefined early estimates are reported as NaN at their
+        # budgets, not papered over with a later defined value.
+        sampler = self._with_history(
+            [np.nan, np.nan, 0.5, 0.6], [1, 2, 2, 3]
+        )
+        out = sampler.estimate_at_budgets([1, 2, 3, 10])
+        assert np.isnan(out[0])
+        assert out[1] == pytest.approx(0.5)  # latest entry at budget 2
+        assert out[2] == pytest.approx(0.6)
+        assert out[3] == pytest.approx(0.6)  # past the end: last estimate
+
+    def test_intra_batch_plateaus_pick_latest(self):
+        # Cached re-draws add history entries without consuming budget;
+        # the lookup must return the *latest* estimate at each budget.
+        sampler = self._with_history(
+            [0.1, 0.2, 0.3, 0.4, 0.5], [1, 1, 1, 2, 2]
+        )
+        out = sampler.estimate_at_budgets([1, 2])
+        assert out[0] == pytest.approx(0.3)
+        assert out[1] == pytest.approx(0.5)
+
+    def test_batched_run_consistent_with_history(self):
+        # Cross-check the vectorised lookup against a manual scan on a
+        # real batched run with heavy intra-batch cache re-draws.
+        sampler = make(n=25, seed=7)
+        sampler.sample_until_budget(18, batch_size=8)
+        budgets = [1, 5, 10, 18]
+        out = sampler.estimate_at_budgets(budgets)
+        consumed = np.asarray(sampler.budget_history)
+        history = np.asarray(sampler.history)
+        for b, got in zip(budgets, out):
+            positions = np.flatnonzero(consumed <= b)
+            expected = history[positions[-1]] if len(positions) else np.nan
+            np.testing.assert_equal(got, expected)

@@ -102,6 +102,88 @@ class TestRunTrials:
         )
         assert np.isfinite(results["OASIS cal"].estimates).all()
 
+    def test_duplicate_budgets_deduped(self, tiny_abt_buy, specs):
+        # Duplicate entries used to emit duplicated grid columns.
+        results = run_trials(
+            tiny_abt_buy, specs[:1], budgets=[100, 50, 50, 100, 100],
+            n_repeats=2, random_state=0,
+        )
+        np.testing.assert_array_equal(results["OASIS"].budgets, [50, 100])
+        assert results["OASIS"].estimates.shape == (2, 2)
+
+    def test_dedup_then_positivity_validated(self, tiny_abt_buy, specs):
+        with pytest.raises(ValueError, match="budgets"):
+            run_trials(
+                tiny_abt_buy, specs, budgets=[-5, -5, 50], n_repeats=2
+            )
+        with pytest.raises(ValueError, match="budgets"):
+            run_trials(tiny_abt_buy, specs, budgets=[0, 0, 0], n_repeats=2)
+
+    def test_deduped_grid_matches_clean_grid(self, tiny_abt_buy, specs):
+        noisy_grid = run_trials(
+            tiny_abt_buy, specs[:1], budgets=[50, 50, 100], n_repeats=2,
+            random_state=3,
+        )
+        clean_grid = run_trials(
+            tiny_abt_buy, specs[:1], budgets=[50, 100], n_repeats=2,
+            random_state=3,
+        )
+        np.testing.assert_array_equal(
+            noisy_grid["OASIS"].estimates, clean_grid["OASIS"].estimates
+        )
+
+
+class TestSplitRandomStreams:
+    """The oracle and the sampler own independent child streams."""
+
+    def test_oracle_noise_does_not_perturb_sampler(self, tiny_abt_buy, specs):
+        # A zero-noise NoisyOracle returns ground truth but *consumes*
+        # its own random stream; with split streams the estimates are
+        # bit-identical to the deterministic-oracle run.  Under the old
+        # shared stream the oracle's draws shifted the sampler's.
+        deterministic = run_trials(
+            tiny_abt_buy, specs, budgets=[50, 100], n_repeats=3,
+            random_state=11,
+        )
+        zero_noise = run_trials(
+            tiny_abt_buy, specs, budgets=[50, 100], n_repeats=3,
+            random_state=11,
+            oracle_factory=lambda labels, rng: NoisyOracle(
+                true_labels=labels, flip_prob=0.0, random_state=rng
+            ),
+        )
+        for name in deterministic:
+            np.testing.assert_array_equal(
+                deterministic[name].estimates, zero_noise[name].estimates
+            )
+
+    def test_noisy_oracle_reproducible_across_batch_sizes(self, tiny_tweets):
+        # Non-adaptive sampler + noisy oracle: with each component on
+        # its own stream, results at the same seed are bit-identical
+        # for batch_size 1 and 16.  With the old interleaved stream the
+        # block structure changed who consumed which draw.
+        spec = SamplerSpec(
+            "Passive",
+            lambda p, s, o, r: PassiveSampler(p, s, o, random_state=r),
+        )
+        def factory(labels, rng):
+            return NoisyOracle(
+                true_labels=labels, flip_prob=0.1, random_state=rng
+            )
+
+        sequential = run_trials(
+            tiny_tweets, [spec], budgets=[40, 80], n_repeats=3,
+            batch_size=1, oracle_factory=factory, random_state=5,
+        )
+        batched = run_trials(
+            tiny_tweets, [spec], budgets=[40, 80], n_repeats=3,
+            batch_size=16, oracle_factory=factory, random_state=5,
+        )
+        np.testing.assert_array_equal(
+            sequential["Passive"].estimates, batched["Passive"].estimates
+        )
+        assert np.isfinite(sequential["Passive"].estimates).any()
+
 
 class TestAggregate:
     def test_curve_shapes(self, trial_results):

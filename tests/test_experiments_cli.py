@@ -28,6 +28,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--dataset", "nope"])
 
+    def test_compare_workers_option(self):
+        args = build_parser().parse_args(["compare", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_convergence_batch_size_option(self):
+        args = build_parser().parse_args(["convergence", "--batch-size", "8"])
+        assert args.batch_size == 8
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.datasets == ["abt_buy"]
+        assert args.batch_sizes == [1]
+        assert args.workers == 1
+        assert args.resume is True
+        assert args.out is None
+
+    def test_sweep_grid_options(self):
+        args = build_parser().parse_args([
+            "sweep", "--datasets", "abt_buy", "cora",
+            "--budgets", "50", "100", "--batch-sizes", "1", "16",
+            "--flip-prob", "0.05", "--workers", "2",
+            "--out", "runs/x", "--no-resume",
+        ])
+        assert args.datasets == ["abt_buy", "cora"]
+        assert args.budgets == [50, 100]
+        assert args.batch_sizes == [1, 16]
+        assert args.flip_prob == 0.05
+        assert args.resume is False
+
+    def test_sweep_resume_flags_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--resume", "--no-resume"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
@@ -71,3 +104,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "IS uncal abs_err" in out
         assert "OASIS cal abs_err" in out
+
+    def test_compare_command_with_workers(self, capsys):
+        code = main([
+            "compare", "--dataset", "abt_buy", "--scale", "tiny",
+            "--budget", "100", "--repeats", "2", "--workers", "2",
+        ])
+        assert code == 0
+        assert "OASIS 30 abs_err" in capsys.readouterr().out
+
+    def test_sweep_command_inline_grid(self, capsys, tmp_path):
+        out_dir = tmp_path / "run"
+        code = main([
+            "sweep", "--datasets", "abt_buy", "--scale", "tiny",
+            "--budgets", "30", "60", "--batch-sizes", "1", "8",
+            "--repeats", "2", "--n-strata", "10",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "abt_buy__deterministic__b1" in printed
+        assert "abt_buy__deterministic__b8" in printed
+        assert (out_dir / "sweep.json").is_file()
+        assert (out_dir / "abt_buy__deterministic__b1" / "results.json").is_file()
+
+    def test_sweep_command_from_config_file(self, capsys, tmp_path):
+        import json
+
+        config = {
+            "datasets": ["abt_buy"],
+            "budgets": [30],
+            "samplers": [{"kind": "passive"}],
+            "batch_sizes": [1],
+            "n_repeats": 2,
+            "seed": 3,
+            "scale": "tiny",
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(config))
+        code = main(["sweep", "--config", str(path)])
+        assert code == 0
+        assert "passive abs_err" in capsys.readouterr().out

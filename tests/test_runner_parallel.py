@@ -1,0 +1,300 @@
+"""Parallel execution and checkpoint/resume of the trial runner.
+
+The contract under test: a seeded ``run_trials`` produces bit-identical
+estimates for any ``n_workers``, streams completed repeats to disk when
+``checkpoint_dir`` is set, and a resumed (interrupted) run matches an
+uninterrupted one exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SamplerSpec,
+    TrialStore,
+    make_oracle_factory,
+    make_sampler_spec,
+    run_trials,
+)
+
+BUDGETS = [30, 60]
+
+
+@pytest.fixture(scope="module")
+def picklable_specs(tiny_abt_buy):
+    return [
+        make_sampler_spec(
+            "oasis", name="OASIS", n_strata=10,
+            threshold=tiny_abt_buy.threshold,
+        ),
+        make_sampler_spec("passive", name="Passive"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(tiny_abt_buy, picklable_specs):
+    return run_trials(
+        tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+        random_state=7,
+    )
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_workers_bit_identical_to_serial(
+        self, tiny_abt_buy, picklable_specs, serial_results, n_workers
+    ):
+        parallel = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+            random_state=7, n_workers=n_workers,
+        )
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, parallel[name].estimates
+            )
+
+    def test_workers_bit_identical_with_noisy_oracle(
+        self, tiny_abt_buy, picklable_specs
+    ):
+        factory = make_oracle_factory("noisy", flip_prob=0.05)
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=3, random_state=13,
+            oracle_factory=factory,
+        )
+        serial = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        parallel = run_trials(
+            tiny_abt_buy, picklable_specs, n_workers=3, **kwargs
+        )
+        for name in serial:
+            np.testing.assert_array_equal(
+                serial[name].estimates, parallel[name].estimates
+            )
+
+    def test_unpicklable_spec_fails_fast(self, tiny_abt_buy):
+        lambda_spec = SamplerSpec("bad", lambda p, s, o, r: None)
+        with pytest.raises(ValueError, match="picklable"):
+            run_trials(
+                tiny_abt_buy, [lambda_spec], budgets=BUDGETS,
+                n_repeats=2, random_state=0, n_workers=2,
+            )
+
+    def test_worker_count_validated(self, tiny_abt_buy, picklable_specs):
+        with pytest.raises(ValueError, match="n_workers"):
+            run_trials(
+                tiny_abt_buy, picklable_specs, budgets=BUDGETS,
+                n_repeats=2, n_workers=0,
+            )
+
+
+class TestCheckpointResume:
+    def test_streams_one_shard_per_repeat(
+        self, tiny_abt_buy, picklable_specs, serial_results, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        checkpointed = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        store = TrialStore(run_dir)
+        assert len(store.completed()) == 2 * 4
+        manifest = store.read_manifest()
+        assert manifest["budgets"] == BUDGETS
+        assert manifest["specs"] == ["OASIS", "Passive"]
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, checkpointed[name].estimates
+            )
+
+    def test_interrupted_run_resumes_to_identical_aggregate(
+        self, tiny_abt_buy, picklable_specs, serial_results, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=4, random_state=7,
+            checkpoint_dir=run_dir,
+        )
+        run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        # Simulate an interruption: drop a few completed shards.
+        store = TrialStore(run_dir)
+        for name in store.completed()[1::3]:
+            (store.shard_dir / name).unlink()
+        resumed = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, resumed[name].estimates
+            )
+
+    def test_resume_loads_rather_than_recomputes(
+        self, tiny_abt_buy, picklable_specs, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=2, random_state=7,
+            checkpoint_dir=run_dir,
+        )
+        run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        # Plant a sentinel value in one shard; a resume must trust it.
+        store = TrialStore(run_dir)
+        path = store.shard_path(0, "OASIS", 1)
+        payload = json.loads(path.read_text())
+        payload["estimates"] = [0.123, 0.456]
+        path.write_text(json.dumps(payload))
+        resumed = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        np.testing.assert_allclose(
+            resumed["OASIS"].estimates[1], [0.123, 0.456]
+        )
+        # resume=False recomputes everything, overwriting the sentinel.
+        recomputed = run_trials(
+            tiny_abt_buy, picklable_specs, resume=False, **kwargs
+        )
+        assert not np.allclose(
+            recomputed["OASIS"].estimates[1], [0.123, 0.456]
+        )
+
+    def test_extending_repeats_reuses_completed_shards(
+        self, tiny_abt_buy, picklable_specs, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        short = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=2,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        extended = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        assert len(TrialStore(run_dir).completed()) == 2 * 4
+        for name in short:
+            np.testing.assert_array_equal(
+                short[name].estimates, extended[name].estimates[:2]
+            )
+
+    def test_config_mismatch_rejected(
+        self, tiny_abt_buy, picklable_specs, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=2,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        with pytest.raises(ValueError, match="different run configuration"):
+            run_trials(
+                tiny_abt_buy, picklable_specs, budgets=[30, 61],
+                n_repeats=2, random_state=7, checkpoint_dir=run_dir,
+            )
+        with pytest.raises(ValueError, match="different run configuration"):
+            run_trials(
+                tiny_abt_buy, picklable_specs, budgets=BUDGETS,
+                n_repeats=2, random_state=8, checkpoint_dir=run_dir,
+            )
+
+    def test_duplicate_spec_names_rejected(self, tiny_abt_buy):
+        specs = [
+            make_sampler_spec("passive", name="P"),
+            make_sampler_spec("stratified", name="P", n_strata=5),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            run_trials(
+                tiny_abt_buy, specs, budgets=BUDGETS, n_repeats=2,
+                random_state=0,
+            )
+
+    def test_overwritten_config_clears_stale_shards(
+        self, tiny_abt_buy, picklable_specs, tmp_path
+    ):
+        # Re-running a directory with a new config (resume=False) must
+        # not leave old-config shards behind for a later resume to mix
+        # in: run A (4 repeats, budgets X), run B (2 repeats, budgets
+        # Y, resume=False), then run C (4 repeats, budgets Y, resume)
+        # must equal a fresh uninterrupted run, not inherit A's rows.
+        run_dir = tmp_path / "run"
+        run_trials(
+            tiny_abt_buy, picklable_specs, budgets=[10, 20], n_repeats=4,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=2,
+            random_state=7, checkpoint_dir=run_dir, resume=False,
+        )
+        assert len(TrialStore(run_dir).completed()) == 2 * 2
+        resumed = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+            random_state=7, checkpoint_dir=run_dir,
+        )
+        fresh = run_trials(
+            tiny_abt_buy, picklable_specs, budgets=BUDGETS, n_repeats=4,
+            random_state=7,
+        )
+        for name in fresh:
+            np.testing.assert_array_equal(
+                fresh[name].estimates, resumed[name].estimates
+            )
+
+    def test_shard_with_foreign_budgets_ignored(
+        self, tiny_abt_buy, picklable_specs, serial_results, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=4, random_state=7,
+            checkpoint_dir=run_dir,
+        )
+        run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        store = TrialStore(run_dir)
+        path = store.shard_path(0, "OASIS", 0)
+        payload = json.loads(path.read_text())
+        payload["budgets"] = [10, 20]  # wrong grid, right row length
+        path.write_text(json.dumps(payload))
+        resumed = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, resumed[name].estimates
+            )
+
+    def test_checkpoint_requires_reproducible_seed(
+        self, tiny_abt_buy, picklable_specs, tmp_path
+    ):
+        with pytest.raises(ValueError, match="random_state"):
+            run_trials(
+                tiny_abt_buy, picklable_specs, budgets=BUDGETS,
+                n_repeats=2, checkpoint_dir=tmp_path / "run",
+            )
+
+    def test_torn_shard_is_recomputed(
+        self, tiny_abt_buy, picklable_specs, serial_results, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=4, random_state=7,
+            checkpoint_dir=run_dir,
+        )
+        run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        store = TrialStore(run_dir)
+        store.shard_path(0, "OASIS", 0).write_text('{"truncat')
+        resumed = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, resumed[name].estimates
+            )
+
+    def test_parallel_resume_combination(
+        self, tiny_abt_buy, picklable_specs, serial_results, tmp_path
+    ):
+        # The acceptance scenario end-to-end: parallel checkpointed run,
+        # interruption, parallel resume — identical to the serial,
+        # uninterrupted reference.
+        run_dir = tmp_path / "run"
+        kwargs = dict(
+            budgets=BUDGETS, n_repeats=4, random_state=7,
+            checkpoint_dir=run_dir, n_workers=2,
+        )
+        run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        store = TrialStore(run_dir)
+        for name in store.completed()[::2]:
+            (store.shard_dir / name).unlink()
+        resumed = run_trials(tiny_abt_buy, picklable_specs, **kwargs)
+        for name in serial_results:
+            np.testing.assert_array_equal(
+                serial_results[name].estimates, resumed[name].estimates
+            )

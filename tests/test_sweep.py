@@ -1,0 +1,189 @@
+"""Tests for the declarative scenario-sweep layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import SweepConfig, TrialResult, expand_grid, run_sweep
+from repro.experiments.sweep import build_specs
+
+TINY = dict(
+    datasets=["abt_buy"],
+    budgets=[30, 60],
+    samplers=[{"kind": "oasis", "n_strata": 10}, {"kind": "passive"}],
+    batch_sizes=[1, 8],
+    n_repeats=2,
+    seed=17,
+    scale="tiny",
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SweepConfig(**TINY)
+
+
+@pytest.fixture(scope="module")
+def reference_results(tiny_config):
+    return run_sweep(tiny_config)
+
+
+class TestSweepConfig:
+    def test_round_trips_through_dict_and_json(self, tiny_config, tmp_path):
+        payload = tiny_config.to_dict()
+        assert SweepConfig.from_dict(payload).to_dict() == payload
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(payload))
+        assert SweepConfig.from_json(path).to_dict() == payload
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep config keys"):
+            SweepConfig.from_dict({"dataset": ["abt_buy"]})
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown datasets"):
+            SweepConfig(datasets=["nope"])
+
+    def test_bad_sampler_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SweepConfig(samplers=[{"kind": "magic"}])
+
+    def test_bad_oracle_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SweepConfig(oracles=[{"kind": "psychic"}])
+
+    def test_bad_batch_sizes_rejected(self):
+        with pytest.raises(ValueError, match="batch_sizes"):
+            SweepConfig(batch_sizes=[0])
+
+    def test_empty_samplers_rejected(self):
+        with pytest.raises(ValueError, match="samplers"):
+            SweepConfig(samplers=[])
+
+
+class TestExpandGrid:
+    def test_grid_order_and_ids(self):
+        config = SweepConfig(
+            datasets=["abt_buy", "cora"],
+            oracles=[{"kind": "deterministic"},
+                     {"kind": "noisy", "flip_prob": 0.05}],
+            batch_sizes=[1, 16],
+        )
+        jobs = expand_grid(config)
+        assert len(jobs) == 2 * 2 * 2
+        assert [j.index for j in jobs] == list(range(8))
+        assert jobs[0].job_id == "abt_buy__deterministic__b1"
+        assert jobs[1].job_id == "abt_buy__deterministic__b16"
+        assert "noisy" in jobs[2].job_id and "0.05" in jobs[2].job_id
+        assert jobs[4].dataset == "cora"
+
+    def test_job_ids_unique(self, tiny_config):
+        jobs = expand_grid(tiny_config)
+        assert len({j.job_id for j in jobs}) == len(jobs)
+
+
+class TestBuildSpecs:
+    def test_margin_samplers_default_to_pool_threshold(self, tiny_abt_buy):
+        config = SweepConfig(samplers=[
+            {"kind": "oasis", "n_strata": 5},
+            {"kind": "importance"},
+            {"kind": "oasis", "n_strata": 5, "use_calibrated_scores": True},
+        ])
+        specs = build_specs(config, tiny_abt_buy)
+        assert specs[0].factory.kwargs["threshold"] == tiny_abt_buy.threshold
+        assert specs[1].factory.kwargs["threshold"] == tiny_abt_buy.threshold
+        assert "threshold" not in specs[2].factory.kwargs
+        assert specs[2].use_calibrated_scores
+
+    def test_names_are_stable_and_distinct(self, tiny_abt_buy):
+        config = SweepConfig(samplers=[
+            {"kind": "oasis", "n_strata": 5},
+            {"kind": "oasis", "n_strata": 10},
+            {"kind": "passive"},
+        ])
+        names = [s.name for s in build_specs(config, tiny_abt_buy)]
+        assert len(set(names)) == 3
+        assert "passive" in names
+
+
+class TestRunSweep:
+    def test_result_layout(self, tiny_config, reference_results):
+        jobs = expand_grid(tiny_config)
+        assert set(reference_results) == {j.job_id for j in jobs}
+        for job_results in reference_results.values():
+            for result in job_results.values():
+                assert isinstance(result, TrialResult)
+                assert result.estimates.shape == (2, 2)
+
+    def test_workers_bit_identical(self, tiny_config, reference_results):
+        parallel = run_sweep(tiny_config, workers=2)
+        for job_id, job_results in reference_results.items():
+            for name, result in job_results.items():
+                np.testing.assert_array_equal(
+                    result.estimates, parallel[job_id][name].estimates
+                )
+
+    def test_out_dir_persists_and_resumes(
+        self, tiny_config, reference_results, tmp_path
+    ):
+        out = tmp_path / "sweep"
+        first = run_sweep(tiny_config, out_dir=out)
+        for job_id in first:
+            assert (out / job_id / "results.json").is_file()
+            assert (out / job_id / "manifest.json").is_file()
+        # Interrupt: drop one whole job's shards plus a shard elsewhere.
+        job_ids = sorted(first)
+        for shard in (out / job_ids[0] / "shards").glob("*.json"):
+            shard.unlink()
+        some_shard = next((out / job_ids[1] / "shards").glob("*.json"))
+        some_shard.unlink()
+        resumed = run_sweep(tiny_config, out_dir=out)
+        for job_id, job_results in reference_results.items():
+            for name, result in job_results.items():
+                np.testing.assert_array_equal(
+                    result.estimates, resumed[job_id][name].estimates
+                )
+
+    def test_different_config_in_same_dir_rejected(
+        self, tiny_config, tmp_path
+    ):
+        out = tmp_path / "sweep"
+        run_sweep(tiny_config, out_dir=out)
+        other = dict(TINY)
+        other["seed"] = 99
+        with pytest.raises(ValueError, match="different sweep config"):
+            run_sweep(SweepConfig(**other), out_dir=out)
+
+    def test_extending_repeats_in_same_dir_allowed(
+        self, tiny_config, reference_results, tmp_path
+    ):
+        # n_repeats is the one key allowed to change between
+        # invocations: task streams don't depend on it, so a finished
+        # sweep extends in place.
+        out = tmp_path / "sweep"
+        shorter = dict(TINY)
+        shorter["n_repeats"] = 1
+        run_sweep(SweepConfig(**shorter), out_dir=out)
+        extended = run_sweep(tiny_config, out_dir=out)
+        for job_id, job_results in reference_results.items():
+            for name, result in job_results.items():
+                np.testing.assert_array_equal(
+                    result.estimates, extended[job_id][name].estimates
+                )
+
+    def test_duplicate_sampler_cells_rejected(self, tiny_abt_buy):
+        config = SweepConfig(samplers=[
+            {"kind": "passive"},
+            {"kind": "passive"},
+        ])
+        with pytest.raises(ValueError, match="duplicate names"):
+            build_specs(config, tiny_abt_buy)
+
+    def test_progress_callback_sees_every_job(self, tiny_config):
+        seen = []
+        run_sweep(tiny_config, progress=lambda job, results: seen.append(
+            (job.job_id, sorted(results))
+        ))
+        assert len(seen) == len(expand_grid(tiny_config))
+        assert all(names == sorted(names) or names for _, names in seen)
