@@ -6,7 +6,12 @@ pairwise feature construction, blocking for pool reduction, and the
 threshold matcher producing a predicted resolution.
 """
 
-from repro.pipeline.blocking import sorted_neighbourhood_pairs, token_blocking_pairs
+from repro.pipeline.blocking import (
+    sorted_neighbourhood_pairs,
+    sorted_neighbourhood_pairs_reference,
+    token_blocking_pairs,
+    token_blocking_pairs_reference,
+)
 from repro.pipeline.features import FieldSpec, PairFeatureExtractor
 from repro.pipeline.matching import ERPipeline, threshold_match
 from repro.pipeline.multisource import MultiSourcePool, multi_source_pairs
@@ -20,8 +25,13 @@ from repro.pipeline.records import (
     dedup_pairs,
 )
 from repro.pipeline.similarity import (
+    SparseVectorMatrix,
+    TokenSetMatrix,
+    build_token_vocabulary,
+    cosine_pairs,
     cosine_tfidf_similarity,
     jaccard_ngram_similarity,
+    jaccard_pairs,
     jaro_similarity,
     jaro_winkler_similarity,
     levenshtein_distance,
@@ -29,12 +39,15 @@ from repro.pipeline.similarity import (
     monge_elkan_similarity,
     ngrams,
     normalised_numeric_similarity,
+    numeric_similarity_pairs,
     TfidfVectoriser,
 )
 
 __all__ = [
     "sorted_neighbourhood_pairs",
+    "sorted_neighbourhood_pairs_reference",
     "token_blocking_pairs",
+    "token_blocking_pairs_reference",
     "FieldSpec",
     "PairFeatureExtractor",
     "ERPipeline",
@@ -50,8 +63,11 @@ __all__ = [
     "build_pair_pool",
     "cross_product_pairs",
     "dedup_pairs",
+    "build_token_vocabulary",
+    "cosine_pairs",
     "cosine_tfidf_similarity",
     "jaccard_ngram_similarity",
+    "jaccard_pairs",
     "jaro_similarity",
     "jaro_winkler_similarity",
     "levenshtein_distance",
@@ -59,5 +75,8 @@ __all__ = [
     "monge_elkan_similarity",
     "ngrams",
     "normalised_numeric_similarity",
+    "numeric_similarity_pairs",
+    "SparseVectorMatrix",
     "TfidfVectoriser",
+    "TokenSetMatrix",
 ]

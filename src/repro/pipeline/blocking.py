@@ -6,6 +6,14 @@ provided as substrate: token blocking and sorted neighbourhood.  Note
 the paper's evaluation deliberately avoids blocking-filtered pools
 (filtering "injects hidden bias into estimates"); these are offered for
 building realistic pipelines, not for constructing evaluation pools.
+
+Both schemes are join-based internally: candidate pairs are encoded as
+single integers ``a * len(store_b) + b``, blocks are expanded with
+``np.repeat``/``np.tile``-style broadcasting, and deduplication is one
+``np.unique`` over the encoded keys — no Python ``set`` of tuples on
+the hot path.  The original set-based scans survive as
+``token_blocking_pairs_reference`` / ``sorted_neighbourhood_pairs_reference``
+for parity testing.
 """
 
 from __future__ import annotations
@@ -17,7 +25,50 @@ import numpy as np
 from repro.pipeline.normalise import normalise_string
 from repro.pipeline.records import RecordStore
 
-__all__ = ["token_blocking_pairs", "sorted_neighbourhood_pairs"]
+__all__ = [
+    "token_blocking_pairs",
+    "sorted_neighbourhood_pairs",
+    "token_blocking_pairs_reference",
+    "sorted_neighbourhood_pairs_reference",
+]
+
+
+def _normalised_keys(store: RecordStore, field: str) -> list[str]:
+    """Each record's blocking key, normalised once per store."""
+    return [normalise_string(record.get(field)) for record in store]
+
+
+def _decode_pair_keys(keys: np.ndarray, n_b: int) -> np.ndarray:
+    """Sorted unique ``a * n_b + b`` keys back to an (n, 2) index array."""
+    if len(keys) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    keys = np.unique(keys)
+    return np.column_stack([keys // n_b, keys % n_b])
+
+
+def _token_index(keys: list[str]) -> dict[str, list[int]]:
+    """Inverted index: token -> record indices whose key contains it."""
+    index: dict[str, list[int]] = defaultdict(list)
+    for i, key in enumerate(keys):
+        for token in set(key.split()):
+            index[token].append(i)
+    return index
+
+
+def _token_block_allowed(
+    size_a: int,
+    size_b: int,
+    max_block_size: int | None,
+    max_pairs_per_token: int | None,
+) -> bool:
+    """Shared guard semantics for the join and reference paths."""
+    if max_block_size is not None and (
+        size_a > max_block_size or size_b > max_block_size
+    ):
+        return False
+    if max_pairs_per_token is not None and size_a * size_b > max_pairs_per_token:
+        return False
+    return True
 
 
 def token_blocking_pairs(
@@ -26,30 +77,83 @@ def token_blocking_pairs(
     field: str,
     *,
     max_block_size: int | None = None,
+    max_pairs_per_token: int | None = None,
 ) -> np.ndarray:
     """Candidate pairs sharing at least one token of ``field``.
 
     Records are indexed by normalised tokens; every (a, b) pair that
-    co-occurs in some token's block becomes a candidate.  Oversized
-    blocks (stop-word tokens) can be dropped via ``max_block_size``.
+    co-occurs in some token's block becomes a candidate.  Per-token
+    blocks are expanded into integer pair keys and deduplicated with a
+    single ``np.unique``.
 
-    Returns a deduplicated (n, 2) array of index pairs.
+    Parameters
+    ----------
+    store_a, store_b:
+        The two record sources.
+    field:
+        Schema field supplying the blocking key.
+    max_block_size:
+        Drop a token whose block in *either* source holds more than
+        this many records (stop-word tokens).  Bounds per-source block
+        membership.
+    max_pairs_per_token:
+        Drop a token whose block *product* ``len(block_a) * len(block_b)``
+        exceeds this many candidate pairs.  Bounds per-token pair
+        generation independently of either side's membership.
+
+    Returns a deduplicated (n, 2) array of index pairs, sorted
+    lexicographically.
     """
-    index_a = defaultdict(list)
-    for i, record in enumerate(store_a):
-        for token in set(normalise_string(record.get(field)).split()):
-            index_a[token].append(i)
-    index_b = defaultdict(list)
-    for j, record in enumerate(store_b):
-        for token in set(normalise_string(record.get(field)).split()):
-            index_b[token].append(j)
+    n_b = len(store_b)
+    if len(store_a) == 0 or n_b == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    index_a = _token_index(_normalised_keys(store_a, field))
+    index_b = _token_index(_normalised_keys(store_b, field))
+
+    key_chunks: list[np.ndarray] = []
+    for token, block_a in index_a.items():
+        block_b = index_b.get(token)
+        if not block_b:
+            continue
+        if not _token_block_allowed(
+            len(block_a), len(block_b), max_block_size, max_pairs_per_token
+        ):
+            continue
+        lefts = np.asarray(block_a, dtype=np.int64)
+        rights = np.asarray(block_b, dtype=np.int64)
+        # Cross product of the token's two blocks, as encoded keys.
+        key_chunks.append(
+            (np.repeat(lefts, len(rights)) * n_b + np.tile(rights, len(lefts)))
+        )
+    if not key_chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return _decode_pair_keys(np.concatenate(key_chunks), n_b)
+
+
+def token_blocking_pairs_reference(
+    store_a: RecordStore,
+    store_b: RecordStore,
+    field: str,
+    *,
+    max_block_size: int | None = None,
+    max_pairs_per_token: int | None = None,
+) -> np.ndarray:
+    """Set-based scan with the same semantics as :func:`token_blocking_pairs`.
+
+    The original per-pair accumulation, kept as the parity baseline for
+    the join-based implementation.
+    """
+    index_a = _token_index(_normalised_keys(store_a, field))
+    index_b = _token_index(_normalised_keys(store_b, field))
 
     seen: set[tuple[int, int]] = set()
     for token, block_a in index_a.items():
         block_b = index_b.get(token)
         if not block_b:
             continue
-        if max_block_size is not None and len(block_a) * len(block_b) > max_block_size:
+        if not _token_block_allowed(
+            len(block_a), len(block_b), max_block_size, max_pairs_per_token
+        ):
             continue
         for i in block_a:
             for j in block_b:
@@ -57,6 +161,18 @@ def token_blocking_pairs(
     if not seen:
         return np.empty((0, 2), dtype=np.int64)
     return np.array(sorted(seen), dtype=np.int64)
+
+
+def _sorted_merge(store_a: RecordStore, store_b: RecordStore, field: str):
+    """Both stores merged and sorted by (normalised key, source, index)."""
+    keyed = [
+        (key, 0, i) for i, key in enumerate(_normalised_keys(store_a, field))
+    ]
+    keyed.extend(
+        (key, 1, j) for j, key in enumerate(_normalised_keys(store_b, field))
+    )
+    keyed.sort()
+    return keyed
 
 
 def sorted_neighbourhood_pairs(
@@ -70,16 +186,50 @@ def sorted_neighbourhood_pairs(
 
     Records from both sources are merged, sorted by the normalised
     field value, and every cross-source pair within a sliding window of
-    size ``window`` becomes a candidate.
+    size ``window`` becomes a candidate.  The window scan is one array
+    shift per offset: positions ``p`` and ``p + offset`` pair up for
+    every offset below ``window``, cross-source pairs are kept, and the
+    encoded keys are deduplicated with ``np.unique``.
     """
     if window < 2:
         raise ValueError(f"window must be >= 2; got {window}")
-    keyed = []
-    for i, record in enumerate(store_a):
-        keyed.append((normalise_string(record.get(field)), 0, i))
-    for j, record in enumerate(store_b):
-        keyed.append((normalise_string(record.get(field)), 1, j))
-    keyed.sort()
+    n_b = len(store_b)
+    if len(store_a) == 0 or n_b == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    keyed = _sorted_merge(store_a, store_b, field)
+    source = np.fromiter((s for __, s, __ in keyed), dtype=np.int64, count=len(keyed))
+    local = np.fromiter((i for __, __, i in keyed), dtype=np.int64, count=len(keyed))
+
+    key_chunks: list[np.ndarray] = []
+    for offset in range(1, window):
+        if offset >= len(keyed):
+            break
+        head = slice(None, len(keyed) - offset)
+        tail = slice(offset, None)
+        cross = source[head] != source[tail]
+        if not cross.any():
+            continue
+        first_is_a = source[head][cross] == 0
+        left = np.where(first_is_a, local[head][cross], local[tail][cross])
+        right = np.where(first_is_a, local[tail][cross], local[head][cross])
+        key_chunks.append(left * n_b + right)
+    if not key_chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return _decode_pair_keys(np.concatenate(key_chunks), n_b)
+
+
+def sorted_neighbourhood_pairs_reference(
+    store_a: RecordStore,
+    store_b: RecordStore,
+    field: str,
+    *,
+    window: int = 5,
+) -> np.ndarray:
+    """Per-pair scan with the same semantics as
+    :func:`sorted_neighbourhood_pairs`, kept as the parity baseline."""
+    if window < 2:
+        raise ValueError(f"window must be >= 2; got {window}")
+    keyed = _sorted_merge(store_a, store_b, field)
 
     seen: set[tuple[int, int]] = set()
     for pos in range(len(keyed)):

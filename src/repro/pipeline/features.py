@@ -3,6 +3,14 @@
 For each pair of corresponding fields the extractor computes one scalar
 similarity feature: character-trigram Jaccard for short text, tf-idf
 cosine for long text, normalised absolute difference for numerics.
+
+The scoring pass is array-backed end to end: ``fit`` encodes every text
+column into contiguous CSR structures (:class:`TokenSetMatrix` /
+:class:`SparseVectorMatrix` over a shared vocabulary) and ``transform``
+scores whole pair blocks with the batch kernels from
+:mod:`repro.pipeline.similarity`, chunked to bound peak memory.  The
+original per-pair semantics survive as :meth:`transform_reference`, the
+parity baseline for tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -15,8 +23,13 @@ from repro.pipeline.normalise import impute_missing_numeric, normalise_string
 from repro.pipeline.records import RecordStore
 from repro.pipeline.similarity import (
     TfidfVectoriser,
+    TokenSetMatrix,
+    build_token_vocabulary,
+    cosine_pairs,
+    jaccard_pairs,
     ngrams,
     normalised_numeric_similarity,
+    numeric_similarity_pairs,
 )
 
 
@@ -32,6 +45,11 @@ def _jaccard_of_sets(grams_a: set, grams_b: set) -> float:
 __all__ = ["FieldSpec", "PairFeatureExtractor"]
 
 _FIELD_KINDS = ("short_text", "long_text", "numeric")
+
+# Default pairs per kernel call; bounds the transient merge arrays at
+# roughly chunk_size * (tokens per record pair) int64 elements, sized so
+# a chunk's working set stays cache-resident on typical hardware.
+_DEFAULT_CHUNK_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -57,20 +75,32 @@ class PairFeatureExtractor:
     """Turns record pairs into similarity feature vectors.
 
     ``fit`` pre-computes normalised field values, imputed numerics and
-    tf-idf vectors for both stores; ``transform`` then maps an (n, 2)
-    array of pair indices to an (n, n_features) matrix.  Fitting once
-    and transforming many times keeps the full-pool scoring pass (the
-    most expensive pipeline stage, per the paper's background section)
-    tractable.
+    array-encoded trigram/tf-idf columns for both stores; ``transform``
+    then maps an (n, 2) array of pair indices to an (n, n_features)
+    matrix with vectorised kernels.  Fitting once and transforming many
+    times keeps the full-pool scoring pass (the most expensive pipeline
+    stage, per the paper's background section) tractable.
+
+    Parameters
+    ----------
+    field_specs:
+        One :class:`FieldSpec` per compared field.
+    chunk_size:
+        Pairs scored per kernel call in :meth:`transform`.  Smaller
+        values bound peak memory; larger values amortise per-call
+        overhead.  Overridable per ``transform`` call.
     """
 
-    def __init__(self, field_specs):
+    def __init__(self, field_specs, *, chunk_size: int = _DEFAULT_CHUNK_SIZE):
         self.field_specs = list(field_specs)
         if not self.field_specs:
             raise ValueError("at least one FieldSpec is required")
         names = [spec.name for spec in self.field_specs]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate field names in specs: {names}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+        self.chunk_size = int(chunk_size)
         self._fitted = False
 
     @property
@@ -83,9 +113,19 @@ class PairFeatureExtractor:
 
     def fit(self, store_a: RecordStore, store_b: RecordStore) -> "PairFeatureExtractor":
         """Pre-process both stores for fast pairwise comparison."""
+        # The hot path keeps only array encodings (numeric columns and
+        # CSR matrices); the per-record sets/dicts that back
+        # ``transform_reference`` are rebuilt lazily from the cached
+        # normalised strings on first use.
         self._columns_a = {}
         self._columns_b = {}
+        self._norm_a = {}
+        self._norm_b = {}
+        self._reference_a = {}
+        self._reference_b = {}
         self._vectorisers = {}
+        self._matrix_a = {}
+        self._matrix_b = {}
         for spec in self.field_specs:
             raw_a = store_a.field_values(spec.name)
             raw_b = store_b.field_values(spec.name)
@@ -95,34 +135,102 @@ class PairFeatureExtractor:
             else:
                 norm_a = [normalise_string(v) for v in raw_a]
                 norm_b = [normalise_string(v) for v in raw_b]
+                self._norm_a[spec.name] = norm_a
+                self._norm_b[spec.name] = norm_b
                 if spec.kind == "long_text":
                     vectoriser = TfidfVectoriser().fit(norm_a + norm_b)
                     self._vectorisers[spec.name] = vectoriser
-                    self._columns_a[spec.name] = [
-                        vectoriser.transform_one(text) for text in norm_a
-                    ]
-                    self._columns_b[spec.name] = [
-                        vectoriser.transform_one(text) for text in norm_b
-                    ]
+                    self._matrix_a[spec.name] = vectoriser.transform_matrix(norm_a)
+                    self._matrix_b[spec.name] = vectoriser.transform_matrix(norm_b)
                 else:
-                    # Pre-compute trigram sets once per record so the
-                    # full-pool scoring pass is set-intersection only.
-                    self._columns_a[spec.name] = [ngrams(text) for text in norm_a]
-                    self._columns_b[spec.name] = [ngrams(text) for text in norm_b]
+                    # Trigram sets are computed once per record here (to
+                    # build the shared vocabulary and the encodings) and
+                    # discarded; the reference path re-derives them.
+                    sets_a = [ngrams(text) for text in norm_a]
+                    sets_b = [ngrams(text) for text in norm_b]
+                    vocabulary = build_token_vocabulary(sets_a + sets_b)
+                    self._matrix_a[spec.name] = TokenSetMatrix.from_sets(
+                        sets_a, vocabulary
+                    )
+                    self._matrix_b[spec.name] = TokenSetMatrix.from_sets(
+                        sets_b, vocabulary
+                    )
         self._fitted = True
         return self
 
-    def transform(self, pairs) -> np.ndarray:
-        """Feature matrix for an (n, 2) array of (index_a, index_b) pairs."""
+    def _reference_column(self, spec: FieldSpec, side: str):
+        """Per-record sets/dicts for the reference path, built lazily."""
+        if spec.kind == "numeric":
+            columns = self._columns_a if side == "a" else self._columns_b
+            return columns[spec.name]
+        cache = self._reference_a if side == "a" else self._reference_b
+        if spec.name not in cache:
+            norm = (self._norm_a if side == "a" else self._norm_b)[spec.name]
+            if spec.kind == "long_text":
+                vectoriser = self._vectorisers[spec.name]
+                cache[spec.name] = [vectoriser.transform_one(t) for t in norm]
+            else:
+                cache[spec.name] = [ngrams(t) for t in norm]
+        return cache[spec.name]
+
+    def _validated_pairs(self, pairs) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError("extractor must be fitted before transform")
         pairs = np.asarray(pairs, dtype=np.int64)
+        # Accept an empty pair *list* ([], shape (0,) or (0, 2)); other
+        # zero-size shapes are still malformed.
+        if pairs.size == 0 and (pairs.ndim <= 1 or pairs.shape == (0, 2)):
+            return np.empty((0, 2), dtype=np.int64)
         if pairs.ndim != 2 or pairs.shape[1] != 2:
             raise ValueError(f"pairs must have shape (n, 2); got {pairs.shape}")
+        return pairs
+
+    def transform(self, pairs, *, chunk_size: int | None = None) -> np.ndarray:
+        """Feature matrix for an (n, 2) array of (index_a, index_b) pairs.
+
+        Runs the vectorised kernels in chunks of ``chunk_size`` pairs
+        (instance default when None).  An empty pair list yields a
+        ``(0, n_features)`` matrix.
+        """
+        pairs = self._validated_pairs(pairs)
+        chunk = self.chunk_size if chunk_size is None else int(chunk_size)
+        if chunk < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk}")
+        features = np.empty((len(pairs), self.n_features), dtype=float)
+        for start in range(0, len(pairs), chunk):
+            stop = min(start + chunk, len(pairs))
+            rows_a = pairs[start:stop, 0]
+            rows_b = pairs[start:stop, 1]
+            for col, spec in enumerate(self.field_specs):
+                if spec.kind == "numeric":
+                    features[start:stop, col] = numeric_similarity_pairs(
+                        self._columns_a[spec.name][rows_a],
+                        self._columns_b[spec.name][rows_b],
+                    )
+                elif spec.kind == "long_text":
+                    features[start:stop, col] = cosine_pairs(
+                        self._matrix_a[spec.name], rows_a,
+                        self._matrix_b[spec.name], rows_b,
+                    )
+                else:
+                    features[start:stop, col] = jaccard_pairs(
+                        self._matrix_a[spec.name], rows_a,
+                        self._matrix_b[spec.name], rows_b,
+                    )
+        return features
+
+    def transform_reference(self, pairs) -> np.ndarray:
+        """Per-pair scalar scoring — the original Python semantics.
+
+        Kept as the parity baseline: tests and the Table-3-style
+        benchmark assert :meth:`transform` matches this to within
+        floating-point reassociation.
+        """
+        pairs = self._validated_pairs(pairs)
         features = np.empty((len(pairs), self.n_features), dtype=float)
         for col, spec in enumerate(self.field_specs):
-            col_a = self._columns_a[spec.name]
-            col_b = self._columns_b[spec.name]
+            col_a = self._reference_column(spec, "a")
+            col_b = self._reference_column(spec, "b")
             if spec.kind == "numeric":
                 features[:, col] = [
                     normalised_numeric_similarity(col_a[i], col_b[j])

@@ -42,6 +42,10 @@ class ERPipeline:
     use_probabilities:
         If True, score pairs with calibrated probabilities (threshold
         should then be 0.5) — the paper's "calibrated scores" setting.
+    chunk_size:
+        Optional override for the extractor's scoring chunk size —
+        pairs scored per vectorised kernel call (memory/throughput
+        trade-off for full-pool scoring passes).
     """
 
     def __init__(
@@ -51,11 +55,13 @@ class ERPipeline:
         *,
         threshold: float = 0.0,
         use_probabilities: bool = False,
+        chunk_size: int | None = None,
     ):
         self.extractor = extractor
         self.classifier = classifier
         self.threshold = threshold
         self.use_probabilities = use_probabilities
+        self.chunk_size = chunk_size
 
     def fit(
         self,
@@ -72,13 +78,13 @@ class ERPipeline:
         not be representative (section 2.1.1).
         """
         self.extractor.fit(store_a, store_b)
-        features = self.extractor.transform(train_pairs)
+        features = self.extractor.transform(train_pairs, chunk_size=self.chunk_size)
         self.classifier.fit(features, np.asarray(train_labels))
         return self
 
     def score_pairs(self, pairs) -> np.ndarray:
         """Similarity scores for pairs: margins or probabilities."""
-        features = self.extractor.transform(pairs)
+        features = self.extractor.transform(pairs, chunk_size=self.chunk_size)
         if self.use_probabilities:
             if not hasattr(self.classifier, "predict_proba"):
                 raise AttributeError(

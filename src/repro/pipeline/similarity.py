@@ -9,6 +9,17 @@ background section describes.
 All similarities return values in [0, 1], with 1 meaning identical.
 Empty/missing strings are handled explicitly: two empty strings give
 similarity 0 (missing data carries no evidence of a match).
+
+Two families live here:
+
+* scalar measures (``jaccard_ngram_similarity`` and friends) — one
+  Python call per pair, the reference semantics;
+* array kernels (:class:`TokenSetMatrix`, :class:`SparseVectorMatrix`,
+  :func:`jaccard_pairs`, :func:`cosine_pairs`,
+  :func:`numeric_similarity_pairs`) — contiguous NumPy encodings of a
+  whole record column that score an entire pair block per call.  These
+  back the vectorised :class:`~repro.pipeline.features.PairFeatureExtractor`
+  hot path.
 """
 
 from __future__ import annotations
@@ -29,6 +40,12 @@ __all__ = [
     "normalised_numeric_similarity",
     "TfidfVectoriser",
     "cosine_tfidf_similarity",
+    "build_token_vocabulary",
+    "TokenSetMatrix",
+    "SparseVectorMatrix",
+    "jaccard_pairs",
+    "cosine_pairs",
+    "numeric_similarity_pairs",
 ]
 
 
@@ -186,6 +203,7 @@ class TfidfVectoriser:
         self.sublinear_tf = sublinear_tf
         self.idf_: dict[str, float] | None = None
         self._n_docs = 0
+        self._token_ids: dict[str, int] | None = None
 
     def fit(self, corpus) -> "TfidfVectoriser":
         doc_freq: Counter = Counter()
@@ -199,6 +217,7 @@ class TfidfVectoriser:
             for token, df in doc_freq.items()
             if df >= self.min_df
         }
+        self._token_ids = None  # refit invalidates the cached vocabulary ids
         return self
 
     def transform_one(self, document: str) -> dict[str, float]:
@@ -225,9 +244,407 @@ class TfidfVectoriser:
             vec_a, vec_b = vec_b, vec_a
         return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
 
+    def token_ids(self) -> dict[str, int]:
+        """Dense integer id per fitted token (sorted-token order)."""
+        if self.idf_ is None:
+            raise RuntimeError("vectoriser must be fitted before transform")
+        if self._token_ids is None:
+            self._token_ids = {t: i for i, t in enumerate(sorted(self.idf_))}
+        return self._token_ids
+
+    def transform_matrix(self, corpus) -> "SparseVectorMatrix":
+        """Encode a corpus as one :class:`SparseVectorMatrix`.
+
+        Row ``i`` holds the same tf-idf weights ``transform_one`` would
+        produce for ``corpus[i]``, keyed by the shared dense token ids of
+        :meth:`token_ids` — the array-backed input of
+        :func:`cosine_pairs`.
+        """
+        token_ids = self.token_ids()
+        idf = np.zeros(len(token_ids), dtype=float)
+        for token, token_id in token_ids.items():
+            idf[token_id] = self.idf_[token]
+        corpus = list(corpus)
+        indptr = np.zeros(len(corpus) + 1, dtype=np.int64)
+        row_indices: list[np.ndarray] = []
+        row_data: list[np.ndarray] = []
+        for row, document in enumerate(corpus):
+            ids: list[int] = []
+            tfs: list[float] = []
+            for token, count in Counter(document.split()).items():
+                token_id = token_ids.get(token)
+                if token_id is None:
+                    continue
+                ids.append(token_id)
+                tfs.append(1.0 + math.log(count) if self.sublinear_tf else float(count))
+            ids_arr = np.asarray(ids, dtype=np.int64)
+            order = np.argsort(ids_arr)
+            ids_arr = ids_arr[order]
+            weights = np.asarray(tfs, dtype=float)[order] * idf[ids_arr]
+            norm = math.sqrt(float(np.dot(weights, weights)))
+            if norm > 0:
+                weights = weights / norm
+            indptr[row + 1] = indptr[row] + len(ids_arr)
+            row_indices.append(ids_arr)
+            row_data.append(weights)
+        indices = (
+            np.concatenate(row_indices) if row_indices else np.empty(0, np.int64)
+        )
+        data = np.concatenate(row_data) if row_data else np.empty(0, float)
+        return SparseVectorMatrix(indptr, indices, data, len(token_ids))
+
 
 def cosine_tfidf_similarity(a: str, b: str, vectoriser: TfidfVectoriser) -> float:
     """tf-idf cosine similarity between two documents (long-text feature)."""
     return TfidfVectoriser.cosine(
         vectoriser.transform_one(a), vectoriser.transform_one(b)
     )
+
+
+# --------------------------------------------------------------------------
+# Array-backed batch kernels.
+#
+# A record column is encoded once (at extractor fit time) into CSR-style
+# contiguous arrays; each kernel then scores an (n,) block of row pairs
+# with whole-array operations only.  The workhorse is a segmented merge:
+# every token id is lifted to the per-pair key ``pair * n_tokens + token``,
+# which makes both gathered operands globally sorted, so one stable sort
+# (timsort merges the two pre-sorted runs in linear time) lines up the
+# shared tokens of every pair at once.
+# --------------------------------------------------------------------------
+
+# A bitmap row costs ~n_tokens/64 words per intersection while the merge
+# costs ~row length; prefer bitmaps only while the vocabulary is within
+# this factor of the mean row length (and small enough to store).
+_BITMAP_DENSITY_FACTOR = 256
+_BITMAP_MAX_TOKENS = 65536
+# Bound the transient (block, words) gathers of the bitmap path.
+_BITMAP_BLOCK_WORDS = 4_000_000
+
+
+def build_token_vocabulary(token_sets) -> dict[str, int]:
+    """Dense id per distinct token across ``token_sets`` (sorted order).
+
+    The shared vocabulary that makes two :class:`TokenSetMatrix` columns
+    (one per record store) comparable.
+    """
+    universe: set = set()
+    for tokens in token_sets:
+        universe.update(tokens)
+    return {token: i for i, token in enumerate(sorted(universe))}
+
+
+def _gather_rows(indptr: np.ndarray, rows: np.ndarray):
+    """Lengths and flat element positions of CSR ``rows``, in row order."""
+    lens = indptr[rows + 1] - indptr[rows]
+    total = int(lens.sum())
+    cum = np.cumsum(lens) - lens
+    flat = np.repeat(indptr[rows] - cum, lens) + np.arange(total, dtype=np.int64)
+    return lens, flat
+
+
+class TokenSetMatrix:
+    """A record column of token *sets*, CSR-encoded for batch kernels.
+
+    Row ``i`` is the sorted array of dense token ids
+    ``indices[indptr[i]:indptr[i+1]]`` — e.g. the character trigrams of
+    record ``i``'s normalised field value.  Both stores of a comparison
+    must be encoded against the same vocabulary (see
+    :func:`build_token_vocabulary`).
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n_tokens: int):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.n_tokens = int(n_tokens)
+        if self.indptr.ndim != 1 or len(self.indptr) == 0:
+            raise ValueError("indptr must be a non-empty 1-d array")
+        if int(self.indptr[-1]) != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        self._bitmap: np.ndarray | None = None
+
+    @classmethod
+    def from_sets(cls, token_sets, vocabulary: dict[str, int]) -> "TokenSetMatrix":
+        """Encode per-record token sets; tokens outside the vocabulary drop."""
+        indptr = np.zeros(len(token_sets) + 1, dtype=np.int64)
+        rows: list[np.ndarray] = []
+        for i, tokens in enumerate(token_sets):
+            ids = np.asarray(
+                [vocabulary[t] for t in tokens if t in vocabulary], dtype=np.int64
+            )
+            ids.sort()
+            rows.append(ids)
+            indptr[i + 1] = indptr[i] + len(ids)
+        indices = np.concatenate(rows) if rows else np.empty(0, np.int64)
+        return cls(indptr, indices, len(vocabulary))
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def bitmap(self) -> np.ndarray:
+        """Per-row token bitmaps (lazily built, cached) for popcount kernels."""
+        if self._bitmap is None:
+            words = max(1, (self.n_tokens + 63) // 64)
+            bitmap = np.zeros((len(self), words), dtype=np.uint64)
+            row_of = np.repeat(
+                np.arange(len(self), dtype=np.int64), self.row_lengths()
+            )
+            np.bitwise_or.at(
+                bitmap,
+                (row_of, self.indices >> 6),
+                np.uint64(1) << (self.indices & 63).astype(np.uint64),
+            )
+            self._bitmap = bitmap
+        return self._bitmap
+
+
+class SparseVectorMatrix:
+    """A record column of sparse weighted vectors (CSR), e.g. tf-idf rows.
+
+    ``indices`` are sorted dense token ids per row; ``data`` holds the
+    aligned weights.  Input of :func:`cosine_pairs`.
+    """
+
+    def __init__(self, indptr, indices, data, n_tokens: int):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=float)
+        self.n_tokens = int(n_tokens)
+        if self.indptr.ndim != 1 or len(self.indptr) == 0:
+            raise ValueError("indptr must be a non-empty 1-d array")
+        if int(self.indptr[-1]) != len(self.indices) or len(self.indices) != len(self.data):
+            raise ValueError("indptr, indices and data are inconsistent")
+        self._shifted_indices: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def shifted_indices(self) -> np.ndarray:
+        """Token ids pre-shifted into the high 32 bits (cached).
+
+        Lets :func:`cosine_pairs` build its packed sort keys with one
+        gather instead of gather + shift per call.
+        """
+        if self._shifted_indices is None:
+            self._shifted_indices = self.indices << np.int64(32)
+        return self._shifted_indices
+
+
+def _check_pair_rows(rows_a, rows_b):
+    rows_a = np.asarray(rows_a, dtype=np.int64)
+    rows_b = np.asarray(rows_b, dtype=np.int64)
+    if rows_a.ndim != 1 or rows_a.shape != rows_b.shape:
+        raise ValueError(
+            f"row index arrays must be 1-d and equal-length; "
+            f"got {rows_a.shape} and {rows_b.shape}"
+        )
+    return rows_a, rows_b
+
+
+def _merge_intersections(sets_a, rows_a, sets_b, rows_b) -> np.ndarray:
+    """Per-pair intersection sizes via the segmented stable-sort merge."""
+    n = len(rows_a)
+    width = np.int64(max(sets_a.n_tokens, 1))
+    lens_a, flat_a = _gather_rows(sets_a.indptr, rows_a)
+    lens_b, flat_b = _gather_rows(sets_b.indptr, rows_b)
+    base = np.arange(n, dtype=np.int64) * width
+    keys = np.concatenate(
+        [
+            np.repeat(base, lens_a) + sets_a.indices[flat_a],
+            np.repeat(base, lens_b) + sets_b.indices[flat_b],
+        ]
+    )
+    # Both halves are sorted runs; a stable sort is one linear merge.
+    keys.sort(kind="stable")
+    duplicates = keys[1:][keys[1:] == keys[:-1]]
+    return np.bincount(duplicates // width, minlength=n)[:n]
+
+
+# np.bitwise_count arrived in NumPy 2.0; older installs use the merge
+# kernel (identical results, no popcount acceleration).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _bitmap_intersections(sets_a, rows_a, sets_b, rows_b) -> np.ndarray:
+    """Per-pair intersection sizes via bitmap AND + popcount."""
+    if not _HAS_BITWISE_COUNT:
+        raise RuntimeError(
+            "jaccard_pairs(method='bitmap') requires NumPy >= 2.0 "
+            "(np.bitwise_count); use method='merge' or 'auto'"
+        )
+    bitmap_a = sets_a.bitmap()
+    bitmap_b = sets_b.bitmap()
+    words = bitmap_a.shape[1]
+    block = max(1, _BITMAP_BLOCK_WORDS // words)
+    out = np.empty(len(rows_a), dtype=np.int64)
+    for start in range(0, len(rows_a), block):
+        stop = min(start + block, len(rows_a))
+        both = bitmap_a[rows_a[start:stop]] & bitmap_b[rows_b[start:stop]]
+        out[start:stop] = np.bitwise_count(both).sum(axis=1, dtype=np.int64)
+    return out
+
+
+def jaccard_pairs(
+    sets_a: TokenSetMatrix,
+    rows_a,
+    sets_b: TokenSetMatrix,
+    rows_b,
+    *,
+    method: str = "auto",
+) -> np.ndarray:
+    """Jaccard similarity for a whole block of row pairs.
+
+    Bit-identical to calling ``jaccard_ngram_similarity`` per pair on the
+    decoded sets: intersection and union sizes are exact integers, so the
+    final division is the only floating-point step.
+
+    Parameters
+    ----------
+    sets_a, sets_b:
+        Columns encoded against one shared vocabulary.
+    rows_a, rows_b:
+        Equal-length 1-d arrays of row indices; pair ``k`` compares
+        ``sets_a`` row ``rows_a[k]`` with ``sets_b`` row ``rows_b[k]``.
+    method:
+        ``"merge"`` (segmented sort merge, any vocabulary size),
+        ``"bitmap"`` (popcount over per-row bitmaps, fastest for small
+        vocabularies) or ``"auto"`` to choose by vocabulary density.
+    """
+    if sets_a.n_tokens != sets_b.n_tokens:
+        raise ValueError("token-set matrices must share a vocabulary")
+    if method not in ("auto", "merge", "bitmap"):
+        raise ValueError(f"unknown method {method!r}")
+    rows_a, rows_b = _check_pair_rows(rows_a, rows_b)
+    n = len(rows_a)
+    if n == 0:
+        return np.zeros(0, dtype=float)
+    lens_a = sets_a.indptr[rows_a + 1] - sets_a.indptr[rows_a]
+    lens_b = sets_b.indptr[rows_b + 1] - sets_b.indptr[rows_b]
+    if method == "auto":
+        elements = len(sets_a.indices) + len(sets_b.indices)
+        row_count = len(sets_a) + len(sets_b)
+        mean_len = elements / max(row_count, 1)
+        dense_enough = sets_a.n_tokens <= _BITMAP_DENSITY_FACTOR * max(mean_len, 1.0)
+        method = (
+            "bitmap"
+            if _HAS_BITWISE_COUNT
+            and 0 < sets_a.n_tokens <= _BITMAP_MAX_TOKENS
+            and dense_enough
+            else "merge"
+        )
+    if method == "bitmap":
+        inter = _bitmap_intersections(sets_a, rows_a, sets_b, rows_b)
+    else:
+        inter = _merge_intersections(sets_a, rows_a, sets_b, rows_b)
+    union = lens_a + lens_b - inter
+    out = np.zeros(n, dtype=float)
+    np.divide(inter, union, out=out, where=union > 0)
+    return out
+
+
+def cosine_pairs(
+    docs_a: SparseVectorMatrix,
+    rows_a,
+    docs_b: SparseVectorMatrix,
+    rows_b,
+) -> np.ndarray:
+    """Sparse dot product for a whole block of row pairs.
+
+    Equivalent to ``TfidfVectoriser.cosine`` per pair up to summation
+    order (a few ulps).  Shared tokens are aligned with the same
+    segmented merge as :func:`jaccard_pairs`; element positions ride
+    along packed into the low 32 bits of the sort key so the weights can
+    be recovered without an indirect ``argsort``.
+    """
+    if docs_a.n_tokens != docs_b.n_tokens:
+        raise ValueError("sparse-vector matrices must share a vocabulary")
+    rows_a, rows_b = _check_pair_rows(rows_a, rows_b)
+    n = len(rows_a)
+    if n == 0:
+        return np.zeros(0, dtype=float)
+    width = np.int64(max(docs_a.n_tokens, 1))
+    lens_a, flat_a = _gather_rows(docs_a.indptr, rows_a)
+    lens_b, flat_b = _gather_rows(docs_b.indptr, rows_b)
+    count_a = int(lens_a.sum())
+    total = count_a + int(lens_b.sum())
+    if total == 0:
+        return np.zeros(n, dtype=float)
+    base = np.arange(n, dtype=np.int64) * width
+    if n * int(width) < 2**31 and total < 2**32:
+        # Pack (key, gathered position) into one int64 so a single
+        # stable sort both merges the runs and carries enough to find
+        # each shared token's weights afterwards; weights are then
+        # gathered only at the (few) shared positions.
+        packed = np.concatenate(
+            [
+                np.repeat(base << np.int64(32), lens_a)
+                + docs_a.shifted_indices()[flat_a],
+                np.repeat(base << np.int64(32), lens_b)
+                + docs_b.shifted_indices()[flat_b],
+            ]
+        )
+        packed += np.arange(total, dtype=np.int64)
+        packed.sort(kind="stable")
+        keys = packed >> np.int64(32)
+        shared = keys[1:] == keys[:-1]
+        mask = np.int64(0xFFFFFFFF)
+        # Adjacent equal keys are one element of each side (tokens are
+        # unique within a row); positions tell which side and where.
+        pos_hi = packed[1:][shared] & mask
+        pos_lo = packed[:-1][shared] & mask
+
+        def _weights(pos: np.ndarray) -> np.ndarray:
+            out = np.empty(len(pos), dtype=float)
+            from_a = pos < count_a
+            out[from_a] = docs_a.data[flat_a[pos[from_a]]]
+            out[~from_a] = docs_b.data[flat_b[pos[~from_a] - count_a]]
+            return out
+
+        products = _weights(pos_hi) * _weights(pos_lo)
+        pair_ids = keys[1:][shared] // width
+    else:
+        keys = np.concatenate(
+            [
+                np.repeat(base, lens_a) + docs_a.indices[flat_a],
+                np.repeat(base, lens_b) + docs_b.indices[flat_b],
+            ]
+        )
+        values = np.concatenate([docs_a.data[flat_a], docs_b.data[flat_b]])
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = values[order]
+        shared = keys[1:] == keys[:-1]
+        products = values[1:][shared] * values[:-1][shared]
+        pair_ids = keys[1:][shared] // width
+    return np.bincount(pair_ids, weights=products, minlength=n)[:n].astype(float)
+
+
+def numeric_similarity_pairs(x, y, scale=None) -> np.ndarray:
+    """Vectorised :func:`normalised_numeric_similarity` over aligned arrays.
+
+    NaN on either side gives 0; a non-positive scale degenerates to the
+    equality indicator; otherwise ``max(0, 1 - |x - y| / scale)`` — the
+    identical IEEE operations as the scalar measure, so results match
+    bit for bit.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if scale is None:
+        scale = np.maximum(np.abs(x), np.abs(y))
+    else:
+        scale = np.broadcast_to(np.asarray(scale, dtype=float), x.shape)
+    out = np.zeros(x.shape, dtype=float)
+    valid = ~(np.isnan(x) | np.isnan(y))
+    positive = valid & (scale > 0)
+    degenerate = valid & ~(scale > 0)
+    out[positive] = np.maximum(
+        0.0, 1.0 - np.abs(x[positive] - y[positive]) / scale[positive]
+    )
+    out[degenerate] = (x[degenerate] == y[degenerate]).astype(float)
+    return out

@@ -7,7 +7,9 @@ from repro.pipeline import (
     Record,
     RecordStore,
     sorted_neighbourhood_pairs,
+    sorted_neighbourhood_pairs_reference,
     token_blocking_pairs,
+    token_blocking_pairs_reference,
 )
 
 
@@ -53,6 +55,47 @@ class TestTokenBlocking:
         assert len(unlimited) == 25  # "the" pairs everything
         assert len(limited) == 0
 
+    def test_max_block_size_bounds_per_source_membership(self):
+        """A token kept in few records of one source must survive even
+        when the other source's block makes the *product* large."""
+        schema = ("name",)
+        store_a = RecordStore(schema)
+        store_b = RecordStore(schema)
+        store_a.add(Record(0, 0, {"name": "acme"}))  # block_a size 1
+        for j in range(6):
+            store_b.add(Record(j, j, {"name": "acme"}))  # block_b size 6
+        # Per-source bound: block_a (1) and block_b (6) vs the limit.
+        assert len(token_blocking_pairs(store_a, store_b, "name", max_block_size=6)) == 6
+        assert len(token_blocking_pairs(store_a, store_b, "name", max_block_size=5)) == 0
+
+    def test_max_pairs_per_token_bounds_block_product(self):
+        schema = ("name",)
+        store_a = RecordStore(schema)
+        store_b = RecordStore(schema)
+        for i in range(3):
+            store_a.add(Record(i, i, {"name": "acme"}))
+        for j in range(4):
+            store_b.add(Record(j, j, {"name": "acme"}))
+        # Product is 12: the guard keeps it at 12 and drops it at 11.
+        kept = token_blocking_pairs(store_a, store_b, "name", max_pairs_per_token=12)
+        dropped = token_blocking_pairs(store_a, store_b, "name", max_pairs_per_token=11)
+        assert len(kept) == 12
+        assert len(dropped) == 0
+        # But max_block_size=4 keeps it: both blocks are within bound.
+        assert len(token_blocking_pairs(store_a, store_b, "name", max_block_size=4)) == 12
+
+    def test_join_matches_reference(self, stores):
+        for kwargs in (
+            {},
+            {"max_block_size": 2},
+            {"max_pairs_per_token": 3},
+            {"max_block_size": 2, "max_pairs_per_token": 3},
+        ):
+            np.testing.assert_array_equal(
+                token_blocking_pairs(*stores, "name", **kwargs),
+                token_blocking_pairs_reference(*stores, "name", **kwargs),
+            )
+
     def test_empty_result_shape(self):
         schema = ("name",)
         store_a = RecordStore(schema)
@@ -83,3 +126,10 @@ class TestSortedNeighbourhood:
         store_a, store_b = stores
         assert np.all(pairs[:, 0] < len(store_a))
         assert np.all(pairs[:, 1] < len(store_b))
+
+    def test_join_matches_reference(self, stores):
+        for window in (2, 3, 6, 10):
+            np.testing.assert_array_equal(
+                sorted_neighbourhood_pairs(*stores, "name", window=window),
+                sorted_neighbourhood_pairs_reference(*stores, "name", window=window),
+            )

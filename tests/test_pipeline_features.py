@@ -88,6 +88,44 @@ class TestPairFeatureExtractor:
         with pytest.raises(ValueError, match=r"\(n, 2\)"):
             extractor.transform([0, 1])
 
+    def test_empty_pairs_give_empty_feature_matrix(self, stores, extractor):
+        extractor.fit(*stores)
+        for empty in ([], np.empty((0,)), np.empty((0, 2), dtype=np.int64)):
+            assert extractor.transform(empty).shape == (0, 3)
+            assert extractor.transform_reference(empty).shape == (0, 3)
+
+    def test_malformed_zero_size_shapes_still_rejected(self, stores, extractor):
+        extractor.fit(*stores)
+        for malformed in (np.empty((3, 0)), np.empty((0, 5)), np.empty((0, 2, 2))):
+            with pytest.raises(ValueError, match=r"\(n, 2\)"):
+                extractor.transform(malformed)
+
+    def test_transform_matches_reference(self, stores, extractor):
+        pairs = [[i, j] for i in range(2) for j in range(2)]
+        extractor.fit(*stores)
+        np.testing.assert_allclose(
+            extractor.transform(pairs),
+            extractor.transform_reference(pairs),
+            rtol=0.0,
+            atol=1e-12,
+        )
+
+    def test_chunk_size_does_not_change_results(self, stores, extractor):
+        pairs = [[i, j] for i in range(2) for j in range(2)]
+        extractor.fit(*stores)
+        whole = extractor.transform(pairs)
+        for chunk_size in (1, 2, 3, 100):
+            np.testing.assert_array_equal(
+                whole, extractor.transform(pairs, chunk_size=chunk_size)
+            )
+
+    def test_invalid_chunk_size(self, stores, extractor):
+        with pytest.raises(ValueError, match="chunk_size"):
+            PairFeatureExtractor([FieldSpec("name")], chunk_size=0)
+        extractor.fit(*stores)
+        with pytest.raises(ValueError, match="chunk_size"):
+            extractor.transform([[0, 0]], chunk_size=0)
+
     def test_missing_values_yield_zero_similarity(self):
         schema = ("name",)
         store_a = RecordStore(schema)

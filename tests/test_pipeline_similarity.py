@@ -4,10 +4,17 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.pipeline import (
+    SparseVectorMatrix,
     TfidfVectoriser,
+    TokenSetMatrix,
+    build_token_vocabulary,
+    cosine_pairs,
     cosine_tfidf_similarity,
     jaccard_ngram_similarity,
+    jaccard_pairs,
     jaro_similarity,
     jaro_winkler_similarity,
     levenshtein_distance,
@@ -15,6 +22,7 @@ from repro.pipeline import (
     monge_elkan_similarity,
     ngrams,
     normalised_numeric_similarity,
+    numeric_similarity_pairs,
 )
 
 text_strategy = st.text(alphabet="abcdefg ", max_size=20)
@@ -185,3 +193,129 @@ class TestTfidf:
         vec = TfidfVectoriser(min_df=2).fit(["once upon", "upon twice"])
         assert "once" not in vec.idf_
         assert "upon" in vec.idf_
+
+
+class TestArrayKernels:
+    """Batch kernels vs their scalar counterparts."""
+
+    def test_build_token_vocabulary_sorted_dense(self):
+        vocab = build_token_vocabulary([{"b", "a"}, {"c", "a"}, set()])
+        assert vocab == {"a": 0, "b": 1, "c": 2}
+
+    def test_token_set_matrix_roundtrip(self):
+        sets = [{"ab", "bc"}, set(), {"bc"}]
+        vocab = build_token_vocabulary(sets)
+        matrix = TokenSetMatrix.from_sets(sets, vocab)
+        assert len(matrix) == 3
+        assert matrix.row_lengths().tolist() == [2, 0, 1]
+        # Rows are sorted id arrays.
+        row0 = matrix.indices[matrix.indptr[0]:matrix.indptr[1]]
+        assert row0.tolist() == sorted(row0.tolist())
+
+    def test_jaccard_pairs_matches_scalar(self):
+        texts = ["acme rocket", "zenith lamp", "", "acme rocket pro"]
+        sets = [ngrams(t) for t in texts]
+        vocab = build_token_vocabulary(sets)
+        matrix = TokenSetMatrix.from_sets(sets, vocab)
+        rows_a = np.array([0, 0, 1, 2, 2])
+        rows_b = np.array([3, 1, 1, 2, 0])
+        for method in ("auto", "merge", "bitmap"):
+            batch = jaccard_pairs(matrix, rows_a, matrix, rows_b, method=method)
+            expected = [
+                jaccard_ngram_similarity(texts[i], texts[j])
+                for i, j in zip(rows_a, rows_b)
+            ]
+            np.testing.assert_array_equal(batch, expected)
+
+    def test_jaccard_pairs_rejects_unknown_method(self):
+        sets = [ngrams("ab")]
+        matrix = TokenSetMatrix.from_sets(sets, build_token_vocabulary(sets))
+        with pytest.raises(ValueError, match="method"):
+            jaccard_pairs(matrix, [0], matrix, [0], method="magic")
+
+    def test_jaccard_pairs_requires_shared_vocabulary(self):
+        m1 = TokenSetMatrix.from_sets([{"ab"}], {"ab": 0})
+        m2 = TokenSetMatrix.from_sets([{"ab"}], {"ab": 0, "cd": 1})
+        with pytest.raises(ValueError, match="vocabulary"):
+            jaccard_pairs(m1, [0], m2, [0])
+
+    def test_cosine_pairs_matches_scalar(self):
+        corpus = [
+            "fast reliable rocket for travel",
+            "warm light for the desk",
+            "",
+            "fast rocket travel kit",
+        ]
+        vec = TfidfVectoriser().fit(corpus)
+        matrix = vec.transform_matrix(corpus)
+        rows_a = np.array([0, 0, 1, 2])
+        rows_b = np.array([3, 1, 1, 0])
+        batch = cosine_pairs(matrix, rows_a, matrix, rows_b)
+        expected = [
+            cosine_tfidf_similarity(corpus[i], corpus[j], vec)
+            for i, j in zip(rows_a, rows_b)
+        ]
+        np.testing.assert_allclose(batch, expected, rtol=0.0, atol=1e-12)
+
+    def test_cosine_pairs_argsort_fallback_agrees(self):
+        """Huge-vocabulary inputs take the argsort path; results match."""
+        corpus = ["alpha beta gamma", "beta gamma delta", "delta alpha"]
+        vec = TfidfVectoriser().fit(corpus)
+        matrix = vec.transform_matrix(corpus)
+        rows_a = np.array([0, 1, 2])
+        rows_b = np.array([1, 2, 0])
+        packed = cosine_pairs(matrix, rows_a, matrix, rows_b)
+        wide = SparseVectorMatrix(
+            matrix.indptr, matrix.indices, matrix.data, 2**32
+        )
+        fallback = cosine_pairs(wide, rows_a, wide, rows_b)
+        np.testing.assert_allclose(packed, fallback, rtol=0.0, atol=1e-15)
+
+    def test_refit_invalidates_token_ids(self):
+        vec = TfidfVectoriser().fit(["a b", "b c"])
+        first = vec.transform_matrix(["a b"])
+        assert first.n_tokens == 3
+        vec.fit(["x y", "y z"])
+        refitted = vec.transform_matrix(["x y"])  # must not reuse old ids
+        assert refitted.n_tokens == 3
+        assert vec.token_ids() == {"x": 0, "y": 1, "z": 2}
+
+    def test_transform_matrix_matches_transform_one(self):
+        corpus = ["red apple pie", "green pear tart", "red pear pie", ""]
+        vec = TfidfVectoriser().fit(corpus)
+        matrix = vec.transform_matrix(corpus)
+        token_ids = vec.token_ids()
+        for row, document in enumerate(corpus):
+            dense = vec.transform_one(document)
+            ids = matrix.indices[matrix.indptr[row]:matrix.indptr[row + 1]]
+            weights = matrix.data[matrix.indptr[row]:matrix.indptr[row + 1]]
+            assert {int(i) for i in ids} == {token_ids[t] for t in dense}
+            by_id = {token_ids[t]: w for t, w in dense.items()}
+            for token_id, weight in zip(ids, weights):
+                assert weight == pytest.approx(by_id[int(token_id)], abs=1e-15)
+
+    def test_numeric_similarity_pairs_matches_scalar(self):
+        x = np.array([5.0, 10.0, float("nan"), 0.0, 1.0, -2.0])
+        y = np.array([5.0, 5.0, 1.0, 0.0, 3.0, 2.0])
+        batch = numeric_similarity_pairs(x, y)
+        expected = [normalised_numeric_similarity(a, b) for a, b in zip(x, y)]
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_numeric_similarity_pairs_explicit_scale(self):
+        batch = numeric_similarity_pairs([1.0, 1.0], [3.0, 3.0], scale=4.0)
+        np.testing.assert_allclose(batch, [0.5, 0.5])
+
+    def test_empty_blocks(self):
+        sets = [ngrams("ab")]
+        matrix = TokenSetMatrix.from_sets(sets, build_token_vocabulary(sets))
+        assert jaccard_pairs(matrix, [], matrix, []).shape == (0,)
+        vec = TfidfVectoriser().fit(["a b"])
+        docs = vec.transform_matrix(["a b"])
+        assert cosine_pairs(docs, [], docs, []).shape == (0,)
+        assert numeric_similarity_pairs([], []).shape == (0,)
+
+    def test_mismatched_row_arrays_rejected(self):
+        sets = [ngrams("ab")]
+        matrix = TokenSetMatrix.from_sets(sets, build_token_vocabulary(sets))
+        with pytest.raises(ValueError, match="equal-length"):
+            jaccard_pairs(matrix, [0, 0], matrix, [0])
