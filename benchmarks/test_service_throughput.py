@@ -1,0 +1,170 @@
+"""Serving-layer benchmark: session protocol overhead and concurrency.
+
+The service wraps the samplers' batched engine in journalling, locking
+and (over HTTP) JSON transport.  This benchmark quantifies what that
+wrapper costs and guards the serving layer's two load-bearing claims:
+
+* the propose/ingest trajectory is *bit-identical* to the oracle-driven
+  loop (asserted exactly, not statistically); and
+* the protocol overhead is bounded — a journalled session completes the
+  same label budget within ``SERVICE_BENCH_MAX_OVERHEAD`` (default 25x)
+  of the raw in-process loop, and concurrent HTTP clients sustain a
+  modest aggregate floor.  Results stream to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import load_benchmark
+from repro.experiments.specs import SAMPLER_KINDS
+from repro.oracle import DeterministicOracle
+from repro.service import EvaluationSession, SessionManager
+from repro.service.http import make_server
+
+MAX_OVERHEAD = float(os.environ.get("SERVICE_BENCH_MAX_OVERHEAD", "25"))
+MIN_HTTP_DRAWS_PER_SEC = float(
+    os.environ.get("SERVICE_BENCH_MIN_HTTP_RATE", "200"))
+OUT_PATH = os.environ.get("SERVICE_BENCH_OUT", "BENCH_service.json")
+
+BATCHES = [64] * 24  # 1536 draws per run
+
+
+def _pool():
+    return load_benchmark("abt_buy", scale="small", random_state=42)
+
+
+def _drive_session(session, labels):
+    for batch in BATCHES:
+        proposal = session.propose(batch)
+        session.ingest(
+            proposal["ticket"],
+            [int(labels[i]) for i in proposal["pending"]])
+    return session
+
+
+def test_session_protocol_overhead(tmp_path):
+    pool = _pool()
+
+    start = time.perf_counter()
+    sampler = SAMPLER_KINDS["oasis"](
+        pool.predictions, pool.scores,
+        DeterministicOracle(pool.true_labels),
+        n_strata=30, random_state=9)
+    for batch in BATCHES:
+        sampler.sample_batch(batch)
+    direct_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session = EvaluationSession.create(
+        pool.predictions, pool.scores, sampler="oasis",
+        sampler_kwargs={"n_strata": 30}, seed=9,
+        directory=tmp_path / "bench-session")
+    _drive_session(session, pool.true_labels)
+    session_seconds = time.perf_counter() - start
+
+    # Exactness first: same draws, same estimate, to the last bit.
+    np.testing.assert_array_equal(
+        np.asarray(session.sampler.history), np.asarray(sampler.history))
+    assert session.sampler.sampled_indices == sampler.sampled_indices
+
+    overhead = session_seconds / direct_seconds
+    payload = {
+        "draws": int(sum(BATCHES)),
+        "direct_seconds": direct_seconds,
+        "journalled_session_seconds": session_seconds,
+        "overhead_factor": overhead,
+    }
+    print(f"\nsession protocol: direct {direct_seconds:.3f}s, "
+          f"journalled session {session_seconds:.3f}s "
+          f"({overhead:.1f}x, ceiling {MAX_OVERHEAD:g}x)")
+    _merge_report({"protocol_overhead": payload})
+    assert overhead < MAX_OVERHEAD, (
+        f"journalled session is {overhead:.1f}x the direct loop "
+        f"(ceiling {MAX_OVERHEAD:g}x)"
+    )
+
+
+def test_concurrent_http_throughput(tmp_path):
+    pool = _pool()
+    manager = SessionManager(tmp_path / "root")
+    server = make_server(manager, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    n_clients = 4
+    batches = [64] * 6
+
+    def post(path, body):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(body).encode(), method="POST",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read())
+
+    def client(worker: int, results: dict):
+        session_id = f"bench-{worker}"
+        post("/sessions", {
+            "predictions": pool.predictions.tolist(),
+            "scores": pool.scores.tolist(),
+            "sampler": "oasis", "sampler_kwargs": {"n_strata": 30},
+            "seed": 9, "session_id": session_id,
+        })
+        for batch in batches:
+            proposal = post(f"/sessions/{session_id}/propose",
+                            {"batch_size": batch})
+            answers = [int(pool.true_labels[i]) for i in proposal["pending"]]
+            final = post(f"/sessions/{session_id}/ingest",
+                         {"ticket": proposal["ticket"], "labels": answers})
+        results[worker] = final
+
+    try:
+        results: dict = {}
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(worker, results))
+            for worker in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    # Every client ran the same seed: identical estimates across sessions.
+    estimates = {results[worker]["estimate"] for worker in results}
+    assert len(results) == n_clients and len(estimates) == 1
+
+    total_draws = n_clients * sum(batches)
+    rate = total_draws / elapsed
+    print(f"\nHTTP: {n_clients} concurrent clients, {total_draws} draws in "
+          f"{elapsed:.3f}s = {rate:.0f} draws/s "
+          f"(floor {MIN_HTTP_DRAWS_PER_SEC:g})")
+    _merge_report({"concurrent_http": {
+        "clients": n_clients,
+        "total_draws": total_draws,
+        "seconds": elapsed,
+        "draws_per_second": rate,
+    }})
+    assert rate > MIN_HTTP_DRAWS_PER_SEC
+
+
+def _merge_report(entry: dict) -> None:
+    path = Path(OUT_PATH)
+    payload = {}
+    if path.is_file():
+        payload = json.loads(path.read_text())
+    payload.update(entry)
+    path.write_text(json.dumps(payload, indent=1))

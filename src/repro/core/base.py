@@ -20,6 +20,22 @@ Two execution paths share that contract:
   proposal it was actually drawn from.  ``sample_batch`` with
   ``batch_size=1`` is bit-identical to one sequential step under the
   same random state.
+
+The batched path is itself split into two halves — a *propose* phase
+(:meth:`BaseEvaluationSampler._propose_batch`: consume randomness, pick
+the draws) and a *commit* phase
+(:meth:`BaseEvaluationSampler._commit_batch`: fold the labels into the
+model, estimator and histories).  The oracle round-trip sits exactly at
+the seam, which is what lets the serving layer
+(:mod:`repro.service`) replace the synchronous oracle call with an
+asynchronous propose-pairs → ingest-labels protocol without perturbing
+a single draw.
+
+Samplers also support versioned snapshot/restore
+(:meth:`BaseEvaluationSampler.state_dict` /
+:meth:`~BaseEvaluationSampler.load_state_dict`): restoring a snapshot
+into an identically-constructed sampler continues the run bit-for-bit,
+RNG stream included.
 """
 
 from __future__ import annotations
@@ -29,9 +45,18 @@ import abc
 import numpy as np
 
 from repro.oracle.base import BaseOracle
-from repro.utils import check_in_range, ensure_rng
+from repro.utils import (
+    check_count,
+    check_in_range,
+    ensure_rng,
+    rng_from_state_dict,
+    rng_state_dict,
+)
 
 __all__ = ["BaseEvaluationSampler"]
+
+#: Version stamp of the sampler snapshot layout.
+STATE_FORMAT_VERSION = 1
 
 
 class BaseEvaluationSampler(abc.ABC):
@@ -123,14 +148,30 @@ class BaseEvaluationSampler(abc.ABC):
         self._label_cache[index] = label
         return label
 
-    def _query_labels(self, indices) -> tuple[np.ndarray, np.ndarray]:
-        """Bulk cached oracle lookup for a batch of draws.
+    def _pending_fresh(self, indices) -> np.ndarray:
+        """Distinct not-yet-labelled indices of a batch of draws.
 
-        Cache hits are resolved with one vectorised gather; the
-        remaining distinct indices are forwarded to the oracle's
-        :meth:`~repro.oracle.base.BaseOracle.query_many` in
-        first-occurrence order, so randomised oracles consume their
-        randomness exactly as the sequential path would.
+        Returned in first-occurrence order — exactly the order the
+        oracle (or an asynchronous labeller) must answer them in for
+        randomised labellers to consume their randomness as the
+        sequential path would.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        unknown = self._label_cache[indices] < 0
+        if not np.any(unknown):
+            return np.zeros(0, dtype=np.int64)
+        unknown_values = indices[unknown]
+        unique, first_pos = np.unique(unknown_values, return_index=True)
+        return unique[np.argsort(first_pos)]
+
+    def _apply_labels(self, indices, fresh_labels) -> tuple[np.ndarray, np.ndarray]:
+        """Fold labels for :meth:`_pending_fresh` indices into the caches.
+
+        ``fresh_labels`` must align with ``self._pending_fresh(indices)``
+        (the dedup is recomputed here in one pass — the caches have not
+        changed in between).  Shape and label range are re-checked at
+        this trust boundary, as the labels may come from an overridden
+        oracle backend or an external client.
 
         Returns
         -------
@@ -143,49 +184,109 @@ class BaseEvaluationSampler(abc.ABC):
             intra-batch label-budget trajectory.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        labels = self._label_cache[indices].astype(np.int64)
+        fresh_labels = np.asarray(fresh_labels, dtype=np.int64)
         new_mask = np.zeros(len(indices), dtype=bool)
-        unknown = labels < 0
-        if np.any(unknown):
-            unknown_pos = np.flatnonzero(unknown)
+        # One dedup pass serves both outputs: ``fresh`` (what the labels
+        # must align with) and ``new_mask`` (where the budget advances).
+        unknown_pos = np.flatnonzero(self._label_cache[indices] < 0)
+        if unknown_pos.size:
             unknown_values = indices[unknown_pos]
             unique, first_pos = np.unique(unknown_values, return_index=True)
-            order = np.argsort(first_pos)  # first-occurrence order
-            fresh = unique[order]
-            # ``query_many`` validates its own backend, but an oracle
-            # may override it wholesale — the sampler re-checks shape
-            # and label range at its trust boundary, mirroring what
-            # ``_query_label`` does for ``label``.
-            fresh_labels = np.asarray(self.oracle.query_many(fresh), dtype=np.int64)
-            if fresh_labels.shape != fresh.shape:
-                raise ValueError(
-                    f"oracle returned {fresh_labels.shape} labels for "
-                    f"{fresh.shape} queries"
-                )
+            fresh = unique[np.argsort(first_pos)]
+        else:
+            fresh = np.zeros(0, dtype=np.int64)
+        if fresh_labels.shape != fresh.shape:
+            raise ValueError(
+                f"oracle returned {fresh_labels.shape} labels for "
+                f"{fresh.shape} queries"
+            )
+        if fresh.size:
             if np.any((fresh_labels != 0) & (fresh_labels != 1)):
                 bad = fresh_labels[(fresh_labels != 0) & (fresh_labels != 1)][0]
                 raise ValueError(f"oracle returned non-binary label {bad}")
+            new_mask[unknown_pos[first_pos]] = True
             self._label_cache[fresh] = fresh_labels
             for index, label in zip(fresh.tolist(), fresh_labels.tolist()):
                 self.queried_labels[index] = int(label)
-            labels[unknown_pos] = self._label_cache[unknown_values]
-            new_mask[unknown_pos[first_pos[order]]] = True
+        labels = self._label_cache[indices].astype(np.int64)
         return labels, new_mask
+
+    def _query_labels(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk cached oracle lookup for a batch of draws.
+
+        Cache hits are resolved with one vectorised gather; the
+        remaining distinct indices (:meth:`_pending_fresh`) are
+        forwarded to the oracle's
+        :meth:`~repro.oracle.base.BaseOracle.query_many` in
+        first-occurrence order, so randomised oracles consume their
+        randomness exactly as the sequential path would, and the
+        answers are folded back in via :meth:`_apply_labels`.
+
+        Returns the ``(labels, new_mask)`` pair of
+        :meth:`_apply_labels`.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        fresh = self._pending_fresh(indices)
+        if fresh.size:
+            fresh_labels = np.asarray(self.oracle.query_many(fresh), dtype=np.int64)
+        else:
+            fresh_labels = np.zeros(0, dtype=np.int64)
+        return self._apply_labels(indices, fresh_labels)
 
     @abc.abstractmethod
     def _step(self) -> None:
         """Perform one sampling iteration, appending to the histories."""
 
+    def _propose_batch(self, batch_size: int) -> dict:
+        """Propose phase of one batched iteration: pick the draws.
+
+        Consumes randomness and computes everything derivable *without*
+        labels — the drawn indices plus whatever per-sampler context
+        (strata, weights, frozen proposal) the commit phase needs.
+        Returns a context dict with at least ``"indices"``.
+
+        Subclasses with a vectorised batched path override this
+        together with :meth:`_commit_batch`; the base implementation
+        signals "no split path" and :meth:`_step_batch` falls back to
+        looping :meth:`_step`.
+        """
+        raise NotImplementedError
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        """Commit phase of one batched iteration: fold the labels in.
+
+        ``context`` is the dict returned by :meth:`_propose_batch`;
+        ``labels`` / ``new_mask`` come from :meth:`_apply_labels` on
+        ``context["indices"]``.  Updates model, estimator and the
+        histories — everything downstream of the oracle round-trip.
+        """
+        raise NotImplementedError
+
+    @property
+    def supports_propose_ingest(self) -> bool:
+        """Whether this sampler implements the split batched path.
+
+        Split samplers can be driven through the asynchronous
+        propose-pairs → ingest-labels protocol of
+        :class:`repro.service.session.EvaluationSession`.
+        """
+        return type(self)._propose_batch is not BaseEvaluationSampler._propose_batch
+
     def _step_batch(self, batch_size: int) -> None:
         """Perform one batched iteration of ``batch_size`` draws.
 
-        The fallback loops :meth:`_step`, preserving exact sequential
-        semantics for samplers without a vectorised path; subclasses
-        override it to freeze their proposal over the block and update
-        model, estimator and histories in bulk.
+        Runs propose → oracle round-trip → commit when the sampler
+        implements the split path; otherwise falls back to looping
+        :meth:`_step`, preserving exact sequential semantics for
+        samplers without a vectorised path.
         """
-        for __ in range(batch_size):
-            self._step()
+        if not self.supports_propose_ingest:
+            for __ in range(batch_size):
+                self._step()
+            return
+        context = self._propose_batch(batch_size)
+        labels, new_mask = self._query_labels(context["indices"])
+        self._commit_batch(context, labels, new_mask)
 
     def sample_batch(self, batch_size: int) -> float:
         """Draw ``batch_size`` items under one frozen proposal.
@@ -200,9 +301,7 @@ class BaseEvaluationSampler(abc.ABC):
         ``sample_batch(1)`` is bit-identical to one sequential step
         under the same random state.  Returns the updated estimate.
         """
-        batch_size = int(batch_size)
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+        batch_size = check_count(batch_size, "batch_size")
         self._step_batch(batch_size)
         return self.estimate
 
@@ -213,10 +312,8 @@ class BaseEvaluationSampler(abc.ABC):
         (at most) ``batch_size`` via :meth:`sample_batch`; the proposal
         is refreshed between blocks instead of between draws.
         """
-        if n_iterations < 0:
-            raise ValueError(f"n_iterations must be non-negative; got {n_iterations}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+        n_iterations = check_count(n_iterations, "n_iterations", minimum=0)
+        batch_size = check_count(batch_size, "batch_size")
         if batch_size == 1:
             for __ in range(n_iterations):
                 self._step()
@@ -240,10 +337,8 @@ class BaseEvaluationSampler(abc.ABC):
         ``labels_consumed == budget`` labels billed to the oracle
         (unless ``max_iterations`` or the pool size intervenes).
         """
-        if budget <= 0:
-            raise ValueError(f"budget must be positive; got {budget}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1; got {batch_size}")
+        budget = check_count(budget, "budget")
+        batch_size = check_count(batch_size, "batch_size")
         budget = min(budget, self.n_items)
         if max_iterations is None:
             max_iterations = 50 * budget
@@ -288,3 +383,87 @@ class BaseEvaluationSampler(abc.ABC):
         valid = positions >= 0
         out[valid] = history[positions[valid]]
         return out
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional state folded into :meth:`state_dict`."""
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore what :meth:`_extra_state` captured."""
+
+    def state_dict(self) -> dict:
+        """Versioned snapshot of everything mutable in the sampler.
+
+        The snapshot captures the label cache, the histories, the RNG
+        bit-generator state and every model/estimator running sum — but
+        *not* the pool arrays or the oracle, which are construction
+        inputs.  The restore contract: build a sampler with the same
+        constructor arguments (any seed), call :meth:`load_state_dict`,
+        and every subsequent draw, estimate and history entry is
+        bit-identical to the snapshotted sampler continuing uninterrupted.
+
+        The returned dict contains live NumPy arrays; pass it through
+        :func:`repro.service.codec.encode_state` for a JSON-safe form.
+        """
+        indices = np.fromiter(self.queried_labels.keys(), dtype=np.int64,
+                              count=len(self.queried_labels))
+        labels = np.fromiter(self.queried_labels.values(), dtype=np.int64,
+                             count=len(self.queried_labels))
+        state = {
+            "format_version": STATE_FORMAT_VERSION,
+            "class": type(self).__name__,
+            "n_items": self.n_items,
+            "alpha": self.alpha,
+            "rng": rng_state_dict(self.rng),
+            "queried_indices": indices,
+            "queried_label_values": labels,
+            "history": list(self.history),
+            "budget_history": list(self.budget_history),
+            "sampled_indices": list(self.sampled_indices),
+        }
+        state.update(self._extra_state())
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The sampler must have been constructed over the same pool (size
+        and class are validated; subclasses validate their structural
+        configuration).  Accepts snapshots decoded by
+        :func:`repro.service.codec.decode_state`.
+        """
+        version = state.get("format_version")
+        if version != STATE_FORMAT_VERSION:
+            raise ValueError(f"unsupported sampler state version {version!r}")
+        if state.get("class") != type(self).__name__:
+            raise ValueError(
+                f"state was captured from {state.get('class')!r}, not "
+                f"{type(self).__name__!r}"
+            )
+        if int(state["n_items"]) != self.n_items:
+            raise ValueError(
+                f"state covers a pool of {state['n_items']} items, but this "
+                f"sampler has {self.n_items}"
+            )
+        if float(state["alpha"]) != self.alpha:
+            raise ValueError(
+                f"state was captured with alpha={state['alpha']}, but this "
+                f"sampler has alpha={self.alpha}"
+            )
+        self.rng = rng_from_state_dict(state["rng"])
+        indices = np.asarray(state["queried_indices"], dtype=np.int64)
+        labels = np.asarray(state["queried_label_values"], dtype=np.int64)
+        if indices.shape != labels.shape:
+            raise ValueError("queried indices and labels must align")
+        self.queried_labels = {
+            int(i): int(l) for i, l in zip(indices.tolist(), labels.tolist())
+        }
+        self._label_cache = np.full(self.n_items, -1, dtype=np.int8)
+        if indices.size:
+            self._label_cache[indices] = labels.astype(np.int8)
+        self.history = [float(v) for v in state["history"]]
+        self.budget_history = [int(v) for v in state["budget_history"]]
+        self.sampled_indices = [int(v) for v in state["sampled_indices"]]
+        self._load_extra_state(state)

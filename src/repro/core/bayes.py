@@ -129,3 +129,33 @@ class BetaBernoulliModel:
     def reset(self) -> None:
         """Discard all observed labels, restoring the prior."""
         self._counts[:] = 0.0
+
+    def state_dict(self) -> dict:
+        """Versioned snapshot: prior, observed counts, decay flag."""
+        return {
+            "format_version": 1,
+            "prior_gamma": np.array(self._prior, copy=True),
+            "counts": np.array(self._counts, copy=True),
+            "decaying_prior": self.decaying_prior,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The prior is restored along with the counts: a snapshot fully
+        determines the posterior, regardless of the prior this instance
+        was constructed with.
+        """
+        version = state.get("format_version")
+        if version != 1:
+            raise ValueError(f"unsupported model state version {version!r}")
+        prior = np.asarray(state["prior_gamma"], dtype=float)
+        counts = np.asarray(state["counts"], dtype=float)
+        if prior.shape != self._prior.shape or counts.shape != prior.shape:
+            raise ValueError(
+                f"state has {prior.shape[1] if prior.ndim == 2 else '?'} "
+                f"strata, but this model has {self.n_strata}"
+            )
+        self._prior = np.array(prior, copy=True)
+        self._counts = np.array(counts, copy=True)
+        self.decaying_prior = bool(state["decaying_prior"])

@@ -203,6 +203,44 @@ class AISEstimator:
             "n_observations": self.n_observations,
         }
 
+    def state_dict(self) -> dict:
+        """Versioned snapshot capturing the estimator exactly.
+
+        Together with :meth:`load_state_dict` this is the
+        snapshot-restore contract of the serving layer: restoring the
+        returned dict into a fresh estimator reproduces every future
+        estimate bit for bit, including the delta-method confidence
+        intervals (the tracked observations ride along).
+        """
+        state = dict(self.state())
+        state["format_version"] = 1
+        state["alpha"] = self.alpha
+        state["track_observations"] = self.track_observations
+        state["observations"] = (
+            np.asarray(self._observations, dtype=float).reshape(-1, 3)
+            if self.track_observations
+            else np.zeros((0, 3))
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        version = state.get("format_version")
+        if version != 1:
+            raise ValueError(f"unsupported estimator state version {version!r}")
+        if float(state["alpha"]) != self.alpha:
+            raise ValueError(
+                f"state was captured with alpha={state['alpha']}, but this "
+                f"estimator has alpha={self.alpha}"
+            )
+        self._weighted_tp = float(state["weighted_tp"])
+        self._weighted_pred = float(state["weighted_pred"])
+        self._weighted_true = float(state["weighted_true"])
+        self.n_observations = int(state["n_observations"])
+        self.track_observations = bool(state["track_observations"])
+        observations = np.asarray(state["observations"], dtype=float).reshape(-1, 3)
+        self._observations = [tuple(row) for row in observations.tolist()]
+
     def reset(self) -> None:
         self._weighted_tp = 0.0
         self._weighted_pred = 0.0

@@ -195,24 +195,38 @@ class OASISSampler(BaseEvaluationSampler):
             self.instrumental_history.append(np.array(v, copy=True))
             self.weight_history.append(float(weight))
 
-    def _step_batch(self, batch_size: int) -> None:
-        """One batched iteration: ``batch_size`` draws under a frozen v^(t).
+    def _propose_batch(self, batch_size: int) -> dict:
+        """Propose ``batch_size`` draws under a frozen v^(t).
 
         The instrumental distribution is computed once for the block
         (the Delyon & Portier block-adaptive relaxation of Algorithm
-        3); stratum choices, within-stratum draws, oracle queries and
-        the posterior/estimator updates are all vectorised.  Histories
-        gain one entry per draw: the estimate trajectory is exact (the
-        AIS running sums are replayed cumulatively) while the
-        diagnostic snapshots record the post-batch state for every
-        draw in the block, since intermediate posteriors are never
-        materialised.
+        3); stratum choices, within-stratum draws and the importance
+        weights are all vectorised.  No labels are consumed — commit
+        happens in :meth:`_commit_batch` once they arrive.
         """
         v = self.instrumental_distribution()
         strata_drawn = self.rng.choice(self.n_strata, p=v, size=batch_size)
         indices = self.strata.sample_in_strata(strata_drawn, self.rng)
         weights = self._stratum_weights[strata_drawn] / v[strata_drawn]
-        labels, new_mask = self._query_labels(indices)
+        return {
+            "indices": indices,
+            "strata": strata_drawn,
+            "weights": weights,
+            "v": v,
+        }
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        """Fold one proposed batch's labels into model and estimator.
+
+        Histories gain one entry per draw: the estimate trajectory is
+        exact (the AIS running sums are replayed cumulatively) while
+        the diagnostic snapshots record the post-batch state for every
+        draw in the block, since intermediate posteriors are never
+        materialised.
+        """
+        indices = context["indices"]
+        strata_drawn = context["strata"]
+        weights = context["weights"]
         predictions = self.predictions[indices]
 
         self.model.update_batch(strata_drawn, labels)
@@ -228,10 +242,58 @@ class OASISSampler(BaseEvaluationSampler):
         self.budget_history.extend(int(b) for b in budgets)
         if self.record_diagnostics:
             pi = np.array(self.model.posterior_mean(), copy=True)
-            v_snapshot = np.array(v, copy=True)
+            v_snapshot = np.array(context["v"], copy=True)
+            batch_size = len(indices)
             self.pi_history.extend([pi] * batch_size)
             self.instrumental_history.extend([v_snapshot] * batch_size)
             self.weight_history.extend(float(w) for w in weights)
+
+    def _extra_state(self) -> dict:
+        state = {
+            "epsilon": self.epsilon,
+            "strata_checksum": self.strata.checksum(),
+            "n_strata": self.n_strata,
+            "model": self.model.state_dict(),
+            "estimator": self._estimator.state_dict(),
+            "current_f": self._current_f,
+            "record_diagnostics": self.record_diagnostics,
+        }
+        if self.record_diagnostics:
+            state["pi_history"] = [np.array(p, copy=True) for p in self.pi_history]
+            state["instrumental_history"] = [
+                np.array(v, copy=True) for v in self.instrumental_history
+            ]
+            state["weight_history"] = list(self.weight_history)
+        return state
+
+    def _load_extra_state(self, state: dict) -> None:
+        if state["strata_checksum"] != self.strata.checksum():
+            raise ValueError(
+                "state was captured over a different stratification; "
+                "rebuild the sampler with the same scores and strata "
+                "configuration before restoring"
+            )
+        if float(state["epsilon"]) != self.epsilon:
+            raise ValueError(
+                f"state was captured with epsilon={state['epsilon']}, but "
+                f"this sampler has epsilon={self.epsilon}"
+            )
+        self.model.load_state_dict(state["model"])
+        self._estimator.load_state_dict(state["estimator"])
+        self._current_f = float(state["current_f"])
+        self.record_diagnostics = bool(state["record_diagnostics"])
+        if self.record_diagnostics:
+            self.pi_history = [
+                np.asarray(p, dtype=float) for p in state["pi_history"]
+            ]
+            self.instrumental_history = [
+                np.asarray(v, dtype=float) for v in state["instrumental_history"]
+            ]
+            self.weight_history = [float(w) for w in state["weight_history"]]
+        else:
+            self.pi_history = []
+            self.instrumental_history = []
+            self.weight_history = []
 
     @property
     def precision_estimate(self) -> float:

@@ -91,6 +91,40 @@ class Strata:
         members = self._members[k]
         return int(members[rng.integers(len(members))])
 
+    def checksum(self) -> str:
+        """Content fingerprint of the partition (allocations only).
+
+        Samplers embed this in their :meth:`state_dict` snapshots so a
+        restore onto a differently-stratified pool fails loudly instead
+        of silently mixing stratum statistics.
+        """
+        import hashlib
+
+        return hashlib.sha256(
+            np.ascontiguousarray(self.allocations).tobytes()
+        ).hexdigest()[:16]
+
+    def state_dict(self) -> dict:
+        """Versioned snapshot from which the partition can be rebuilt."""
+        return {
+            "format_version": 1,
+            "allocations": np.array(self.allocations, copy=True),
+            "scores": np.array(self.scores, copy=True),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Strata":
+        """Rebuild a :class:`Strata` from a :meth:`state_dict` snapshot.
+
+        Construction from (allocations, scores) is deterministic — the
+        member layout is a stable argsort — so the rebuilt partition
+        draws bit-identically to the one snapshotted.
+        """
+        version = state.get("format_version")
+        if version != 1:
+            raise ValueError(f"unsupported strata state version {version!r}")
+        return cls(state["allocations"], state["scores"])
+
     def sample_in_strata(self, strata, rng) -> np.ndarray:
         """Vectorised within-stratum draws, one per entry of ``strata``.
 
@@ -158,7 +192,14 @@ def csf_stratify(
         # All scores identical: a single stratum is the only option.
         return Strata(np.zeros(len(scores), dtype=np.int64), scores)
 
-    counts, bin_edges = np.histogram(scores, bins=n_bins)
+    try:
+        counts, bin_edges = np.histogram(scores, bins=n_bins)
+    except ValueError:
+        # A nonzero but degenerate spread (subnormal range, or a range
+        # whose bin width underflows) leaves numpy unable to form
+        # finite bins; the scores are indistinguishable at any usable
+        # resolution, so fall back to a single stratum.
+        return Strata(np.zeros(len(scores), dtype=np.int64), scores)
     csf = np.cumsum(np.sqrt(counts))
     width = csf[-1] / n_strata
 

@@ -8,13 +8,20 @@ Regenerates the paper's experiments without writing code::
     python -m repro.experiments calibration --dataset abt_buy
     python -m repro.experiments sweep --config sweep.json --workers 4 \
         --out runs/sweep --resume
+    python -m repro.experiments serve --port 8765 --root runs/service
 
-Each subcommand prints the corresponding table/series in the same
-format as the benchmark suite.  ``compare``, ``calibration`` and
+Each experiment subcommand prints the corresponding table/series in the
+same format as the benchmark suite.  ``compare``, ``calibration`` and
 ``sweep`` accept ``--workers`` to fan repeated trials out over a
 process pool (estimates are bit-identical for any worker count);
 ``sweep`` additionally checkpoints each completed repeat under
 ``--out`` and ``--resume`` skips whatever already finished.
+
+``serve`` runs the evaluation service (:mod:`repro.service`): a
+JSON-over-HTTP front-end where clients create sessions, fetch pair
+batches to label (``propose``) and return labels as they arrive
+(``ingest``), with every session journalled under ``--root`` so a
+killed server resumes each session exactly where it stopped.
 """
 
 from __future__ import annotations
@@ -32,8 +39,21 @@ from repro.experiments.runner import run_trials
 from repro.experiments.specs import make_sampler_spec
 from repro.experiments.sweep import SweepConfig, run_sweep
 from repro.oracle import DeterministicOracle
+from repro.utils import check_count
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str):
+    """argparse type: a positive integer, via the shared validator."""
+
+    def parse(value):
+        try:
+            return check_count(int(value), text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,16 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="Figure 2 style comparison")
     compare.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
     compare.add_argument("--scale", default="small", choices=["tiny", "small"])
-    compare.add_argument("--budget", type=int, default=2000)
-    compare.add_argument("--repeats", type=int, default=10)
-    compare.add_argument("--n-strata", type=int, default=30)
+    compare.add_argument("--budget", type=_positive_int("budget"), default=2000)
+    compare.add_argument("--repeats", type=_positive_int("repeats"), default=10)
+    compare.add_argument("--n-strata", type=_positive_int("n_strata"), default=30)
     compare.add_argument("--seed", type=int, default=42)
     compare.add_argument(
         "--calibrated", action="store_true",
         help="use calibrated probabilities instead of margins",
     )
     compare.add_argument(
-        "--batch-size", type=int, default=1,
+        "--batch-size", type=_positive_int("batch_size"), default=1,
         help="draws per proposal refresh (1 = sequential paper protocol)",
     )
     compare.add_argument(
@@ -67,29 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="add the OSS (adaptive Neyman) extension baseline",
     )
     compare.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int("workers"), default=1,
         help="process-pool width for the repeated trials",
     )
 
     convergence = sub.add_parser("convergence", help="Figure 4 diagnostics")
     convergence.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
     convergence.add_argument("--scale", default="small", choices=["tiny", "small"])
-    convergence.add_argument("--iterations", type=int, default=10_000)
-    convergence.add_argument("--n-strata", type=int, default=30)
+    convergence.add_argument("--iterations", type=_positive_int("iterations"), default=10_000)
+    convergence.add_argument("--n-strata", type=_positive_int("n_strata"), default=30)
     convergence.add_argument("--seed", type=int, default=42)
     convergence.add_argument(
-        "--batch-size", type=int, default=1,
+        "--batch-size", type=_positive_int("batch_size"), default=1,
         help="draws per proposal refresh during the diagnostic run",
     )
 
     calibration = sub.add_parser("calibration", help="Figure 3 comparison")
     calibration.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
     calibration.add_argument("--scale", default="small", choices=["tiny", "small"])
-    calibration.add_argument("--budget", type=int, default=2000)
-    calibration.add_argument("--repeats", type=int, default=10)
+    calibration.add_argument("--budget", type=_positive_int("budget"), default=2000)
+    calibration.add_argument("--repeats", type=_positive_int("repeats"), default=10)
     calibration.add_argument("--seed", type=int, default=42)
     calibration.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int("workers"), default=1,
         help="process-pool width for the repeated trials",
     )
 
@@ -107,17 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DATASET",
     )
     sweep.add_argument("--scale", default="tiny", choices=["tiny", "small"])
-    sweep.add_argument("--budgets", nargs="+", type=int, default=[50, 100, 200])
-    sweep.add_argument("--batch-sizes", nargs="+", type=int, default=[1])
-    sweep.add_argument("--repeats", type=int, default=10)
-    sweep.add_argument("--n-strata", type=int, default=30)
+    sweep.add_argument("--budgets", nargs="+", type=_positive_int("budgets"), default=[50, 100, 200])
+    sweep.add_argument("--batch-sizes", nargs="+", type=_positive_int("batch_sizes"), default=[1])
+    sweep.add_argument("--repeats", type=_positive_int("repeats"), default=10)
+    sweep.add_argument("--n-strata", type=_positive_int("n_strata"), default=30)
     sweep.add_argument("--seed", type=int, default=42)
     sweep.add_argument(
         "--flip-prob", type=float, default=None,
         help="also sweep a noisy oracle with this symmetric error rate",
     )
     sweep.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int("workers"), default=1,
         help="process-pool width per job (results identical for any value)",
     )
     sweep.add_argument(
@@ -132,6 +152,30 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--no-resume", dest="resume", action="store_false",
         help="recompute every shard even if present",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service (JSON-over-HTTP sessions)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listening port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--root", default=None,
+        help="service root directory: one journalled session per "
+        "subdirectory; omit for a memory-only (non-durable) service",
+    )
+    serve.add_argument(
+        "--capacity", type=_positive_int("capacity"), default=None,
+        help="max resident sessions; LRU idle sessions evict to --root",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="evict journalled sessions idle longer than this many "
+        "seconds (they restore transparently on next access)",
     )
     return parser
 
@@ -277,12 +321,24 @@ def _cmd_sweep(args) -> None:
     )
 
 
+def _cmd_serve(args) -> None:
+    # Deferred import: the service layer is not needed by the
+    # experiment subcommands.
+    from repro.service import SessionManager
+    from repro.service.http import serve
+
+    manager = SessionManager(args.root, capacity=args.capacity)
+    serve(manager, host=args.host, port=args.port,
+          idle_timeout=args.idle_timeout)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "compare": _cmd_compare,
     "convergence": _cmd_convergence,
     "calibration": _cmd_calibration,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

@@ -19,7 +19,6 @@ enough to force recomputation of exactly that repeat.
 from __future__ import annotations
 
 import json
-import os
 import re
 from pathlib import Path
 
@@ -27,6 +26,7 @@ import numpy as np
 
 from repro.experiments.aggregate import TrajectoryStats
 from repro.experiments.runner import TrialResult
+from repro.utils import atomic_write_text
 
 __all__ = [
     "save_results",
@@ -88,13 +88,6 @@ def load_results(path) -> dict:
 def _slug(text: str) -> str:
     """Filesystem-safe shard-name fragment."""
     return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "x"
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write-then-rename so an interrupt never leaves a torn file."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
 
 
 class TrialStore:
@@ -160,7 +153,7 @@ class TrialStore:
         if existing is not None and existing != config:
             for shard in self.shard_dir.glob("*.json"):
                 shard.unlink()
-        _atomic_write_text(
+        atomic_write_text(
             self.manifest_path, json.dumps(config, indent=1, sort_keys=True)
         )
 
@@ -208,7 +201,7 @@ class TrialStore:
             "budgets": [int(b) for b in np.asarray(budgets)],
             "estimates": _encode_array(estimates_row),
         }
-        _atomic_write_text(path, json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
         return path
 
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.datasets.benchmark import BenchmarkPool
 from repro.oracle.deterministic import DeterministicOracle
+from repro.utils import check_count
 
 __all__ = ["SamplerSpec", "TrialResult", "run_trials"]
 
@@ -260,12 +261,9 @@ def run_trials(
     dict mapping spec name to :class:`TrialResult`.
     """
     budgets = _normalise_budgets(budgets)
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1; got {batch_size}")
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1; got {n_workers}")
-    if n_repeats < 1:
-        raise ValueError(f"n_repeats must be >= 1; got {n_repeats}")
+    batch_size = check_count(batch_size, "batch_size")
+    n_workers = check_count(n_workers, "n_workers")
+    n_repeats = check_count(n_repeats, "n_repeats")
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         duplicates = sorted({n for n in names if names.count(n) > 1})

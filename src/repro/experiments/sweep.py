@@ -34,7 +34,7 @@ from repro.experiments.specs import (
     make_oracle_factory,
     make_sampler_spec,
 )
-from repro.utils import spawn_seed_sequences
+from repro.utils import check_count, spawn_seed_sequences
 
 __all__ = ["SweepConfig", "SweepJob", "expand_grid", "run_sweep"]
 
@@ -108,8 +108,7 @@ class SweepConfig:
                 )
         if not self.batch_sizes or any(int(b) < 1 for b in self.batch_sizes):
             raise ValueError("batch_sizes must be non-empty positive integers")
-        if self.n_repeats < 1:
-            raise ValueError(f"n_repeats must be >= 1; got {self.n_repeats}")
+        check_count(self.n_repeats, "n_repeats")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepConfig":
@@ -245,8 +244,7 @@ def run_sweep(
         Optional callable ``(job, results) -> None`` invoked as each
         job finishes (the CLI uses it for incremental reporting).
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1; got {workers}")
+    workers = check_count(workers, "workers")
     jobs = expand_grid(config)
     job_seqs = spawn_seed_sequences(config.seed, len(jobs))
 

@@ -142,7 +142,7 @@ class ImportanceSampler(BaseEvaluationSampler):
         self.history.append(self._estimator.estimate)
         self.budget_history.append(self.labels_consumed)
 
-    def _step_batch(self, batch_size: int) -> None:
+    def _propose_batch(self, batch_size: int) -> dict:
         """Batched categorical draws over the pool.
 
         The O(N) cost of the full-pool categorical draw — Table 3's
@@ -150,10 +150,14 @@ class ImportanceSampler(BaseEvaluationSampler):
         once per draw, which is exactly the amortisation the batched
         engine targets.
         """
-        indices = self.rng.choice(
-            self.n_items, p=self._instrumental, size=batch_size
-        )
-        labels, new_mask = self._query_labels(indices)
+        return {
+            "indices": self.rng.choice(
+                self.n_items, p=self._instrumental, size=batch_size
+            )
+        }
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        indices = context["indices"]
         predictions = self.predictions[indices]
         weights = self._uniform[indices] / self._instrumental[indices]
         trajectory = self._estimator.update_batch(labels, predictions, weights)
@@ -163,6 +167,12 @@ class ImportanceSampler(BaseEvaluationSampler):
         consumed = self.labels_consumed
         budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
         self.budget_history.extend(int(b) for b in budgets)
+
+    def _extra_state(self) -> dict:
+        return {"estimator": self._estimator.state_dict()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._estimator.load_state_dict(state["estimator"])
 
     @property
     def precision_estimate(self) -> float:

@@ -133,30 +133,59 @@ class OSSSampler(BaseEvaluationSampler):
         self.history.append(self._stratified_estimate())
         self.budget_history.append(self.labels_consumed)
 
-    def _step_batch(self, batch_size: int) -> None:
+    def _propose_batch(self, batch_size: int) -> dict:
         """Batched draws under a Neyman allocation frozen for the block.
 
         The allocation — the adaptive part of this sampler — is
         recomputed once per batch rather than once per draw, the same
         block-adaptive relaxation OASIS uses for its instrumental
-        distribution; draws and the oracle round-trip are vectorised,
-        and the plug-in estimate is replayed per draw.
+        distribution; draws are vectorised.
         """
         allocation = self.allocation()
         strata_drawn = self.rng.choice(
             self.n_strata, p=allocation, size=batch_size
         )
         indices = self.strata.sample_in_strata(strata_drawn, self.rng)
-        labels, new_mask = self._query_labels(indices)
+        return {"indices": indices, "strata": strata_drawn}
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        """Fold the labels in; the plug-in estimate is replayed per draw."""
+        indices = context["indices"]
+        strata_drawn = context["strata"]
         predictions = self.predictions[indices]
 
         self.sampled_indices.extend(int(i) for i in indices)
         consumed = self.labels_consumed
         budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
         self.budget_history.extend(int(b) for b in budgets)
-        for t in range(batch_size):
+        for t in range(len(indices)):
             stratum = strata_drawn[t]
             self._n_sampled[stratum] += 1
             self._sum_true[stratum] += labels[t]
             self._sum_tp[stratum] += labels[t] * predictions[t]
             self.history.append(self._stratified_estimate())
+
+    def _extra_state(self) -> dict:
+        return {
+            "strata_checksum": self.strata.checksum(),
+            "epsilon": self.epsilon,
+            "n_sampled": np.array(self._n_sampled, copy=True),
+            "sum_tp": np.array(self._sum_tp, copy=True),
+            "sum_true": np.array(self._sum_true, copy=True),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        if state["strata_checksum"] != self.strata.checksum():
+            raise ValueError(
+                "state was captured over a different stratification; "
+                "rebuild the sampler with the same scores and strata "
+                "configuration before restoring"
+            )
+        if float(state["epsilon"]) != self.epsilon:
+            raise ValueError(
+                f"state was captured with epsilon={state['epsilon']}, but "
+                f"this sampler has epsilon={self.epsilon}"
+            )
+        self._n_sampled = np.asarray(state["n_sampled"], dtype=float)
+        self._sum_tp = np.asarray(state["sum_tp"], dtype=float)
+        self._sum_true = np.asarray(state["sum_true"], dtype=float)

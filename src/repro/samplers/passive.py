@@ -55,13 +55,15 @@ class PassiveSampler(BaseEvaluationSampler):
         self.history.append(self._estimator.estimate)
         self.budget_history.append(self.labels_consumed)
 
-    def _step_batch(self, batch_size: int) -> None:
-        """Batched uniform draws: one RNG call, one bulk oracle query."""
-        indices = self.rng.integers(self.n_items, size=batch_size)
-        labels, new_mask = self._query_labels(indices)
+    def _propose_batch(self, batch_size: int) -> dict:
+        """Batched uniform draws: one RNG call proposes the whole block."""
+        return {"indices": self.rng.integers(self.n_items, size=batch_size)}
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        indices = context["indices"]
         predictions = self.predictions[indices]
         trajectory = self._estimator.update_batch(
-            labels, predictions, np.ones(batch_size)
+            labels, predictions, np.ones(len(indices))
         )
 
         self.sampled_indices.extend(int(i) for i in indices)
@@ -69,6 +71,12 @@ class PassiveSampler(BaseEvaluationSampler):
         consumed = self.labels_consumed
         budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
         self.budget_history.extend(int(b) for b in budgets)
+
+    def _extra_state(self) -> dict:
+        return {"estimator": self._estimator.state_dict()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._estimator.load_state_dict(state["estimator"])
 
     @property
     def precision_estimate(self) -> float:

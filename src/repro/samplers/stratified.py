@@ -118,29 +118,51 @@ class StratifiedSampler(BaseEvaluationSampler):
         self.history.append(self._stratified_estimate())
         self.budget_history.append(self.labels_consumed)
 
-    def _step_batch(self, batch_size: int) -> None:
-        """Batched proportional draws with a single bulk oracle query.
-
-        The stratum choices, within-stratum draws and oracle round-trip
-        are vectorised; the plug-in estimate is then replayed per draw
-        (it has no cumulative closed form like the AIS ratio), keeping
-        the recorded history identical to the sequential path draw for
-        draw.
-        """
+    def _propose_batch(self, batch_size: int) -> dict:
+        """Batched proportional draws: strata then items, vectorised."""
         strata_drawn = self.rng.choice(
             self.n_strata, p=self._weights, size=batch_size
         )
         indices = self.strata.sample_in_strata(strata_drawn, self.rng)
-        labels, new_mask = self._query_labels(indices)
+        return {"indices": indices, "strata": strata_drawn}
+
+    def _commit_batch(self, context, labels, new_mask) -> None:
+        """Fold one proposed batch's labels into the plug-in estimate.
+
+        The plug-in estimate is replayed per draw (it has no cumulative
+        closed form like the AIS ratio), keeping the recorded history
+        identical to the sequential path draw for draw.
+        """
+        indices = context["indices"]
+        strata_drawn = context["strata"]
         predictions = self.predictions[indices]
 
         self.sampled_indices.extend(int(i) for i in indices)
         consumed = self.labels_consumed
         budgets = consumed - int(new_mask.sum()) + np.cumsum(new_mask)
         self.budget_history.extend(int(b) for b in budgets)
-        for t in range(batch_size):
+        for t in range(len(indices)):
             stratum = strata_drawn[t]
             self._n_sampled[stratum] += 1
             self._sum_tp[stratum] += labels[t] * predictions[t]
             self._sum_true[stratum] += labels[t]
             self.history.append(self._stratified_estimate())
+
+    def _extra_state(self) -> dict:
+        return {
+            "strata_checksum": self.strata.checksum(),
+            "n_sampled": np.array(self._n_sampled, copy=True),
+            "sum_tp": np.array(self._sum_tp, copy=True),
+            "sum_true": np.array(self._sum_true, copy=True),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        if state["strata_checksum"] != self.strata.checksum():
+            raise ValueError(
+                "state was captured over a different stratification; "
+                "rebuild the sampler with the same scores and strata "
+                "configuration before restoring"
+            )
+        self._n_sampled = np.asarray(state["n_sampled"], dtype=float)
+        self._sum_tp = np.asarray(state["sum_tp"], dtype=float)
+        self._sum_true = np.asarray(state["sum_true"], dtype=float)

@@ -1,0 +1,56 @@
+"""Evaluation-as-a-service: sessions, checkpoints and an HTTP front-end.
+
+The library's samplers were written for a synchronous loop — the
+sampler calls the oracle and blocks until the label returns.  Real
+evaluations (the paper's motivating setting) are driven by *human*
+labellers answering asynchronously, so this package inverts the control
+flow: a client **proposes** a batch of pairs to label, ships them to
+whatever labelling workforce it has, and **ingests** the answers
+whenever they arrive.  Adaptive importance sampling keeps its
+asymptotic guarantees when the proposal is updated from accumulated
+past samples (Delyon & Portier), so freezing, snapshotting and resuming
+the sampler between label arrivals changes nothing about the estimator
+— the propose/ingest trajectory is bit-identical to the oracle-driven
+``sample()`` loop at the same seed.
+
+Layers, bottom up:
+
+* :mod:`repro.service.codec` — JSON-safe encoding of sampler state
+  (arrays, RNG bit-generator state, non-finite floats).
+* :mod:`repro.service.wal` — append-only write-ahead log; one
+  atomically-written JSON shard per event, in the
+  :class:`~repro.experiments.persistence.TrialStore` idiom.
+* :mod:`repro.service.session` — :class:`EvaluationSession`, the
+  batched propose → ingest protocol with journalling and
+  kill-anywhere restore.
+* :mod:`repro.service.manager` — :class:`SessionManager`, thread-safe
+  session registry with per-session locks, capacity limits and
+  idle-session eviction to disk.
+* :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON
+  front-end (``python -m repro.experiments serve``).
+"""
+
+from repro.service.codec import decode_state, dump_state, encode_state, load_state
+from repro.service.errors import (
+    CapacityError,
+    ServiceError,
+    SessionConflictError,
+    SessionNotFoundError,
+)
+from repro.service.manager import SessionManager
+from repro.service.session import EvaluationSession
+from repro.service.wal import SessionWAL
+
+__all__ = [
+    "encode_state",
+    "decode_state",
+    "dump_state",
+    "load_state",
+    "ServiceError",
+    "SessionConflictError",
+    "SessionNotFoundError",
+    "CapacityError",
+    "SessionWAL",
+    "EvaluationSession",
+    "SessionManager",
+]

@@ -1,0 +1,121 @@
+"""JSON-safe encoding of sampler state.
+
+``state_dict()`` snapshots are nested structures of plain Python
+scalars, NumPy arrays and RNG bit-generator state.  Standard JSON can
+carry none of the awkward parts — arrays, exact dtypes, ``NaN`` /
+``inf``, 128-bit PCG64 state integers — so this codec wraps them in
+tagged objects:
+
+* ``{"__ndarray__": {"dtype", "shape", "data"}}`` — arrays, with the
+  raw little-endian bytes base64-encoded.  Byte-level encoding (rather
+  than digit strings) is what makes restore *bit-identical*: every
+  float, including negative zero and every NaN payload, round-trips
+  exactly.
+* ``{"__float__": "nan" | "inf" | "-inf"}`` — non-finite scalars, so
+  the emitted JSON stays standards-compliant (``json.dumps`` is run
+  with ``allow_nan=False``).
+* ``{"__bigint__": "<decimal>"}`` — integers beyond the IEEE-754 safe
+  range (RNG state words), protected from readers that would silently
+  round them through a double.
+
+Everything else (bool, int, str, None, dict with string keys,
+list/tuple) passes through structurally.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+
+__all__ = ["encode_state", "decode_state", "dump_state", "load_state"]
+
+# Integers outside this range are not exactly representable as IEEE-754
+# doubles; JSON readers in other languages would corrupt them.
+_SAFE_INT = 2**53
+
+
+def _encode_array(array: np.ndarray) -> dict:
+    array = np.ascontiguousarray(array)
+    # Normalise to little-endian so snapshots are portable across hosts.
+    dtype = array.dtype.newbyteorder("<")
+    data = array.astype(dtype, copy=False).tobytes()
+    return {
+        "__ndarray__": {
+            "dtype": dtype.str,
+            "shape": list(array.shape),
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    dtype = np.dtype(payload["dtype"])
+    data = base64.b64decode(payload["data"])
+    array = np.frombuffer(data, dtype=dtype).reshape(payload["shape"])
+    # Native byte order, writable copy — indistinguishable from the
+    # array that was encoded.
+    return np.array(array.astype(dtype.newbyteorder("="), copy=False), copy=True)
+
+
+def encode_state(obj):
+    """Recursively convert ``obj`` into JSON-serialisable structure."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        value = int(obj)
+        if -_SAFE_INT < value < _SAFE_INT:
+            return value
+        return {"__bigint__": str(value)}
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if np.isnan(value):
+            return {"__float__": "nan"}
+        if np.isinf(value):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(obj, np.ndarray):
+        return _encode_array(obj)
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"state dict keys must be strings; got {key!r} "
+                    f"({type(key).__name__})"
+                )
+            if key.startswith("__") and key.endswith("__"):
+                raise TypeError(
+                    f"state dict key {key!r} collides with codec tags"
+                )
+            out[key] = encode_state(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [encode_state(item) for item in obj]
+    raise TypeError(f"cannot encode {type(obj).__name__} into sampler state")
+
+
+def decode_state(obj):
+    """Inverse of :func:`encode_state` (tuples come back as lists)."""
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return _decode_array(obj["__ndarray__"])
+        if "__float__" in obj:
+            return float(obj["__float__"])
+        if "__bigint__" in obj:
+            return int(obj["__bigint__"])
+        return {key: decode_state(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [decode_state(item) for item in obj]
+    return obj
+
+
+def dump_state(obj, **json_kwargs) -> str:
+    """Encode and serialise to a standards-compliant JSON string."""
+    return json.dumps(encode_state(obj), allow_nan=False, **json_kwargs)
+
+
+def load_state(text: str):
+    """Parse a :func:`dump_state` string back into live state."""
+    return decode_state(json.loads(text))

@@ -1,0 +1,49 @@
+"""Service-layer exceptions with HTTP status mappings.
+
+The session, manager and HTTP layers share one exception vocabulary so
+the front-end can translate failures mechanically: every
+:class:`ServiceError` carries the status code its HTTP rendering should
+use, and plain ``ValueError`` / ``KeyError`` from the layers below map
+to 400 / 404 at the handler.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "SessionNotFoundError",
+    "SessionConflictError",
+    "CapacityError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for service failures; ``status`` is the HTTP code."""
+
+    status = 500
+
+
+class SessionNotFoundError(ServiceError, KeyError):
+    """No live or on-disk session under the requested id."""
+
+    status = 404
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else "session not found"
+
+
+class SessionConflictError(ServiceError):
+    """The request is valid but not in this session state.
+
+    Raised for protocol violations: proposing while a batch is already
+    outstanding, ingesting with a stale or unknown ticket, or ingesting
+    when nothing was proposed.
+    """
+
+    status = 409
+
+
+class CapacityError(ServiceError):
+    """The manager is full and nothing can be evicted."""
+
+    status = 503

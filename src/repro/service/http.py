@@ -1,0 +1,232 @@
+"""JSON-over-HTTP front-end for the session service.
+
+A deliberately dependency-free serving layer: stdlib
+``ThreadingHTTPServer`` (one thread per connection) over a
+:class:`~repro.service.manager.SessionManager`.  Sessions serialise on
+their own locks, so concurrent clients on different sessions run in
+parallel while two clients racing one session are safe.
+
+Routes (all bodies and responses are JSON):
+
+========  ==============================  =======================================
+Method    Path                            Action
+========  ==============================  =======================================
+GET       ``/healthz``                    liveness + session counts
+GET       ``/sessions``                   list sessions (resident and on-disk)
+POST      ``/sessions``                   create a session
+GET       ``/sessions/{id}``              session status
+POST      ``/sessions/{id}/propose``      propose a batch → pairs to label
+POST      ``/sessions/{id}/ingest``       ingest labels for a ticket
+GET       ``/sessions/{id}/estimate``     current estimate + intervals
+POST      ``/sessions/{id}/checkpoint``   journal a full snapshot
+DELETE    ``/sessions/{id}``              close (checkpoint + drop from memory)
+========  ==============================  =======================================
+
+The create body::
+
+    {"predictions": [...], "scores": [...], "sampler": "oasis",
+     "sampler_kwargs": {"n_strata": 30}, "alpha": 0.5, "seed": 42,
+     "session_id": "optional-name"}
+
+Errors map mechanically: ``ValueError`` → 400,
+:class:`~repro.service.errors.SessionNotFoundError` → 404,
+:class:`~repro.service.errors.SessionConflictError` → 409,
+:class:`~repro.service.errors.CapacityError` → 503.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.service.errors import ServiceError
+from repro.service.manager import SessionManager
+
+__all__ = ["ServiceServer", "make_server", "serve"]
+
+_SESSION_ROUTE = re.compile(
+    r"^/sessions/(?P<sid>[A-Za-z0-9._-]+)"
+    r"(?:/(?P<action>propose|ingest|estimate|checkpoint))?$"
+)
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`SessionManager`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, manager: SessionManager):
+        super().__init__(address, _Handler)
+        self.manager = manager
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the operator's job, not stderr spam
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        if length > _MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload = self._route(method)
+        except ServiceError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except (ValueError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except KeyError as exc:
+            self._reply(404, {"error": f"not found: {exc}"})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._reply(200, payload)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, method: str) -> dict:
+        manager = self.server.manager
+        if self.path == "/healthz" and method == "GET":
+            return {
+                "status": "ok",
+                "resident_sessions": manager.resident_count,
+                "capacity": manager.capacity,
+            }
+        if self.path == "/sessions":
+            if method == "GET":
+                return {"sessions": manager.list_sessions()}
+            if method == "POST":
+                return self._create_session(manager)
+            raise ValueError(f"unsupported method {method} for {self.path}")
+        match = _SESSION_ROUTE.match(self.path)
+        if not match:
+            raise KeyError(self.path)
+        session_id, action = match.group("sid"), match.group("action")
+        if action is None:
+            if method == "GET":
+                return manager.get(session_id).status()
+            if method == "DELETE":
+                manager.close_session(session_id)
+                return {"session_id": session_id, "closed": True}
+            raise ValueError(f"unsupported method {method} for {self.path}")
+        if action == "estimate" and method == "GET":
+            return self._estimate(manager.get(session_id))
+        if method != "POST":
+            raise ValueError(f"unsupported method {method} for {self.path}")
+        body = self._read_json()
+        session = manager.get(session_id)
+        if action == "propose":
+            return session.propose(body.get("batch_size", 1))
+        if action == "ingest":
+            if "ticket" not in body or "labels" not in body:
+                raise ValueError("ingest body needs 'ticket' and 'labels'")
+            return session.ingest(body["ticket"], body["labels"])
+        if action == "checkpoint":
+            return {"session_id": session_id, "seq": session.checkpoint()}
+        raise KeyError(self.path)  # pragma: no cover - regex-unreachable
+
+    def _create_session(self, manager: SessionManager) -> dict:
+        body = self._read_json()
+        for field in ("predictions", "scores"):
+            if field not in body:
+                raise ValueError(f"create body needs {field!r}")
+        session = manager.create_session(
+            body["predictions"],
+            body["scores"],
+            sampler=body.get("sampler", "oasis"),
+            sampler_kwargs=body.get("sampler_kwargs") or {},
+            alpha=body.get("alpha", 0.5),
+            seed=body.get("seed", 0),
+            session_id=body.get("session_id"),
+        )
+        return session.status()
+
+    @staticmethod
+    def _estimate(session) -> dict:
+        sampler = session.sampler
+        out = session.status()
+        for name, attribute in (
+            ("precision", "precision_estimate"),
+            ("recall", "recall_estimate"),
+        ):
+            value = getattr(sampler, attribute, None)
+            if value is not None:
+                out[name] = None if value is None or np.isnan(value) else float(value)
+        return out
+
+
+def make_server(manager: SessionManager, host: str = "127.0.0.1",
+                port: int = 0) -> ServiceServer:
+    """Bind a :class:`ServiceServer`; ``port=0`` picks a free port."""
+    return ServiceServer((host, port), manager)
+
+
+def serve(manager: SessionManager, host: str = "127.0.0.1",
+          port: int = 8765, *, idle_timeout: float | None = None) -> None:
+    """Run the service until interrupted (the CLI ``serve`` entry point).
+
+    With ``idle_timeout`` set (seconds) a background sweeper
+    periodically evicts journalled sessions idle longer than the
+    timeout, bounding resident memory under bursty multi-user traffic.
+    """
+    import threading
+    import time
+
+    server = make_server(manager, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving evaluation sessions on http://{bound_host}:{bound_port} "
+          f"(root={manager.root_dir}, capacity={manager.capacity})",
+          flush=True)
+    stop = threading.Event()
+    if idle_timeout is not None and manager.root_dir is not None:
+        def sweeper():
+            while not stop.wait(min(idle_timeout, 60.0)):
+                for session_id in manager.evict_idle(idle_timeout):
+                    print(f"evicted idle session {session_id}", flush=True)
+
+        threading.Thread(target=sweeper, daemon=True).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        server.server_close()

@@ -1,0 +1,246 @@
+"""Thread-safe registry of live evaluation sessions.
+
+The HTTP front-end is served by a thread pool, so everything here is
+built for concurrent access: a registry lock guards the session table,
+and each session is driven under its own lock — two clients hammering
+the same session serialise, two clients on different sessions proceed
+in parallel.
+
+Sessions are bounded resources.  ``capacity`` caps how many are
+resident in memory at once; when a create or load would exceed it, the
+least-recently-used idle session is **evicted to disk** (checkpointed
+through its journal and dropped from the table) and transparently
+restored on next access.  Memory-only managers (no root directory)
+cannot evict and refuse new sessions at capacity instead.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+
+from repro.service.errors import CapacityError, SessionNotFoundError
+from repro.service.session import EvaluationSession
+from repro.utils import check_count
+
+__all__ = ["SessionManager"]
+
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class SessionManager:
+    """Registry, lifecycle and capacity control for evaluation sessions.
+
+    Parameters
+    ----------
+    root_dir:
+        Directory under which each session keeps its journal
+        (``<root>/<session_id>/``).  ``None`` runs memory-only: no
+        durability, no eviction, no restart recovery.
+    capacity:
+        Maximum resident (in-memory) sessions; ``None`` means
+        unbounded.
+    """
+
+    def __init__(self, root_dir=None, *, capacity: int | None = None):
+        from pathlib import Path
+
+        if capacity is not None:
+            capacity = check_count(capacity, "capacity")
+        self.root_dir = None if root_dir is None else Path(root_dir)
+        if self.root_dir is not None:
+            self.root_dir.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self._registry_lock = threading.RLock()
+        self._sessions: dict[str, EvaluationSession] = {}
+        self._last_used: dict[str, float] = {}
+        # One lock per session id for the disk-restore path, so slow
+        # WAL replays run outside the registry lock (other sessions
+        # keep serving) while two clients racing the same evicted
+        # session still restore it exactly once.
+        self._load_locks: dict[str, threading.Lock] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create_session(self, predictions, scores, **kwargs) -> EvaluationSession:
+        """Create (and register) a new session; see
+        :meth:`EvaluationSession.create` for the keyword arguments.
+
+        With a root directory, the session journals under
+        ``<root>/<session_id>/``.  Raises :class:`CapacityError` when
+        the manager is full and nothing can be evicted.
+        """
+        session_id = kwargs.pop("session_id", None)
+        if session_id is not None and not _ID_RE.match(session_id):
+            raise ValueError(
+                f"session_id {session_id!r} must be 1-64 filesystem-safe "
+                "characters (letters, digits, '.', '_', '-')"
+            )
+        with self._registry_lock:
+            if session_id is not None and self._exists(session_id):
+                raise ValueError(f"session {session_id!r} already exists")
+            self._make_room()
+            directory = None
+            if self.root_dir is not None:
+                import uuid
+
+                if session_id is None:
+                    session_id = uuid.uuid4().hex[:12]
+                directory = self.root_dir / session_id
+            session = EvaluationSession.create(
+                predictions, scores,
+                directory=directory, session_id=session_id, **kwargs,
+            )
+            self._sessions[session.session_id] = session
+            self._last_used[session.session_id] = time.monotonic()
+            return session
+
+    def _exists(self, session_id: str) -> bool:
+        if session_id in self._sessions:
+            return True
+        return (
+            self.root_dir is not None
+            and (self.root_dir / session_id / SessionManager._manifest()).is_file()
+        )
+
+    @staticmethod
+    def _manifest() -> str:
+        from repro.service.wal import SessionWAL
+
+        return SessionWAL.MANIFEST
+
+    def get(self, session_id: str) -> EvaluationSession:
+        """The live session, transparently restoring an evicted one.
+
+        Disk restores (WAL replay, sampler rebuild) run *outside* the
+        registry lock so they never stall requests for other sessions;
+        a per-id load lock keeps concurrent fetches of the same evicted
+        session to a single restore.
+        """
+        with self._registry_lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                self._last_used[session_id] = time.monotonic()
+                return session
+            if self.root_dir is None or not _ID_RE.match(session_id):
+                raise SessionNotFoundError(f"no session {session_id!r}")
+            directory = self.root_dir / session_id
+            if not (directory / self._manifest()).is_file():
+                raise SessionNotFoundError(f"no session {session_id!r}")
+            load_lock = self._load_locks.setdefault(session_id,
+                                                    threading.Lock())
+        with load_lock:
+            with self._registry_lock:
+                session = self._sessions.get(session_id)
+                if session is not None:  # a racing fetch restored it
+                    self._last_used[session_id] = time.monotonic()
+                    return session
+            session = EvaluationSession.restore(directory)
+            with self._registry_lock:
+                self._make_room()
+                self._sessions[session_id] = session
+                self._last_used[session_id] = time.monotonic()
+                return session
+
+    def close_session(self, session_id: str) -> None:
+        """Checkpoint (if journalled), mark closed, and drop from memory."""
+        with self._registry_lock:
+            session = self.get(session_id)
+            session.close()
+            self._sessions.pop(session_id, None)
+            self._last_used.pop(session_id, None)
+
+    # -- capacity ----------------------------------------------------------
+
+    def _make_room(self) -> None:
+        """Evict LRU idle sessions until a slot is free (registry lock held)."""
+        if self.capacity is None:
+            return
+        while len(self._sessions) >= self.capacity:
+            victim = self._pick_eviction_victim()
+            if victim is None:
+                raise CapacityError(
+                    f"manager is at capacity ({self.capacity} resident "
+                    "sessions) and no idle session can be evicted"
+                )
+            self.evict(victim)
+
+    def _pick_eviction_victim(self) -> str | None:
+        if self.root_dir is None:
+            return None  # nowhere to evict to
+        for session_id in sorted(self._last_used, key=self._last_used.get):
+            session = self._sessions.get(session_id)
+            # A session mid-operation holds its own lock; skip it rather
+            # than block the registry on a long client call.
+            if session is not None and session._lock.acquire(blocking=False):
+                session._lock.release()
+                return session_id
+        return None
+
+    def evict(self, session_id: str) -> None:
+        """Checkpoint a session to its journal and drop it from memory.
+
+        The session stays addressable: the next :meth:`get` restores it
+        from disk at exactly the evicted state (outstanding proposal
+        included).
+        """
+        with self._registry_lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionNotFoundError(f"no resident session {session_id!r}")
+            if session.wal is None:
+                raise ValueError(
+                    f"session {session_id!r} is memory-only and cannot be "
+                    "evicted to disk"
+                )
+            with session._lock:
+                session.checkpoint()
+                # Poison the handle: a client still holding this
+                # instance must re-fetch through the manager instead of
+                # writing to a journal the restored instance now owns.
+                session.evicted = True
+            self._sessions.pop(session_id, None)
+            self._last_used.pop(session_id, None)
+
+    def evict_idle(self, max_idle_seconds: float) -> list[str]:
+        """Evict every journalled session idle longer than the cutoff."""
+        now = time.monotonic()
+        evicted = []
+        with self._registry_lock:
+            for session_id in list(self._sessions):
+                session = self._sessions[session_id]
+                if session.wal is None:
+                    continue
+                if now - self._last_used.get(session_id, now) >= max_idle_seconds:
+                    self.evict(session_id)
+                    evicted.append(session_id)
+        return evicted
+
+    # -- introspection -----------------------------------------------------
+
+    def list_sessions(self) -> list[dict]:
+        """Status of every known session (resident and on disk)."""
+        with self._registry_lock:
+            out = []
+            seen = set()
+            for session_id, session in sorted(self._sessions.items()):
+                status = session.status()
+                status["resident"] = True
+                out.append(status)
+                seen.add(session_id)
+            if self.root_dir is not None:
+                for directory in sorted(self.root_dir.iterdir()):
+                    if directory.name in seen or not directory.is_dir():
+                        continue
+                    if (directory / self._manifest()).is_file():
+                        out.append({
+                            "session_id": directory.name,
+                            "resident": False,
+                        })
+            return out
+
+    @property
+    def resident_count(self) -> int:
+        with self._registry_lock:
+            return len(self._sessions)

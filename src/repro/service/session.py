@@ -1,0 +1,478 @@
+"""The propose-pairs → ingest-labels session protocol.
+
+An :class:`EvaluationSession` inverts the sampler's control flow.  The
+in-process loop is *pull*: the sampler draws a batch and synchronously
+queries the oracle.  A session is *push*: a client asks the session to
+**propose** a batch (the sampler's propose phase runs, consuming
+randomness and freezing the proposal), ships the returned pairs to its
+labellers — crowd workers, an annotation UI, another system — and
+**ingests** the labels whenever they arrive (the commit phase runs).
+
+Because propose and commit are exactly the two halves of the samplers'
+batched step (:meth:`~repro.core.base.BaseEvaluationSampler._propose_batch`
+/ :meth:`~repro.core.base.BaseEvaluationSampler._commit_batch`), a
+session driven with the oracle's answers is **bit-identical** to the
+oracle-driven ``sample()`` / ``sample_batch()`` loop at the same seed —
+the asynchronous protocol is a pure re-plumbing of the label transport,
+not a different algorithm.  Freezing the proposal while labels are in
+flight is the Delyon & Portier block-adaptive relaxation the batched
+engine already relies on.
+
+Durability: every protocol event is journalled to a
+:class:`~repro.service.wal.SessionWAL` *before* it mutates in-memory
+state, so a process killed at any instant restores to a consistent
+point — mid-batch included — and replaying the journal reproduces the
+uninterrupted trajectory exactly (the RNG is deterministic, so
+re-running a logged propose re-draws the same pairs).
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+
+import numpy as np
+
+from repro.oracle.base import BaseOracle
+from repro.service.codec import decode_state, encode_state
+from repro.service.errors import SessionConflictError, SessionNotFoundError
+from repro.service.wal import SessionWAL
+from repro.utils import check_count
+
+__all__ = ["EvaluationSession", "session_sampler_kinds"]
+
+MANIFEST_FORMAT_VERSION = 1
+
+
+def _sampler_kinds() -> dict:
+    # Deferred: repro.experiments pulls in the dataset/benchmark stack,
+    # which session construction does not otherwise need.
+    from repro.experiments.specs import SAMPLER_KINDS
+
+    return SAMPLER_KINDS
+
+
+def session_sampler_kinds() -> tuple[str, ...]:
+    """Sampler kinds a session can host — the live experiment registry."""
+    return tuple(sorted(_sampler_kinds()))
+
+
+class _IngestOnlyOracle(BaseOracle):
+    """Placeholder oracle for session-hosted samplers.
+
+    Sessions receive labels through :meth:`EvaluationSession.ingest`,
+    never through oracle queries — any query reaching this object means
+    the sampler was driven down the synchronous path by mistake.
+    """
+
+    def label(self, index: int) -> int:
+        raise RuntimeError(
+            "session-hosted samplers receive labels via ingest(), not "
+            "oracle queries; drive the session through propose()/ingest()"
+        )
+
+    def probability(self, index: int) -> float:
+        raise RuntimeError("session-hosted samplers have no oracle probabilities")
+
+
+class EvaluationSession:
+    """One resumable, journalled evaluation over a fixed pool.
+
+    Build sessions with :meth:`create` (fresh) or :meth:`restore` (from
+    a journal directory); the constructor wires pre-built parts
+    together and is mostly internal.
+
+    Parameters
+    ----------
+    session_id:
+        Identity of the session (also its directory name under a
+        service root).
+    sampler:
+        A sampler supporting the propose/ingest split, hosted by this
+        session and never driven synchronously.
+    config:
+        The manifest payload describing how ``sampler`` was built.
+    wal:
+        Optional journal; ``None`` keeps the session memory-only
+        (no durability, no eviction to disk).
+    """
+
+    def __init__(self, session_id: str, sampler, config: dict,
+                 wal: SessionWAL | None = None):
+        if not sampler.supports_propose_ingest:
+            raise ValueError(
+                f"{type(sampler).__name__} does not implement the "
+                "propose/ingest split and cannot be served"
+            )
+        self.session_id = session_id
+        self.sampler = sampler
+        self.config = config
+        self.wal = wal
+        self.closed = False
+        # Set by the manager when this instance is checkpointed to disk
+        # and dropped; a stale handle must never write to a journal
+        # another live instance now owns.
+        self.evicted = False
+        self._lock = threading.RLock()
+        self._ticket = 0
+        self._pending: dict | None = None  # outstanding proposal context
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        predictions,
+        scores,
+        *,
+        sampler: str = "oasis",
+        sampler_kwargs: dict | None = None,
+        alpha: float = 0.5,
+        seed: int = 0,
+        directory=None,
+        session_id: str | None = None,
+    ) -> "EvaluationSession":
+        """Create a fresh session over a pool.
+
+        Parameters
+        ----------
+        predictions:
+            Predicted labels (R-hat membership) per pool item.
+        scores:
+            Similarity scores per pool item.
+        sampler:
+            Sampler kind, one of :func:`session_sampler_kinds`.
+        sampler_kwargs:
+            Extra keyword arguments for the sampler constructor
+            (``n_strata``, ``epsilon``, ``threshold``, ...); must be
+            JSON-representable, as they live in the manifest.
+        alpha:
+            F-measure weight.
+        seed:
+            Integer seed for the sampler's random stream; part of the
+            session identity, so a restore rebuilds the same stream.
+        directory:
+            Journal directory; ``None`` keeps the session memory-only.
+        session_id:
+            Explicit id; defaults to a random 12-hex-digit token.
+        """
+        kinds = _sampler_kinds()
+        if sampler not in kinds:
+            raise ValueError(
+                f"unknown sampler kind {sampler!r}; choose from "
+                f"{sorted(kinds)}"
+            )
+        if session_id is None:
+            session_id = uuid.uuid4().hex[:12]
+        seed = check_count(seed, "seed", minimum=0)
+        sampler_kwargs = dict(sampler_kwargs or {})
+        predictions = np.asarray(predictions)
+        scores = np.asarray(scores, dtype=float)
+        config = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "session_id": session_id,
+            "sampler": sampler,
+            "sampler_kwargs": sampler_kwargs,
+            "alpha": float(alpha),
+            "seed": seed,
+            "predictions": encode_state(predictions),
+            "scores": encode_state(scores),
+        }
+        instance = cls._build_sampler(config)
+        wal = None
+        if directory is not None:
+            wal = SessionWAL(directory)
+            wal.write_manifest(config)
+        return cls(session_id, instance, config, wal)
+
+    @staticmethod
+    def _build_sampler(config: dict):
+        """Deterministically rebuild the hosted sampler from a manifest."""
+        kinds = _sampler_kinds()
+        cls = kinds[config["sampler"]]
+        return cls(
+            decode_state(config["predictions"]),
+            decode_state(config["scores"]),
+            _IngestOnlyOracle(),
+            alpha=config["alpha"],
+            random_state=int(config["seed"]),
+            **config["sampler_kwargs"],
+        )
+
+    @classmethod
+    def restore(cls, directory) -> "EvaluationSession":
+        """Rebuild a session from its journal directory.
+
+        The sampler is reconstructed from the manifest, fast-forwarded
+        to the latest checkpoint (if any), and the events after it are
+        replayed — re-running each logged propose (the deterministic
+        RNG re-draws the same pairs) and re-applying each logged
+        ingest.  A session killed between propose and ingest comes back
+        with the same outstanding proposal, ready for the labels.
+        """
+        wal = SessionWAL(directory)
+        manifest = wal.read_manifest()
+        if manifest is None:
+            raise SessionNotFoundError(
+                f"no session manifest under {wal.directory}"
+            )
+        if manifest.get("format_version") != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported session manifest version "
+                f"{manifest.get('format_version')!r}"
+            )
+        sampler = cls._build_sampler(manifest)
+        session = cls(manifest["session_id"], sampler, manifest, wal)
+
+        events = wal.events()
+        start = 0
+        for position, event in enumerate(events):
+            if event["kind"] == "checkpoint":
+                start = position
+        if events and events[start]["kind"] == "checkpoint":
+            session._load_checkpoint_event(events[start])
+            replay = events[start + 1:]
+        else:
+            replay = events
+        for event in replay:
+            if event["kind"] == "propose":
+                session._do_propose(int(event["batch_size"]),
+                                    expected_ticket=int(event["ticket"]))
+            elif event["kind"] == "ingest":
+                session._do_ingest(int(event["ticket"]),
+                                   decode_state(event["labels"]))
+        return session
+
+    # -- the protocol ------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.evicted:
+            raise SessionConflictError(
+                f"this handle to session {self.session_id} was evicted to "
+                "disk; re-fetch the session from the manager"
+            )
+        if self.closed:
+            raise SessionConflictError(
+                f"session {self.session_id} is closed"
+            )
+
+    def propose(self, batch_size: int) -> dict:
+        """Propose the next batch of draws; returns the pairs to label.
+
+        Consumes the sampler's randomness for ``batch_size`` draws
+        under one frozen proposal and returns the **distinct,
+        not-yet-labelled** pool indices among them, in the order the
+        labels must be ingested.  Re-draws of already-labelled pairs
+        are resolved from the cache (paper footnote 5) and need no
+        client work — ``pending`` may well be empty, in which case
+        ``ingest(ticket, [])`` completes the batch for free.
+
+        Exactly one proposal may be outstanding; proposing again before
+        ingesting raises :class:`SessionConflictError` (the outstanding
+        pairs are recoverable via :meth:`status`).
+        """
+        with self._lock:
+            self._require_open()
+            batch_size = check_count(batch_size, "batch_size")
+            if self._pending is not None:
+                raise SessionConflictError(
+                    f"session {self.session_id} already has proposal "
+                    f"ticket {self._pending['ticket']} outstanding; ingest "
+                    "its labels (see status()) before proposing again"
+                )
+            ticket = self._ticket + 1
+            if self.wal is not None:
+                self.wal.append(
+                    "propose", {"ticket": ticket, "batch_size": batch_size}
+                )
+            return self._do_propose(batch_size, expected_ticket=ticket)
+
+    def _do_propose(self, batch_size: int, *, expected_ticket: int) -> dict:
+        """The in-memory half of propose (shared with WAL replay)."""
+        self._ticket += 1
+        if self._ticket != expected_ticket:
+            raise ValueError(
+                f"journal replay out of order: expected ticket "
+                f"{expected_ticket}, session is at {self._ticket}"
+            )
+        context = self.sampler._propose_batch(batch_size)
+        fresh = self.sampler._pending_fresh(context["indices"])
+        self._pending = {
+            "ticket": self._ticket,
+            "batch_size": batch_size,
+            "context": context,
+            "fresh": fresh,
+        }
+        return {
+            "session_id": self.session_id,
+            "ticket": self._ticket,
+            "batch_size": batch_size,
+            "pending": [int(i) for i in fresh],
+        }
+
+    def ingest(self, ticket: int, labels) -> dict:
+        """Ingest labels for an outstanding proposal; commits the batch.
+
+        Parameters
+        ----------
+        ticket:
+            The ticket returned by the matching :meth:`propose`.
+        labels:
+            Binary labels aligned with the proposal's ``pending`` list,
+            or a mapping ``{pool index: label}`` covering exactly those
+            indices.
+
+        Returns the post-commit status (estimate, labels consumed).
+        """
+        with self._lock:
+            self._require_open()
+            if self._pending is None:
+                raise SessionConflictError(
+                    f"session {self.session_id} has no outstanding "
+                    "proposal; call propose() first"
+                )
+            if int(ticket) != self._pending["ticket"]:
+                raise SessionConflictError(
+                    f"ticket {ticket} does not match outstanding proposal "
+                    f"ticket {self._pending['ticket']}"
+                )
+            labels = self._align_labels(labels)
+            if self.wal is not None:
+                self.wal.append(
+                    "ingest",
+                    {"ticket": int(ticket), "labels": encode_state(labels)},
+                )
+            return self._do_ingest(int(ticket), labels)
+
+    def _align_labels(self, labels) -> np.ndarray:
+        """Validate client labels against the outstanding proposal."""
+        fresh = self._pending["fresh"]
+        if isinstance(labels, dict):
+            by_index = {int(k): v for k, v in labels.items()}
+            missing = [int(i) for i in fresh if int(i) not in by_index]
+            if missing:
+                raise ValueError(
+                    f"labels missing for proposed pairs {missing[:10]}"
+                )
+            extra = set(by_index) - {int(i) for i in fresh}
+            if extra:
+                raise ValueError(
+                    f"labels supplied for pairs that were not proposed: "
+                    f"{sorted(extra)[:10]}"
+                )
+            labels = [by_index[int(i)] for i in fresh]
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != fresh.shape:
+            raise ValueError(
+                f"expected {len(fresh)} labels for ticket "
+                f"{self._pending['ticket']}; got {len(labels)}"
+            )
+        if labels.size and np.any((labels != 0) & (labels != 1)):
+            bad = labels[(labels != 0) & (labels != 1)][0]
+            raise ValueError(f"labels must be 0 or 1; got {bad}")
+        return labels
+
+    def _do_ingest(self, ticket: int, labels) -> dict:
+        """The in-memory half of ingest (shared with WAL replay)."""
+        if self._pending is None or ticket != self._pending["ticket"]:
+            raise ValueError(
+                f"journal replay out of order: ingest ticket {ticket} has "
+                "no matching proposal"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        context = self._pending["context"]
+        full_labels, new_mask = self.sampler._apply_labels(
+            context["indices"], labels
+        )
+        self.sampler._commit_batch(context, full_labels, new_mask)
+        self._pending = None
+        return self.status()
+
+    def checkpoint(self) -> int:
+        """Journal a full snapshot; returns its event sequence number.
+
+        Restores fast-forward to the latest checkpoint instead of
+        replaying the whole journal, so long-lived sessions should
+        checkpoint periodically.  An outstanding proposal is captured
+        too — a checkpoint taken mid-batch restores mid-batch.
+        """
+        with self._lock:
+            self._require_open()
+            if self.wal is None:
+                raise ValueError(
+                    f"session {self.session_id} is memory-only (no journal "
+                    "directory); cannot checkpoint"
+                )
+            payload = {
+                "ticket": self._ticket,
+                "state": encode_state(self.sampler.state_dict()),
+                "pending": self._encode_pending(),
+            }
+            return self.wal.append("checkpoint", payload)
+
+    def _encode_pending(self) -> dict | None:
+        if self._pending is None:
+            return None
+        return {
+            "ticket": self._pending["ticket"],
+            "batch_size": self._pending["batch_size"],
+            "context": encode_state(self._pending["context"]),
+        }
+
+    def _load_checkpoint_event(self, event: dict) -> None:
+        self.sampler.load_state_dict(decode_state(event["state"]))
+        self._ticket = int(event["ticket"])
+        pending = event.get("pending")
+        if pending is None:
+            self._pending = None
+        else:
+            context = decode_state(pending["context"])
+            self._pending = {
+                "ticket": int(pending["ticket"]),
+                "batch_size": int(pending["batch_size"]),
+                "context": context,
+                # The label cache at checkpoint time equals the cache
+                # now (commit had not run), so the fresh set recomputes
+                # identically.
+                "fresh": self.sampler._pending_fresh(context["indices"]),
+            }
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict:
+        """Current session status as a JSON-ready dict."""
+        with self._lock:
+            sampler = self.sampler
+            outstanding = None
+            if self._pending is not None:
+                outstanding = {
+                    "ticket": self._pending["ticket"],
+                    "batch_size": self._pending["batch_size"],
+                    "pending": [int(i) for i in self._pending["fresh"]],
+                }
+            estimate = sampler.estimate
+            return {
+                "session_id": self.session_id,
+                "sampler": self.config["sampler"],
+                "n_items": sampler.n_items,
+                "estimate": None if np.isnan(estimate) else float(estimate),
+                "labels_consumed": sampler.labels_consumed,
+                "draws": len(sampler.history),
+                "outstanding": outstanding,
+                "closed": self.closed,
+            }
+
+    @property
+    def estimate(self) -> float:
+        return self.sampler.estimate
+
+    @property
+    def labels_consumed(self) -> int:
+        return self.sampler.labels_consumed
+
+    def close(self) -> None:
+        """Mark the session closed; a journalled session stays on disk."""
+        with self._lock:
+            if not self.closed and self.wal is not None:
+                self.checkpoint()
+            self.closed = True

@@ -1,0 +1,128 @@
+"""Append-only write-ahead log for evaluation sessions.
+
+The journal reuses the shard/manifest idiom of
+:class:`~repro.experiments.persistence.TrialStore`: one directory per
+session holding a ``manifest.json`` (the session's immutable identity —
+pool arrays, sampler configuration, seed) and an ``events/`` directory
+with one atomically-written JSON shard per protocol event.  The set of
+event files on disk *is* the log: writes go through
+:func:`repro.utils.atomic_write_text`, so a kill at any instant leaves
+either the complete event or nothing — never a torn file — and restore
+is a pure function of the directory contents.
+
+Event kinds (see :class:`repro.service.session.EvaluationSession`):
+
+``propose``
+    ``{ticket, batch_size}`` — logged *before* the in-memory draw, so
+    a crash between the two replays the draw deterministically.
+``ingest``
+    ``{ticket, labels}`` — logged before the commit, same reasoning.
+``checkpoint``
+    A full sampler snapshot plus any outstanding proposal context.
+    Restore starts from the latest checkpoint and replays only the
+    events after it, keeping recovery O(events since checkpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.utils import atomic_write_text
+
+__all__ = ["SessionWAL"]
+
+_EVENT_RE = re.compile(r"^e(?P<seq>\d{8})-(?P<kind>[a-z]+)\.json$")
+_EVENT_KINDS = ("propose", "ingest", "checkpoint")
+
+
+class SessionWAL:
+    """The on-disk journal of one evaluation session.
+
+    Parameters
+    ----------
+    directory:
+        The session directory; created (with its ``events/`` child) if
+        absent.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.event_dir = self.directory / "events"
+        self.event_dir.mkdir(parents=True, exist_ok=True)
+        self._next_seq = self._scan_next_seq()
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    def read_manifest(self) -> dict | None:
+        """The session's identity payload, or None before creation."""
+        if not self.manifest_path.is_file():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    def write_manifest(self, payload: dict) -> None:
+        """Record the session identity; refuses to overwrite a different one.
+
+        The manifest is immutable for the lifetime of the session — a
+        second write must carry the identical payload (idempotent
+        re-create), anything else raises.
+        """
+        existing = self.read_manifest()
+        if existing is not None:
+            if existing != payload:
+                raise ValueError(
+                    f"session directory {self.directory} already holds a "
+                    "different session; choose a fresh directory"
+                )
+            return
+        atomic_write_text(self.manifest_path, json.dumps(payload, sort_keys=True))
+
+    def _scan_next_seq(self) -> int:
+        last = 0
+        for path in self.event_dir.iterdir():
+            match = _EVENT_RE.match(path.name)
+            if match:
+                last = max(last, int(match.group("seq")))
+        return last + 1
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Durably append one event; returns its sequence number."""
+        if kind not in _EVENT_KINDS:
+            raise ValueError(f"unknown WAL event kind {kind!r}")
+        seq = self._next_seq
+        record = {"seq": seq, "kind": kind, **payload}
+        path = self.event_dir / f"e{seq:08d}-{kind}.json"
+        atomic_write_text(path, json.dumps(record))
+        self._next_seq = seq + 1
+        return seq
+
+    def events(self) -> list[dict]:
+        """All events on disk, in sequence order.
+
+        Atomic writes guarantee no torn files; a gap in the sequence
+        (possible only through manual deletion) truncates the log at
+        the gap, because events after it no longer have a consistent
+        prefix to replay onto.
+        """
+        found = {}
+        for path in sorted(self.event_dir.iterdir()):
+            match = _EVENT_RE.match(path.name)
+            if not match:
+                continue
+            record = json.loads(path.read_text())
+            if record.get("kind") != match.group("kind") or int(
+                record.get("seq", -1)
+            ) != int(match.group("seq")):
+                raise ValueError(f"WAL event {path.name} disagrees with its name")
+            found[int(match.group("seq"))] = record
+        out = []
+        seq = 1
+        while seq in found:
+            out.append(found[seq])
+            seq += 1
+        return out

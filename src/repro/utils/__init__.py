@@ -1,8 +1,16 @@
-"""Shared utilities: RNG handling, numeric transforms, validation."""
+"""Shared utilities: RNG handling, numeric transforms, validation, IO."""
 
-from repro.utils.random import ensure_rng, spawn_rngs, spawn_seed_sequences
+from repro.utils.io import atomic_write_text
+from repro.utils.random import (
+    ensure_rng,
+    rng_from_state_dict,
+    rng_state_dict,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 from repro.utils.transforms import expit, logit, normalise, safe_divide
 from repro.utils.validation import (
+    check_count,
     check_in_range,
     check_positive,
     check_probability_vector,
@@ -10,13 +18,17 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_text",
     "ensure_rng",
+    "rng_state_dict",
+    "rng_from_state_dict",
     "spawn_rngs",
     "spawn_seed_sequences",
     "expit",
     "logit",
     "normalise",
     "safe_divide",
+    "check_count",
     "check_in_range",
     "check_positive",
     "check_probability_vector",

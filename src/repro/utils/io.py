@@ -1,0 +1,46 @@
+"""Durable filesystem primitives shared by checkpoint writers.
+
+Both the experiment checkpoint store
+(:class:`~repro.experiments.persistence.TrialStore`) and the service
+write-ahead log (:class:`~repro.service.wal.SessionWAL`) rely on the
+same invariant: a reader may observe a file either absent or complete,
+never torn.  :func:`atomic_write_text` provides it — the content is
+written to a uniquely-named temporary sibling, flushed to stable
+storage, and renamed over the destination in one atomic step.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``.
+
+    The temporary sibling name embeds the pid and a random token, so
+    concurrent writers (worker processes streaming shards into one
+    directory, server threads checkpointing sessions) can never collide
+    on the staging file; ``os.replace`` then makes the swap atomic on
+    POSIX and Windows alike.  The file handle is fsynced before the
+    rename so a crash straight after cannot surface an empty or
+    truncated destination, and the temporary file is removed on any
+    failure.
+
+    Returns the destination path.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path

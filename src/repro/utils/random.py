@@ -10,7 +10,41 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs", "spawn_seed_sequences"]
+__all__ = [
+    "ensure_rng",
+    "rng_from_state_dict",
+    "rng_state_dict",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+]
+
+
+def rng_state_dict(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state.
+
+    The returned dict names the bit-generator class and carries its
+    exact state words, so :func:`rng_from_state_dict` resumes the
+    random stream at precisely the next draw.  All values are plain
+    ints / arrays — JSON-safe through the service codec.
+    """
+    bit_generator = rng.bit_generator
+    return {
+        "bit_generator": type(bit_generator).__name__,
+        "state": bit_generator.state,
+    }
+
+
+def rng_from_state_dict(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`rng_state_dict` snapshot."""
+    name = state["bit_generator"]
+    cls = getattr(np.random, name, None)
+    if cls is None or not isinstance(cls, type) or not issubclass(
+        cls, np.random.BitGenerator
+    ):
+        raise ValueError(f"unknown bit generator {name!r}")
+    bit_generator = cls()
+    bit_generator.state = state["state"]
+    return np.random.Generator(bit_generator)
 
 
 def ensure_rng(random_state=None) -> np.random.Generator:

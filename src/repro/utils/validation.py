@@ -5,11 +5,38 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "check_count",
     "check_in_range",
     "check_positive",
     "check_probability_vector",
     "check_same_length",
 ]
+
+
+def check_count(value, name, *, minimum: int = 1) -> int:
+    """Validate an integral count ``>= minimum`` and return it as ``int``.
+
+    The shared validator for every ``batch_size`` / ``budget`` /
+    ``n_repeats`` / ``n_workers`` style argument — samplers, the trial
+    runner, the CLI and the serving layer all funnel through it, so the
+    accepted values and the error message cannot drift between layers.
+    Accepts Python and NumPy integers (and floats with an exact
+    integral value, which argparse and JSON payloads may produce).
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer >= {minimum}; got {value!r}")
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if not float(value).is_integer():
+            raise ValueError(
+                f"{name} must be an integer >= {minimum}; got {value!r}"
+            )
+        value = int(value)
+    if not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer >= {minimum}; got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}; got {value}")
+    return value
 
 
 def check_in_range(value, low, high, name, *, low_open=False, high_open=False):

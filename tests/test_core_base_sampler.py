@@ -52,7 +52,7 @@ class TestSamplingContract:
         assert sampler.history == []
 
     def test_sample_negative_rejected(self):
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ValueError, match="n_iterations"):
             make().sample(-1)
 
     def test_sample_distinct_alias(self):

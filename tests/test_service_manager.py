@@ -1,0 +1,215 @@
+"""SessionManager: registry, capacity, eviction-to-disk, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    CapacityError,
+    SessionManager,
+    SessionNotFoundError,
+)
+
+
+def make_pool(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.1).astype(np.int8)
+    scores = rng.normal(size=n) + 2.5 * labels
+    predictions = (scores > 0.5).astype(np.int8)
+    return predictions, scores, labels
+
+
+def drive_one_batch(session, labels, batch=8):
+    proposal = session.propose(batch)
+    session.ingest(proposal["ticket"],
+                   [int(labels[i]) for i in proposal["pending"]])
+
+
+class TestRegistry:
+    def test_create_get_close(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        session = manager.create_session(predictions, scores, seed=1,
+                                         session_id="alpha")
+        assert manager.get("alpha") is session
+        drive_one_batch(session, labels)
+        manager.close_session("alpha")
+        assert manager.resident_count == 0
+        # the journal survives: the session is restorable, not gone
+        assert any(s["session_id"] == "alpha" for s in manager.list_sessions())
+
+    def test_memory_only_manager(self):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(None)
+        session = manager.create_session(predictions, scores, seed=1)
+        drive_one_batch(session, labels)
+        assert session.wal is None
+        assert manager.get(session.session_id) is session
+
+    def test_get_unknown_raises(self, tmp_path):
+        with pytest.raises(SessionNotFoundError):
+            SessionManager(tmp_path).get("ghost")
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        predictions, scores, __ = make_pool()
+        manager = SessionManager(tmp_path)
+        manager.create_session(predictions, scores, session_id="dup")
+        with pytest.raises(ValueError, match="already exists"):
+            manager.create_session(predictions, scores, session_id="dup")
+
+    def test_duplicate_detected_across_restarts(self, tmp_path):
+        predictions, scores, __ = make_pool()
+        SessionManager(tmp_path).create_session(predictions, scores,
+                                                session_id="dup")
+        fresh = SessionManager(tmp_path)  # new manager, same root
+        with pytest.raises(ValueError, match="already exists"):
+            fresh.create_session(predictions, scores, session_id="dup")
+
+    def test_invalid_session_id_rejected(self, tmp_path):
+        predictions, scores, __ = make_pool()
+        manager = SessionManager(tmp_path)
+        for bad in ["", "a/b", "../x", "a" * 80]:
+            with pytest.raises(ValueError, match="session_id"):
+                manager.create_session(predictions, scores, session_id=bad)
+
+
+class TestEviction:
+    def test_evict_and_transparent_restore(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        session = manager.create_session(predictions, scores, seed=1,
+                                         session_id="evictee")
+        drive_one_batch(session, labels)
+        history = list(session.sampler.history)
+        manager.evict("evictee")
+        assert manager.resident_count == 0
+
+        restored = manager.get("evictee")
+        assert restored is not session  # reloaded from disk
+        np.testing.assert_array_equal(
+            np.asarray(restored.sampler.history), np.asarray(history))
+        drive_one_batch(restored, labels)  # continues cleanly
+
+    def test_capacity_evicts_lru(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path, capacity=2)
+        manager.create_session(predictions, scores, session_id="a")
+        manager.create_session(predictions, scores, session_id="b")
+        manager.get("a")  # a is now more recently used than b
+        manager.create_session(predictions, scores, session_id="c")
+        assert manager.resident_count == 2
+        resident = {s["session_id"] for s in manager.list_sessions()
+                    if s.get("resident")}
+        assert resident == {"a", "c"}  # b (LRU) went to disk
+        assert manager.get("b") is not None  # and comes back on demand
+
+    def test_memory_only_capacity_raises(self):
+        predictions, scores, __ = make_pool()
+        manager = SessionManager(None, capacity=1)
+        manager.create_session(predictions, scores)
+        with pytest.raises(CapacityError):
+            manager.create_session(predictions, scores)
+
+    def test_evict_idle(self, tmp_path):
+        predictions, scores, __ = make_pool()
+        manager = SessionManager(tmp_path)
+        manager.create_session(predictions, scores, session_id="idle")
+        assert manager.evict_idle(max_idle_seconds=0) == ["idle"]
+        assert manager.resident_count == 0
+
+    def test_stale_handle_cannot_write_after_eviction(self, tmp_path):
+        """A client holding an evicted instance must not fork the journal."""
+        from repro.service import SessionConflictError
+
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        stale = manager.create_session(predictions, scores, seed=4,
+                                       session_id="stale")
+        drive_one_batch(stale, labels)
+        manager.evict("stale")
+        with pytest.raises(SessionConflictError, match="re-fetch"):
+            stale.propose(4)
+        # the restored instance owns the journal and works normally
+        drive_one_batch(manager.get("stale"), labels)
+
+    def test_traversal_ids_not_resolved_from_disk(self, tmp_path):
+        """Lookup applies the same id validation as create."""
+        predictions, scores, __ = make_pool()
+        root = tmp_path / "root"
+        manager = SessionManager(root)
+        # a manifest OUTSIDE the root must not be reachable via '..'
+        manager.create_session(predictions, scores, session_id="real")
+        (tmp_path / "manifest.json").write_text("{}")
+        with pytest.raises(SessionNotFoundError):
+            manager.get("..")
+
+    def test_eviction_preserves_outstanding_proposal(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        session = manager.create_session(predictions, scores, seed=4,
+                                         session_id="midbatch")
+        proposal = session.propose(10)
+        manager.evict("midbatch")
+        restored = manager.get("midbatch")
+        status = restored.status()
+        assert status["outstanding"]["ticket"] == proposal["ticket"]
+        assert status["outstanding"]["pending"] == proposal["pending"]
+        restored.ingest(proposal["ticket"],
+                        [int(labels[i]) for i in proposal["pending"]])
+
+
+class TestConcurrency:
+    def test_parallel_clients_on_separate_sessions(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        ids = [f"worker-{i}" for i in range(4)]
+        for session_id in ids:
+            manager.create_session(predictions, scores, seed=5,
+                                   session_id=session_id)
+        errors = []
+
+        def client(session_id):
+            try:
+                for __ in range(10):
+                    drive_one_batch(manager.get(session_id), labels, batch=6)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((session_id, exc))
+
+        threads = [threading.Thread(target=client, args=(sid,)) for sid in ids]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # same seed + same label source => all four identical trajectories
+        histories = [manager.get(sid).sampler.history for sid in ids]
+        for history in histories[1:]:
+            np.testing.assert_array_equal(np.asarray(history),
+                                          np.asarray(histories[0]))
+
+    def test_racing_clients_on_one_session_stay_consistent(self, tmp_path):
+        predictions, scores, labels = make_pool()
+        manager = SessionManager(tmp_path)
+        manager.create_session(predictions, scores, seed=5, session_id="shared")
+        completed = []
+
+        def client():
+            for __ in range(20):
+                session = manager.get("shared")
+                with session._lock:  # propose+ingest as one unit
+                    proposal = session.propose(3)
+                    session.ingest(
+                        proposal["ticket"],
+                        [int(labels[i]) for i in proposal["pending"]])
+                completed.append(proposal["ticket"])
+
+        threads = [threading.Thread(target=client) for __ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(completed) == list(range(1, 61))  # every ticket exactly once
+        assert len(manager.get("shared").sampler.history) == 180

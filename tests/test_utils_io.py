@@ -1,0 +1,77 @@
+"""atomic_write_text: the durability primitive under every checkpoint."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, "hello") == target
+        assert target.read_text() == "hello"
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_cleans_up_temp_file(self, tmp_path):
+        with pytest.raises((FileNotFoundError, NotADirectoryError, OSError)):
+            atomic_write_text(tmp_path / "missing-dir" / "out.json", "x")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temp_names_invisible_to_shard_globs(self, tmp_path, monkeypatch):
+        """A crash mid-write must not surface a half-shard to readers.
+
+        TrialStore and SessionWAL discover their shards with
+        ``*.json`` globs / name-pattern scans; the staging file must
+        never match.
+        """
+        captured = {}
+        import repro.utils.io as io_mod
+        real_replace = io_mod.os.replace
+
+        def spy(src, dst):
+            captured["tmp"] = str(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(io_mod.os, "replace", spy)
+        atomic_write_text(tmp_path / "shard.json", "{}")
+        tmp_name = captured["tmp"].rsplit("/", 1)[-1]
+        assert tmp_name.endswith(".tmp") and tmp_name.startswith(".")
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        """N threads hammering one path: every read sees a full payload."""
+        target = tmp_path / "contended.json"
+        payloads = [str(i) * 2048 for i in range(8)]
+        errors = []
+
+        def writer(payload):
+            try:
+                for __ in range(20):
+                    atomic_write_text(target, payload)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        while any(t.is_alive() for t in threads):
+            if target.exists():
+                content = target.read_text()
+                assert content in payloads  # complete, never interleaved
+        for t in threads:
+            t.join()
+        assert not errors
+        assert [p.name for p in tmp_path.iterdir()] == ["contended.json"]

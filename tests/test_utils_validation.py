@@ -4,11 +4,59 @@ import numpy as np
 import pytest
 
 from repro.utils import (
+    check_count,
     check_in_range,
     check_positive,
     check_probability_vector,
     check_same_length,
 )
+
+
+class TestCheckCount:
+    def test_positive_int_ok(self):
+        assert check_count(3, "batch_size") == 3
+        assert check_count(1, "batch_size") == 1
+
+    def test_returns_python_int(self):
+        out = check_count(np.int64(5), "budget")
+        assert out == 5 and type(out) is int
+
+    def test_integral_float_coerced(self):
+        assert check_count(4.0, "budget") == 4
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            check_count(4.5, "budget")
+
+    def test_below_minimum_rejected_with_name(self):
+        with pytest.raises(ValueError, match="batch_size must be an integer >= 1"):
+            check_count(0, "batch_size")
+
+    def test_custom_minimum(self):
+        assert check_count(0, "n_iterations", minimum=0) == 0
+        with pytest.raises(ValueError, match="n_iterations"):
+            check_count(-1, "n_iterations", minimum=0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError, match="flag"):
+            check_count(True, "flag")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            check_count("four", "workers")
+
+    def test_shared_message_across_layers(self):
+        """The point of centralising: samplers, runner and CLI agree."""
+        from repro.oracle import DeterministicOracle
+        from repro.samplers import PassiveSampler
+
+        sampler = PassiveSampler([0, 1], [0.1, 0.9],
+                                 DeterministicOracle([0, 1]), random_state=0)
+        with pytest.raises(ValueError) as from_sampler:
+            sampler.sample_batch(0)
+        with pytest.raises(ValueError) as from_validator:
+            check_count(0, "batch_size")
+        assert str(from_sampler.value) == str(from_validator.value)
 
 
 class TestCheckInRange:
