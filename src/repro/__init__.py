@@ -23,7 +23,21 @@ mapping of every table and figure.
 from repro.core import OASISSampler, Strata, csf_stratify, stratify
 from repro.core.estimators import AISEstimator
 from repro.datasets import BENCHMARK_NAMES, load_benchmark
-from repro.measures import f_measure, pool_performance, precision, recall
+from repro.measures import (
+    Accuracy,
+    BalancedAccuracy,
+    FMeasure,
+    Precision,
+    RatioMeasure,
+    Recall,
+    Specificity,
+    WeightedRelativeAccuracy,
+    f_measure,
+    measure_from_spec,
+    pool_performance,
+    precision,
+    recall,
+)
 from repro.oracle import CrowdOracle, DeterministicOracle, NoisyOracle
 from repro.samplers import (
     ImportanceSampler,
@@ -46,6 +60,15 @@ __all__ = [
     "pool_performance",
     "precision",
     "recall",
+    "RatioMeasure",
+    "FMeasure",
+    "Precision",
+    "Recall",
+    "Accuracy",
+    "Specificity",
+    "BalancedAccuracy",
+    "WeightedRelativeAccuracy",
+    "measure_from_spec",
     "CrowdOracle",
     "DeterministicOracle",
     "NoisyOracle",

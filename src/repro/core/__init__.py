@@ -11,7 +11,11 @@ Components map to the paper as follows:
 """
 
 from repro.core.bayes import BetaBernoulliModel
-from repro.core.estimators import AISEstimator, sample_f_measure_history
+from repro.core.estimators import (
+    AISEstimator,
+    sample_f_measure_history,
+    sample_measure_history,
+)
 from repro.core.initialisation import initialise_from_scores
 from repro.core.instrumental import (
     epsilon_greedy,
@@ -25,6 +29,7 @@ __all__ = [
     "BetaBernoulliModel",
     "AISEstimator",
     "sample_f_measure_history",
+    "sample_measure_history",
     "initialise_from_scores",
     "epsilon_greedy",
     "optimal_instrumental_pointwise",

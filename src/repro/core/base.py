@@ -4,8 +4,9 @@ Every evaluation sampler — OASIS and the baselines — shares the same
 contract: it holds (predictions, scores, oracle) for a pool, draws
 items with replacement, queries the oracle for *new* items only (label
 caching: footnote 5 — a repeated draw is free), and maintains an
-F-measure estimate whose history is indexed both by iteration and by
-distinct labels consumed.
+estimate of its target ratio measure (the paper's F-measure by
+default) whose history is indexed both by iteration and by distinct
+labels consumed.
 
 Two execution paths share that contract:
 
@@ -44,10 +45,10 @@ import abc
 
 import numpy as np
 
+from repro.measures.ratio import FMeasure, measure_from_spec, resolve_measure
 from repro.oracle.base import BaseOracle
 from repro.utils import (
     check_count,
-    check_in_range,
     ensure_rng,
     rng_from_state_dict,
     rng_state_dict,
@@ -55,12 +56,13 @@ from repro.utils import (
 
 __all__ = ["BaseEvaluationSampler"]
 
-#: Version stamp of the sampler snapshot layout.
-STATE_FORMAT_VERSION = 1
+#: Version stamp of the sampler snapshot layout.  Version 2 records the
+#: target measure spec; version-1 (alpha-only) snapshots still load.
+STATE_FORMAT_VERSION = 2
 
 
 class BaseEvaluationSampler(abc.ABC):
-    """Base class for label-efficient F-measure samplers.
+    """Base class for label-efficient ratio-measure samplers.
 
     Parameters
     ----------
@@ -71,16 +73,27 @@ class BaseEvaluationSampler(abc.ABC):
     oracle:
         Labelling oracle queried for ground truth.
     alpha:
-        F-measure weight.
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``
+        (0.5 balanced; 1 precision; 0 recall).  Mutually exclusive with
+        ``measure``.
+    measure:
+        The target :class:`~repro.measures.ratio.RatioMeasure` (or a
+        kind name / spec dict); defaults to ``FMeasure(0.5)``, the
+        paper's setting.
     random_state:
         Seed or generator for the sampling randomness.
 
     Attributes
     ----------
+    measure:
+        The resolved target measure.
+    alpha:
+        The F-family weight of the target measure, or None for non-F
+        measures (kept for the historical API).
     estimate:
-        Current F-measure estimate (NaN while undefined).
+        Current estimate of the target measure (NaN while undefined).
     history:
-        F estimate after every iteration.
+        Estimate after every iteration.
     budget_history:
         Distinct labels consumed after every iteration; plotting
         ``history`` against ``budget_history`` gives the paper's
@@ -90,7 +103,7 @@ class BaseEvaluationSampler(abc.ABC):
     """
 
     def __init__(self, predictions, scores, oracle: BaseOracle, *,
-                 alpha: float = 0.5, random_state=None):
+                 alpha: float | None = None, measure=None, random_state=None):
         predictions = np.asarray(predictions)
         scores = np.asarray(scores, dtype=float)
         if predictions.shape != scores.shape or predictions.ndim != 1:
@@ -103,12 +116,11 @@ class BaseEvaluationSampler(abc.ABC):
         unique = set(np.unique(predictions).tolist())
         if not unique <= {0, 1}:
             raise ValueError(f"predictions must be binary; found {unique}")
-        check_in_range(alpha, 0.0, 1.0, "alpha")
+        self.measure = resolve_measure(measure, alpha)
 
         self.predictions = predictions.astype(np.int8)
         self.scores = scores
         self.oracle = oracle
-        self.alpha = alpha
         self.rng = ensure_rng(random_state)
 
         self.queried_labels: dict[int, int] = {}
@@ -123,6 +135,11 @@ class BaseEvaluationSampler(abc.ABC):
     @property
     def n_items(self) -> int:
         return len(self.predictions)
+
+    @property
+    def alpha(self):
+        """The F-family weight, or None for non-F measures (deprecated)."""
+        return getattr(self.measure, "alpha", None)
 
     @property
     def labels_consumed(self) -> int:
@@ -415,7 +432,7 @@ class BaseEvaluationSampler(abc.ABC):
             "format_version": STATE_FORMAT_VERSION,
             "class": type(self).__name__,
             "n_items": self.n_items,
-            "alpha": self.alpha,
+            "measure": self.measure.spec(),
             "rng": rng_state_dict(self.rng),
             "queried_indices": indices,
             "queried_label_values": labels,
@@ -435,7 +452,7 @@ class BaseEvaluationSampler(abc.ABC):
         :func:`repro.service.codec.decode_state`.
         """
         version = state.get("format_version")
-        if version != STATE_FORMAT_VERSION:
+        if version not in (1, STATE_FORMAT_VERSION):
             raise ValueError(f"unsupported sampler state version {version!r}")
         if state.get("class") != type(self).__name__:
             raise ValueError(
@@ -447,10 +464,16 @@ class BaseEvaluationSampler(abc.ABC):
                 f"state covers a pool of {state['n_items']} items, but this "
                 f"sampler has {self.n_items}"
             )
-        if float(state["alpha"]) != self.alpha:
+        if version == 1:
+            # v1 snapshots predate the measure axis: they always target
+            # the F-measure and record only its alpha weight.
+            captured = FMeasure(float(state["alpha"]))
+        else:
+            captured = measure_from_spec(state["measure"])
+        if captured != self.measure:
             raise ValueError(
-                f"state was captured with alpha={state['alpha']}, but this "
-                f"sampler has alpha={self.alpha}"
+                f"state was captured for measure {captured.name}, but this "
+                f"sampler targets {self.measure.name}"
             )
         self.rng = rng_from_state_dict(state["rng"])
         indices = np.asarray(state["queried_indices"], dtype=np.int64)

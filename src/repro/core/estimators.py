@@ -1,48 +1,79 @@
-"""Importance-weighted F-measure estimation (paper Eqn 3, section 5.2).
+"""Importance-weighted ratio-measure estimation (paper Eqn 3, section 5.2).
 
-The AIS estimator is a ratio of importance-weighted sample sums:
+The AIS estimator generalises the paper's F-measure estimator to any
+:class:`~repro.measures.ratio.RatioMeasure`.  It maintains the four
+weighted moment sums
+
+    (sum_t w_t l_t lhat_t,  sum_t w_t lhat_t,  sum_t w_t l_t,  sum_t w_t)
+
+— a linear bijection of the weighted confusion masses (TP, FP, FN, TN)
+— and evaluates the configured measure (or any other measure, since the
+moments are measure-independent) at every iteration.  For
+``FMeasure(alpha)`` this is exactly the paper's ratio of
+importance-weighted sums
 
     F-hat = sum_t w_t l_t lhat_t
             -------------------------------------------------
             alpha sum_t w_t lhat_t + (1-alpha) sum_t w_t l_t
 
-where w_t = p(z_t) / q_t(z_t).  :class:`AISEstimator` maintains those
-running sums incrementally (numerator, weighted predicted positives,
-weighted actual positives) and can report F, precision and recall at
-every iteration.
+with w_t = p(z_t) / q_t(z_t), evaluated through the identical
+floating-point expression tree as the historical alpha-only
+implementation.  ``alpha=`` and the ``f_measure()`` / ``precision`` /
+``recall`` accessors are kept as thin shims over the measure API.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.measures.ratio import (
+    FMeasure,
+    LinearRatioMeasure,
+    measure_from_spec,
+    resolve_measure,
+)
 from repro.utils import check_in_range
 
-__all__ = ["AISEstimator", "sample_f_measure_history"]
+__all__ = [
+    "AISEstimator",
+    "sample_f_measure_history",
+    "sample_measure_history",
+]
 
 
 class AISEstimator:
-    """Online ratio-of-sums estimator for F-measure, precision, recall.
+    """Online ratio-of-sums estimator for any ratio measure.
 
     Parameters
     ----------
     alpha:
-        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+        Deprecated F-measure shim: ``alpha=a`` is ``measure=FMeasure(a)``
+        (0.5 balanced; 1 precision; 0 recall).  Mutually exclusive with
+        ``measure``.
+    measure:
+        The target :class:`~repro.measures.ratio.RatioMeasure` (or a
+        kind name / spec dict); defaults to ``FMeasure(0.5)``.
     track_observations:
         Keep the per-observation (weight, label, prediction) triples so
         delta-method confidence intervals can be computed on demand
         (:meth:`confidence_interval`).  Costs three floats per update.
     """
 
-    def __init__(self, alpha: float = 0.5, *, track_observations: bool = False):
-        check_in_range(alpha, 0.0, 1.0, "alpha")
-        self.alpha = alpha
+    def __init__(self, alpha: float | None = None, *, measure=None,
+                 track_observations: bool = False):
+        self.measure = resolve_measure(measure, alpha)
         self.track_observations = track_observations
         self._weighted_tp = 0.0  # sum w * l * lhat
         self._weighted_pred = 0.0  # sum w * lhat
         self._weighted_true = 0.0  # sum w * l
+        self._weighted_count = 0.0  # sum w
         self.n_observations = 0
         self._observations: list[tuple[float, float, float]] = []
+
+    @property
+    def alpha(self):
+        """The F-family weight, or None for non-F measures (deprecated)."""
+        return getattr(self.measure, "alpha", None)
 
     def update(self, label: int, prediction: int, weight: float = 1.0) -> None:
         """Fold in one observation (l_t, lhat_t) with weight w_t."""
@@ -53,6 +84,7 @@ class AISEstimator:
         self._weighted_tp += weight * label * prediction
         self._weighted_pred += weight * prediction
         self._weighted_true += weight * label
+        self._weighted_count += weight
         self.n_observations += 1
         if self.track_observations:
             self._observations.append((weight, label, prediction))
@@ -102,17 +134,18 @@ class AISEstimator:
         tp_cum = running(self._weighted_tp, weights * labels * predictions)
         pred_cum = running(self._weighted_pred, weights * predictions)
         true_cum = running(self._weighted_true, weights * labels)
-        denominator = self.alpha * pred_cum + (1.0 - self.alpha) * true_cum
-        with np.errstate(invalid="ignore", divide="ignore"):
-            trajectory = np.where(
-                denominator > 0,
-                np.minimum(1.0, tp_cum / denominator),
-                np.nan,
-            )
+        count_cum = running(self._weighted_count, weights)
+        trajectory = np.asarray(
+            self.measure.value_from_moments(
+                tp_cum, pred_cum, true_cum, count_cum
+            ),
+            dtype=float,
+        )
 
         self._weighted_tp = float(tp_cum[-1])
         self._weighted_pred = float(pred_cum[-1])
         self._weighted_true = float(true_cum[-1])
+        self._weighted_count = float(count_cum[-1])
         self.n_observations += len(labels)
         if self.track_observations:
             self._observations.extend(
@@ -120,23 +153,36 @@ class AISEstimator:
             )
         return trajectory
 
+    def measure_value(self, measure=None) -> float:
+        """Evaluate any ratio measure at the current moment sums.
+
+        The moments are measure-independent, so a single sampling run
+        can be read out under every measure; ``measure=None`` evaluates
+        the configured target.
+        """
+        measure = self.measure if measure is None else measure_from_spec(measure)
+        return measure.value_from_sums(
+            self._weighted_tp,
+            self._weighted_pred,
+            self._weighted_true,
+            self._weighted_count,
+        )
+
     def f_measure(self, alpha: float | None = None) -> float:
-        """Current F_alpha estimate; NaN while undefined."""
+        """Current F_alpha estimate; NaN while undefined.
+
+        With ``alpha=None`` and a non-F configured measure, evaluates
+        that measure instead (the method predates the measure API and
+        is kept as its F-parametrised shim).
+        """
         if alpha is None:
-            alpha = self.alpha
-        else:
-            check_in_range(alpha, 0.0, 1.0, "alpha")
-        denominator = alpha * self._weighted_pred + (1.0 - alpha) * self._weighted_true
-        if denominator <= 0:
-            return float("nan")
-        # The ratio is <= 1 mathematically (w l lhat <= w (a lhat + (1-a) l)
-        # termwise) but roundoff in the denominator can nudge it past 1
-        # when every observation is a true positive.
-        return min(1.0, self._weighted_tp / denominator)
+            return self.measure_value()
+        check_in_range(alpha, 0.0, 1.0, "alpha")
+        return self.measure_value(FMeasure(alpha))
 
     @property
     def estimate(self) -> float:
-        return self.f_measure()
+        return self.measure_value()
 
     @property
     def precision(self) -> float:
@@ -146,53 +192,79 @@ class AISEstimator:
     def recall(self) -> float:
         return self.f_measure(alpha=0.0)
 
-    def variance_estimate(self, alpha: float | None = None) -> float:
+    def _resolve(self, alpha, measure):
+        if alpha is not None and measure is not None:
+            raise ValueError("pass either measure= or alpha=, not both")
+        if alpha is not None:
+            check_in_range(alpha, 0.0, 1.0, "alpha")
+            return FMeasure(alpha)
+        if measure is not None:
+            return measure_from_spec(measure)
+        return self.measure
+
+    def variance_estimate(self, alpha: float | None = None, *,
+                          measure=None) -> float:
         """Delta-method variance of the ratio estimator.
 
-        Writing the estimate as F = A/B with A the weighted TP mean and
-        B the weighted denominator mean, the first-order expansion
-        gives  Var(F) ~ mean[(w (f_num - F f_den))^2] / (T B^2).
-        Requires ``track_observations=True``; NaN while the estimate is
-        undefined.
+        For a linear ratio G = A/B (A, B importance-weighted moment
+        means) the first-order expansion gives
+        ``Var(G) ~ mean[(w (g_num - G g_den))^2] / (T B^2)``; for
+        non-linear measures the full gradient form
+        ``mean[(grad . (w x - s))^2] / T`` is used.  Requires
+        ``track_observations=True``; returns NaN while the estimate is
+        undefined or the measure's denominator mass is zero (degenerate
+        pools never raise).
         """
         if not self.track_observations:
             raise RuntimeError(
                 "variance_estimate requires track_observations=True"
             )
-        if alpha is None:
-            alpha = self.alpha
-        f_hat = self.f_measure(alpha)
-        if np.isnan(f_hat) or self.n_observations == 0:
+        measure = self._resolve(alpha, measure)
+        g_hat = self.measure_value(measure)
+        if np.isnan(g_hat) or self.n_observations == 0:
             return float("nan")
         obs = np.asarray(self._observations)
         weights, labels, preds = obs[:, 0], obs[:, 1], obs[:, 2]
-        f_num = labels * preds
-        f_den = alpha * preds + (1.0 - alpha) * labels
         t = self.n_observations
-        b_bar = float(np.sum(weights * f_den)) / t
-        if b_bar <= 0:
+        if isinstance(measure, LinearRatioMeasure):
+            g_num, g_den = measure.observation_statistics(labels, preds)
+            b_bar = float(np.sum(weights * g_den)) / t
+            if b_bar <= 0:
+                return float("nan")
+            influence = weights * (g_num - g_hat * g_den)
+            return float(np.mean(influence**2) / (t * b_bar**2))
+        moments = measure.observation_moments(labels, preds, weights)
+        mean_moments = moments.sum(axis=0) / t
+        gradient = np.asarray(
+            measure.moment_gradient(*mean_moments), dtype=float
+        )
+        if not np.all(np.isfinite(gradient)):
             return float("nan")
-        influence = weights * (f_num - f_hat * f_den)
-        return float(np.mean(influence**2) / (t * b_bar**2))
+        influence = moments @ gradient - float(mean_moments @ gradient)
+        return float(np.mean(influence**2) / t)
 
     def confidence_interval(self, level: float = 0.95,
-                            alpha: float | None = None) -> tuple:
+                            alpha: float | None = None, *,
+                            measure=None) -> tuple:
         """Normal-approximation confidence interval for the estimate.
 
         Based on the asymptotic normality of the importance-weighted
-        ratio estimator; clipped to [0, 1].  Returns (NaN, NaN) while
-        the estimate is undefined.
+        ratio estimator; clipped symmetrically into the measure's
+        bounds ([0, 1] for the F family).  Returns (NaN, NaN) while the
+        estimate or its variance is undefined.
         """
         from scipy import stats
 
         check_in_range(level, 0.0, 1.0, "level", low_open=True, high_open=True)
-        f_hat = self.f_measure(alpha)
-        variance = self.variance_estimate(alpha)
-        if np.isnan(f_hat) or np.isnan(variance):
+        measure = self._resolve(alpha, measure)
+        g_hat = self.measure_value(measure)
+        variance = self.variance_estimate(measure=measure)
+        if np.isnan(g_hat) or np.isnan(variance):
             return (float("nan"), float("nan"))
         z = float(stats.norm.ppf(0.5 + level / 2.0))
         half = z * np.sqrt(variance)
-        return (max(0.0, f_hat - half), min(1.0, f_hat + half))
+        low, high = measure.bounds
+        return (max(low, g_hat - half), min(high, g_hat + half))
 
     def state(self) -> dict:
         """Snapshot of the running sums (for checkpoint/diagnostics)."""
@@ -200,6 +272,7 @@ class AISEstimator:
             "weighted_tp": self._weighted_tp,
             "weighted_pred": self._weighted_pred,
             "weighted_true": self._weighted_true,
+            "weighted_count": self._weighted_count,
             "n_observations": self.n_observations,
         }
 
@@ -211,10 +284,14 @@ class AISEstimator:
         returned dict into a fresh estimator reproduces every future
         estimate bit for bit, including the delta-method confidence
         intervals (the tracked observations ride along).
+
+        Format version 2 records the measure spec and the total-weight
+        moment; version 1 (alpha-only) snapshots are still loadable —
+        see :meth:`load_state_dict`.
         """
         state = dict(self.state())
-        state["format_version"] = 1
-        state["alpha"] = self.alpha
+        state["format_version"] = 2
+        state["measure"] = self.measure.spec()
         state["track_observations"] = self.track_observations
         state["observations"] = (
             np.asarray(self._observations, dtype=float).reshape(-1, 3)
@@ -223,16 +300,33 @@ class AISEstimator:
         )
         return state
 
-    def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot in place."""
-        version = state.get("format_version")
-        if version != 1:
-            raise ValueError(f"unsupported estimator state version {version!r}")
-        if float(state["alpha"]) != self.alpha:
+    def _check_measure(self, captured) -> None:
+        if captured != self.measure:
             raise ValueError(
-                f"state was captured with alpha={state['alpha']}, but this "
-                f"estimator has alpha={self.alpha}"
+                f"state was captured for measure {captured.name}, but this "
+                f"estimator targets {self.measure.name}"
             )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Version-1 (alpha-only) snapshots migrate transparently: the
+        measure is reconstructed as ``FMeasure(alpha)`` and the missing
+        total-weight moment is rebuilt from the tracked observations
+        when present (by the same sequential accumulation the live
+        estimator performed, so the restore stays bit-identical) or
+        marked NaN otherwise — in which case measures that need the
+        total moment (accuracy, specificity, ...) read NaN until reset,
+        while the F family is unaffected.
+        """
+        version = state.get("format_version")
+        if version == 1:
+            captured = FMeasure(float(state["alpha"]))
+        elif version == 2:
+            captured = measure_from_spec(state["measure"])
+        else:
+            raise ValueError(f"unsupported estimator state version {version!r}")
+        self._check_measure(captured)
         self._weighted_tp = float(state["weighted_tp"])
         self._weighted_pred = float(state["weighted_pred"])
         self._weighted_true = float(state["weighted_true"])
@@ -240,26 +334,40 @@ class AISEstimator:
         self.track_observations = bool(state["track_observations"])
         observations = np.asarray(state["observations"], dtype=float).reshape(-1, 3)
         self._observations = [tuple(row) for row in observations.tolist()]
+        if version >= 2:
+            self._weighted_count = float(state["weighted_count"])
+        elif self.track_observations and len(self._observations) == self.n_observations:
+            total = 0.0
+            for row in self._observations:
+                total += row[0]
+            self._weighted_count = total
+        elif self.n_observations == 0:
+            self._weighted_count = 0.0
+        else:
+            self._weighted_count = float("nan")
 
     def reset(self) -> None:
         self._weighted_tp = 0.0
         self._weighted_pred = 0.0
         self._weighted_true = 0.0
+        self._weighted_count = 0.0
         self.n_observations = 0
         self._observations.clear()
 
 
-def sample_f_measure_history(labels, predictions, weights=None, alpha: float = 0.5):
+def sample_measure_history(labels, predictions, weights=None, *,
+                           measure=None, alpha=None):
     """Vectorised trajectory of the AIS estimate after each observation.
 
     Equivalent to feeding the sequence through :class:`AISEstimator`
-    and recording the estimate at every step — used to post-process
-    recorded sampling runs without re-simulation.
+    configured with the same measure and recording the estimate at
+    every step — used to post-process recorded sampling runs without
+    re-simulation.
 
     Returns an array of length T with NaN where the estimate is
     undefined.
     """
-    check_in_range(alpha, 0.0, 1.0, "alpha")
+    measure = resolve_measure(measure, alpha)
     labels = np.asarray(labels, dtype=float)
     predictions = np.asarray(predictions, dtype=float)
     if weights is None:
@@ -272,9 +380,16 @@ def sample_f_measure_history(labels, predictions, weights=None, alpha: float = 0
     tp = np.cumsum(weights * labels * predictions)
     pred = np.cumsum(weights * predictions)
     true = np.cumsum(weights * labels)
-    denominator = alpha * pred + (1.0 - alpha) * true
-    with np.errstate(invalid="ignore", divide="ignore"):
-        history = np.where(
-            denominator > 0, np.minimum(1.0, tp / denominator), np.nan
-        )
-    return history
+    count = np.cumsum(weights)
+    return np.asarray(
+        measure.value_from_moments(tp, pred, true, count), dtype=float
+    )
+
+
+def sample_f_measure_history(labels, predictions, weights=None,
+                             alpha: float = 0.5):
+    """F-measure shim over :func:`sample_measure_history`."""
+    check_in_range(alpha, 0.0, 1.0, "alpha")
+    return sample_measure_history(
+        labels, predictions, weights, measure=FMeasure(alpha)
+    )

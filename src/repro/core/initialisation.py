@@ -3,8 +3,11 @@
 The similarity scores carry enough information to bootstrap OASIS: the
 mean score per stratum is a guess for pi_k (with a logit mapping when
 scores are not probabilities), the mean prediction per stratum gives
-lambda_k, and a plug-in computation yields the initial F-measure guess.
-The prior hyperparameters follow as Gamma^(0) = eta * [pi; 1 - pi].
+lambda_k, and a plug-in computation yields the initial guess of the
+target measure (the paper's line 8 specialises to the F-measure; any
+:class:`~repro.measures.ratio.RatioMeasure` evaluates from the same
+stratified moments).  The prior hyperparameters follow as
+Gamma^(0) = eta * [pi; 1 - pi].
 """
 
 from __future__ import annotations
@@ -14,7 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.stratification import Strata
-from repro.utils import check_in_range, check_positive, expit
+from repro.measures.ratio import RatioMeasure, resolve_measure
+from repro.utils import check_positive, expit
 
 __all__ = ["Initialisation", "initialise_from_scores"]
 
@@ -27,25 +31,35 @@ class Initialisation:
     ----------
     pi:
         Initial per-stratum oracle-probability guesses pi-hat^(0).
-    f_measure:
-        Initial F-measure guess F-hat^(0).
+    estimate:
+        Initial plug-in guess of the target measure (F-hat^(0) on the
+        F-measure path).
     prior_gamma:
         2 x K prior hyperparameter matrix Gamma^(0).
     mean_predictions:
         lambda_k per stratum (needed by the instrumental distribution).
+    measure:
+        The target measure the guess was computed for.
     """
 
     pi: np.ndarray
-    f_measure: float
+    estimate: float
     prior_gamma: np.ndarray
     mean_predictions: np.ndarray
+    measure: RatioMeasure
+
+    @property
+    def f_measure(self) -> float:
+        """Historical alias for :attr:`estimate`."""
+        return self.estimate
 
 
 def initialise_from_scores(
     strata: Strata,
     predictions,
     *,
-    alpha: float = 0.5,
+    alpha: float | None = None,
+    measure=None,
     prior_strength: float | None = None,
     scores_are_probabilities: bool | None = None,
     threshold: float = 0.0,
@@ -60,7 +74,10 @@ def initialise_from_scores(
     predictions:
         Predicted labels per pool item.
     alpha:
-        F-measure weight.
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        The target :class:`~repro.measures.ratio.RatioMeasure` (or kind
+        name / spec dict); defaults to ``FMeasure(0.5)``.
     prior_strength:
         eta > 0 controlling prior concentration; defaults to ``2 * K``
         (the value used throughout the paper's experiments).
@@ -83,7 +100,7 @@ def initialise_from_scores(
     -------
     Initialisation
     """
-    check_in_range(alpha, 0.0, 1.0, "alpha")
+    measure = resolve_measure(measure, alpha)
     predictions = np.asarray(predictions, dtype=float)
     if predictions.shape != strata.allocations.shape:
         raise ValueError("predictions must align with the stratified pool")
@@ -120,17 +137,22 @@ def initialise_from_scores(
     mean_predictions = strata.stratum_means(predictions)
     sizes = strata.sizes.astype(float)
 
-    # Algorithm 2 line 8: plug-in F estimate from the stratified guesses.
+    # Algorithm 2 line 8: plug-in estimate of the target measure from
+    # the stratified guesses (the paper's F-measure line generalises to
+    # any ratio measure evaluated at the same moments).
     estimated_tp = float(np.sum(sizes * pi * mean_predictions))
     predicted_pos = float(np.sum(sizes * mean_predictions))
     actual_pos = float(np.sum(sizes * pi))
-    denominator = alpha * predicted_pos + (1.0 - alpha) * actual_pos
-    f_measure = estimated_tp / denominator if denominator > 0 else float("nan")
+    total = float(np.sum(sizes))
+    estimate = measure.value_from_sums(
+        estimated_tp, predicted_pos, actual_pos, total, clamp=False
+    )
 
     prior_gamma = prior_strength * np.vstack([pi, 1.0 - pi])
     return Initialisation(
         pi=pi,
-        f_measure=f_measure,
+        estimate=estimate,
         prior_gamma=prior_gamma,
         mean_predictions=mean_predictions,
+        measure=measure,
     )

@@ -1,10 +1,23 @@
-"""Instrumental distributions (paper Eqns 5, 6 and 12).
+"""Instrumental distributions (paper Eqns 5, 6 and 12, generalised).
 
 The asymptotically optimal instrumental distribution concentrates
 sampling effort where items contribute most to the variance of the
-F-measure estimator.  It depends on the unknown F-measure and oracle
-probabilities, so OASIS plugs in running estimates; mixing with the
-underlying distribution (epsilon-greedy, Eqn 6) keeps every item
+ratio-measure estimator.  For a measure with (mass-space) gradient
+scores ``r = (r_tp, r_fp, r_fn, r_tn)`` at the current estimate, an
+item ``z`` with prediction lhat and oracle probability ``p(1|z)``
+receives mass proportional to
+
+    p(z) * sqrt( E_{l | z} [ r(l, lhat)^2 ] )
+
+— the first-order influence of labelling ``z``.  For the F-measure
+this reduces exactly to the paper's closed form (Eqn 5); the algebra
+lives in :meth:`repro.measures.ratio.FMeasure.instrumental_weights` and
+the generic gradient-based derivation in
+:meth:`repro.measures.ratio.RatioMeasure.instrumental_weights`.
+
+The optimal distribution depends on the unknown measure value and
+oracle probabilities, so OASIS plugs in running estimates; mixing with
+the underlying distribution (epsilon-greedy, Eqn 6) keeps every item
 reachable, which is what the consistency proof requires (Remark 5).
 """
 
@@ -12,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.measures.ratio import resolve_measure
 from repro.utils import check_in_range, normalise
 
 __all__ = [
@@ -21,12 +35,29 @@ __all__ = [
 ]
 
 
+def _optimal_weights(base, predictions, probabilities, estimate,
+                     measure) -> np.ndarray:
+    """Shared core of the pointwise and stratified optimal designs."""
+    if np.isnan(estimate):
+        # No information about the target yet: fall back to the
+        # underlying distribution, the only choice always valid.
+        return normalise(base)
+    low, high = measure.bounds
+    clipped = float(np.clip(estimate, low, high))
+    weights = measure.instrumental_weights(
+        base, predictions, probabilities, clipped
+    )
+    return normalise(weights)
+
+
 def optimal_instrumental_pointwise(
     underlying,
     predictions,
     oracle_probabilities,
     f_measure: float,
-    alpha: float = 0.5,
+    alpha: float | None = None,
+    *,
+    measure=None,
 ) -> np.ndarray:
     """Per-item asymptotically optimal instrumental distribution (Eqn 5).
 
@@ -39,30 +70,24 @@ def optimal_instrumental_pointwise(
     oracle_probabilities:
         True or estimated oracle probabilities p(1|z) per item.
     f_measure:
-        The (estimated) F-measure the distribution is optimal for.
+        The (estimated) value of the target measure the distribution is
+        optimal for (the parameter keeps its historical name; it is the
+        estimate of whatever ``measure`` targets).
     alpha:
-        F-measure weight.
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        The target :class:`~repro.measures.ratio.RatioMeasure` (or kind
+        name / spec dict); defaults to ``FMeasure(0.5)``.
 
     Returns
     -------
     Probability vector over pool items.
     """
-    check_in_range(alpha, 0.0, 1.0, "alpha")
+    measure = resolve_measure(measure, alpha)
     p = np.asarray(underlying, dtype=float)
     pred = np.asarray(predictions, dtype=float)
     prob = np.clip(np.asarray(oracle_probabilities, dtype=float), 0.0, 1.0)
-    if np.isnan(f_measure):
-        # No information about F yet: fall back to the underlying
-        # distribution, the only choice that is always valid.
-        return normalise(p)
-    f = float(np.clip(f_measure, 0.0, 1.0))
-
-    negative_term = (1.0 - alpha) * (1.0 - pred) * f * np.sqrt(prob)
-    positive_term = pred * np.sqrt(
-        (alpha * f) ** 2 * (1.0 - prob) + (1.0 - f) ** 2 * prob
-    )
-    weights = p * (negative_term + positive_term)
-    return normalise(weights)
+    return _optimal_weights(p, pred, prob, f_measure, measure)
 
 
 def stratified_optimal_instrumental(
@@ -70,7 +95,9 @@ def stratified_optimal_instrumental(
     mean_predictions,
     pi,
     f_measure: float,
-    alpha: float = 0.5,
+    alpha: float | None = None,
+    *,
+    measure=None,
 ) -> np.ndarray:
     """Stratified optimal instrumental distribution v* (section 4.2.3).
 
@@ -87,28 +114,21 @@ def stratified_optimal_instrumental(
     pi:
         Estimated (or true) per-stratum match probabilities.
     f_measure:
-        Current F-measure estimate F-hat.
+        Current estimate of the target measure.
     alpha:
-        F-measure weight.
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        The target measure; defaults to ``FMeasure(0.5)``.
 
     Returns
     -------
     Probability vector over strata.
     """
-    check_in_range(alpha, 0.0, 1.0, "alpha")
+    measure = resolve_measure(measure, alpha)
     omega = np.asarray(stratum_weights, dtype=float)
     lam = np.clip(np.asarray(mean_predictions, dtype=float), 0.0, 1.0)
     pi = np.clip(np.asarray(pi, dtype=float), 0.0, 1.0)
-    if np.isnan(f_measure):
-        return normalise(omega)
-    f = float(np.clip(f_measure, 0.0, 1.0))
-
-    negative_term = (1.0 - alpha) * (1.0 - lam) * f * np.sqrt(pi)
-    positive_term = lam * np.sqrt(
-        (alpha * f) ** 2 * (1.0 - pi) + (1.0 - f) ** 2 * pi
-    )
-    weights = omega * (negative_term + positive_term)
-    return normalise(weights)
+    return _optimal_weights(omega, lam, pi, f_measure, measure)
 
 
 def epsilon_greedy(optimal, underlying, epsilon: float) -> np.ndarray:

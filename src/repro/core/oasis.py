@@ -3,7 +3,12 @@
 Each iteration: compute the epsilon-greedy stratified instrumental
 distribution v^(t) from the current Bayesian model, draw a stratum then
 a pair uniformly within it, query the oracle (with label caching),
-update the Beta posterior and the importance-weighted F estimate.
+update the Beta posterior and the importance-weighted estimate of the
+target measure.  The paper targets the F-measure; any
+:class:`~repro.measures.ratio.RatioMeasure` (precision, recall,
+accuracy, ...) can be targeted instead — the instrumental distribution
+is derived from the measure's gradient, so the sampling effort
+reallocates to wherever *that* measure's variance lives.
 """
 
 from __future__ import annotations
@@ -34,7 +39,11 @@ class OASISSampler(BaseEvaluationSampler):
     oracle:
         Labelling oracle.
     alpha:
-        F-measure weight (paper experiments use 0.5).
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        The target :class:`~repro.measures.ratio.RatioMeasure` (or kind
+        name / spec dict); defaults to ``FMeasure(0.5)``, the paper's
+        setting.
     epsilon:
         Greediness 0 < epsilon <= 1 (paper experiments use 1e-3).
         Small epsilon exploits the optimal distribution; epsilon = 1 is
@@ -77,7 +86,8 @@ class OASISSampler(BaseEvaluationSampler):
         scores,
         oracle: BaseOracle,
         *,
-        alpha: float = 0.5,
+        alpha: float | None = None,
+        measure=None,
         epsilon: float = 1e-3,
         n_strata: int = 30,
         prior_strength: float | None = None,
@@ -91,7 +101,7 @@ class OASISSampler(BaseEvaluationSampler):
         random_state=None,
     ):
         super().__init__(predictions, scores, oracle, alpha=alpha,
-                         random_state=random_state)
+                         measure=measure, random_state=random_state)
         check_in_range(epsilon, 0.0, 1.0, "epsilon", low_open=True)
         self.epsilon = epsilon
 
@@ -109,7 +119,7 @@ class OASISSampler(BaseEvaluationSampler):
         init = initialise_from_scores(
             self.strata,
             self.predictions,
-            alpha=alpha,
+            measure=self.measure,
             prior_strength=prior_strength,
             scores_are_probabilities=scores_are_probabilities,
             threshold=threshold,
@@ -117,10 +127,11 @@ class OASISSampler(BaseEvaluationSampler):
         )
         self._initialisation = init
         self.model = BetaBernoulliModel(init.prior_gamma, decaying_prior=decaying_prior)
-        self._estimator = AISEstimator(alpha=alpha, track_observations=True)
-        # F-hat^(0): the score-based guess seeds the instrumental
+        self._estimator = AISEstimator(measure=self.measure,
+                                       track_observations=True)
+        # G-hat^(0): the score-based guess seeds the instrumental
         # distribution until weighted observations arrive.
-        self._current_f = init.f_measure
+        self._current_estimate = init.estimate
         self._mean_predictions = init.mean_predictions
         self._stratum_weights = self.strata.weights
 
@@ -134,9 +145,14 @@ class OASISSampler(BaseEvaluationSampler):
         return self.strata.n_strata
 
     @property
+    def initial_estimate(self) -> float:
+        """The score-based plug-in guess G-hat^(0) from Algorithm 2."""
+        return self._initialisation.estimate
+
+    @property
     def initial_f_measure(self) -> float:
-        """The score-based F-hat^(0) from Algorithm 2."""
-        return self._initialisation.f_measure
+        """Historical alias for :attr:`initial_estimate`."""
+        return self._initialisation.estimate
 
     @property
     def pi_estimate(self) -> np.ndarray:
@@ -149,8 +165,8 @@ class OASISSampler(BaseEvaluationSampler):
             self._stratum_weights,
             self._mean_predictions,
             self.model.posterior_mean(),
-            self._current_f,
-            alpha=self.alpha,
+            self._current_estimate,
+            measure=self.measure,
         )
         return epsilon_greedy(optimal, self._stratum_weights, self.epsilon)
 
@@ -160,8 +176,8 @@ class OASISSampler(BaseEvaluationSampler):
             self._stratum_weights,
             self._mean_predictions,
             self.model.posterior_mean(),
-            self._current_f,
-            alpha=self.alpha,
+            self._current_estimate,
+            measure=self.measure,
         )
 
     def _step(self) -> None:
@@ -178,11 +194,11 @@ class OASISSampler(BaseEvaluationSampler):
         prediction = int(self.predictions[index])
         # (9)-(10) posterior update.
         self.model.update(stratum, label)
-        # (11) F estimate update.
+        # (11) measure-estimate update.
         self._estimator.update(label, prediction, weight)
         estimate = self._estimator.estimate
         if not np.isnan(estimate):
-            self._current_f = estimate
+            self._current_estimate = estimate
 
         self.sampled_indices.append(index)
         self.history.append(estimate)
@@ -233,7 +249,7 @@ class OASISSampler(BaseEvaluationSampler):
         trajectory = self._estimator.update_batch(labels, predictions, weights)
         estimate = trajectory[-1]
         if not np.isnan(estimate):
-            self._current_f = float(estimate)
+            self._current_estimate = float(estimate)
 
         self.sampled_indices.extend(int(i) for i in indices)
         self.history.extend(trajectory.tolist())
@@ -255,7 +271,7 @@ class OASISSampler(BaseEvaluationSampler):
             "n_strata": self.n_strata,
             "model": self.model.state_dict(),
             "estimator": self._estimator.state_dict(),
-            "current_f": self._current_f,
+            "current_estimate": self._current_estimate,
             "record_diagnostics": self.record_diagnostics,
         }
         if self.record_diagnostics:
@@ -280,7 +296,9 @@ class OASISSampler(BaseEvaluationSampler):
             )
         self.model.load_state_dict(state["model"])
         self._estimator.load_state_dict(state["estimator"])
-        self._current_f = float(state["current_f"])
+        # v1 snapshots stored the running estimate as "current_f".
+        current = state.get("current_estimate", state.get("current_f"))
+        self._current_estimate = float(current)
         self.record_diagnostics = bool(state["record_diagnostics"])
         if self.record_diagnostics:
             self.pi_history = [
@@ -306,7 +324,7 @@ class OASISSampler(BaseEvaluationSampler):
         return self._estimator.recall
 
     def confidence_interval(self, level: float = 0.95) -> tuple:
-        """Asymptotic confidence interval for the F-measure estimate.
+        """Asymptotic confidence interval for the target-measure estimate.
 
         Delta-method normal approximation on the importance-weighted
         ratio estimator (an extension beyond the paper; see

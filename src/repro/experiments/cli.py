@@ -38,10 +38,49 @@ from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import run_trials
 from repro.experiments.specs import make_sampler_spec
 from repro.experiments.sweep import SweepConfig, run_sweep
+from repro.measures.ratio import MEASURE_KINDS, FMeasure, measure_from_spec
 from repro.oracle import DeterministicOracle
 from repro.utils import check_count
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_measure_flags(parser) -> None:
+    """The target-measure flags shared by the experiment subcommands."""
+    parser.add_argument(
+        "--measure", default=None, choices=sorted(MEASURE_KINDS),
+        help="target measure to estimate (default: the paper's "
+        "F-measure); the reported true value tracks this choice",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=None,
+        help="F-measure weight in the alpha parametrisation "
+        "(only with --measure fmeasure or no --measure; default 0.5)",
+    )
+
+
+def _measure_from_args(args):
+    """Resolve (--measure, --alpha) into a measure, or None for legacy F.
+
+    Returns None when neither flag was given, which keeps the exact
+    historical default path (F-measure at alpha 0.5).
+    """
+    if args.measure is None and args.alpha is None:
+        return None
+    if args.measure in (None, "fmeasure"):
+        return FMeasure(0.5 if args.alpha is None else args.alpha)
+    if args.alpha is not None:
+        raise SystemExit(
+            f"--alpha only parametrises the F-measure, not {args.measure}"
+        )
+    return measure_from_spec(args.measure)
+
+
+def _true_value(pool, measure) -> tuple:
+    """(display name, ground-truth value) of the targeted measure."""
+    if measure is None:
+        return "F", pool.performance["f_measure"]
+    return measure.name, measure.value(pool.true_labels, pool.predictions)
 
 
 def _positive_int(text: str):
@@ -90,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int("workers"), default=1,
         help="process-pool width for the repeated trials",
     )
+    _add_measure_flags(compare)
 
     convergence = sub.add_parser("convergence", help="Figure 4 diagnostics")
     convergence.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
@@ -101,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int("batch_size"), default=1,
         help="draws per proposal refresh during the diagnostic run",
     )
+    _add_measure_flags(convergence)
 
     calibration = sub.add_parser("calibration", help="Figure 3 comparison")
     calibration.add_argument("--dataset", default="abt_buy", choices=BENCHMARK_NAMES)
@@ -135,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--flip-prob", type=float, default=None,
         help="also sweep a noisy oracle with this symmetric error rate",
+    )
+    sweep.add_argument(
+        "--measures", nargs="+", default=None, choices=sorted(MEASURE_KINDS),
+        metavar="MEASURE",
+        help="target-measure grid axis, one job per measure "
+        "(default: the F-measure path)",
     )
     sweep.add_argument(
         "--workers", type=_positive_int("workers"), default=1,
@@ -211,6 +258,7 @@ def _print_abs_errors(results) -> None:
 
 def _cmd_compare(args) -> None:
     pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    measure = _measure_from_args(args)
     threshold = pool.threshold
     k = args.n_strata
     calibrated = args.calibrated
@@ -231,11 +279,13 @@ def _cmd_compare(args) -> None:
         specs.append(make_sampler_spec(
             "oss", name="OSS", n_strata=k, use_calibrated_scores=calibrated))
 
+    name, true_value = _true_value(pool, measure)
     print(f"pool {args.dataset}: {len(pool)} items, "
-          f"true F = {pool.performance['f_measure']:.4f}")
+          f"true {name} = {true_value:.4f}")
     results = run_trials(
         pool, specs, budgets=_budget_grid(args.budget),
         n_repeats=args.repeats, batch_size=args.batch_size,
+        measure=measure,
         random_state=args.seed, n_workers=args.workers,
     )
     _print_abs_errors(results)
@@ -243,22 +293,25 @@ def _cmd_compare(args) -> None:
 
 def _cmd_convergence(args) -> None:
     pool = load_benchmark(args.dataset, scale=args.scale, random_state=args.seed)
+    measure = _measure_from_args(args)
     sampler = OASISSampler(
         pool.predictions,
         pool.scores_calibrated,
         DeterministicOracle(pool.true_labels),
         n_strata=args.n_strata,
+        measure=measure,
         record_diagnostics=True,
         random_state=args.seed,
     )
+    name, true_value = _true_value(pool, measure)
     diag = run_convergence_experiment(
-        sampler, pool.true_labels, pool.performance["f_measure"],
+        sampler, pool.true_labels, true_value,
         n_iterations=args.iterations, batch_size=args.batch_size,
     )
     checkpoints = np.linspace(0, args.iterations - 1, 10).astype(int)
     print(f"convergence on {args.dataset} (K={args.n_strata}, "
-          f"{args.iterations} iterations)")
-    print(format_series("|F_hat - F|", diag.budgets[checkpoints],
+          f"{args.iterations} iterations, true {name} = {true_value:.4f})")
+    print(format_series(f"|G_hat - {name}|", diag.budgets[checkpoints],
                         diag.f_abs_error[checkpoints]))
     print(format_series("mean |pi err|", diag.budgets[checkpoints],
                         diag.pi_abs_error[checkpoints]))
@@ -303,6 +356,7 @@ def _cmd_sweep(args) -> None:
             ],
             oracles=oracles,
             batch_sizes=list(args.batch_sizes),
+            measures=(list(args.measures) if args.measures else [None]),
             n_repeats=args.repeats,
             seed=args.seed,
             scale=args.scale,

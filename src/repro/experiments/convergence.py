@@ -69,6 +69,11 @@ def run_convergence_experiment(
 ) -> ConvergenceDiagnostics:
     """Run ``sampler`` and compare its model against ground truth.
 
+    ``true_f_measure`` is the ground-truth value of the sampler's
+    *target measure* (the parameter keeps its historical name): the
+    diagnostics generalise to any ratio measure, with the true optimal
+    v* computed from the same measure's gradient.
+
     The sampler must have been constructed with
     ``record_diagnostics=True`` so pi-hat and v^(t) snapshots exist.
     With ``batch_size > 1`` the run goes through the batched engine;
@@ -88,7 +93,7 @@ def run_convergence_experiment(
         mean_predictions,
         true_pi,
         true_f_measure,
-        alpha=sampler.alpha,
+        measure=sampler.measure,
     )
 
     history_f = np.asarray(sampler.history, dtype=float)
@@ -105,8 +110,8 @@ def run_convergence_experiment(
             strata.weights,
             mean_predictions,
             pi_history[t],
-            history_f[t] if not np.isnan(history_f[t]) else sampler.initial_f_measure,
-            alpha=sampler.alpha,
+            history_f[t] if not np.isnan(history_f[t]) else sampler.initial_estimate,
+            measure=sampler.measure,
         )
         v_abs_error[t] = np.abs(v_estimate - true_v).mean()
         kl[t] = kl_divergence(true_v, v_estimate)

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.datasets.benchmark import BenchmarkPool
+from repro.measures.confusion import confusion_counts
+from repro.measures.ratio import measure_from_spec
 from repro.oracle.deterministic import DeterministicOracle
 from repro.utils import check_count
 
@@ -91,12 +93,16 @@ def _normalise_budgets(budgets) -> np.ndarray:
 
 
 def _run_one_trial(pool, spec, budgets, batch_size, oracle_factory,
-                   seed_seq) -> np.ndarray:
+                   seed_seq, measure=None) -> np.ndarray:
     """Execute a single (spec, repeat) task; returns the estimate row.
 
     Pure function of its arguments — the unit of work shipped to worker
     processes.  ``seed_seq`` is split into one oracle stream and one
-    sampler stream so the two never interleave.
+    sampler stream so the two never interleave.  With ``measure`` set,
+    the factory is invoked with a ``measure=`` keyword (the
+    :class:`~repro.experiments.specs.SamplerFactory` contract); without
+    it the historical call shape is preserved, so arbitrary callables
+    keep working on the default F-measure path.
     """
     oracle_seq, sampler_seq = seed_seq.spawn(2)
     oracle_rng = np.random.default_rng(oracle_seq)
@@ -106,7 +112,11 @@ def _run_one_trial(pool, spec, budgets, batch_size, oracle_factory,
     else:
         oracle = oracle_factory(pool.true_labels, oracle_rng)
     scores = pool.scores_calibrated if spec.use_calibrated_scores else pool.scores
-    sampler = spec.factory(pool.predictions, scores, oracle, sampler_rng)
+    if measure is None:
+        sampler = spec.factory(pool.predictions, scores, oracle, sampler_rng)
+    else:
+        sampler = spec.factory(pool.predictions, scores, oracle, sampler_rng,
+                               measure=measure)
     sampler.sample_until_budget(int(budgets[-1]), batch_size=batch_size)
     return sampler.estimate_at_budgets(budgets)
 
@@ -117,14 +127,20 @@ def _run_one_trial(pool, spec, budgets, batch_size, oracle_factory,
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(pool, specs, budgets, batch_size, oracle_factory) -> None:
-    _WORKER_STATE["context"] = (pool, specs, budgets, batch_size, oracle_factory)
+def _init_worker(pool, specs, budgets, batch_size, oracle_factory,
+                 measure) -> None:
+    _WORKER_STATE["context"] = (
+        pool, specs, budgets, batch_size, oracle_factory, measure
+    )
 
 
 def _worker_trial(spec_index: int, seed_seq) -> np.ndarray:
-    pool, specs, budgets, batch_size, oracle_factory = _WORKER_STATE["context"]
+    pool, specs, budgets, batch_size, oracle_factory, measure = (
+        _WORKER_STATE["context"]
+    )
     return _run_one_trial(
-        pool, specs[spec_index], budgets, batch_size, oracle_factory, seed_seq
+        pool, specs[spec_index], budgets, batch_size, oracle_factory,
+        seed_seq, measure
     )
 
 
@@ -207,6 +223,7 @@ def run_trials(
     n_repeats: int = 50,
     batch_size: int = 1,
     oracle_factory=None,
+    measure=None,
     random_state=None,
     n_workers: int = 1,
     checkpoint_dir=None,
@@ -237,6 +254,12 @@ def run_trials(
         deterministic ground-truth oracle of the paper's experiments.
         The ``rng`` is a child generator reserved for the oracle —
         independent of the sampler's stream.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure` (or kind
+        name / spec dict) every sampler estimates; ``None`` keeps the
+        historical F-measure path.  The reported ``true_value`` is the
+        pool's ground-truth value of this measure, and sampler
+        factories receive it as a ``measure=`` keyword.
     random_state:
         Seed (int / ``SeedSequence`` / ``Generator``) for the
         independent per-task streams.  Required (non-None) when
@@ -271,7 +294,13 @@ def run_trials(
             f"spec names must be unique (results and checkpoint shards "
             f"are keyed by name); duplicated: {duplicates}"
         )
-    true_value = pool.performance["f_measure"]
+    if measure is None:
+        true_value = pool.performance["f_measure"]
+    else:
+        measure = measure_from_spec(measure)
+        true_value = measure.value_from_counts(
+            confusion_counts(pool.true_labels, pool.predictions)
+        )
 
     root = _root_seed_sequence(random_state)
     store = None
@@ -284,18 +313,20 @@ def run_trials(
         from repro.experiments.persistence import TrialStore
 
         store = TrialStore(checkpoint_dir)
-        store.ensure_config(
-            {
-                "pool": getattr(pool, "name", "pool"),
-                "pool_fingerprint": _pool_fingerprint(pool),
-                "budgets": [int(b) for b in budgets],
-                "batch_size": int(batch_size),
-                "seed": _seed_descriptor(root),
-                "oracle": _oracle_descriptor(oracle_factory),
-                "specs": [spec.name for spec in specs],
-            },
-            overwrite=not resume,
-        )
+        config = {
+            "pool": getattr(pool, "name", "pool"),
+            "pool_fingerprint": _pool_fingerprint(pool),
+            "budgets": [int(b) for b in budgets],
+            "batch_size": int(batch_size),
+            "seed": _seed_descriptor(root),
+            "oracle": _oracle_descriptor(oracle_factory),
+            "specs": [spec.name for spec in specs],
+        }
+        if measure is not None:
+            # Only stamped for measure-targeted runs, so pre-measure
+            # run directories keep resuming without a config mismatch.
+            config["measure"] = measure.spec()
+        store.ensure_config(config, overwrite=not resume)
 
     # One seed sequence per (spec, repeat) task, addressed by position
     # so the stream of task (s, r) never depends on worker count,
@@ -327,7 +358,7 @@ def run_trials(
         for spec_index, repeat in pending:
             row = _run_one_trial(
                 pool, specs[spec_index], budgets, batch_size,
-                oracle_factory, task_seed(spec_index, repeat),
+                oracle_factory, task_seed(spec_index, repeat), measure,
             )
             record(spec_index, repeat, row)
     else:
@@ -336,7 +367,8 @@ def run_trials(
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(pool, specs, budgets, batch_size, oracle_factory),
+            initargs=(pool, specs, budgets, batch_size, oracle_factory,
+                      measure),
         ) as executor:
             futures = {
                 executor.submit(

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.oasis import OASISSampler
 from repro.experiments.runner import SamplerSpec
+from repro.measures.ratio import measure_from_spec, resolve_measure
 from repro.oracle.deterministic import DeterministicOracle
 from repro.oracle.noisy import NoisyOracle
 from repro.samplers.importance import ImportanceSampler
@@ -80,11 +81,34 @@ class SamplerFactory:
                 f"choose from {sorted(SAMPLER_KINDS)}"
             )
 
-    def __call__(self, predictions, scores, oracle, random_state):
+    def __call__(self, predictions, scores, oracle, random_state,
+                 measure=None):
         cls = SAMPLER_KINDS[self.kind]
+        kwargs = dict(self.kwargs)
+        if measure is not None:
+            # A run-level target measure (the sweep's measure axis)
+            # applies to every cell.  A cell pinning its own target is
+            # only allowed when it agrees with the run's — otherwise
+            # the reported true_value (computed from the run's measure)
+            # would silently mismatch what the sampler estimates.
+            target = measure_from_spec(measure)
+            if "measure" in kwargs or "alpha" in kwargs:
+                pinned = resolve_measure(
+                    kwargs.get("measure"), kwargs.get("alpha")
+                )
+                if pinned != target:
+                    raise ValueError(
+                        f"sampler cell "
+                        f"{format_kwargs(self.kind, self.kwargs)} pins "
+                        f"target {pinned.name}, but the run targets "
+                        f"{target.name}; drop the cell's alpha/measure "
+                        "keys or align them with the run's measure axis"
+                    )
+            else:
+                kwargs["measure"] = target
         return cls(
             predictions, scores, oracle,
-            random_state=random_state, **self.kwargs,
+            random_state=random_state, **kwargs,
         )
 
 

@@ -34,6 +34,7 @@ from repro.experiments.specs import (
     make_oracle_factory,
     make_sampler_spec,
 )
+from repro.measures.ratio import measure_from_spec
 from repro.utils import check_count, spawn_seed_sequences
 
 __all__ = ["SweepConfig", "SweepJob", "expand_grid", "run_sweep"]
@@ -61,6 +62,12 @@ class SweepConfig:
         e.g. ``{"kind": "noisy", "flip_prob": 0.05}``.
     batch_sizes:
         Draws per proposal refresh, one job per value.
+    measures:
+        Target-measure cells, one job per entry: each ``None`` (the
+        historical F-measure path), a measure kind name (``"recall"``)
+        or a spec dict (``{"kind": "fmeasure", "alpha": 0.25}``).
+        Defaults to ``[None]``, which keeps job ids and seed streams of
+        pre-measure sweeps unchanged.
     n_repeats:
         Independent repetitions per (job, sampler).
     seed:
@@ -77,6 +84,7 @@ class SweepConfig:
     ])
     oracles: list = field(default_factory=lambda: [{"kind": "deterministic"}])
     batch_sizes: list = field(default_factory=lambda: [1])
+    measures: list = field(default_factory=lambda: [None])
     n_repeats: int = 10
     seed: int = 42
     scale: str = "tiny"
@@ -108,6 +116,16 @@ class SweepConfig:
                 )
         if not self.batch_sizes or any(int(b) < 1 for b in self.batch_sizes):
             raise ValueError("batch_sizes must be non-empty positive integers")
+        if not self.measures:
+            raise ValueError("measures must be non-empty (use [None] for "
+                             "the default F-measure path)")
+        # Canonicalise every measure cell to its spec dict (None stays
+        # None) so job ids and the stored sweep.json are stable however
+        # the cell was written.
+        self.measures = [
+            None if cell is None else measure_from_spec(cell).spec()
+            for cell in self.measures
+        ]
         check_count(self.n_repeats, "n_repeats")
 
     @classmethod
@@ -126,7 +144,7 @@ class SweepConfig:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "datasets": list(self.datasets),
             "budgets": [int(b) for b in self.budgets],
             "samplers": [dict(c) for c in self.samplers],
@@ -136,15 +154,26 @@ class SweepConfig:
             "seed": int(self.seed),
             "scale": self.scale,
         }
+        if self.measures != [None]:
+            # Omitted on the default path so sweep directories written
+            # before the measure axis existed still pass the stored-
+            # config equality check on resume.
+            out["measures"] = [
+                None if cell is None else dict(cell) for cell in self.measures
+            ]
+        return out
 
 
 @dataclass
 class SweepJob:
-    """One grid cell: a dataset/oracle/batch-size scenario.
+    """One grid cell: a dataset/oracle/batch-size/measure scenario.
 
     ``index`` is the job's fixed position in grid order — the key that
     ties it to its seed stream and its run subdirectory, stable across
-    invocations of the same config.
+    invocations of the same config.  ``measure`` is a canonical spec
+    dict, or None for the historical F-measure path (in which case the
+    job id carries no measure fragment, keeping pre-measure run
+    directories resumable).
     """
 
     index: int
@@ -152,27 +181,38 @@ class SweepJob:
     scale: str
     oracle: OracleFactory
     batch_size: int
+    measure: dict | None = None
 
     @property
     def job_id(self) -> str:
-        return f"{self.dataset}__{_slug(self.oracle.name)}__b{self.batch_size}"
+        base = f"{self.dataset}__{_slug(self.oracle.name)}__b{self.batch_size}"
+        if self.measure is None:
+            return base
+        return f"{base}__m-{_slug(measure_from_spec(self.measure).name)}"
 
 
 def expand_grid(config: SweepConfig) -> list[SweepJob]:
-    """Expand a config into jobs, in fixed dataset-major grid order."""
+    """Expand a config into jobs, in fixed dataset-major grid order.
+
+    The measure axis varies fastest, after batch size; with the default
+    ``measures=[None]`` the expansion (indexes, ids and therefore seed
+    streams) is identical to the pre-measure grid.
+    """
     jobs = []
     for dataset in config.datasets:
         for oracle_cell in config.oracles:
             cell = dict(oracle_cell)
             oracle = make_oracle_factory(cell.pop("kind"), **cell)
             for batch_size in config.batch_sizes:
-                jobs.append(SweepJob(
-                    index=len(jobs),
-                    dataset=dataset,
-                    scale=config.scale,
-                    oracle=oracle,
-                    batch_size=int(batch_size),
-                ))
+                for measure in config.measures:
+                    jobs.append(SweepJob(
+                        index=len(jobs),
+                        dataset=dataset,
+                        scale=config.scale,
+                        oracle=oracle,
+                        batch_size=int(batch_size),
+                        measure=measure,
+                    ))
     return jobs
 
 
@@ -290,6 +330,7 @@ def run_sweep(
             n_repeats=config.n_repeats,
             batch_size=job.batch_size,
             oracle_factory=job.oracle,
+            measure=job.measure,
             random_state=job_seqs[job.index],
             n_workers=workers,
             checkpoint_dir=checkpoint_dir,

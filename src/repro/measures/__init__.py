@@ -1,8 +1,9 @@
 """Evaluation measures for entity resolution.
 
-Implements the pairwise F-measure family of the paper (Eqn 1) together
-with confusion-matrix counting and the divergence diagnostics used in
-the convergence experiments (Fig. 4).
+Implements the pairwise F-measure family of the paper (Eqn 1), the
+generalised ratio-measure family the estimation stack is built on
+(:mod:`repro.measures.ratio`), confusion-matrix counting, and the
+divergence diagnostics used in the convergence experiments (Fig. 4).
 """
 
 from repro.measures.cluster import (
@@ -22,8 +23,34 @@ from repro.measures.fmeasure import (
     precision,
     recall,
 )
+from repro.measures.ratio import (
+    MEASURE_KINDS,
+    Accuracy,
+    BalancedAccuracy,
+    FMeasure,
+    LinearRatioMeasure,
+    Precision,
+    RatioMeasure,
+    Recall,
+    Specificity,
+    WeightedRelativeAccuracy,
+    measure_from_spec,
+    resolve_measure,
+)
 
 __all__ = [
+    "MEASURE_KINDS",
+    "Accuracy",
+    "BalancedAccuracy",
+    "FMeasure",
+    "LinearRatioMeasure",
+    "Precision",
+    "RatioMeasure",
+    "Recall",
+    "Specificity",
+    "WeightedRelativeAccuracy",
+    "measure_from_spec",
+    "resolve_measure",
     "cluster_precision_recall",
     "clusters_from_pairs",
     "merge_distance",

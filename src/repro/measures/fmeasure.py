@@ -79,16 +79,28 @@ def pool_performance(true_labels, pred_labels, alpha: float = 0.5) -> dict:
     This is the quantity every sampler is trying to estimate with fewer
     labels (the "true" columns of paper Table 2).
 
-    Returns a dict with precision, recall, F_alpha and the confusion
-    counts.
+    Returns a dict with every ratio measure of
+    :data:`repro.measures.ratio.MEASURE_KINDS` — precision, recall,
+    F_alpha, accuracy, specificity, balanced accuracy and weighted
+    relative accuracy — all evaluated from one confusion-count pass,
+    plus the counts themselves.
     """
+    from repro.measures.ratio import MEASURE_KINDS, FMeasure
+
     true_labels = np.asarray(true_labels, dtype=float)
     pred_labels = np.asarray(pred_labels, dtype=float)
     counts = confusion_counts(true_labels, pred_labels)
-    return {
+    out = {
         "precision": f_measure_from_counts(counts, alpha=1.0),
         "recall": f_measure_from_counts(counts, alpha=0.0),
         "f_measure": f_measure_from_counts(counts, alpha=alpha),
         "alpha": alpha,
         "counts": counts,
     }
+    for kind, cls in MEASURE_KINDS.items():
+        if cls is FMeasure:
+            continue  # parametrised; covered by f_measure/precision/recall
+        if kind in out:
+            continue
+        out[kind] = cls().value_from_counts(counts)
+    return out

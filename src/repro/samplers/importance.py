@@ -39,7 +39,11 @@ class ImportanceSampler(BaseEvaluationSampler):
     oracle:
         Labelling oracle queried for ground truth.
     alpha:
-        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure`; defaults to
+        ``FMeasure(0.5)``.  The static optimal-distribution
+        approximation of Eqn (5) is instantiated for this measure.
     random_state:
         Seed or generator for the sampling randomness.
     epsilon:
@@ -64,7 +68,8 @@ class ImportanceSampler(BaseEvaluationSampler):
         scores,
         oracle,
         *,
-        alpha: float = 0.5,
+        alpha=None,
+        measure=None,
         epsilon: float = 1e-3,
         scores_are_probabilities: bool | None = None,
         threshold: float = 0.0,
@@ -72,7 +77,7 @@ class ImportanceSampler(BaseEvaluationSampler):
         random_state=None,
     ):
         super().__init__(predictions, scores, oracle, alpha=alpha,
-                         random_state=random_state)
+                         measure=measure, random_state=random_state)
         check_in_range(epsilon, 0.0, 1.0, "epsilon")
         self.epsilon = epsilon
 
@@ -97,30 +102,29 @@ class ImportanceSampler(BaseEvaluationSampler):
             )
 
         uniform = np.full(self.n_items, 1.0 / self.n_items)
-        plug_in_f = self._plug_in_f_measure(pseudo_probabilities)
+        plug_in = self._plug_in_estimate(pseudo_probabilities)
         optimal = optimal_instrumental_pointwise(
             uniform,
             self.predictions,
             pseudo_probabilities,
-            plug_in_f,
-            alpha=alpha,
+            plug_in,
+            measure=self.measure,
         )
         if epsilon > 0:
             self._instrumental = epsilon_greedy(optimal, uniform, epsilon)
         else:
             self._instrumental = optimal
         self._uniform = uniform
-        self._estimator = AISEstimator(alpha=alpha)
+        self._estimator = AISEstimator(measure=self.measure)
 
-    def _plug_in_f_measure(self, pseudo_probabilities: np.ndarray) -> float:
-        """Score-based F guess used to instantiate Eqn (5)."""
+    def _plug_in_estimate(self, pseudo_probabilities: np.ndarray) -> float:
+        """Score-based guess of the target measure for Eqn (5)."""
         tp = float(np.sum(pseudo_probabilities * self.predictions))
         predicted = float(np.sum(self.predictions))
         actual = float(np.sum(pseudo_probabilities))
-        denominator = self.alpha * predicted + (1.0 - self.alpha) * actual
-        if denominator <= 0:
-            return float("nan")
-        return tp / denominator
+        return self.measure.value_from_sums(
+            tp, predicted, actual, float(self.n_items), clamp=False
+        )
 
     @property
     def instrumental(self) -> np.ndarray:

@@ -40,7 +40,11 @@ class OSSSampler(BaseEvaluationSampler):
     oracle:
         Labelling oracle queried for ground truth.
     alpha:
-        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure`; defaults to
+        ``FMeasure(0.5)``.  The stratified plug-in estimate evaluates
+        this measure from the per-stratum moments.
     n_strata:
         Requested CSF strata.
     epsilon:
@@ -60,7 +64,8 @@ class OSSSampler(BaseEvaluationSampler):
         scores,
         oracle,
         *,
-        alpha: float = 0.5,
+        alpha=None,
+        measure=None,
         n_strata: int = 30,
         epsilon: float = 0.1,
         stratification_method: str = "csf",
@@ -68,7 +73,7 @@ class OSSSampler(BaseEvaluationSampler):
         random_state=None,
     ):
         super().__init__(predictions, scores, oracle, alpha=alpha,
-                         random_state=random_state)
+                         measure=measure, random_state=random_state)
         check_in_range(epsilon, 0.0, 1.0, "epsilon", low_open=True)
         self.epsilon = epsilon
         if strata is not None:
@@ -84,6 +89,7 @@ class OSSSampler(BaseEvaluationSampler):
 
         k = self.strata.n_strata
         self._weights = self.strata.weights
+        self._total_weight = float(np.sum(self.strata.weights))
         self._mean_predictions = self.strata.stratum_means(self.predictions)
         self._n_sampled = np.zeros(k)
         self._sum_true = np.zeros(k)
@@ -113,10 +119,15 @@ class OSSSampler(BaseEvaluationSampler):
         tp = float(np.sum(self._weights * tp_rate))
         predicted = float(np.sum(self._weights * self._mean_predictions))
         actual = float(np.sum(self._weights * true_rate))
-        denominator = self.alpha * predicted + (1.0 - self.alpha) * actual
-        if denominator <= 0 or (tp == 0 and actual == 0):
+        if tp == 0 and actual == 0 and not self.measure.uses_true_negatives:
+            # No positive has been seen at all: for positive-class-only
+            # measures (the F family) the sample carries no information
+            # yet.  TN-weighted measures (accuracy, specificity, ...)
+            # are estimable from all-negative samples, so they proceed.
             return float("nan")
-        return tp / denominator
+        return self.measure.value_from_sums(
+            tp, predicted, actual, self._total_weight, clamp=False
+        )
 
     def _step(self) -> None:
         allocation = self.allocation()

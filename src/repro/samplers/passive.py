@@ -33,16 +33,20 @@ class PassiveSampler(BaseEvaluationSampler):
     oracle:
         Labelling oracle queried for ground truth.
     alpha:
-        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure`; defaults to
+        ``FMeasure(0.5)``.
     random_state:
         Seed or generator for the sampling randomness.
     """
 
-    def __init__(self, predictions, scores, oracle, *, alpha: float = 0.5,
-                 random_state=None):
+    def __init__(self, predictions, scores, oracle, *, alpha=None,
+                 measure=None, random_state=None):
         super().__init__(predictions, scores, oracle, alpha=alpha,
-                         random_state=random_state)
-        self._estimator = AISEstimator(alpha=alpha, track_observations=True)
+                         measure=measure, random_state=random_state)
+        self._estimator = AISEstimator(measure=self.measure,
+                                       track_observations=True)
 
     def _step(self) -> None:
         index = int(self.rng.integers(self.n_items))

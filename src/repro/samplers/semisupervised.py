@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
+from repro.measures.ratio import resolve_measure
 from repro.utils import check_in_range, check_positive, ensure_rng
 
 __all__ = ["BetaMixtureModel", "SemiSupervisedEstimator"]
@@ -151,19 +152,26 @@ class SemiSupervisedEstimator:
     threshold:
         The matcher's decision threshold on the (unit-interval) scores.
     alpha:
-        F-measure weight.
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure`; defaults to
+        ``FMeasure(0.5)``.
     random_state:
         Seed for the uniform label subset.
     """
 
-    def __init__(self, threshold: float = 0.5, *, alpha: float = 0.5,
+    def __init__(self, threshold: float = 0.5, *, alpha=None, measure=None,
                  random_state=None):
-        check_in_range(alpha, 0.0, 1.0, "alpha")
         check_in_range(threshold, 0.0, 1.0, "threshold")
         self.threshold = threshold
-        self.alpha = alpha
+        self.measure = resolve_measure(measure, alpha)
         self.rng = ensure_rng(random_state)
         self.model = BetaMixtureModel()
+
+    @property
+    def alpha(self):
+        """The F-family weight, or None for non-F measures (deprecated)."""
+        return getattr(self.measure, "alpha", None)
 
     def fit(self, scores, oracle, n_labels: int) -> "SemiSupervisedEstimator":
         """Spend ``n_labels`` uniform labels and fit the mixture.
@@ -191,19 +199,19 @@ class SemiSupervisedEstimator:
 
     @property
     def estimate(self) -> float:
-        """Model-based F_alpha at the decision threshold.
+        """Model-based value of the target measure at the threshold.
 
         TP rate = pi * P(s >= tau | l=1); predicted-positive rate =
-        TP rate + (1-pi) * P(s >= tau | l=0); actual-positive rate = pi.
+        TP rate + (1-pi) * P(s >= tau | l=0); actual-positive rate =
+        pi; all rates normalise to a total mass of one, so any ratio
+        measure evaluates from the fitted mixture.
         """
         pi = self.model.pi_
         tp = pi * self.model.positive_tail(self.threshold)
         fp = (1.0 - pi) * self.model.negative_tail(self.threshold)
         predicted = tp + fp
-        denominator = self.alpha * predicted + (1.0 - self.alpha) * pi
-        if denominator <= 0:
-            return float("nan")
-        return tp / denominator
+        return self.measure.value_from_sums(tp, predicted, pi, 1.0,
+                                            clamp=False)
 
     @property
     def precision_estimate(self) -> float:

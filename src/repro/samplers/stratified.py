@@ -31,7 +31,11 @@ class StratifiedSampler(BaseEvaluationSampler):
     oracle:
         Labelling oracle queried for ground truth.
     alpha:
-        F-measure weight (0.5 balanced; 1 precision; 0 recall).
+        Deprecated F-measure shim: ``alpha=a`` targets ``FMeasure(a)``.
+    measure:
+        Target :class:`~repro.measures.ratio.RatioMeasure`; defaults to
+        ``FMeasure(0.5)``.  The stratified plug-in estimate evaluates
+        this measure from the per-stratum moments.
     n_strata:
         Requested number of CSF strata (the paper's baseline uses 30).
     stratification_method:
@@ -49,14 +53,15 @@ class StratifiedSampler(BaseEvaluationSampler):
         scores,
         oracle,
         *,
-        alpha: float = 0.5,
+        alpha=None,
+        measure=None,
         n_strata: int = 30,
         stratification_method: str = "csf",
         strata: Strata | None = None,
         random_state=None,
     ):
         super().__init__(predictions, scores, oracle, alpha=alpha,
-                         random_state=random_state)
+                         measure=measure, random_state=random_state)
         if strata is not None:
             if strata.n_items != self.n_items:
                 raise ValueError(
@@ -70,6 +75,7 @@ class StratifiedSampler(BaseEvaluationSampler):
 
         k = self.strata.n_strata
         self._weights = self.strata.weights
+        self._total_weight = float(np.sum(self.strata.weights))
         self._mean_predictions = self.strata.stratum_means(self.predictions)
         # Per-stratum running sums of sampled (l * lhat) and l.
         self._n_sampled = np.zeros(k)
@@ -99,10 +105,15 @@ class StratifiedSampler(BaseEvaluationSampler):
         tp = float(np.sum(self._weights * tp_rate))
         predicted = float(np.sum(self._weights * self._mean_predictions))
         actual = float(np.sum(self._weights * true_rate))
-        denominator = self.alpha * predicted + (1.0 - self.alpha) * actual
-        if denominator <= 0 or (tp == 0 and actual == 0):
+        if tp == 0 and actual == 0 and not self.measure.uses_true_negatives:
+            # No positive has been seen at all: for positive-class-only
+            # measures (the F family) the sample carries no information
+            # yet.  TN-weighted measures (accuracy, specificity, ...)
+            # are estimable from all-negative samples, so they proceed.
             return float("nan")
-        return tp / denominator
+        return self.measure.value_from_sums(
+            tp, predicted, actual, self._total_weight, clamp=False
+        )
 
     def _step(self) -> None:
         stratum = int(self.rng.choice(self.n_strata, p=self._weights))

@@ -25,8 +25,14 @@ DELETE    ``/sessions/{id}``              close (checkpoint + drop from memory)
 The create body::
 
     {"predictions": [...], "scores": [...], "sampler": "oasis",
-     "sampler_kwargs": {"n_strata": 30}, "alpha": 0.5, "seed": 42,
-     "session_id": "optional-name"}
+     "sampler_kwargs": {"n_strata": 30}, "measure": "recall",
+     "seed": 42, "session_id": "optional-name"}
+
+``measure`` (optional) targets any ratio measure — a kind name or a
+spec dict such as ``{"kind": "fmeasure", "alpha": 0.25}``.  Omitting it
+keeps the historical alpha-parametrised F-measure target (``"alpha"``,
+default 0.5); sending both ``measure`` and ``alpha`` is rejected with
+400, exactly as the library entry points reject the combination.
 
 Errors map mechanically: ``ValueError`` → 400,
 :class:`~repro.service.errors.SessionNotFoundError` → 404,
@@ -173,7 +179,8 @@ class _Handler(BaseHTTPRequestHandler):
             body["scores"],
             sampler=body.get("sampler", "oasis"),
             sampler_kwargs=body.get("sampler_kwargs") or {},
-            alpha=body.get("alpha", 0.5),
+            alpha=body.get("alpha"),
+            measure=body.get("measure"),
             seed=body.get("seed", 0),
             session_id=body.get("session_id"),
         )

@@ -37,6 +37,7 @@ from repro.oracle.base import BaseOracle
 from repro.service.codec import decode_state, encode_state
 from repro.service.errors import SessionConflictError, SessionNotFoundError
 from repro.service.wal import SessionWAL
+from repro.measures.ratio import measure_from_spec
 from repro.utils import check_count
 
 __all__ = ["EvaluationSession", "session_sampler_kinds"]
@@ -127,7 +128,8 @@ class EvaluationSession:
         *,
         sampler: str = "oasis",
         sampler_kwargs: dict | None = None,
-        alpha: float = 0.5,
+        alpha: float | None = None,
+        measure=None,
         seed: int = 0,
         directory=None,
         session_id: str | None = None,
@@ -147,7 +149,14 @@ class EvaluationSession:
             (``n_strata``, ``epsilon``, ``threshold``, ...); must be
             JSON-representable, as they live in the manifest.
         alpha:
-            F-measure weight.
+            Deprecated F-measure shim (the historical target
+            parametrisation); mutually exclusive with ``measure``,
+            exactly as on the samplers themselves.
+        measure:
+            Target :class:`~repro.measures.ratio.RatioMeasure` as a
+            kind name, spec dict or instance; ``None`` keeps the
+            alpha-parametrised F-measure target.  The canonical spec
+            lives in the manifest, so restores rebuild the same target.
         seed:
             Integer seed for the sampler's random stream; part of the
             session identity, so a restore rebuilds the same stream.
@@ -164,6 +173,10 @@ class EvaluationSession:
             )
         if session_id is None:
             session_id = uuid.uuid4().hex[:12]
+        if measure is not None and alpha is not None:
+            raise ValueError(
+                "pass either measure= or the deprecated alpha=, not both"
+            )
         seed = check_count(seed, "seed", minimum=0)
         sampler_kwargs = dict(sampler_kwargs or {})
         predictions = np.asarray(predictions)
@@ -173,11 +186,20 @@ class EvaluationSession:
             "session_id": session_id,
             "sampler": sampler,
             "sampler_kwargs": sampler_kwargs,
-            "alpha": float(alpha),
             "seed": seed,
             "predictions": encode_state(predictions),
             "scores": encode_state(scores),
         }
+        if measure is not None:
+            # Canonicalised spec; absent for alpha-parametrised
+            # sessions, so pre-measure manifests keep restoring and a
+            # fresh manifest stays byte-stable for the idempotent
+            # re-create check.
+            config["measure"] = measure_from_spec(measure).spec()
+        else:
+            # The historical manifest shape: alpha only, no measure
+            # key, so the target recorded is never contradictory.
+            config["alpha"] = float(0.5 if alpha is None else alpha)
         instance = cls._build_sampler(config)
         wal = None
         if directory is not None:
@@ -190,12 +212,17 @@ class EvaluationSession:
         """Deterministically rebuild the hosted sampler from a manifest."""
         kinds = _sampler_kinds()
         cls = kinds[config["sampler"]]
+        measure = config.get("measure")
+        target = (
+            {"alpha": config["alpha"]} if measure is None
+            else {"measure": measure}
+        )
         return cls(
             decode_state(config["predictions"]),
             decode_state(config["scores"]),
             _IngestOnlyOracle(),
-            alpha=config["alpha"],
             random_state=int(config["seed"]),
+            **target,
             **config["sampler_kwargs"],
         )
 
@@ -454,6 +481,7 @@ class EvaluationSession:
             return {
                 "session_id": self.session_id,
                 "sampler": self.config["sampler"],
+                "measure": sampler.measure.name,
                 "n_items": sampler.n_items,
                 "estimate": None if np.isnan(estimate) else float(estimate),
                 "labels_consumed": sampler.labels_consumed,

@@ -1,0 +1,105 @@
+"""Regenerate the committed v1 (pre-measure) session fixture.
+
+Produces ``tests/fixtures/v1_session/``: a PR-4-era journal directory —
+an alpha-only manifest (no ``measure`` key) plus propose/ingest events
+and a *version-1* checkpoint snapshot — together with a ``fixture.json``
+sidecar carrying the pool's true labels and the expected state at
+restore time.  The migration tests and the CI service-smoke job restore
+this directory to prove old-schema sessions keep working.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_v1_session.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
+
+from test_measure_equivalence import downgrade_sampler_state  # noqa: E402
+
+from repro.service.codec import decode_state, encode_state  # noqa: E402
+from repro.service.session import EvaluationSession  # noqa: E402
+from repro.utils import atomic_write_text  # noqa: E402
+
+SESSION_ID = "v1session"
+SEED = 11
+N_STRATA = 6
+BATCH_SIZE = 16
+BATCHES_DRIVEN = 3  # two before the checkpoint, one after
+EXTRA_BATCHES = 2  # driven by the test after restore
+
+
+def make_pool(seed=3, n=80):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.15).astype(np.int8)
+    scores = rng.normal(size=n) + 2.0 * labels
+    predictions = (scores > 0.4).astype(np.int8)
+    return predictions, scores, labels
+
+
+def main() -> None:
+    root = HERE / "v1_session"
+    if root.exists():
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+
+    predictions, scores, labels = make_pool()
+    session = EvaluationSession.create(
+        predictions, scores, sampler="oasis",
+        sampler_kwargs={"n_strata": N_STRATA}, alpha=0.5, seed=SEED,
+        directory=root / SESSION_ID, session_id=SESSION_ID,
+    )
+
+    def drive(batches):
+        for __ in range(batches):
+            proposal = session.propose(BATCH_SIZE)
+            session.ingest(
+                proposal["ticket"],
+                [int(labels[i]) for i in proposal["pending"]],
+            )
+
+    drive(2)
+    session.checkpoint()
+    drive(BATCHES_DRIVEN - 2)
+    estimate_at_restore = float(session.estimate)
+
+    # Downgrade the checkpoint event to the historical v1 snapshot
+    # layout (alpha instead of measure, no total-weight moment).
+    for path in sorted((root / SESSION_ID / "events").iterdir()):
+        if "-checkpoint" not in path.name:
+            continue
+        event = json.loads(path.read_text())
+        state = decode_state(event["state"])
+        event["state"] = encode_state(downgrade_sampler_state(state))
+        atomic_write_text(path, json.dumps(event))
+
+    sidecar = {
+        "session_id": SESSION_ID,
+        "alpha": 0.5,
+        "seed": SEED,
+        "n_strata": N_STRATA,
+        "batch_size": BATCH_SIZE,
+        "batches_driven": BATCHES_DRIVEN,
+        "extra_batches": EXTRA_BATCHES,
+        "estimate_at_restore": estimate_at_restore,
+        "true_labels": [int(v) for v in labels],
+        "predictions": encode_state(np.asarray(predictions)),
+        "scores": encode_state(np.asarray(scores, dtype=float)),
+    }
+    (HERE / "v1_session" / "fixture.json").write_text(
+        json.dumps(sidecar, indent=1, sort_keys=True)
+    )
+    print(f"wrote {root} (estimate at restore: {estimate_at_restore:.6f})")
+
+
+if __name__ == "__main__":
+    main()

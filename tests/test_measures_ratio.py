@@ -1,0 +1,368 @@
+"""Unit tests for the ratio-measure abstraction (ISSUE 5 tentpole).
+
+Each measure is checked against a hand-computed value on explicit
+confusion counts, its gradient against central finite differences, its
+degenerate-denominator behaviour (NaN, never an exception), and its
+spec round-trip.  The F-measure's closed-form instrumental profile is
+verified to coincide with the generic gradient-based derivation of the
+base class — the sense in which paper Eqn (5) "falls out" of the
+measure abstraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measures import ConfusionCounts
+from repro.measures.ratio import (
+    MEASURE_KINDS,
+    Accuracy,
+    BalancedAccuracy,
+    FMeasure,
+    LinearRatioMeasure,
+    Precision,
+    RatioMeasure,
+    Recall,
+    Specificity,
+    WeightedRelativeAccuracy,
+    mass_to_moment_coefficients,
+    measure_from_spec,
+    resolve_measure,
+)
+
+COUNTS = ConfusionCounts(tp=30.0, fp=10.0, fn=20.0, tn=140.0)
+
+EXPECTED = {
+    "precision": 30.0 / 40.0,
+    "recall": 30.0 / 50.0,
+    "accuracy": 170.0 / 200.0,
+    "specificity": 140.0 / 150.0,
+    "balanced_accuracy": 0.5 * (30.0 / 50.0) + 0.5 * (140.0 / 150.0),
+    "wracc": 30.0 / 200.0 - (40.0 / 200.0) * (50.0 / 200.0),
+}
+
+
+def moments(counts: ConfusionCounts) -> tuple:
+    return (
+        counts.tp,
+        counts.predicted_positives,
+        counts.actual_positives,
+        counts.total,
+    )
+
+
+class TestValues:
+    @pytest.mark.parametrize("kind", sorted(EXPECTED))
+    def test_hand_computed(self, kind):
+        measure = MEASURE_KINDS[kind]()
+        assert measure.value_from_counts(COUNTS) == pytest.approx(EXPECTED[kind])
+
+    def test_fmeasure_matches_family(self):
+        for alpha in (0.0, 0.25, 0.5, 1.0):
+            expected = COUNTS.tp / (
+                alpha * COUNTS.predicted_positives
+                + (1 - alpha) * COUNTS.actual_positives
+            )
+            assert FMeasure(alpha).value_from_counts(COUNTS) == pytest.approx(
+                expected
+            )
+
+    def test_precision_recall_are_f_extremes(self):
+        assert Precision().value_from_counts(COUNTS) == FMeasure(
+            1.0
+        ).value_from_counts(COUNTS)
+        assert Recall().value_from_counts(COUNTS) == FMeasure(
+            0.0
+        ).value_from_counts(COUNTS)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        tp = rng.random(50) * 10
+        extra_p = rng.random(50) * 10
+        extra_a = rng.random(50) * 10
+        extra_t = rng.random(50) * 10
+        predicted = tp + extra_p
+        actual = tp + extra_a
+        total = predicted + extra_a + extra_t
+        for kind, cls in MEASURE_KINDS.items():
+            measure = cls()
+            vector = np.asarray(
+                measure.value_from_moments(tp, predicted, actual, total)
+            )
+            for i in range(0, 50, 7):
+                scalar = float(
+                    measure.value_from_moments(
+                        tp[i], predicted[i], actual[i], total[i]
+                    )
+                )
+                assert scalar == vector[i] or (
+                    np.isnan(scalar) and np.isnan(vector[i])
+                ), kind
+
+    def test_labelled_data_evaluation(self):
+        true = [1, 1, 0, 0, 1, 0]
+        pred = [1, 0, 1, 0, 1, 0]
+        # tp=2 fp=1 fn=1 tn=2
+        assert Accuracy().value(true, pred) == pytest.approx(4.0 / 6.0)
+        assert Precision().value(true, pred) == pytest.approx(2.0 / 3.0)
+
+
+class TestDegenerate:
+    def test_zero_denominators_are_nan(self):
+        zero = ConfusionCounts(0.0, 0.0, 0.0, 0.0)
+        for kind, cls in MEASURE_KINDS.items():
+            value = cls().value_from_counts(zero)
+            assert np.isnan(value), kind
+
+    def test_recall_without_positives(self):
+        counts = ConfusionCounts(tp=0.0, fp=3.0, fn=0.0, tn=7.0)
+        assert np.isnan(Recall().value_from_counts(counts))
+        assert not np.isnan(Precision().value_from_counts(counts))
+
+    def test_specificity_without_negatives(self):
+        counts = ConfusionCounts(tp=5.0, fp=0.0, fn=5.0, tn=0.0)
+        assert np.isnan(Specificity().value_from_counts(counts))
+        assert np.isnan(BalancedAccuracy().value_from_counts(counts))
+
+    def test_gradient_nan_when_undefined(self):
+        for kind, cls in MEASURE_KINDS.items():
+            gradient = cls().moment_gradient(0.0, 0.0, 0.0, 0.0)
+            assert np.all(np.isnan(gradient)), kind
+
+    def test_clamp_respects_bounds(self):
+        # Roundoff-style overshoot is pulled back into bounds on the
+        # estimator (clamp=True) path only.
+        measure = FMeasure(0.5)
+        assert float(
+            measure.value_from_moments(1.0 + 1e-9, 1.0, 1.0, 2.0)
+        ) == 1.0
+        assert float(
+            measure.value_from_moments(1.0 + 1e-9, 1.0, 1.0, 2.0, clamp=False)
+        ) > 1.0
+
+    def test_wracc_bounds(self):
+        assert WeightedRelativeAccuracy().bounds == (-0.25, 0.25)
+
+    def test_custom_linear_bounds_are_derived(self):
+        # (TP - FP) / (TP + FP) ranges over [-1, 1]; the clamp must use
+        # the derived range, not a hard-coded [0, 1].
+        contrast = LinearRatioMeasure(
+            numerator=(1.0, -1.0, 0.0, 0.0), denominator=(1.0, 1.0, 0.0, 0.0)
+        )
+        assert contrast.bounds == (-1.0, 1.0)
+        counts = ConfusionCounts(tp=1.0, fp=3.0, fn=0.0, tn=0.0)
+        assert contrast.value_from_counts(counts, clamp=True) == pytest.approx(
+            -0.5
+        )
+        # Zero-denominator cells with positive numerator mass push the
+        # bound to infinity instead of inventing a finite clamp.
+        unbounded = LinearRatioMeasure(
+            numerator=(1.0, 0.0, 1.0, 0.0), denominator=(1.0, 1.0, 0.0, 0.0)
+        )
+        assert unbounded.bounds == (0.0, np.inf)
+        # The classical measures still derive exactly (0, 1).
+        for kind in ("precision", "recall", "accuracy", "specificity"):
+            assert MEASURE_KINDS[kind]().bounds == (0.0, 1.0), kind
+        for alpha in (0.0, 0.3, 1.0):
+            assert FMeasure(alpha).bounds == (0.0, 1.0)
+
+    def test_scalar_fast_path_matches_vectorised(self):
+        rng = np.random.default_rng(11)
+        for __ in range(200):
+            tp = float(rng.random() * 5)
+            predicted = tp + float(rng.random() * 5)
+            actual = tp + float(rng.random() * 5)
+            total = predicted + actual - tp + float(rng.random() * 5)
+            for kind, cls in MEASURE_KINDS.items():
+                measure = cls()
+                for clamp in (True, False):
+                    fast = measure.value_from_sums(
+                        tp, predicted, actual, total, clamp=clamp
+                    )
+                    slow = float(
+                        measure.value_from_moments(
+                            tp, predicted, actual, total, clamp=clamp
+                        )
+                    )
+                    assert fast == slow or (
+                        np.isnan(fast) and np.isnan(slow)
+                    ), (kind, clamp)
+
+    def test_f_instrumental_nan_estimate_falls_back_to_base(self):
+        base = np.array([0.25, 0.75])
+        weights = FMeasure(0.5).instrumental_weights(
+            base, np.array([1.0, 0.0]), np.array([0.5, 0.5]), float("nan")
+        )
+        np.testing.assert_array_equal(weights, base)
+        assert weights is not base  # a copy, per the contract
+
+    def test_uses_true_negatives(self):
+        positive_only = {"fmeasure", "precision", "recall"}
+        for kind, cls in MEASURE_KINDS.items():
+            assert cls().uses_true_negatives == (
+                kind not in positive_only
+            ), kind
+
+
+class TestGradients:
+    @pytest.mark.parametrize("kind", sorted(MEASURE_KINDS))
+    def test_matches_finite_differences(self, kind):
+        measure = MEASURE_KINDS[kind]()
+        point = np.array(moments(COUNTS), dtype=float)
+        gradient = np.asarray(measure.moment_gradient(*point), dtype=float)
+        step = 1e-5
+        for axis in range(4):
+            offset = np.zeros(4)
+            offset[axis] = step
+            high = float(
+                measure.value_from_moments(*(point + offset), clamp=False)
+            )
+            low = float(
+                measure.value_from_moments(*(point - offset), clamp=False)
+            )
+            numeric = (high - low) / (2 * step)
+            assert gradient[axis] == pytest.approx(numeric, abs=1e-6), (
+                kind,
+                axis,
+            )
+
+    def test_mass_gradient_is_cellwise(self):
+        # Perturbing one confusion cell moves the value by the mass
+        # gradient component for that cell.
+        measure = BalancedAccuracy()
+        gradient = measure.mass_gradient(*moments(COUNTS))
+        step = 1e-5
+        perturbations = {
+            0: ConfusionCounts(COUNTS.tp + step, COUNTS.fp, COUNTS.fn, COUNTS.tn),
+            1: ConfusionCounts(COUNTS.tp, COUNTS.fp + step, COUNTS.fn, COUNTS.tn),
+            2: ConfusionCounts(COUNTS.tp, COUNTS.fp, COUNTS.fn + step, COUNTS.tn),
+            3: ConfusionCounts(COUNTS.tp, COUNTS.fp, COUNTS.fn, COUNTS.tn + step),
+        }
+        base = measure.value_from_counts(COUNTS)
+        for cell, counts in perturbations.items():
+            numeric = (measure.value_from_counts(counts) - base) / step
+            assert gradient[cell] == pytest.approx(numeric, abs=1e-6)
+
+    def test_moment_conversion_is_exact_for_f(self):
+        alpha = 0.3
+        derived = mass_to_moment_coefficients((1.0, alpha, 1.0 - alpha, 0.0))
+        assert derived[0] == 0.0
+        assert derived[1] == alpha
+        assert derived[2] == 1.0 - alpha
+        assert derived[3] == 0.0
+
+
+class TestInstrumentalProfiles:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 12),
+        st.floats(0.01, 0.99),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**16),
+    )
+    def test_f_closed_form_matches_generic_gradient(self, k, f, alpha, seed):
+        """Paper Eqn (5) falls out of the generic gradient derivation."""
+        rng = np.random.default_rng(seed)
+        base = rng.random(k) + 1e-3
+        base = base / base.sum()
+        predictions = rng.random(k)
+        probabilities = rng.random(k)
+        measure = FMeasure(alpha)
+        closed = measure.instrumental_weights(
+            base, predictions, probabilities, f
+        )
+        generic = LinearRatioMeasure.instrumental_weights(
+            measure, base, predictions, probabilities, f
+        )
+        np.testing.assert_allclose(closed, generic, atol=1e-12, rtol=1e-9)
+
+    def test_recall_profile_differs_from_f(self):
+        base = np.full(4, 0.25)
+        predictions = np.array([1.0, 1.0, 0.0, 0.0])
+        probabilities = np.array([0.9, 0.2, 0.6, 0.05])
+        f_weights = FMeasure(0.5).instrumental_weights(
+            base, predictions, probabilities, 0.7
+        )
+        r_weights = Recall().instrumental_weights(
+            base, predictions, probabilities, 0.7
+        )
+        f_norm = f_weights / f_weights.sum()
+        r_norm = r_weights / r_weights.sum()
+        assert np.max(np.abs(f_norm - r_norm)) > 1e-3
+
+    def test_nonlinear_measure_produces_valid_weights(self):
+        rng = np.random.default_rng(1)
+        base = rng.random(8)
+        base /= base.sum()
+        predictions = rng.random(8)
+        probabilities = rng.random(8)
+        for measure in (BalancedAccuracy(), WeightedRelativeAccuracy()):
+            weights = measure.instrumental_weights(
+                base, predictions, probabilities, 0.5
+            )
+            assert weights.shape == (8,)
+            assert np.all(np.isfinite(weights))
+            assert np.all(weights >= 0)
+
+    def test_degenerate_gradient_falls_back_to_base(self):
+        base = np.array([0.5, 0.5])
+        # No actual-positive mass: balanced accuracy has no gradient.
+        weights = BalancedAccuracy().instrumental_weights(
+            base, np.array([0.0, 0.0]), np.array([0.0, 0.0]), 0.5
+        )
+        np.testing.assert_array_equal(weights, base)
+
+
+class TestSpecsAndRegistry:
+    @pytest.mark.parametrize("kind", sorted(MEASURE_KINDS))
+    def test_spec_round_trip(self, kind):
+        measure = MEASURE_KINDS[kind]()
+        clone = measure_from_spec(measure.spec())
+        assert clone == measure
+        assert clone.name == measure.name
+
+    def test_fmeasure_spec_keeps_alpha(self):
+        clone = measure_from_spec({"kind": "fmeasure", "alpha": 0.125})
+        assert isinstance(clone, FMeasure)
+        assert clone.alpha == 0.125
+        assert clone != FMeasure(0.5)
+
+    def test_string_spec(self):
+        assert measure_from_spec("recall") == Recall()
+
+    def test_generic_linear_spec(self):
+        custom = LinearRatioMeasure(
+            numerator=(1.0, 0.0, 0.0, 0.0), denominator=(1.0, 2.0, 0.5, 0.0)
+        )
+        clone = measure_from_spec(custom.spec())
+        assert clone == custom
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown measure kind"):
+            measure_from_spec("gini")
+        with pytest.raises(ValueError, match="unknown measure kind"):
+            measure_from_spec({"kind": "gini"})
+
+    def test_resolve_rejects_both(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_measure(Recall(), 0.5)
+
+    def test_resolve_defaults(self):
+        assert resolve_measure(None, None) == FMeasure(0.5)
+        assert resolve_measure(None, 0.25) == FMeasure(0.25)
+        assert resolve_measure("accuracy", None) == Accuracy()
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            FMeasure(1.5)
+
+    def test_negative_denominator_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearRatioMeasure((1, 0, 0, 0), (1, -1, 0, 0))
+
+    def test_measures_are_value_objects(self):
+        assert len({FMeasure(0.5), FMeasure(0.5), Recall()}) == 2
+        assert isinstance(Recall(), RatioMeasure)
