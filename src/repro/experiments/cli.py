@@ -222,7 +222,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--idle-timeout", type=float, default=None,
         help="evict journalled sessions idle longer than this many "
-        "seconds (they restore transparently on next access)",
+        "seconds (they restore transparently on next access; "
+        "in-process mode only)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="run the sharded multi-process tier with this many shard "
+        "worker processes (requires --root); 0 serves in-process",
+    )
+    serve.add_argument(
+        "--flush-interval", type=float, default=0.0,
+        help="sharded mode: seconds each shard waits after the first "
+        "queued request for a commit group to form (0 = commit "
+        "whatever is queued)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="sharded mode: max requests per shard commit window",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=128,
+        help="sharded mode: per-shard inbox bound; beyond it requests "
+        "get 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--codec", choices=("json", "binary"), default="json",
+        help="sharded mode: WAL shard serialisation",
     )
     return parser
 
@@ -379,8 +404,18 @@ def _cmd_serve(args) -> None:
     # Deferred import: the service layer is not needed by the
     # experiment subcommands.
     from repro.service import SessionManager
-    from repro.service.http import serve
+    from repro.service.http import make_sharded_backend, serve
 
+    if args.shards > 0:
+        if args.root is None:
+            raise SystemExit("--shards requires --root (journals live there)")
+        backend = make_sharded_backend(
+            args.root, args.shards, codec=args.codec,
+            flush_interval=args.flush_interval, max_batch=args.max_batch,
+            max_queue=args.max_queue, capacity=args.capacity,
+        )
+        serve(backend, host=args.host, port=args.port)
+        return
     manager = SessionManager(args.root, capacity=args.capacity)
     serve(manager, host=args.host, port=args.port,
           idle_timeout=args.idle_timeout)

@@ -15,42 +15,65 @@ the sampler between label arrivals changes nothing about the estimator
 
 Layers, bottom up:
 
-* :mod:`repro.service.codec` — JSON-safe encoding of sampler state
-  (arrays, RNG bit-generator state, non-finite floats).
-* :mod:`repro.service.wal` — append-only write-ahead log; one
-  atomically-written JSON shard per event, in the
-  :class:`~repro.experiments.persistence.TrialStore` idiom.
+* :mod:`repro.service.codec` — JSON-safe *and* compact binary encoding
+  of sampler state (arrays, RNG bit-generator state, non-finite
+  floats); the two are interchangeable on the wire and on disk.
+* :mod:`repro.service.wal` — append-only write-ahead log.
+  :class:`SessionWAL` journals one atomically-written shard per event;
+  :class:`GroupCommitWAL` buffers events and commits a whole batch
+  with a single fsync (plus a directory fsync), amortising durability
+  across concurrent clients.
 * :mod:`repro.service.session` — :class:`EvaluationSession`, the
   batched propose → ingest protocol with journalling and
   kill-anywhere restore.
 * :mod:`repro.service.manager` — :class:`SessionManager`, thread-safe
   session registry with per-session locks, capacity limits and
   idle-session eviction to disk.
+* :mod:`repro.service.rpc` / :mod:`repro.service.shard` /
+  :mod:`repro.service.router` — the sharded multi-process tier:
+  session-owning worker processes with group-commit loops and bounded
+  queues, consistent-hash routing, supervised restarts and
+  backpressure (503 + ``Retry-After``).
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON
-  front-end (``python -m repro.experiments serve``).
+  front-end (``python -m repro.experiments serve``) over either an
+  in-process manager or the shard router.
+* :mod:`repro.service.faults` — crash-point instrumentation (SIGKILL
+  at named durability stages) backing the fault-injection tests.
 """
 
-from repro.service.codec import decode_state, dump_state, encode_state, load_state
+from repro.service.codec import (
+    decode_state,
+    dump_state,
+    dump_state_binary,
+    encode_state,
+    load_state,
+    load_state_binary,
+)
 from repro.service.errors import (
     CapacityError,
+    OverloadError,
     ServiceError,
     SessionConflictError,
     SessionNotFoundError,
 )
 from repro.service.manager import SessionManager
 from repro.service.session import EvaluationSession
-from repro.service.wal import SessionWAL
+from repro.service.wal import GroupCommitWAL, SessionWAL
 
 __all__ = [
     "encode_state",
     "decode_state",
     "dump_state",
     "load_state",
+    "dump_state_binary",
+    "load_state_binary",
     "ServiceError",
     "SessionConflictError",
     "SessionNotFoundError",
     "CapacityError",
+    "OverloadError",
     "SessionWAL",
+    "GroupCommitWAL",
     "EvaluationSession",
     "SessionManager",
 ]

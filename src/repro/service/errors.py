@@ -14,6 +14,7 @@ __all__ = [
     "SessionNotFoundError",
     "SessionConflictError",
     "CapacityError",
+    "OverloadError",
 ]
 
 
@@ -47,3 +48,21 @@ class CapacityError(ServiceError):
     """The manager is full and nothing can be evicted."""
 
     status = 503
+
+
+class OverloadError(ServiceError):
+    """The service is temporarily unable to take the request.
+
+    Backpressure, not failure: a shard's bounded queue is full, a shard
+    worker is restarting after a crash, or the server is draining for
+    shutdown.  The HTTP rendering is 503 with a ``Retry-After`` header
+    carrying :attr:`retry_after` (seconds) — clients should back off
+    and retry; the request was **not** executed and no event was
+    journalled.
+    """
+
+    status = 503
+
+    def __init__(self, message: str, *, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

@@ -1,10 +1,21 @@
 """JSON-over-HTTP front-end for the session service.
 
 A deliberately dependency-free serving layer: stdlib
-``ThreadingHTTPServer`` (one thread per connection) over a
-:class:`~repro.service.manager.SessionManager`.  Sessions serialise on
-their own locks, so concurrent clients on different sessions run in
-parallel while two clients racing one session are safe.
+``ThreadingHTTPServer`` (one thread per connection, keep-alive,
+Nagle disabled) in front of a pluggable **dispatcher** — the object
+that actually answers requests:
+
+* :class:`LocalDispatcher` drives a
+  :class:`~repro.service.manager.SessionManager` in-process: the
+  original single-process deployment, still the default and the
+  simplest thing that can serve a session.
+* :class:`~repro.service.router.ShardRouter` proxies each request to
+  the shard worker process owning its session — the fleet-scale
+  deployment (``serve --shards N``), with group-commit journalling and
+  backpressure.
+
+Both speak the same protocol; clients cannot tell which is behind the
+socket except through ``/healthz``.
 
 Routes (all bodies and responses are JSON):
 
@@ -37,7 +48,11 @@ default 0.5); sending both ``measure`` and ``alpha`` is rejected with
 Errors map mechanically: ``ValueError`` → 400,
 :class:`~repro.service.errors.SessionNotFoundError` → 404,
 :class:`~repro.service.errors.SessionConflictError` → 409,
-:class:`~repro.service.errors.CapacityError` → 503.
+:class:`~repro.service.errors.CapacityError` → 503.  A 503 from
+backpressure (:class:`~repro.service.errors.OverloadError`, sharded
+mode) additionally carries ``Retry-After`` with a suggested pause in
+seconds; clients should back off that long and resend the identical
+request.
 """
 
 from __future__ import annotations
@@ -46,12 +61,10 @@ import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-import numpy as np
-
 from repro.service.errors import ServiceError
 from repro.service.manager import SessionManager
 
-__all__ = ["ServiceServer", "make_server", "serve"]
+__all__ = ["ServiceServer", "LocalDispatcher", "make_server", "serve"]
 
 _SESSION_ROUTE = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9._-]+)"
@@ -61,90 +74,76 @@ _SESSION_ROUTE = re.compile(
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
-class ServiceServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`SessionManager`."""
+class LocalDispatcher:
+    """In-process dispatcher: routes straight into a ``SessionManager``.
 
-    daemon_threads = True
-    allow_reuse_address = True
+    Implements the dispatcher contract the HTTP layer serves —
+    ``dispatch(method, path, body) -> (status, body_bytes, headers)``
+    — by calling the manager on the request thread.  Sessions
+    serialise on their own locks, so concurrent clients on different
+    sessions run in parallel while two clients racing one session are
+    safe.
+    """
 
-    def __init__(self, address, manager: SessionManager):
-        super().__init__(address, _Handler)
+    def __init__(self, manager: SessionManager):
         self.manager = manager
 
-
-class _Handler(BaseHTTPRequestHandler):
-    server: ServiceServer
-    protocol_version = "HTTP/1.1"
-
-    # -- plumbing ----------------------------------------------------------
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the operator's job, not stderr spam
-
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length == 0:
-            return {}
-        if length > _MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+    def dispatch(self, method: str, path: str, body: bytes):
         try:
-            payload = json.loads(self.rfile.read(length))
+            payload = self._route(method, path, body)
+        except ServiceError as exc:
+            headers = {}
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                headers["Retry-After"] = f"{float(retry_after):g}"
+            return (exc.status, json.dumps({"error": str(exc)})
+                    .encode("utf-8"), headers)
+        except (ValueError, TypeError) as exc:
+            return 400, json.dumps({"error": str(exc)}).encode("utf-8"), {}
+        except KeyError as exc:
+            return (404, json.dumps({"error": f"not found: {exc}"})
+                    .encode("utf-8"), {})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            return (500, json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}).encode("utf-8"), {})
+        return 200, json.dumps(payload).encode("utf-8"), {}
+
+    def close(self, *, graceful: bool = True) -> None:
+        """Park every journalled session durably (server shutdown)."""
+        if graceful and self.manager.root_dir is not None:
+            self.manager.drain_to_disk()
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
         except json.JSONDecodeError as exc:
             raise ValueError(f"request body is not valid JSON: {exc}") from exc
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _dispatch(self, method: str) -> None:
-        try:
-            payload = self._route(method)
-        except ServiceError as exc:
-            self._reply(exc.status, {"error": str(exc)})
-        except (ValueError, TypeError) as exc:
-            self._reply(400, {"error": str(exc)})
-        except KeyError as exc:
-            self._reply(404, {"error": f"not found: {exc}"})
-        except Exception as exc:  # pragma: no cover - last-resort guard
-            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
-        else:
-            self._reply(200, payload)
-
-    def do_GET(self):  # noqa: N802 - stdlib naming
-        self._dispatch("GET")
-
-    def do_POST(self):  # noqa: N802
-        self._dispatch("POST")
-
-    def do_DELETE(self):  # noqa: N802
-        self._dispatch("DELETE")
-
-    # -- routing -----------------------------------------------------------
-
-    def _route(self, method: str) -> dict:
-        manager = self.server.manager
-        if self.path == "/healthz" and method == "GET":
+    def _route(self, method: str, path: str, raw_body: bytes) -> dict:
+        manager = self.manager
+        if path == "/healthz" and method == "GET":
             return {
                 "status": "ok",
                 "resident_sessions": manager.resident_count,
                 "capacity": manager.capacity,
             }
-        if self.path == "/sessions":
+        if path == "/sessions":
             if method == "GET":
                 return {"sessions": manager.list_sessions()}
             if method == "POST":
-                return self._create_session(manager)
-            raise ValueError(f"unsupported method {method} for {self.path}")
-        match = _SESSION_ROUTE.match(self.path)
+                return self._create_session(manager, raw_body)
+            raise ValueError(f"unsupported method {method} for {path}")
+        match = _SESSION_ROUTE.match(path)
         if not match:
-            raise KeyError(self.path)
+            raise KeyError(path)
         session_id, action = match.group("sid"), match.group("action")
         if action is None:
             if method == "GET":
@@ -152,12 +151,12 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "DELETE":
                 manager.close_session(session_id)
                 return {"session_id": session_id, "closed": True}
-            raise ValueError(f"unsupported method {method} for {self.path}")
+            raise ValueError(f"unsupported method {method} for {path}")
         if action == "estimate" and method == "GET":
-            return self._estimate(manager.get(session_id))
+            return manager.get(session_id).estimate_payload()
         if method != "POST":
-            raise ValueError(f"unsupported method {method} for {self.path}")
-        body = self._read_json()
+            raise ValueError(f"unsupported method {method} for {path}")
+        body = self._parse_json(raw_body)
         session = manager.get(session_id)
         if action == "propose":
             return session.propose(body.get("batch_size", 1))
@@ -167,10 +166,10 @@ class _Handler(BaseHTTPRequestHandler):
             return session.ingest(body["ticket"], body["labels"])
         if action == "checkpoint":
             return {"session_id": session_id, "seq": session.checkpoint()}
-        raise KeyError(self.path)  # pragma: no cover - regex-unreachable
+        raise KeyError(path)  # pragma: no cover - regex-unreachable
 
-    def _create_session(self, manager: SessionManager) -> dict:
-        body = self._read_json()
+    def _create_session(self, manager: SessionManager, raw_body: bytes) -> dict:
+        body = self._parse_json(raw_body)
         for field in ("predictions", "scores"):
             if field not in body:
                 raise ValueError(f"create body needs {field!r}")
@@ -186,54 +185,158 @@ class _Handler(BaseHTTPRequestHandler):
         )
         return session.status()
 
-    @staticmethod
-    def _estimate(session) -> dict:
-        sampler = session.sampler
-        out = session.status()
-        for name, attribute in (
-            ("precision", "precision_estimate"),
-            ("recall", "recall_estimate"),
-        ):
-            value = getattr(sampler, attribute, None)
-            if value is not None:
-                out[name] = None if value is None or np.isnan(value) else float(value)
-        return out
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one dispatcher.
+
+    Accepts either a :class:`SessionManager` (wrapped in a
+    :class:`LocalDispatcher`, the historical constructor contract) or
+    any dispatcher object directly.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, backend):
+        super().__init__(address, _Handler)
+        if isinstance(backend, SessionManager):
+            backend = LocalDispatcher(backend)
+        self.dispatcher = backend
+        # Back-compat: in-process callers reach the manager directly.
+        self.manager = getattr(backend, "manager", None)
 
 
-def make_server(manager: SessionManager, host: str = "127.0.0.1",
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+    protocol_version = "HTTP/1.1"
+    # Load-bearing, not a tweak — and it must live on the *handler*:
+    # ``StreamRequestHandler.setup()`` reads the flag from the handler
+    # instance, so setting it on the server class is silently inert.
+    # With Nagle on, a response written as header and body segments
+    # stalls against the peer's delayed ACK (tens of ms per request,
+    # two orders of magnitude over the actual service time).
+    disable_nagle_algorithm = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the operator's job, not stderr spam
+
+    def _reply(self, status: int, body: bytes, headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self._reply(400, json.dumps(
+                {"error": f"request body exceeds {_MAX_BODY_BYTES} bytes"}
+            ).encode("utf-8"))
+            return
+        body = self.rfile.read(length) if length else b""
+        status, payload, headers = self.server.dispatcher.dispatch(
+            method, self.path, body)
+        self._reply(status, payload, headers)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def make_server(manager, host: str = "127.0.0.1",
                 port: int = 0) -> ServiceServer:
-    """Bind a :class:`ServiceServer`; ``port=0`` picks a free port."""
+    """Bind a :class:`ServiceServer`; ``port=0`` picks a free port.
+
+    ``manager`` may be a :class:`SessionManager` (in-process serving)
+    or a dispatcher such as :class:`~repro.service.router.ShardRouter`.
+    """
     return ServiceServer((host, port), manager)
 
 
-def serve(manager: SessionManager, host: str = "127.0.0.1",
+def make_sharded_backend(root, shards: int, *, codec: str = "json",
+                         flush_interval: float = 0.0, max_batch: int = 32,
+                         max_queue: int = 128, capacity: int | None = None):
+    """Start a shard worker pool under ``root`` and return its router.
+
+    Records (or verifies) the root's ``topology.json`` first — a shard
+    count disagreement is a hard error, not a silent re-route.  The
+    returned :class:`~repro.service.router.ShardRouter` plugs into
+    :func:`make_server`; call its ``close()`` to drain and stop the
+    pool.
+    """
+    from repro.service.router import HashRing, ShardRouter, ShardSupervisor
+    from repro.service.router import init_topology
+
+    init_topology(root, shards, codec)
+    supervisor = ShardSupervisor(root, shards, options={
+        "codec": codec,
+        "flush_interval": flush_interval,
+        "max_batch": max_batch,
+        "max_queue": max_queue,
+        "capacity": capacity,
+    }).start()
+    return ShardRouter(supervisor, HashRing(shards))
+
+
+def serve(manager, host: str = "127.0.0.1",
           port: int = 8765, *, idle_timeout: float | None = None) -> None:
     """Run the service until interrupted (the CLI ``serve`` entry point).
 
-    With ``idle_timeout`` set (seconds) a background sweeper
-    periodically evicts journalled sessions idle longer than the
-    timeout, bounding resident memory under bursty multi-user traffic.
+    ``manager`` is a :class:`SessionManager` for in-process serving or
+    a dispatcher (e.g. from :func:`make_sharded_backend`) for the
+    sharded tier.  ``SIGTERM`` and ``Ctrl-C`` both shut down
+    gracefully: the dispatcher drains — every journalled session is
+    checkpointed durably — before the listener closes.
+
+    With ``idle_timeout`` set (seconds) on an in-process manager, a
+    background sweeper periodically evicts journalled sessions idle
+    longer than the timeout, bounding resident memory under bursty
+    multi-user traffic.
     """
+    import signal
     import threading
-    import time
 
     server = make_server(manager, host, port)
     bound_host, bound_port = server.server_address[:2]
+    backend = server.manager if server.manager is not None else manager
+    root = getattr(backend, "root_dir", None)
+    if root is None:
+        root = getattr(getattr(manager, "supervisor", None), "root", None)
     print(f"serving evaluation sessions on http://{bound_host}:{bound_port} "
-          f"(root={manager.root_dir}, capacity={manager.capacity})",
+          f"(root={root}, capacity={getattr(backend, 'capacity', None)})",
           flush=True)
     stop = threading.Event()
-    if idle_timeout is not None and manager.root_dir is not None:
+    if (idle_timeout is not None and server.manager is not None
+            and server.manager.root_dir is not None):
         def sweeper():
             while not stop.wait(min(idle_timeout, 60.0)):
-                for session_id in manager.evict_idle(idle_timeout):
+                for session_id in server.manager.evict_idle(idle_timeout):
                     print(f"evicted idle session {session_id}", flush=True)
 
         threading.Thread(target=sweeper, daemon=True).start()
+
+    def _sigterm(*_):
+        # shutdown() must run off the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         stop.set()
+        closer = getattr(server.dispatcher, "close", None)
+        if closer is not None:
+            closer(graceful=True)
         server.server_close()
+        print("service drained and stopped", flush=True)

@@ -41,9 +41,15 @@ class SessionManager:
     capacity:
         Maximum resident (in-memory) sessions; ``None`` means
         unbounded.
+    wal_factory:
+        Journal constructor for created and restored sessions,
+        ``callable(directory) -> SessionWAL``; ``None`` uses the
+        synchronous per-event :class:`~repro.service.wal.SessionWAL`.
+        Shard workers install a group-commit builder here.
     """
 
-    def __init__(self, root_dir=None, *, capacity: int | None = None):
+    def __init__(self, root_dir=None, *, capacity: int | None = None,
+                 wal_factory=None):
         from pathlib import Path
 
         if capacity is not None:
@@ -52,6 +58,7 @@ class SessionManager:
         if self.root_dir is not None:
             self.root_dir.mkdir(parents=True, exist_ok=True)
         self.capacity = capacity
+        self.wal_factory = wal_factory
         self._registry_lock = threading.RLock()
         self._sessions: dict[str, EvaluationSession] = {}
         self._last_used: dict[str, float] = {}
@@ -90,7 +97,8 @@ class SessionManager:
                 directory = self.root_dir / session_id
             session = EvaluationSession.create(
                 predictions, scores,
-                directory=directory, session_id=session_id, **kwargs,
+                directory=directory, session_id=session_id,
+                wal_factory=self.wal_factory, **kwargs,
             )
             self._sessions[session.session_id] = session
             self._last_used[session.session_id] = time.monotonic()
@@ -136,7 +144,8 @@ class SessionManager:
                 if session is not None:  # a racing fetch restored it
                     self._last_used[session_id] = time.monotonic()
                     return session
-            session = EvaluationSession.restore(directory)
+            session = EvaluationSession.restore(
+                directory, wal_factory=self.wal_factory)
             with self._registry_lock:
                 self._make_room()
                 self._sessions[session_id] = session
@@ -202,6 +211,29 @@ class SessionManager:
                 session.evicted = True
             self._sessions.pop(session_id, None)
             self._last_used.pop(session_id, None)
+
+    def drain_to_disk(self) -> list[str]:
+        """Checkpoint and drop every resident journalled session.
+
+        The graceful-shutdown path (SIGTERM): after this returns, every
+        journalled session is durable on disk — flushed through its
+        WAL — and a restarted manager restores each one exactly where
+        it stopped.  Memory-only sessions have nowhere to go and are
+        left resident.  Returns the ids drained.
+        """
+        drained = []
+        with self._registry_lock:
+            for session_id in list(self._sessions):
+                session = self._sessions[session_id]
+                if session.wal is None or session.closed:
+                    continue
+                with session._lock:
+                    session.checkpoint()
+                    session.evicted = True
+                self._sessions.pop(session_id, None)
+                self._last_used.pop(session_id, None)
+                drained.append(session_id)
+        return drained
 
     def evict_idle(self, max_idle_seconds: float) -> list[str]:
         """Evict every journalled session idle longer than the cutoff."""

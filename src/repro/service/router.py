@@ -1,0 +1,573 @@
+"""Front-end routing for the sharded service tier.
+
+The router is the only process clients talk to.  It terminates HTTP
+(via :mod:`repro.service.http`), maps each session id onto a shard with
+**consistent hashing**, and proxies the request to that shard worker
+over the length-prefixed RPC of :mod:`repro.service.rpc` — forwarding
+request and response bodies *verbatim*, so the router never pays for
+JSON it does not need to understand.  Its own CPU work per request is a
+path match, a ring lookup and two frame copies.
+
+Pieces, bottom up:
+
+* :class:`HashRing` — consistent hashing over session ids.  Many
+  virtual points per shard keep the load spread even; hashing is
+  BLAKE2 over stable strings, so the mapping is identical in every
+  process and across restarts.
+* :class:`ShardClient` — one multiplexed connection to one worker.
+  Concurrent front-end threads pipeline requests (tagged with ids)
+  down the same socket; a reader thread matches responses back.  This
+  pipelining is what *feeds* the worker's group commit: a batch forms
+  from whatever several clients have in flight at once.
+* :class:`ShardSupervisor` — owns the worker processes: spawns them,
+  collects their ports, and restarts any that die (a crashed worker's
+  sessions restore from their journals on first touch).  While a shard
+  is down its requests fail fast with backpressure, never hang.
+* :class:`ShardRouter` — the HTTP dispatcher: routes, fans out
+  ``/sessions`` and ``/healthz``, and renders worker backpressure as
+  503 + ``Retry-After``.
+
+A sharded root is stamped with ``topology.json`` (shard count, WAL
+codec) on first start; later starts must agree — re-sharding moves
+sessions between shard directories and is an explicit offline
+migration, not something a restart should do silently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import multiprocessing
+import os
+import re
+import signal
+import threading
+import time
+import uuid
+from pathlib import Path
+
+from repro.service.errors import OverloadError, ServiceError
+from repro.service.rpc import recv_frame, send_frame
+from repro.service.shard import SHARD_DEFAULTS, shard_dir_name, shard_worker_main
+from repro.utils import atomic_write_text
+
+__all__ = [
+    "HashRing",
+    "ShardClient",
+    "ShardSupervisor",
+    "ShardRouter",
+    "load_topology",
+    "init_topology",
+]
+
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_SESSION_ROUTE = re.compile(
+    r"^/sessions/(?P<sid>[A-Za-z0-9._-]+)"
+    r"(?:/(?P<action>propose|ingest|estimate|checkpoint))?$"
+)
+
+TOPOLOGY_FILE = "topology.json"
+
+
+# -- topology --------------------------------------------------------------
+
+def load_topology(root) -> dict | None:
+    """The root's recorded sharding, or ``None`` for a fresh root."""
+    path = Path(root) / TOPOLOGY_FILE
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def init_topology(root, n_shards: int, codec: str) -> dict:
+    """Record (or verify) the root's sharding.
+
+    The shard count decides which directory each session journal lives
+    in, so it is part of the root's identity: a mismatch raises rather
+    than silently routing existing sessions to workers that do not own
+    their directories.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = load_topology(root)
+    desired = {"version": 1, "shards": int(n_shards), "codec": codec}
+    if existing is not None:
+        if (existing.get("shards") != desired["shards"]
+                or existing.get("codec") != desired["codec"]):
+            raise ValueError(
+                f"service root {root} is laid out for "
+                f"{existing.get('shards')} shard(s) with the "
+                f"{existing.get('codec')!r} WAL codec; asked for "
+                f"{n_shards}/{codec!r}.  Re-sharding is an offline "
+                "migration — move the session directories, then update "
+                f"{TOPOLOGY_FILE}."
+            )
+        return existing
+    atomic_write_text(
+        root / TOPOLOGY_FILE, json.dumps(desired, sort_keys=True),
+        fsync_dir=True,
+    )
+    return desired
+
+
+# -- consistent hashing ----------------------------------------------------
+
+class HashRing:
+    """Consistent hashing of session ids onto shard indices.
+
+    Each shard contributes ``replicas`` pseudo-random points on a
+    64-bit ring; a session id hashes to a point and walks clockwise to
+    the first shard point.  Removing a shard therefore only moves the
+    keys that sat on its points (≈ 1/n of them) — the classic
+    consistent-hashing property — and the hash is a keyed BLAKE2 over
+    stable strings, identical across processes, platforms and runs.
+    """
+
+    def __init__(self, n_shards: int, *, replicas: int = 64):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard; got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        points = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                points.append((self._hash(f"shard-{shard}#{replica}"), shard))
+        points.sort()
+        self._points = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big")
+
+    def shard_for(self, session_id: str) -> int:
+        """The shard owning ``session_id``."""
+        position = bisect.bisect(self._points, self._hash(session_id))
+        if position == len(self._points):
+            position = 0
+        return self._shards[position]
+
+
+# -- shard client ----------------------------------------------------------
+
+class _Waiter:
+    __slots__ = ("event", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response = None
+
+
+class ShardClient:
+    """One multiplexed RPC connection to one shard worker.
+
+    Thread-safe: any number of front-end threads call :meth:`request`
+    concurrently; frames interleave on one socket (send serialised by a
+    lock) and a reader thread dispatches responses by request id.  When
+    the connection dies — worker crashed, or a reply was torn mid-frame
+    — every in-flight request fails with :class:`OverloadError` (the
+    caller retries once the supervisor has the worker back) and the
+    next request reconnects lazily.
+    """
+
+    def __init__(self, index: int, port: int | None = None):
+        self.index = index
+        self._port = port
+        self._sock = None
+        self._rfile = None
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _Waiter] = {}
+        self._next_id = 0
+
+    def set_port(self, port: int) -> None:
+        """Point at a (re)started worker; drops any current connection."""
+        with self._state_lock:
+            self._port = port
+            self._teardown_locked("shard worker restarted")
+
+    def close(self) -> None:
+        with self._state_lock:
+            self._teardown_locked("client closed")
+
+    def _teardown_locked(self, reason: str) -> None:
+        sock, self._sock, self._rfile = self._sock, None, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            waiter.response = (503, {"error": reason}, 0.1)
+            waiter.event.set()
+
+    def _ensure_connected(self):
+        with self._state_lock:
+            if self._sock is not None:
+                return self._sock
+            if self._port is None:
+                raise OverloadError(
+                    f"shard {self.index} is not accepting connections "
+                    "(worker starting)", retry_after=0.2)
+            import socket as socket_module
+
+            try:
+                sock = socket_module.create_connection(
+                    ("127.0.0.1", self._port), timeout=5.0)
+            except OSError as exc:
+                raise OverloadError(
+                    f"shard {self.index} is unreachable ({exc}); "
+                    "worker restarting", retry_after=0.2) from exc
+            sock.setsockopt(
+                socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1)
+            sock.settimeout(None)
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+            threading.Thread(
+                target=self._reader_loop, args=(sock, self._rfile),
+                daemon=True,
+            ).start()
+            return sock
+
+    def _reader_loop(self, sock, rfile) -> None:
+        while True:
+            try:
+                header, body = recv_frame(rfile)
+            except (ConnectionError, ValueError, OSError):
+                with self._state_lock:
+                    if self._sock is sock:  # not already superseded
+                        self._teardown_locked(
+                            f"shard {self.index} connection lost")
+                return
+            waiter = self._pending.pop(header.get("id"), None)
+            if waiter is not None:
+                try:
+                    payload = json.loads(body) if body else {}
+                except json.JSONDecodeError:
+                    payload = {"error": "shard returned malformed JSON"}
+                waiter.response = (
+                    int(header.get("status", 500)),
+                    payload,
+                    header.get("retry_after"),
+                )
+                waiter.event.set()
+
+    def request(self, op: str, sid: str | None = None, body: bytes = b"",
+                timeout: float = 120.0):
+        """One RPC round trip; returns ``(status, payload, retry_after)``.
+
+        Raises :class:`OverloadError` when the shard cannot be reached
+        or does not answer in time — both are "back off and retry"
+        conditions, never silent failures.
+        """
+        sock = self._ensure_connected()
+        waiter = _Waiter()
+        with self._send_lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._pending[request_id] = waiter
+            header = {"id": request_id, "op": op}
+            if sid is not None:
+                header["sid"] = sid
+            try:
+                send_frame(sock, header, body)
+            except OSError as exc:
+                self._pending.pop(request_id, None)
+                with self._state_lock:
+                    if self._sock is sock:
+                        self._teardown_locked(
+                            f"shard {self.index} connection lost")
+                raise OverloadError(
+                    f"shard {self.index} went away mid-send; retry",
+                    retry_after=0.2) from exc
+        if not waiter.event.wait(timeout):
+            self._pending.pop(request_id, None)
+            raise OverloadError(
+                f"shard {self.index} did not answer within {timeout:g}s",
+                retry_after=1.0)
+        return waiter.response
+
+
+# -- supervisor ------------------------------------------------------------
+
+def _mp_context():
+    """Cheapest safe start method: forkserver (preloaded) else spawn."""
+    try:
+        context = multiprocessing.get_context("forkserver")
+        context.set_forkserver_preload(["repro.service.shard"])
+        return context
+    except (ValueError, AttributeError):  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")
+
+
+class ShardSupervisor:
+    """Spawns, watches and restarts the pool of shard workers.
+
+    A worker that dies — crash or kill — is restarted against the same
+    shard directory; its sessions restore lazily from their journals on
+    first access, so from a client's perspective a crashed shard is a
+    brief burst of 503s followed by exactly the state every previously
+    acknowledged event implies.  Surviving shards never notice.
+    """
+
+    def __init__(self, root, n_shards: int, *, options: dict | None = None,
+                 start_timeout: float = 60.0):
+        self.root = Path(root)
+        self.n_shards = int(n_shards)
+        options = dict(options or {})
+        unknown = set(options) - set(SHARD_DEFAULTS)
+        if unknown:
+            raise ValueError(f"unknown shard options {sorted(unknown)}")
+        self.options = options
+        self.start_timeout = start_timeout
+        self.clients: list[ShardClient] = []
+        self.processes: list = [None] * self.n_shards
+        self.restarts = [0] * self.n_shards
+        self._ctx = _mp_context()
+        self._stopping = threading.Event()
+        self._monitor = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle --
+
+    def start(self) -> "ShardSupervisor":
+        self.clients = [ShardClient(index) for index in range(self.n_shards)]
+        for index in range(self.n_shards):
+            self._spawn(index)
+        self._monitor = threading.Thread(target=self._watch, daemon=True)
+        self._monitor.start()
+        return self
+
+    def _spawn(self, index: int) -> None:
+        options = dict(self.options)
+        if self.restarts[index]:
+            # A fault spec arms the *original* worker only: the whole
+            # point of a planned crash is asserting what the restarted,
+            # healthy worker restores — a respawn that re-armed the
+            # same fault would just crash-loop.
+            options.pop("fault", None)
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child, str(self.root / shard_dir_name(index)), options),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        if not parent.poll(self.start_timeout):
+            process.kill()
+            raise RuntimeError(
+                f"shard worker {index} did not report its port within "
+                f"{self.start_timeout:g}s")
+        hello = parent.recv()
+        parent.close()
+        with self._lock:
+            self.processes[index] = process
+            self.clients[index].set_port(int(hello["port"]))
+
+    def _watch(self) -> None:
+        while not self._stopping.is_set():
+            with self._lock:
+                alive = {
+                    process.sentinel: index
+                    for index, process in enumerate(self.processes)
+                    if process is not None
+                }
+            if not alive:
+                return
+            ready = multiprocessing.connection.wait(
+                list(alive), timeout=0.25)
+            if self._stopping.is_set():
+                return
+            for sentinel in ready:
+                index = alive[sentinel]
+                with self._lock:
+                    process = self.processes[index]
+                    if process is None or process.sentinel != sentinel:
+                        continue
+                    process.join()
+                    self.processes[index] = None
+                self.restarts[index] += 1
+                try:
+                    self._spawn(index)
+                except RuntimeError:  # pragma: no cover - spawn timeout
+                    time.sleep(0.5)
+
+    def stop(self, *, graceful: bool = True, timeout: float = 30.0) -> None:
+        """Stop all workers; graceful means drain-and-checkpoint first."""
+        self._stopping.set()
+        with self._lock:
+            processes = list(self.processes)
+        for process in processes:
+            if process is None or not process.is_alive():
+                continue
+            if graceful:
+                try:
+                    os.kill(process.pid, signal.SIGTERM)
+                except (OSError, TypeError):  # pragma: no cover
+                    pass
+            else:
+                process.kill()
+        deadline = time.monotonic() + timeout
+        for process in processes:
+            if process is None:
+                continue
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - drain hang
+                process.kill()
+                process.join(5.0)
+        for client in self.clients:
+            client.close()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+
+    # -- introspection --
+
+    def worker_pids(self) -> list[int | None]:
+        with self._lock:
+            return [
+                None if process is None else process.pid
+                for process in self.processes
+            ]
+
+    def shard_stats(self, timeout: float = 2.0) -> list[dict]:
+        """Per-shard worker stats; unreachable shards report status down."""
+        out = []
+        for index, client in enumerate(self.clients):
+            entry = {"shard": index, "restarts": self.restarts[index]}
+            try:
+                status, payload, _ = client.request(
+                    "stats", timeout=timeout)
+                if status == 200:
+                    entry.update(payload)
+                    entry["status"] = "ok"
+                else:
+                    entry["status"] = "down"
+            except ServiceError:
+                entry["status"] = "down"
+            out.append(entry)
+        return out
+
+
+# -- the dispatcher --------------------------------------------------------
+
+class ShardRouter:
+    """HTTP-semantics dispatcher over a shard pool.
+
+    ``dispatch`` receives the already-read request (method, path, raw
+    body bytes) from the HTTP front-end and returns
+    ``(status, body_bytes, extra_headers)``.  Bodies pass through to
+    and from the owning shard untouched except for session creation,
+    where the router must parse once to assign/validate the id it
+    routes by.
+    """
+
+    # Paths every shard answers; anything else routes by session id.
+    _ACTIONS = {"propose", "ingest", "estimate", "checkpoint"}
+
+    def __init__(self, supervisor: ShardSupervisor,
+                 ring: HashRing | None = None):
+        self.supervisor = supervisor
+        self.ring = ring or HashRing(supervisor.n_shards)
+
+    def _request(self, shard: int, op: str, sid: str | None = None,
+                 body: bytes = b""):
+        status, payload, retry_after = self.supervisor.clients[shard].request(
+            op, sid=sid, body=body)
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = f"{max(float(retry_after), 0.0):g}"
+        return status, json.dumps(payload).encode("utf-8"), headers
+
+    def dispatch(self, method: str, path: str, body: bytes):
+        try:
+            return self._dispatch(method, path, body)
+        except OverloadError as exc:
+            payload = json.dumps({"error": str(exc)}).encode("utf-8")
+            return exc.status, payload, {
+                "Retry-After": f"{exc.retry_after:g}"}
+        except ServiceError as exc:
+            payload = json.dumps({"error": str(exc)}).encode("utf-8")
+            return exc.status, payload, {}
+        except (ValueError, TypeError) as exc:
+            return 400, json.dumps({"error": str(exc)}).encode("utf-8"), {}
+        except KeyError as exc:
+            return (404, json.dumps({"error": f"not found: {exc}"})
+                    .encode("utf-8"), {})
+
+    def _dispatch(self, method: str, path: str, body: bytes):
+        if path == "/healthz" and method == "GET":
+            shards = self.supervisor.shard_stats()
+            healthy = sum(1 for shard in shards if shard["status"] == "ok")
+            payload = {
+                "status": "ok" if healthy == len(shards) else "degraded",
+                "shards": shards,
+                "resident_sessions": sum(
+                    shard.get("resident_sessions", 0) for shard in shards),
+                "queue_depth": sum(
+                    shard.get("queue_depth", 0) for shard in shards),
+            }
+            return 200, json.dumps(payload).encode("utf-8"), {}
+        if path == "/sessions":
+            if method == "GET":
+                sessions = []
+                for index in range(self.supervisor.n_shards):
+                    status, payload, _ = self.supervisor.clients[
+                        index].request("list")
+                    if status == 200:
+                        for entry in payload.get("sessions", []):
+                            entry["shard"] = index
+                            sessions.append(entry)
+                sessions.sort(key=lambda entry: entry.get("session_id", ""))
+                return (200, json.dumps({"sessions": sessions})
+                        .encode("utf-8"), {})
+            if method == "POST":
+                return self._create(body)
+            raise ValueError(f"unsupported method {method} for {path}")
+        match = _SESSION_ROUTE.match(path)
+        if not match:
+            raise KeyError(path)
+        sid, action = match.group("sid"), match.group("action")
+        shard = self.ring.shard_for(sid)
+        if action is None:
+            if method == "GET":
+                return self._request(shard, "status", sid)
+            if method == "DELETE":
+                return self._request(shard, "close", sid)
+            raise ValueError(f"unsupported method {method} for {path}")
+        if action == "estimate":
+            if method != "GET":
+                raise ValueError(f"unsupported method {method} for {path}")
+            return self._request(shard, "estimate", sid)
+        if method != "POST":
+            raise ValueError(f"unsupported method {method} for {path}")
+        return self._request(shard, action, sid, body)
+
+    def _create(self, body: bytes):
+        # The one place the router parses a body: creation needs the
+        # session id (assigned here if absent) to know its shard.
+        try:
+            payload = json.loads(body) if body else {}
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        sid = payload.get("session_id")
+        if sid is None:
+            sid = uuid.uuid4().hex[:12]
+            payload["session_id"] = sid
+            body = json.dumps(payload).encode("utf-8")
+        elif not _ID_RE.match(sid):
+            raise ValueError(
+                f"session_id {sid!r} must be 1-64 filesystem-safe "
+                "characters (letters, digits, '.', '_', '-')")
+        shard = self.ring.shard_for(sid)
+        return self._request(shard, "create", sid, body)
+
+    def close(self, *, graceful: bool = True) -> None:
+        self.supervisor.stop(graceful=graceful)

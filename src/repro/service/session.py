@@ -133,6 +133,7 @@ class EvaluationSession:
         seed: int = 0,
         directory=None,
         session_id: str | None = None,
+        wal_factory=None,
     ) -> "EvaluationSession":
         """Create a fresh session over a pool.
 
@@ -164,6 +165,12 @@ class EvaluationSession:
             Journal directory; ``None`` keeps the session memory-only.
         session_id:
             Explicit id; defaults to a random 12-hex-digit token.
+        wal_factory:
+            Journal constructor, ``callable(directory) -> SessionWAL``;
+            defaults to the synchronous per-event :class:`SessionWAL`.
+            The shard workers pass a :class:`~repro.service.wal.GroupCommitWAL`
+            builder here (and the fault harness its instrumented
+            wrappers).
         """
         kinds = _sampler_kinds()
         if sampler not in kinds:
@@ -203,7 +210,7 @@ class EvaluationSession:
         instance = cls._build_sampler(config)
         wal = None
         if directory is not None:
-            wal = SessionWAL(directory)
+            wal = (wal_factory or SessionWAL)(directory)
             wal.write_manifest(config)
         return cls(session_id, instance, config, wal)
 
@@ -227,7 +234,7 @@ class EvaluationSession:
         )
 
     @classmethod
-    def restore(cls, directory) -> "EvaluationSession":
+    def restore(cls, directory, *, wal_factory=None) -> "EvaluationSession":
         """Rebuild a session from its journal directory.
 
         The sampler is reconstructed from the manifest, fast-forwarded
@@ -237,7 +244,7 @@ class EvaluationSession:
         ingest.  A session killed between propose and ingest comes back
         with the same outstanding proposal, ready for the labels.
         """
-        wal = SessionWAL(directory)
+        wal = (wal_factory or SessionWAL)(directory)
         manifest = wal.read_manifest()
         if manifest is None:
             raise SessionNotFoundError(
@@ -334,7 +341,7 @@ class EvaluationSession:
             "session_id": self.session_id,
             "ticket": self._ticket,
             "batch_size": batch_size,
-            "pending": [int(i) for i in fresh],
+            "pending": np.asarray(fresh).tolist(),
         }
 
     def ingest(self, ticket: int, labels) -> dict:
@@ -422,6 +429,10 @@ class EvaluationSession:
         replaying the whole journal, so long-lived sessions should
         checkpoint periodically.  An outstanding proposal is captured
         too — a checkpoint taken mid-batch restores mid-batch.
+
+        The journal is flushed before returning: a checkpoint is a
+        durability point even under a group-commit WAL (the buffered
+        events preceding it ride the same flush, in order).
         """
         with self._lock:
             self._require_open()
@@ -435,7 +446,9 @@ class EvaluationSession:
                 "state": encode_state(self.sampler.state_dict()),
                 "pending": self._encode_pending(),
             }
-            return self.wal.append("checkpoint", payload)
+            seq = self.wal.append("checkpoint", payload)
+            self.wal.flush()
+            return seq
 
     def _encode_pending(self) -> dict | None:
         if self._pending is None:
@@ -475,7 +488,7 @@ class EvaluationSession:
                 outstanding = {
                     "ticket": self._pending["ticket"],
                     "batch_size": self._pending["batch_size"],
-                    "pending": [int(i) for i in self._pending["fresh"]],
+                    "pending": np.asarray(self._pending["fresh"]).tolist(),
                 }
             estimate = sampler.estimate
             return {
@@ -489,6 +502,24 @@ class EvaluationSession:
                 "outstanding": outstanding,
                 "closed": self.closed,
             }
+
+    def estimate_payload(self) -> dict:
+        """Status plus every auxiliary estimate the sampler exposes.
+
+        The ``GET /sessions/{id}/estimate`` rendering, shared by the
+        in-process HTTP front-end and the shard RPC so the two tiers
+        cannot drift.
+        """
+        with self._lock:
+            out = self.status()
+            for name, attribute in (
+                ("precision", "precision_estimate"),
+                ("recall", "recall_estimate"),
+            ):
+                value = getattr(self.sampler, attribute, None)
+                if value is not None:
+                    out[name] = None if np.isnan(value) else float(value)
+            return out
 
     @property
     def estimate(self) -> float:

@@ -4,11 +4,31 @@ The journal reuses the shard/manifest idiom of
 :class:`~repro.experiments.persistence.TrialStore`: one directory per
 session holding a ``manifest.json`` (the session's immutable identity —
 pool arrays, sampler configuration, seed) and an ``events/`` directory
-with one atomically-written JSON shard per protocol event.  The set of
-event files on disk *is* the log: writes go through
-:func:`repro.utils.atomic_write_text`, so a kill at any instant leaves
-either the complete event or nothing — never a torn file — and restore
-is a pure function of the directory contents.
+of atomically-written shards.  The set of shard files on disk *is* the
+log: every write goes tmp-file → fsync → rename → **directory fsync**,
+so a kill at any instant leaves either the complete shard durably named
+or nothing — never a torn file, and never a rename that a crash can
+roll back (the directory fsync after the rename is load-bearing: on
+filesystems that journal metadata lazily, a crash between rename and
+directory sync could otherwise drop the newest shard).
+
+Two shard shapes coexist in one journal:
+
+``e<seq>-<kind>.<ext>``
+    One event per file — the synchronous write path
+    (:meth:`SessionWAL.append`): durable before the call returns.
+``b<first>-<last>.<ext>``
+    A **group-commit batch**: a contiguous run of events flushed with a
+    single data fsync + a single directory fsync
+    (:class:`GroupCommitWAL`).  Batching is what takes the journalling
+    cost from one fsync per event to one per flush window; the price is
+    the group-commit contract — an event is durable only once its batch
+    has flushed, so callers must not acknowledge it to a client before
+    :meth:`GroupCommitWAL.flush` returns.
+
+``<ext>`` is ``json`` (human-readable, the default) or ``bin`` (the
+compact binary codec in :mod:`repro.service.codec`); a journal may mix
+both and replays them identically.
 
 Event kinds (see :class:`repro.service.session.EvaluationSession`):
 
@@ -26,15 +46,26 @@ Event kinds (see :class:`repro.service.session.EvaluationSession`):
 from __future__ import annotations
 
 import json
+import os
 import re
+import uuid
 from pathlib import Path
 
-from repro.utils import atomic_write_text
+from repro.service.codec import dump_state_binary, load_state_binary
+from repro.utils import atomic_write_text, fsync_directory
 
-__all__ = ["SessionWAL"]
+__all__ = ["SessionWAL", "GroupCommitWAL", "WAL_CODECS"]
 
-_EVENT_RE = re.compile(r"^e(?P<seq>\d{8})-(?P<kind>[a-z]+)\.json$")
+_EVENT_RE = re.compile(
+    r"^e(?P<seq>\d{8})-(?P<kind>[a-z]+)\.(?P<ext>json|bin)$"
+)
+_BATCH_RE = re.compile(
+    r"^b(?P<first>\d{8})-(?P<last>\d{8})\.(?P<ext>json|bin)$"
+)
 _EVENT_KINDS = ("propose", "ingest", "checkpoint")
+
+WAL_CODECS = ("json", "binary")
+_EXTENSIONS = {"json": "json", "binary": "bin"}
 
 
 class SessionWAL:
@@ -45,12 +76,21 @@ class SessionWAL:
     directory:
         The session directory; created (with its ``events/`` child) if
         absent.
+    codec:
+        Serialisation for *new* shards: ``"json"`` or ``"binary"``.
+        Reading auto-detects per file, so a journal written under one
+        codec restores under any.
     """
 
     MANIFEST = "manifest.json"
 
-    def __init__(self, directory):
+    def __init__(self, directory, *, codec: str = "json"):
+        if codec not in WAL_CODECS:
+            raise ValueError(
+                f"unknown WAL codec {codec!r}; choose from {WAL_CODECS}"
+            )
         self.directory = Path(directory)
+        self.codec = codec
         self.event_dir = self.directory / "events"
         self.event_dir.mkdir(parents=True, exist_ok=True)
         self._next_seq = self._scan_next_seq()
@@ -70,7 +110,10 @@ class SessionWAL:
 
         The manifest is immutable for the lifetime of the session — a
         second write must carry the identical payload (idempotent
-        re-create), anything else raises.
+        re-create), anything else raises.  The write is made durable
+        name-and-all: the session directory is fsynced after the
+        rename, and the *parent* (service root) after that, so an
+        acknowledged create survives a crash on any filesystem.
         """
         existing = self.read_manifest()
         if existing is not None:
@@ -80,7 +123,96 @@ class SessionWAL:
                     "different session; choose a fresh directory"
                 )
             return
-        atomic_write_text(self.manifest_path, json.dumps(payload, sort_keys=True))
+        atomic_write_text(
+            self.manifest_path, json.dumps(payload, sort_keys=True),
+            fsync_dir=True,
+        )
+        fsync_directory(self.directory.parent)
+
+    # -- write path --------------------------------------------------------
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Durably append one event; returns its sequence number.
+
+        Synchronous: one data fsync and one directory fsync per call.
+        The event is durable when this returns.
+        """
+        record = self._make_record(kind, payload)
+        self._write_records([record])
+        return record["seq"]
+
+    def flush(self) -> int:
+        """Make every appended event durable; returns the last sequence.
+
+        A no-op here — :meth:`append` is synchronous — but part of the
+        WAL interface so callers can treat a :class:`GroupCommitWAL`
+        and a plain journal uniformly.
+        """
+        return self._next_seq - 1
+
+    @property
+    def pending_events(self) -> int:
+        """Appended-but-not-yet-durable events (always 0 here)."""
+        return 0
+
+    def _make_record(self, kind: str, payload: dict) -> dict:
+        if kind not in _EVENT_KINDS:
+            raise ValueError(f"unknown WAL event kind {kind!r}")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        return {"seq": seq, "kind": kind, **payload}
+
+    def _write_records(self, records: list[dict]) -> None:
+        """Write a contiguous run of records as one durable shard."""
+        if not records:
+            return
+        ext = _EXTENSIONS[self.codec]
+        if len(records) == 1:
+            record = records[0]
+            name = f"e{record['seq']:08d}-{record['kind']}.{ext}"
+            content: dict = record
+        else:
+            first, last = records[0]["seq"], records[-1]["seq"]
+            name = f"b{first:08d}-{last:08d}.{ext}"
+            content = {"records": records}
+        if self.codec == "binary":
+            data = dump_state_binary(content)
+        else:
+            data = json.dumps(content).encode("utf-8")
+        self._write_durable(self.event_dir / name, data)
+
+    def _write_durable(self, path: Path, data: bytes) -> None:
+        """tmp-write → fsync → rename → directory fsync, with stage hooks.
+
+        The inline spelling (rather than
+        :func:`repro.utils.atomic_write_bytes`) exists so subclasses —
+        the fault-injection wrappers in :mod:`repro.service.faults` —
+        can interpose at every durability stage and kill the process
+        there.
+        """
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        try:
+            self._stage("pre_write", path=path)
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                self._stage("pre_fsync", path=path)
+                os.fsync(handle.fileno())
+            self._stage("pre_rename", path=path)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._stage("post_rename", path=path)
+        fsync_directory(path.parent)
+        self._stage("post_durable", path=path)
+
+    def _stage(self, stage: str, **context) -> None:
+        """Durability-stage hook; no-op outside fault injection."""
+
+    # -- read path ---------------------------------------------------------
 
     def _scan_next_seq(self) -> int:
         last = 0
@@ -88,41 +220,112 @@ class SessionWAL:
             match = _EVENT_RE.match(path.name)
             if match:
                 last = max(last, int(match.group("seq")))
+                continue
+            match = _BATCH_RE.match(path.name)
+            if match:
+                last = max(last, int(match.group("last")))
         return last + 1
 
-    def append(self, kind: str, payload: dict) -> int:
-        """Durably append one event; returns its sequence number."""
-        if kind not in _EVENT_KINDS:
-            raise ValueError(f"unknown WAL event kind {kind!r}")
-        seq = self._next_seq
-        record = {"seq": seq, "kind": kind, **payload}
-        path = self.event_dir / f"e{seq:08d}-{kind}.json"
-        atomic_write_text(path, json.dumps(record))
-        self._next_seq = seq + 1
-        return seq
+    def _load_shard(self, path: Path) -> dict:
+        if path.suffix == ".bin":
+            return load_state_binary(path.read_bytes())
+        return json.loads(path.read_text())
 
     def events(self) -> list[dict]:
-        """All events on disk, in sequence order.
+        """All durable events on disk, in sequence order.
 
         Atomic writes guarantee no torn files; a gap in the sequence
         (possible only through manual deletion) truncates the log at
         the gap, because events after it no longer have a consistent
-        prefix to replay onto.
+        prefix to replay onto.  Buffered-but-unflushed events of a
+        :class:`GroupCommitWAL` are by definition absent.
         """
         found = {}
         for path in sorted(self.event_dir.iterdir()):
             match = _EVENT_RE.match(path.name)
+            if match:
+                record = self._load_shard(path)
+                if record.get("kind") != match.group("kind") or int(
+                    record.get("seq", -1)
+                ) != int(match.group("seq")):
+                    raise ValueError(
+                        f"WAL event {path.name} disagrees with its name"
+                    )
+                found[int(match.group("seq"))] = record
+                continue
+            match = _BATCH_RE.match(path.name)
             if not match:
                 continue
-            record = json.loads(path.read_text())
-            if record.get("kind") != match.group("kind") or int(
-                record.get("seq", -1)
-            ) != int(match.group("seq")):
-                raise ValueError(f"WAL event {path.name} disagrees with its name")
-            found[int(match.group("seq"))] = record
+            records = self._load_shard(path).get("records", [])
+            first, last = int(match.group("first")), int(match.group("last"))
+            seqs = [int(record.get("seq", -1)) for record in records]
+            if seqs != list(range(first, last + 1)):
+                raise ValueError(
+                    f"WAL batch {path.name} disagrees with its name"
+                )
+            for record in records:
+                if record.get("kind") not in _EVENT_KINDS:
+                    raise ValueError(
+                        f"WAL batch {path.name} holds unknown event kind "
+                        f"{record.get('kind')!r}"
+                    )
+                found[int(record["seq"])] = record
         out = []
         seq = 1
         while seq in found:
             out.append(found[seq])
             seq += 1
         return out
+
+
+class GroupCommitWAL(SessionWAL):
+    """A journal that batches events and fsyncs once per flush.
+
+    :meth:`append` only buffers (and assigns the sequence number);
+    :meth:`flush` writes the whole buffer as one batch shard with a
+    single data fsync and a single directory fsync.  The buffer also
+    self-flushes when it reaches ``max_batch`` events, bounding both
+    memory and the amount of work a flush can owe.
+
+    The durability contract shifts accordingly: an event is durable
+    only once the flush covering it has returned.  Callers that
+    acknowledge events to clients — the shard worker — must flush
+    first and acknowledge after; events buffered at a crash are lost,
+    which is exactly the "may lose only un-acked events" group-commit
+    guarantee.
+
+    Parameters
+    ----------
+    directory, codec:
+        As for :class:`SessionWAL`.
+    max_batch:
+        Self-flush threshold in events (≥ 1).
+    """
+
+    def __init__(self, directory, *, codec: str = "json",
+                 max_batch: int = 32):
+        if int(max_batch) < 1:
+            raise ValueError(f"max_batch must be >= 1; got {max_batch}")
+        super().__init__(directory, codec=codec)
+        self.max_batch = int(max_batch)
+        self._buffer: list[dict] = []
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Buffer one event; durable only after the next :meth:`flush`."""
+        record = self._make_record(kind, payload)
+        self._buffer.append(record)
+        if len(self._buffer) >= self.max_batch:
+            self.flush()
+        return record["seq"]
+
+    def flush(self) -> int:
+        """Write all buffered events as one batch shard; returns last seq."""
+        if self._buffer:
+            self._write_records(self._buffer)
+            self._buffer = []
+        return self._next_seq - 1
+
+    @property
+    def pending_events(self) -> int:
+        """Events appended but not yet durable."""
+        return len(self._buffer)

@@ -1,6 +1,6 @@
 """Shared utilities: RNG handling, numeric transforms, validation, IO."""
 
-from repro.utils.io import atomic_write_text
+from repro.utils.io import atomic_write_bytes, atomic_write_text, fsync_directory
 from repro.utils.random import (
     ensure_rng,
     rng_from_state_dict,
@@ -18,7 +18,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
     "atomic_write_text",
+    "fsync_directory",
     "ensure_rng",
     "rng_state_dict",
     "rng_from_state_dict",

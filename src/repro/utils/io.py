@@ -4,9 +4,21 @@ Both the experiment checkpoint store
 (:class:`~repro.experiments.persistence.TrialStore`) and the service
 write-ahead log (:class:`~repro.service.wal.SessionWAL`) rely on the
 same invariant: a reader may observe a file either absent or complete,
-never torn.  :func:`atomic_write_text` provides it — the content is
-written to a uniquely-named temporary sibling, flushed to stable
-storage, and renamed over the destination in one atomic step.
+never torn.  :func:`atomic_write_text` / :func:`atomic_write_bytes`
+provide it — the content is written to a uniquely-named temporary
+sibling, flushed to stable storage, and renamed over the destination in
+one atomic step.
+
+Rename atomicity alone is not the full durability story: POSIX only
+promises the *directory entry* survives a crash once the directory
+itself has been fsynced.  On filesystems that journal data and metadata
+separately (ext4 in some modes, XFS), a crash between the rename and
+the directory sync can resurface the directory without its newest
+entry.  Writers whose contract is "acknowledged means durable" — the
+service WAL — must therefore follow the rename with
+:func:`fsync_directory`, either via ``fsync_dir=True`` here or by
+calling it explicitly after a batch of renames (one directory sync can
+cover many files — the group-commit trick).
 """
 
 from __future__ import annotations
@@ -15,11 +27,30 @@ import os
 import uuid
 from pathlib import Path
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "atomic_write_bytes", "fsync_directory"]
 
 
-def atomic_write_text(path, text: str) -> Path:
-    """Atomically replace ``path`` with ``text``.
+def fsync_directory(path) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    After an ``os.replace`` into ``path``, this is what makes the new
+    name itself crash-durable (the file *contents* were already synced
+    before the rename).  A no-op on platforms whose directories cannot
+    be opened for reading (Windows); the rename there is made durable
+    by the filesystem's own metadata journalling.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - windows / exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, data: bytes, *, fsync_dir: bool = False) -> Path:
+    """Atomically replace ``path`` with ``data``.
 
     The temporary sibling name embeds the pid and a random token, so
     concurrent writers (worker processes streaming shards into one
@@ -28,19 +59,32 @@ def atomic_write_text(path, text: str) -> Path:
     POSIX and Windows alike.  The file handle is fsynced before the
     rename so a crash straight after cannot surface an empty or
     truncated destination, and the temporary file is removed on any
-    failure.
+    failure.  With ``fsync_dir=True`` the containing directory is
+    fsynced after the rename, making the *name* durable too.
 
     Returns the destination path.
     """
     path = Path(path)
     tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
     try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    if fsync_dir:
+        fsync_directory(path.parent)
     return path
+
+
+def atomic_write_text(path, text: str, *, fsync_dir: bool = False) -> Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    See :func:`atomic_write_bytes` for the durability contract.
+    """
+    return atomic_write_bytes(
+        path, text.encode("utf-8"), fsync_dir=fsync_dir
+    )

@@ -1,0 +1,108 @@
+"""Regenerate the committed binary-WAL session fixture.
+
+Produces ``tests/fixtures/binary_wal_session/``: a session journal
+written entirely through the **binary codec** and the group-commit
+write path — batch shards (``b*.bin``), a binary checkpoint snapshot
+and event shards — plus a ``fixture.json`` sidecar with the pool, the
+drive schedule and the expected state at restore time.
+
+The committed directory is the cross-version compatibility contract
+for the binary format: ``tests/test_service_binary_fixture.py`` (and
+the CI service-smoke job) restore it with current code and must land
+bit-identically on the recorded trajectory.  Regenerate only when the
+binary format version changes — that is a migration event, not a
+refresh.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_binary_wal_session.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
+
+from repro.service.codec import encode_state  # noqa: E402
+from repro.service.session import EvaluationSession  # noqa: E402
+from repro.service.wal import GroupCommitWAL  # noqa: E402
+
+SESSION_ID = "binsession"
+SEED = 23
+N_STRATA = 5
+BATCH_SIZE = 12
+BATCHES_DRIVEN = 4  # checkpoint after the second
+EXTRA_BATCHES = 2  # driven by the test after restore
+
+
+def make_pool(seed=17, n=90):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.25).astype(np.int8)
+    scores = rng.normal(size=n) + 1.8 * labels
+    predictions = (scores > 0.6).astype(np.int8)
+    return predictions, scores, labels
+
+
+def main() -> None:
+    root = HERE / "binary_wal_session"
+    if root.exists():
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+
+    predictions, scores, labels = make_pool()
+    session = EvaluationSession.create(
+        predictions, scores, sampler="oasis",
+        sampler_kwargs={"n_strata": N_STRATA}, measure="recall", seed=SEED,
+        directory=root / SESSION_ID, session_id=SESSION_ID,
+        wal_factory=lambda d: GroupCommitWAL(d, codec="binary",
+                                             max_batch=1000),
+    )
+
+    def drive(batches):
+        for __ in range(batches):
+            proposal = session.propose(BATCH_SIZE)
+            session.ingest(
+                proposal["ticket"],
+                [int(labels[i]) for i in proposal["pending"]],
+            )
+        session.wal.flush()  # group commit: durable only after the flush
+
+    drive(2)
+    session.checkpoint()
+    drive(BATCHES_DRIVEN - 2)
+    estimate_at_restore = float(session.estimate)
+
+    shards = sorted(p.name for p in (root / SESSION_ID / "events").iterdir())
+    if not any(name.endswith(".bin") for name in shards):
+        raise AssertionError(f"expected binary shards, found {shards}")
+
+    sidecar = {
+        "session_id": SESSION_ID,
+        "measure": "recall",
+        "seed": SEED,
+        "n_strata": N_STRATA,
+        "batch_size": BATCH_SIZE,
+        "batches_driven": BATCHES_DRIVEN,
+        "extra_batches": EXTRA_BATCHES,
+        "estimate_at_restore": estimate_at_restore,
+        "labels_consumed_at_restore": session.sampler.labels_consumed,
+        "event_shards": shards,
+        "true_labels": [int(v) for v in labels],
+        "predictions": encode_state(np.asarray(predictions)),
+        "scores": encode_state(np.asarray(scores, dtype=float)),
+    }
+    (root / "fixture.json").write_text(
+        json.dumps(sidecar, indent=1, sort_keys=True)
+    )
+    print(f"wrote {root} (estimate at restore: {estimate_at_restore:.6f})")
+
+
+if __name__ == "__main__":
+    main()

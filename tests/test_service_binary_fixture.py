@@ -1,0 +1,81 @@
+"""The committed binary-WAL fixture must keep restoring, bit-identically.
+
+``tests/fixtures/binary_wal_session/`` is a journal written entirely in
+the compact binary codec by an earlier version of the code (regenerate
+with ``make_binary_wal_session.py`` only on a format migration).
+Restoring it with *current* code is the binary format's backward
+compatibility contract — the analogue of the v1 JSON fixture in
+``test_measure_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.codec import decode_state
+from repro.service.session import EvaluationSession
+from repro.service.wal import SessionWAL
+
+FIXTURE = Path(__file__).parent / "fixtures" / "binary_wal_session"
+
+
+@pytest.fixture()
+def sidecar():
+    return json.loads((FIXTURE / "fixture.json").read_text())
+
+
+def test_fixture_is_actually_binary(sidecar):
+    shards = sorted(
+        p.name for p in
+        (FIXTURE / sidecar["session_id"] / "events").iterdir()
+    )
+    assert shards == sidecar["event_shards"]
+    assert all(name.endswith(".bin") for name in shards)
+    # ...and includes at least one group-commit batch shard.
+    assert any(name.startswith("b") for name in shards)
+
+
+def test_binary_journal_replays_as_plain_events(tmp_path, sidecar):
+    events = SessionWAL(FIXTURE / sidecar["session_id"]).events()
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+    kinds = [e["kind"] for e in events]
+    assert "checkpoint" in kinds and "propose" in kinds
+
+
+def test_restores_and_continues_bit_identically(tmp_path, sidecar):
+    session_dir = tmp_path / sidecar["session_id"]
+    shutil.copytree(FIXTURE / sidecar["session_id"], session_dir)
+
+    session = EvaluationSession.restore(session_dir)
+    assert session.estimate == pytest.approx(sidecar["estimate_at_restore"])
+    assert session.sampler.labels_consumed == \
+        sidecar["labels_consumed_at_restore"]
+
+    labels = np.asarray(sidecar["true_labels"], dtype=np.int64)
+
+    def drive(target, batches):
+        for __ in range(batches):
+            proposal = target.propose(sidecar["batch_size"])
+            target.ingest(
+                proposal["ticket"],
+                [int(labels[i]) for i in proposal["pending"]],
+            )
+
+    drive(session, sidecar["extra_batches"])
+
+    reference = EvaluationSession.create(
+        decode_state(sidecar["predictions"]),
+        decode_state(sidecar["scores"]),
+        sampler="oasis", sampler_kwargs={"n_strata": sidecar["n_strata"]},
+        measure=sidecar["measure"], seed=sidecar["seed"],
+    )
+    drive(reference, sidecar["batches_driven"] + sidecar["extra_batches"])
+
+    assert session.estimate == reference.estimate  # bit-identical
+    assert session.sampler.labels_consumed == \
+        reference.sampler.labels_consumed

@@ -7,6 +7,7 @@ every 128-bit RNG state word must survive a JSON round-trip exactly.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,12 +15,43 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.service.codec import decode_state, dump_state, encode_state, load_state
+from repro.measures.ratio import measure_from_spec
+from repro.service.codec import (
+    decode_state,
+    dump_state,
+    dump_state_binary,
+    encode_state,
+    load_state,
+    load_state_binary,
+)
 from repro.utils import rng_from_state_dict, rng_state_dict
 
 
 def roundtrip(obj):
     return load_state(dump_state(obj))
+
+
+def binary_roundtrip(obj):
+    return load_state_binary(dump_state_binary(obj))
+
+
+def equal_decoded(a, b) -> bool:
+    """Deep equality that treats arrays bit-wise and NaN as equal."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            equal_decoded(a[k], b[k]) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            equal_decoded(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return np.float64(a).tobytes() == np.float64(b).tobytes()
+    return type(a) is type(b) and a == b
 
 
 class TestScalars:
@@ -133,3 +165,141 @@ class TestRNGState:
     def test_unknown_bit_generator_rejected(self):
         with pytest.raises(ValueError, match="unknown bit generator"):
             rng_from_state_dict({"bit_generator": "os", "state": {}})
+
+
+class TestBinaryCodec:
+    """The compact binary codec must be interchangeable with JSON.
+
+    Contract: ``load_state_binary(dump_state_binary(x))`` equals
+    ``load_state(dump_state(x))`` for every ``x`` either form accepts —
+    a journal may mix shards of both codecs and replay identically.
+    """
+
+    CASES = [
+        None, True, False, 0, -17, 2**100 + 1, -(2**100 + 1), "text",
+        3.25, float("inf"), float("-inf"),
+        {"a": [1, {"b": 2.5}], "d": None},
+        [[], {}, "", 0.0, -0.0],
+    ]
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_matches_json_codec(self, value):
+        assert equal_decoded(binary_roundtrip(value), roundtrip(value))
+
+    def test_nan_payload_bits_survive(self):
+        assert np.isnan(binary_roundtrip(float("nan")))
+        array = np.array([np.nan, -0.0, np.inf, -np.inf, 1e-308])
+        out = binary_roundtrip(array)
+        assert out.tobytes() == array.tobytes()
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64", "int8",
+                                       "uint32", "bool"])
+    def test_array_dtype_and_shape(self, dtype):
+        array = np.array([[0, 1], [1, 0], [1, 1]], dtype=dtype)
+        out = binary_roundtrip(array)
+        assert out.dtype == array.dtype and out.shape == array.shape
+        np.testing.assert_array_equal(out, array)
+        assert out.flags.writeable
+
+    def test_accepts_pre_encoded_trees(self):
+        # WAL writers hand over already-encoded events; both the raw
+        # object and its encode_state() tree must serialise identically.
+        state = {"x": np.arange(4.0), "n": 2**80, "f": float("nan")}
+        assert (dump_state_binary(state)
+                == dump_state_binary(encode_state(state)))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_state_binary(b"NOPE" + dump_state_binary(1)[4:])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            load_state_binary(dump_state_binary({"a": 1}) + b"\x00")
+
+    def test_truncated_record_rejected(self):
+        data = dump_state_binary({"a": np.arange(10.0)})
+        with pytest.raises((ValueError, IndexError, EOFError)):
+            load_state_binary(data[:-3])
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="keys must be strings"):
+            dump_state_binary({1: "x"})
+
+    def test_dunder_keys_rejected(self):
+        with pytest.raises(TypeError, match="collides"):
+            dump_state_binary({"__ndarray__": 1})
+
+    @given(st.floats())
+    def test_floats_bit_exact_property(self, value):
+        out = binary_roundtrip(value)
+        assert np.float64(out).tobytes() == np.float64(value).tobytes()
+
+    @given(hnp.arrays(dtype=st.sampled_from([np.float64, np.int64, np.int8]),
+                      shape=hnp.array_shapes(max_dims=2, max_side=8)))
+    def test_array_roundtrip_property(self, array):
+        out = binary_roundtrip(array)
+        assert out.dtype == array.dtype
+        assert out.tobytes() == array.tobytes()
+
+    def test_rng_state_resumes_stream(self):
+        rng = np.random.default_rng(321)
+        rng.random(64)
+        clone = rng_from_state_dict(binary_roundtrip(rng_state_dict(rng)))
+        np.testing.assert_array_equal(clone.random(32), rng.random(32))
+
+    @pytest.mark.parametrize("spec", [
+        "recall", "precision", {"kind": "fmeasure", "alpha": 0.25},
+        {"kind": "fmeasure", "alpha": 0.5},
+    ])
+    def test_measure_specs_interchangeable(self, spec):
+        canonical = measure_from_spec(spec).spec()
+        assert binary_roundtrip(canonical) == roundtrip(canonical)
+
+
+class TestBinarySnapshots:
+    """Every live sampler snapshot must survive the binary form exactly."""
+
+    @staticmethod
+    def driven_session(kind: str, measure=None):
+        from repro.service.session import EvaluationSession
+
+        rng = np.random.default_rng(99)
+        n = 60
+        scores = rng.normal(size=n)
+        predictions = (scores > 0.2).astype(np.int8)
+        kwargs = {"n_strata": 5} if kind in ("oasis", "stratified", "oss") \
+            else {}
+        session = EvaluationSession.create(
+            predictions, scores, sampler=kind, sampler_kwargs=kwargs,
+            measure=measure, seed=13,
+        )
+        for _ in range(2):
+            proposal = session.propose(6)
+            labels = [int(i % 2 == 0) for i in proposal["pending"]]
+            session.ingest(proposal["ticket"], labels)
+        return session
+
+    @pytest.mark.parametrize("kind", ["importance", "oasis", "oss",
+                                      "passive", "stratified"])
+    def test_snapshot_binary_equals_json(self, kind):
+        state = self.driven_session(kind).sampler.state_dict()
+        assert equal_decoded(binary_roundtrip(state), roundtrip(state))
+
+    def test_measure_targeted_snapshot(self):
+        state = self.driven_session(
+            "oasis", measure="recall").sampler.state_dict()
+        assert equal_decoded(binary_roundtrip(state), roundtrip(state))
+
+    def test_migrated_v1_snapshot(self, tmp_path):
+        # A v1 (pre-measure, alpha-only) journal restored by current
+        # code yields a migrated snapshot; it too must be codec-neutral.
+        import shutil
+
+        from repro.service.session import EvaluationSession
+
+        fixture = Path(__file__).parent / "fixtures" / "v1_session" / "v1session"
+        target = tmp_path / "v1session"
+        shutil.copytree(fixture, target)
+        session = EvaluationSession.restore(target)
+        state = session.sampler.state_dict()
+        assert equal_decoded(binary_roundtrip(state), roundtrip(state))

@@ -1,0 +1,314 @@
+"""Fault injection: SIGKILL a live shard worker at every durability stage.
+
+The sharded service's one guarantee is *acked events are never lost*:
+an acknowledgement leaves the worker only after the group-commit flush
+covering the event returned, so a ``kill -9`` at any instant may lose
+un-acked work (the client retries) but never acknowledged work.  These
+tests make that claim empirical: a :class:`FaultPlan` shipped in the
+shard options SIGKILLs the worker at a named stage — mid-batch, before
+the WAL fsync, between rename and directory sync, after durability but
+before the ack, half-way through the ack frame itself — the supervisor
+restarts it, and the client drives on to completion through the
+documented recovery protocol (retry on 503; on 409, re-join the
+outstanding proposal via ``status``).
+
+The final assertion is the strong one: after any crash/recovery path
+the completed trajectory is **bit-identical** to an uninterrupted
+in-process session at the same seed, because every successful
+propose/ingest sequence is deterministic and 409'd duplicates have no
+side effects.
+
+The harness (:class:`ShardedService`, :class:`RecoveringClient`) is
+reused by the concurrency stress tests in
+``test_service_stress.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.http import make_server
+from repro.service.router import ShardRouter, ShardSupervisor, init_topology
+from repro.service.session import EvaluationSession
+
+
+# -- harness ---------------------------------------------------------------
+
+class ShardedService:
+    """A live sharded service over HTTP, with optional armed fault."""
+
+    def __init__(self, root, shards: int = 1, *, fault: dict | None = None,
+                 flush_interval: float = 0.0, max_batch: int = 32,
+                 max_queue: int = 128, codec: str = "json"):
+        init_topology(root, shards, codec)
+        self.supervisor = ShardSupervisor(root, shards, options={
+            "codec": codec,
+            "flush_interval": flush_interval,
+            "max_batch": max_batch,
+            "max_queue": max_queue,
+            "fault": fault,
+        }).start()
+        self.router = ShardRouter(self.supervisor)
+        self.server = make_server(self.router, port=0)
+        self.port = self.server.server_address[1]
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.router.close(graceful=True)
+        self.server.server_close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class RecoveringClient:
+    """An HTTP client speaking the documented retry/recovery protocol.
+
+    * connection drops → reconnect and resend (requests are either
+      idempotent or guarded by tickets);
+    * 503 → honour ``Retry-After`` (capped) and resend;
+    * 409 on propose → the proposal is already outstanding: re-join it
+      through ``status()``;
+    * 409 on ingest → the ticket was already consumed (the ack for a
+      durable ingest was lost): confirm via ``status()`` and move on.
+
+    Thread-safe through one keep-alive connection per calling thread.
+    """
+
+    def __init__(self, port: int, deadline: float = 120.0):
+        self.port = port
+        self.deadline = deadline
+        self._local = threading.local()
+
+    def _conn(self, fresh: bool = False) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if fresh and conn is not None:
+            conn.close()
+            conn = None
+        if conn is None:
+            conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                              timeout=30.0)
+            conn.connect()
+            conn.sock.setsockopt(6, 1, 1)  # TCP_NODELAY
+            self._local.conn = conn
+        return conn
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        """Resend until a non-503 response arrives; returns (status, payload,
+        headers)."""
+        data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        stop_at = time.monotonic() + self.deadline
+        fresh = False
+        while True:
+            assert time.monotonic() < stop_at, \
+                f"no non-503 answer to {method} {path} within deadline"
+            try:
+                conn = self._conn(fresh=fresh)
+                conn.request(method, path, data, headers)
+                response = conn.getresponse()
+                payload = json.loads(response.read() or b"{}")
+            except (http.client.HTTPException, OSError):
+                fresh = True
+                time.sleep(0.05)
+                continue
+            fresh = False
+            if response.status == 503:
+                retry_after = float(response.headers.get("Retry-After", 0.1))
+                time.sleep(min(max(retry_after, 0.02), 0.5))
+                continue
+            return response.status, payload, dict(response.headers)
+
+    # -- protocol helpers --
+
+    def create(self, sid: str, predictions, scores, *, seed: int = 0,
+               **kwargs) -> dict:
+        status, payload, _ = self.request("POST", "/sessions", {
+            "predictions": predictions, "scores": scores,
+            "sampler": "oasis", "seed": seed, "session_id": sid, **kwargs,
+        })
+        assert status == 200, (status, payload)
+        return payload
+
+    def status(self, sid: str) -> dict:
+        status, payload, _ = self.request("GET", f"/sessions/{sid}")
+        assert status == 200, (status, payload)
+        return payload
+
+    def propose_with_recovery(self, sid: str, batch_size: int):
+        """Returns (ticket, pending) whether or not crashes intervene."""
+        while True:
+            status, payload, _ = self.request(
+                "POST", f"/sessions/{sid}/propose",
+                {"batch_size": batch_size})
+            if status == 200:
+                return payload["ticket"], payload["pending"]
+            assert status == 409, (status, payload)
+            outstanding = self.status(sid)["outstanding"]
+            if outstanding is not None:
+                return outstanding["ticket"], outstanding["pending"]
+            # The conflicting proposal was ingested between our two
+            # calls (another thread); just propose again.
+
+    def ingest_with_recovery(self, sid: str, ticket: int, labels) -> None:
+        while True:
+            status, payload, _ = self.request(
+                "POST", f"/sessions/{sid}/ingest",
+                {"ticket": ticket, "labels": labels})
+            if status == 200:
+                return
+            assert status == 409, (status, payload)
+            outstanding = self.status(sid)["outstanding"]
+            if outstanding is None or outstanding["ticket"] != ticket:
+                return  # the ingest committed; only its ack was lost
+
+    def run_round(self, sid: str, batch_size: int, true_labels) -> None:
+        ticket, pending = self.propose_with_recovery(sid, batch_size)
+        labels = [int(true_labels[i]) for i in pending]
+        self.ingest_with_recovery(sid, ticket, labels)
+
+
+def make_pool(seed: int = 7, n: int = 120):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(n) < 0.3).astype(np.int8)
+    scores = rng.normal(size=n) + 1.5 * labels
+    predictions = (scores > 0.5).astype(np.int8)
+    return predictions.tolist(), scores.tolist(), labels
+
+
+def reference_status(predictions, scores, true_labels, *, seed: int,
+                     rounds: int, batch_size: int) -> dict:
+    """The uninterrupted in-process trajectory the service must match."""
+    session = EvaluationSession.create(
+        predictions, scores, sampler="oasis", seed=seed)
+    for _ in range(rounds):
+        proposal = session.propose(batch_size)
+        labels = [int(true_labels[i]) for i in proposal["pending"]]
+        session.ingest(proposal["ticket"], labels)
+    return session.status()
+
+
+# -- the kill matrix -------------------------------------------------------
+
+ROUNDS = 6
+BATCH = 8
+SEED = 5
+
+STAGES = [
+    # (stage, after): kill on the after-th crossing of the stage.  All
+    # land mid-drive; which recovery path the client needs depends on
+    # whether the killed window had reached durability.
+    ("wal:pre_fsync", 3),       # shard written, not fsynced → lost
+    ("wal:pre_rename", 3),      # fsynced, no final name → lost
+    ("wal:post_rename", 3),     # named, directory not synced
+    ("wal:post_durable", 3),    # fully durable, ack never sent
+    ("batch:pre_ack", 4),       # every flush done, replies pending
+    ("sock:torn_ack", 3),       # ack frame torn half-way on the wire
+]
+
+
+@pytest.mark.parametrize("stage,after", STAGES, ids=[s for s, _ in STAGES])
+def test_kill_at_stage_preserves_acked_trajectory(tmp_path, stage, after):
+    predictions, scores, true_labels = make_pool()
+    with ShardedService(tmp_path / "root", shards=1,
+                        fault={"stage": stage, "after": after}) as service:
+        client = RecoveringClient(service.port)
+        client.create("s0", predictions, scores, seed=SEED)
+        for _ in range(ROUNDS):
+            client.run_round("s0", BATCH, true_labels)
+        final = client.status("s0")
+        # The worker really died at the armed stage, exactly once.
+        assert service.supervisor.restarts == [1]
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]  # bit-identical
+    assert final["draws"] == reference["draws"]
+    assert final["labels_consumed"] == reference["labels_consumed"]
+    assert final["outstanding"] is None
+
+
+def test_kill_mid_batch_loses_only_unacked_requests(tmp_path):
+    """``batch:mid`` needs a commit window holding two requests, so two
+    threads drive two sessions into the same flush window; the kill
+    lands between executing them — neither was acked, both clients
+    retry, both trajectories complete bit-identically.
+    """
+    predictions, scores, true_labels = make_pool(seed=11)
+    with ShardedService(tmp_path / "root", shards=1,
+                        flush_interval=0.2,
+                        fault={"stage": "batch:mid", "after": 2}) as service:
+        clients = [RecoveringClient(service.port) for _ in range(2)]
+        sids = ["a0", "a1"]
+        for client, sid, seed in zip(clients, sids, (1, 2)):
+            client.create(sid, predictions, scores, seed=seed)
+        errors = []
+
+        def drive(client, sid):
+            try:
+                for _ in range(4):
+                    client.run_round(sid, 6, true_labels)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append((sid, exc))
+
+        threads = [threading.Thread(target=drive, args=(c, s))
+                   for c, s in zip(clients, sids)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+        assert service.supervisor.restarts == [1]
+        finals = {sid: clients[0].status(sid) for sid in sids}
+    for sid, seed in zip(sids, (1, 2)):
+        reference = reference_status(
+            predictions, scores, true_labels,
+            seed=seed, rounds=4, batch_size=6)
+        assert finals[sid]["estimate"] == reference["estimate"]
+        assert finals[sid]["draws"] == reference["draws"]
+
+
+def test_sigterm_drains_and_restart_resumes(tmp_path):
+    """Graceful shutdown: SIGTERM checkpoints every resident session;
+    a whole new service over the same root resumes each one exactly.
+    """
+    predictions, scores, true_labels = make_pool(seed=3)
+    root = tmp_path / "root"
+    with ShardedService(root, shards=2) as service:
+        client = RecoveringClient(service.port)
+        for index in range(3):
+            client.create(f"s{index}", predictions, scores, seed=index)
+            for _ in range(2):
+                client.run_round(f"s{index}", 5, true_labels)
+        before = {f"s{index}": client.status(f"s{index}")
+                  for index in range(3)}
+        # close() drains via SIGTERM: workers finish their queues,
+        # checkpoint every resident session, exit 0.
+    with ShardedService(root, shards=2) as service:
+        client = RecoveringClient(service.port)
+        for sid, expected in before.items():
+            restored = client.status(sid)
+            assert restored["estimate"] == expected["estimate"]
+            assert restored["draws"] == expected["draws"]
+            # ...and each keeps serving.
+            client.run_round(sid, 5, true_labels)
+
+
+def test_shard_count_is_pinned_across_restarts(tmp_path):
+    root = tmp_path / "root"
+    with ShardedService(root, shards=2):
+        pass
+    with pytest.raises(ValueError, match="laid out for 2 shard"):
+        ShardedService(root, shards=4)

@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.utils import atomic_write_text
+from repro.utils import atomic_write_bytes, atomic_write_text, fsync_directory
 
 
 class TestAtomicWriteText:
@@ -75,3 +75,38 @@ class TestAtomicWriteText:
             t.join()
         assert not errors
         assert [p.name for p in tmp_path.iterdir()] == ["contended.json"]
+
+
+class TestAtomicWriteBytes:
+    def test_writes_raw_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        data = bytes(range(256))
+        assert atomic_write_bytes(target, data) == target
+        assert target.read_bytes() == data
+
+    def test_text_variant_delegates(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "héllo")
+        assert target.read_bytes() == "héllo".encode("utf-8")
+
+    def test_fsync_dir_flag_syncs_parent(self, tmp_path, monkeypatch):
+        import repro.utils.io as io_module
+
+        synced = []
+        monkeypatch.setattr(io_module, "fsync_directory",
+                            lambda path: synced.append(path))
+        atomic_write_bytes(tmp_path / "a.bin", b"x")
+        assert synced == []  # opt-in only
+        atomic_write_bytes(tmp_path / "b.bin", b"x", fsync_dir=True)
+        assert synced == [tmp_path]
+
+
+class TestFsyncDirectory:
+    def test_syncs_a_real_directory(self, tmp_path):
+        fsync_directory(tmp_path)  # must not raise
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        # Durability hardening must never turn into a crash on exotic
+        # filesystems that refuse O_RDONLY directory handles — the
+        # helper swallows OSError, including ENOENT.
+        fsync_directory(tmp_path / "nowhere")
