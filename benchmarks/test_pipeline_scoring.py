@@ -11,12 +11,24 @@ blocking must agree with the set-based reference.  Results are written
 to ``BENCH_pipeline.json`` so the repository's perf trajectory has a
 pipeline datapoint next to the sampler benchmarks.
 
+The scale-ladder benchmark runs the out-of-core pipeline end-to-end
+per rung (chunked stores on disk, MinHash-LSH blocking, memory-budgeted
+chunk-wise scoring, OASIS evaluation) and records each rung's
+throughput and peak RSS as a *trajectory* under the ``ladder`` section,
+asserting the LSH recall floor against the exact token-blocking oracle
+on the parity rung and that peak RSS stays under a bound the eager
+pair materialisation provably exceeds.
+
 Environment knobs (used by the CI smoke job):
 
 * ``PIPELINE_BENCH_PAIRS`` — pool size (default 50000).
 * ``PIPELINE_BENCH_MIN_SPEEDUP`` — assertion floor (default 10.0).
 * ``PIPELINE_BENCH_OUT`` — output path (default repo-root
   ``BENCH_pipeline.json``).
+* ``PIPELINE_BENCH_RUNGS`` — comma-separated ladder rungs (default
+  ``small``; CI runs ``small,medium``).
+* ``PIPELINE_BENCH_RSS_BUDGET`` — peak-RSS ceiling in bytes for the
+  ladder run (default 2 GiB).
 """
 
 from __future__ import annotations
@@ -31,14 +43,19 @@ import pytest
 
 from repro.datasets.citations import generate_citation_dedup
 from repro.datasets.products import generate_product_pair
+from repro.datasets.scale import DATASET_SPECS
+from repro.experiments.scale import run_scale_rung
 from repro.pipeline import (
     FieldSpec,
     PairFeatureExtractor,
+    PairSpaceError,
+    cross_product_pairs,
     sorted_neighbourhood_pairs,
     sorted_neighbourhood_pairs_reference,
     token_blocking_pairs,
     token_blocking_pairs_reference,
 )
+from repro.utils.memory import rss_supported
 
 N_PAIRS = int(os.environ.get("PIPELINE_BENCH_PAIRS", "50000"))
 MIN_SPEEDUP = float(os.environ.get("PIPELINE_BENCH_MIN_SPEEDUP", "10"))
@@ -47,6 +64,12 @@ OUT_PATH = Path(
         "PIPELINE_BENCH_OUT",
         Path(__file__).resolve().parent.parent / "BENCH_pipeline.json",
     )
+)
+LADDER_RUNGS = [
+    r for r in os.environ.get("PIPELINE_BENCH_RUNGS", "small").split(",") if r
+]
+RSS_BUDGET = int(
+    os.environ.get("PIPELINE_BENCH_RSS_BUDGET", str(2 * 1024**3))
 )
 
 RNG_SEED = 42
@@ -210,3 +233,68 @@ def test_blocking_join_parity_and_timing(product_stores):
         "candidate_pairs": len(snm_pairs),
     }
     _record("blocking", results)
+
+
+_LADDER_ORDER = list(DATASET_SPECS)
+
+
+def _merge_ladder(new_rungs: list[dict]) -> list[dict]:
+    """Merge freshly-run rungs into the recorded ladder trajectory.
+
+    Keyed by rung name so a small-only tier-1 run refreshes its own
+    datapoint without clobbering committed medium/large numbers.
+    """
+    existing: dict[str, dict] = {}
+    if OUT_PATH.exists():
+        for entry in json.loads(OUT_PATH.read_text()).get("ladder", []):
+            existing[entry["rung"]] = entry
+    for entry in new_rungs:
+        existing[entry["rung"]] = entry
+    return sorted(existing.values(), key=lambda e: _LADDER_ORDER.index(e["rung"]))
+
+
+def test_scale_ladder_trajectory():
+    """Out-of-core ladder: recall floor, RSS bound, trajectory record.
+
+    Each rung streams generation into chunked stores, blocks with
+    MinHash-LSH, scores chunk-wise under the memory budget, and
+    evaluates with OASIS.  The eager alternative for any rung past
+    ``small`` would materialise a pair array larger than the RSS
+    budget — the guard proves it refuses to.
+    """
+    rungs = []
+    for name in LADDER_RUNGS:
+        metrics = run_scale_rung(name, seed=RNG_SEED)
+        rungs.append(metrics)
+
+        spec = DATASET_SPECS[name]
+        assert metrics["lsh_recall_truth"] >= 0.9, (
+            f"{name}: LSH found only {metrics['lsh_recall_truth']:.3f} "
+            "of the true matches"
+        )
+        if "oracle" in metrics:
+            assert metrics["oracle"]["lsh_recall_vs_exact"] >= 0.9, (
+                f"{name}: LSH recovered only "
+                f"{metrics['oracle']['lsh_recall_vs_exact']:.3f} of the "
+                "exact token-blocking oracle's true matches"
+            )
+        if rss_supported():
+            assert metrics["peak_rss_bytes"] <= RSS_BUDGET, (
+                f"{name}: peak RSS {metrics['peak_rss_bytes'] / 2**20:.0f} "
+                f"MiB exceeds the {RSS_BUDGET / 2**20:.0f} MiB budget"
+            )
+        # The eager pair space the chunked path avoided, in bytes; for
+        # every rung past small it provably exceeds the RSS budget and
+        # the guarded constructor refuses to build it.
+        if metrics["exact_pair_bytes"] > RSS_BUDGET:
+            with pytest.raises(PairSpaceError):
+                cross_product_pairs(spec.n_records_a, spec.n_records_b)
+
+    # Independent of which rungs ran: the large rung's eager pair
+    # space (3.6e9 pairs, ~58 GB) always trips the guard.
+    large = DATASET_SPECS["large"]
+    assert large.exact_pair_space * 2 * 8 > RSS_BUDGET
+    with pytest.raises(PairSpaceError):
+        cross_product_pairs(large.n_records_a, large.n_records_b)
+
+    _record("ladder", _merge_ladder(rungs))

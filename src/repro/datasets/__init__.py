@@ -27,6 +27,12 @@ from repro.datasets.entities import (
     RestaurantEntityGenerator,
 )
 from repro.datasets.products import generate_product_pair
+from repro.datasets.scale import (
+    DATASET_SPECS,
+    ScaleSources,
+    ScaleSpec,
+    generate_scale_sources,
+)
 from repro.datasets.restaurants import generate_restaurant_pair
 from repro.datasets.tweets import generate_tweets
 
@@ -48,4 +54,8 @@ __all__ = [
     "generate_product_pair",
     "generate_restaurant_pair",
     "generate_tweets",
+    "DATASET_SPECS",
+    "ScaleSources",
+    "ScaleSpec",
+    "generate_scale_sources",
 ]

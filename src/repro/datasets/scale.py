@@ -1,0 +1,286 @@
+"""Synthetic scale ladder: bounded-memory million-record pool generation.
+
+The paper's regime is realistic database sizes; the ladder provides
+seeded two-source product pools at small/medium/large (and beyond)
+record counts so the out-of-core pipeline can be benchmarked as a
+*trajectory* rather than a point.  The key property is statelessness:
+every entity is derived from ``(seed, entity_id)`` alone, so generation
+streams records straight into a
+:class:`~repro.pipeline.storage.ChunkedRecordStore` writer without ever
+holding an entity table in memory — the generator's resident cost is
+one chunk buffer regardless of pool size.
+
+Source A holds one clean record per entity; source B holds a corrupted
+duplicate for ``duplicate_frac`` of A's entities (typos, token drops,
+abbreviation, price noise via :mod:`repro.datasets.corruption`) plus
+``distractor_frac`` records of B-only entities.  Ground truth is exact:
+records match iff they share an ``entity_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.corruption import corrupt_string, perturb_number
+from repro.datasets.entities import (
+    _DESCRIPTION_FILLER,
+    _PRODUCT_ADJECTIVES,
+    _PRODUCT_NOUNS,
+)
+from repro.pipeline.records import BaseRecordStore, Record, RecordStore
+from repro.pipeline.storage import ChunkedStoreWriter
+
+__all__ = ["ScaleSpec", "DATASET_SPECS", "ScaleSources", "generate_scale_sources"]
+
+_SCHEMA = ("name", "description", "price")
+_B_RECORD_BASE = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """One rung of the scale ladder.
+
+    Attributes
+    ----------
+    name:
+        Rung identifier (``small``/``medium``/``large``/``xlarge``).
+    n_entities:
+        Entities in source A (one clean record each).
+    duplicate_frac:
+        Fraction of A's entities that also appear in B as a corrupted
+        duplicate — these cross-source pairs are the true matches.
+    distractor_frac:
+        B-only entities, as a fraction of ``n_entities`` — the
+        non-match bulk that gives the pool its class imbalance.
+    typo_rate, drop_prob, abbreviation_prob, missing_prob, price_noise:
+        Corruption severities applied to B's duplicate records (see
+        :mod:`repro.datasets.corruption`).
+    chunk_size:
+        Default chunk size when the rung is generated into a
+        :class:`~repro.pipeline.storage.ChunkedRecordStore`.
+    """
+
+    name: str
+    n_entities: int
+    duplicate_frac: float = 0.3
+    distractor_frac: float = 0.7
+    typo_rate: float = 0.02
+    drop_prob: float = 0.05
+    abbreviation_prob: float = 0.05
+    missing_prob: float = 0.02
+    price_noise: float = 0.05
+    chunk_size: int = 8_192
+
+    @property
+    def n_records_a(self) -> int:
+        return self.n_entities
+
+    @property
+    def n_records_b(self) -> int:
+        return int(round(self.n_entities * self.duplicate_frac)) + int(
+            round(self.n_entities * self.distractor_frac)
+        )
+
+    @property
+    def n_records(self) -> int:
+        """Total records across both sources."""
+        return self.n_records_a + self.n_records_b
+
+    @property
+    def exact_pair_space(self) -> int:
+        """Pairs the full A x B cross product would materialise."""
+        return self.n_records_a * self.n_records_b
+
+
+# The ladder.  ``small`` doubles as the parity rung where the exact
+# token-blocking oracle still fits; ``large`` crosses the 1e5-record
+# line where the eager cross product is unmaterialisable; ``xlarge``
+# approaches the million-record regime for dedicated runs.
+DATASET_SPECS: dict[str, ScaleSpec] = {
+    "small": ScaleSpec(name="small", n_entities=2_500),
+    "medium": ScaleSpec(name="medium", n_entities=15_000),
+    "large": ScaleSpec(name="large", n_entities=60_000),
+    "xlarge": ScaleSpec(name="xlarge", n_entities=500_000, chunk_size=16_384),
+}
+
+
+# Syllable fabric for brand names.  A fixed 20-word brand list would
+# make unrelated entities share name tokens at a rate that scales the
+# candidate space quadratically; composing three of 80 syllables gives
+# ~5e5 distinct brands, so accidental name similarity stays rare at
+# every ladder rung while duplicates remain trivially similar.
+_SYLLABLES = [c + v for c in "bcdfghklmnprstvz" for v in "aeiou"]
+
+
+def _entity_fields(seed: int, entity_id: int) -> dict:
+    """The clean rendition of one entity, derived statelessly.
+
+    Seeding a fresh generator from ``(seed, entity_id)`` makes the
+    fabric addressable: any record of any entity can be re-derived
+    without an entity table, which is what lets both sources stream.
+    """
+    rng = np.random.default_rng([seed, entity_id])
+    brand = "".join(rng.choice(_SYLLABLES, size=3))
+    adjective = rng.choice(_PRODUCT_ADJECTIVES)
+    noun = rng.choice(_PRODUCT_NOUNS)
+    model = f"{rng.choice(list('abcdefgh'))}{rng.integers(100, 9999)}"
+    name = f"{brand} {adjective} {noun} {model}"
+    n_filler = int(rng.integers(3, 7))
+    filler = rng.choice(_DESCRIPTION_FILLER, size=n_filler, replace=False)
+    description = f"{name} {' '.join(filler)}"
+    price = round(float(rng.lognormal(4.0, 0.8)), 2)
+    return {"name": name, "description": description, "price": price}
+
+
+def _is_duplicated(seed: int, entity_id: int, duplicate_frac: float) -> bool:
+    """Whether entity ``entity_id`` gets a corrupted twin in source B."""
+    rng = np.random.default_rng([seed, entity_id, 1])
+    return bool(rng.random() < duplicate_frac)
+
+
+def _corrupted_fields(spec: ScaleSpec, seed: int, entity_id: int) -> dict:
+    """Source B's noisy rendition of an entity."""
+    clean = _entity_fields(seed, entity_id)
+    rng = np.random.default_rng([seed, entity_id, 2])
+    return {
+        "name": corrupt_string(
+            clean["name"],
+            rng,
+            typo_rate=spec.typo_rate,
+            abbreviation_prob=spec.abbreviation_prob,
+            drop_prob=spec.drop_prob,
+            missing_prob=spec.missing_prob,
+        ),
+        "description": corrupt_string(
+            clean["description"],
+            rng,
+            typo_rate=spec.typo_rate,
+            drop_prob=spec.drop_prob,
+        ),
+        "price": perturb_number(
+            clean["price"],
+            spec.price_noise,
+            rng,
+            missing_prob=spec.missing_prob,
+        ),
+    }
+
+
+def _iter_records_a(spec: ScaleSpec, seed: int):
+    for entity_id in range(spec.n_entities):
+        yield Record(
+            record_id=entity_id,
+            entity_id=entity_id,
+            fields=_entity_fields(seed, entity_id),
+        )
+
+
+def _iter_records_b(spec: ScaleSpec, seed: int):
+    record_id = _B_RECORD_BASE
+    emitted_duplicates = 0
+    target_duplicates = int(round(spec.n_entities * spec.duplicate_frac))
+    for entity_id in range(spec.n_entities):
+        if emitted_duplicates >= target_duplicates:
+            break
+        if not _is_duplicated(seed, entity_id, spec.duplicate_frac):
+            continue
+        fields = {
+            k: v
+            for k, v in _corrupted_fields(spec, seed, entity_id).items()
+            if v is not None
+        }
+        yield Record(record_id=record_id, entity_id=entity_id, fields=fields)
+        record_id += 1
+        emitted_duplicates += 1
+    n_distractors = int(round(spec.n_entities * spec.distractor_frac))
+    for offset in range(n_distractors):
+        entity_id = spec.n_entities + offset
+        yield Record(
+            record_id=record_id,
+            entity_id=entity_id,
+            fields=_entity_fields(seed, entity_id),
+        )
+        record_id += 1
+
+
+@dataclass
+class ScaleSources:
+    """A generated rung: the two sources plus its spec and seed."""
+
+    spec: ScaleSpec
+    seed: int
+    store_a: BaseRecordStore
+    store_b: BaseRecordStore
+
+    def true_match_pairs(self) -> np.ndarray:
+        """All (index_a, index_b) pairs sharing an entity, from compact
+        entity-id arrays only (no record materialisation)."""
+        ids_a = self.store_a.entity_ids()
+        ids_b = self.store_b.entity_ids()
+        # A has one record per entity with entity_id == index; B's
+        # duplicates carry entity ids < len(A).  Positions in B whose
+        # entity exists in A pair with exactly that A index.
+        matched_b = np.flatnonzero(ids_b < len(ids_a))
+        return np.column_stack([ids_b[matched_b], matched_b]).astype(np.int64)
+
+
+def generate_scale_sources(
+    spec: ScaleSpec | str,
+    *,
+    seed: int = 0,
+    directory=None,
+    chunk_size: int | None = None,
+) -> ScaleSources:
+    """Generate one ladder rung, streaming if a directory is given.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`ScaleSpec` or a ``DATASET_SPECS`` key.
+    seed:
+        Master seed; the whole rung is a pure function of
+        ``(spec, seed)``.
+    directory:
+        When given, records stream into two
+        :class:`~repro.pipeline.storage.ChunkedRecordStore` directories
+        (``<directory>/a`` and ``<directory>/b``) through a bounded
+        chunk buffer; when None, plain in-memory stores are built (the
+        small-pool fast path).
+    chunk_size:
+        Chunk size override for the on-disk layout.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = DATASET_SPECS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale spec {spec!r}; choose from "
+                f"{sorted(DATASET_SPECS)}"
+            ) from None
+    if chunk_size is not None:
+        spec = replace(spec, chunk_size=int(chunk_size))
+
+    if directory is None:
+        store_a = RecordStore(_SCHEMA, name=f"{spec.name}-a")
+        for record in _iter_records_a(spec, seed):
+            store_a.add(record)
+        store_b = RecordStore(_SCHEMA, name=f"{spec.name}-b")
+        for record in _iter_records_b(spec, seed):
+            store_b.add(record)
+        return ScaleSources(spec=spec, seed=seed, store_a=store_a, store_b=store_b)
+
+    directory = Path(directory)
+    writer_a = ChunkedStoreWriter(
+        directory / "a", _SCHEMA, name=f"{spec.name}-a", chunk_size=spec.chunk_size
+    )
+    writer_a.extend(_iter_records_a(spec, seed))
+    store_a = writer_a.close()
+    writer_b = ChunkedStoreWriter(
+        directory / "b", _SCHEMA, name=f"{spec.name}-b", chunk_size=spec.chunk_size
+    )
+    writer_b.extend(_iter_records_b(spec, seed))
+    store_b = writer_b.close()
+    return ScaleSources(spec=spec, seed=seed, store_a=store_a, store_b=store_b)

@@ -29,6 +29,11 @@ from repro.experiments.persistence import (
 )
 from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import SamplerSpec, TrialResult, run_trials
+from repro.experiments.scale import (
+    DEFAULT_MEMORY_BUDGET,
+    run_scale_ladder,
+    run_scale_rung,
+)
 from repro.experiments.specs import (
     OracleFactory,
     SamplerFactory,
@@ -53,6 +58,9 @@ __all__ = [
     "SamplerSpec",
     "TrialResult",
     "run_trials",
+    "DEFAULT_MEMORY_BUDGET",
+    "run_scale_ladder",
+    "run_scale_rung",
     "OracleFactory",
     "SamplerFactory",
     "make_oracle_factory",

@@ -8,6 +8,8 @@ Regenerates the paper's experiments without writing code::
     python -m repro.experiments calibration --dataset abt_buy
     python -m repro.experiments sweep --config sweep.json --workers 4 \
         --out runs/sweep --resume
+    python -m repro.experiments pipeline --rungs small medium large \
+        --out BENCH_pipeline_ladder.json
     python -m repro.experiments serve --port 8765 --root runs/service
 
 Each experiment subcommand prints the corresponding table/series in the
@@ -32,10 +34,12 @@ import numpy as np
 
 from repro.core import OASISSampler
 from repro.datasets import BENCHMARK_NAMES, dataset_summary, load_benchmark
+from repro.datasets.scale import DATASET_SPECS
 from repro.experiments.aggregate import aggregate_all
 from repro.experiments.convergence import run_convergence_experiment
 from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import run_trials
+from repro.experiments.scale import DEFAULT_MEMORY_BUDGET, run_scale_rung
 from repro.experiments.specs import make_sampler_spec
 from repro.experiments.sweep import SweepConfig, run_sweep
 from repro.measures.ratio import MEASURE_KINDS, FMeasure, measure_from_spec
@@ -199,6 +203,43 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--no-resume", dest="resume", action="store_false",
         help="recompute every shard even if present",
+    )
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="out-of-core scale ladder: chunked stores + MinHash-LSH",
+    )
+    pipeline.add_argument(
+        "--rungs", nargs="+", default=["small", "medium", "large"],
+        choices=sorted(DATASET_SPECS), metavar="RUNG",
+        help="ladder rungs to run in sequence (see repro.datasets.scale)",
+    )
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.add_argument(
+        "--memory-budget", type=_positive_int("memory_budget"),
+        default=DEFAULT_MEMORY_BUDGET,
+        help="target bytes of transient scoring memory per chunk "
+        f"(default {DEFAULT_MEMORY_BUDGET // (1024 * 1024)} MiB)",
+    )
+    pipeline.add_argument(
+        "--bands", type=_positive_int("bands"), default=32,
+        help="MinHash-LSH bands (more bands = higher recall, more pairs)",
+    )
+    pipeline.add_argument(
+        "--rows", type=_positive_int("rows"), default=4,
+        help="MinHash rows per band (more rows = stricter buckets)",
+    )
+    pipeline.add_argument(
+        "--label-budget", type=_positive_int("label_budget"), default=600,
+        help="oracle labels the OASIS estimator may consume per rung",
+    )
+    pipeline.add_argument(
+        "--directory", default=None,
+        help="persist the chunked stores here instead of a temp dir",
+    )
+    pipeline.add_argument(
+        "--out", default=None,
+        help="write the ladder metrics to this JSON file",
     )
 
     serve = sub.add_parser(
@@ -400,6 +441,39 @@ def _cmd_sweep(args) -> None:
     )
 
 
+def _cmd_pipeline(args) -> None:
+    import json
+
+    results = []
+    for rung in args.rungs:
+        metrics = run_scale_rung(
+            rung,
+            seed=args.seed,
+            directory=args.directory,
+            memory_budget=args.memory_budget,
+            bands=args.bands,
+            rows=args.rows,
+            label_budget=args.label_budget,
+        )
+        results.append(metrics)
+        rss = metrics["peak_rss_bytes"]
+        rss_mb = f"{rss / 2**20:8.1f}" if rss is not None else "     n/a"
+        print(
+            f"{metrics['rung']:>8}: {metrics['n_records']:>9,} records  "
+            f"{metrics['n_candidates']:>10,} candidates  "
+            f"recall {metrics['lsh_recall_truth']:.3f}  "
+            f"OASIS {metrics['oasis']['estimate']:.4f} "
+            f"(true {metrics['oasis']['true_f_measure']:.4f}, "
+            f"{metrics['oasis']['labels_consumed']} labels)  "
+            f"peak RSS{rss_mb} MiB  "
+            f"{metrics['timings']['total_s']:7.1f}s"
+        )
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.out}")
+
+
 def _cmd_serve(args) -> None:
     # Deferred import: the service layer is not needed by the
     # experiment subcommands.
@@ -427,6 +501,7 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "calibration": _cmd_calibration,
     "sweep": _cmd_sweep,
+    "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
 }
 

@@ -7,7 +7,9 @@ threshold matcher producing a predicted resolution.
 """
 
 from repro.pipeline.blocking import (
+    minhash_lsh_pairs,
     sorted_neighbourhood_pairs,
+    sorted_neighbourhood_pairs_external,
     sorted_neighbourhood_pairs_reference,
     token_blocking_pairs,
     token_blocking_pairs_reference,
@@ -17,13 +19,20 @@ from repro.pipeline.matching import ERPipeline, threshold_match
 from repro.pipeline.multisource import MultiSourcePool, multi_source_pairs
 from repro.pipeline.normalise import impute_missing_numeric, normalise_string, to_float
 from repro.pipeline.records import (
+    DEFAULT_MAX_PAIR_ELEMENTS,
+    BaseRecordStore,
     MatchRelation,
+    PairSpaceError,
     Record,
     RecordStore,
     build_pair_pool,
     cross_product_pairs,
     dedup_pairs,
+    iter_cross_product_pairs,
+    iter_dedup_pairs,
+    sample_pair_pool,
 )
+from repro.pipeline.storage import ChunkedRecordStore, ChunkedStoreWriter
 from repro.pipeline.similarity import (
     SparseVectorMatrix,
     TokenSetMatrix,
@@ -44,7 +53,9 @@ from repro.pipeline.similarity import (
 )
 
 __all__ = [
+    "minhash_lsh_pairs",
     "sorted_neighbourhood_pairs",
+    "sorted_neighbourhood_pairs_external",
     "sorted_neighbourhood_pairs_reference",
     "token_blocking_pairs",
     "token_blocking_pairs_reference",
@@ -57,12 +68,20 @@ __all__ = [
     "impute_missing_numeric",
     "normalise_string",
     "to_float",
+    "BaseRecordStore",
+    "ChunkedRecordStore",
+    "ChunkedStoreWriter",
+    "DEFAULT_MAX_PAIR_ELEMENTS",
     "MatchRelation",
+    "PairSpaceError",
     "Record",
     "RecordStore",
     "build_pair_pool",
     "cross_product_pairs",
     "dedup_pairs",
+    "iter_cross_product_pairs",
+    "iter_dedup_pairs",
+    "sample_pair_pool",
     "build_token_vocabulary",
     "cosine_pairs",
     "cosine_tfidf_similarity",

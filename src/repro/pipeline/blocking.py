@@ -18,24 +18,30 @@ for parity testing.
 
 from __future__ import annotations
 
-from collections import defaultdict
+import heapq
+import pickle
+import tempfile
+from collections import defaultdict, deque
+from hashlib import blake2b
+from pathlib import Path
 
 import numpy as np
 
-from repro.pipeline.normalise import normalise_string
-from repro.pipeline.records import RecordStore
+from repro.pipeline.records import BaseRecordStore as RecordStore
 
 __all__ = [
     "token_blocking_pairs",
     "sorted_neighbourhood_pairs",
+    "minhash_lsh_pairs",
+    "sorted_neighbourhood_pairs_external",
     "token_blocking_pairs_reference",
     "sorted_neighbourhood_pairs_reference",
 ]
 
 
 def _normalised_keys(store: RecordStore, field: str) -> list[str]:
-    """Each record's blocking key, normalised once per store."""
-    return [normalise_string(record.get(field)) for record in store]
+    """Each record's blocking key, normalised and cached on the store."""
+    return store.normalised_field(field)
 
 
 def _decode_pair_keys(keys: np.ndarray, n_b: int) -> np.ndarray:
@@ -213,6 +219,340 @@ def sorted_neighbourhood_pairs(
         left = np.where(first_is_a, local[head][cross], local[tail][cross])
         right = np.where(first_is_a, local[tail][cross], local[head][cross])
         key_chunks.append(left * n_b + right)
+    if not key_chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return _decode_pair_keys(np.concatenate(key_chunks), n_b)
+
+
+# -- MinHash-LSH ------------------------------------------------------
+
+# Multiply-shift MinHash parameters live in uint64 with wraparound
+# arithmetic; the odd multiplier keeps the map a bijection.
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+_LSH_CHUNK = 8_192
+
+
+def _key_tokens(key: str, ngram_size: int | None):
+    """A key's token set: whitespace words, or character n-grams.
+
+    N-gram tokens (via :func:`repro.pipeline.similarity.ngrams`) make
+    the MinHash sketch robust to typos — one character edit perturbs
+    only ``n`` of a key's grams instead of knocking out a whole word.
+    """
+    if ngram_size is None:
+        return set(key.split())
+    from repro.pipeline.similarity import ngrams
+
+    return ngrams(key, ngram_size)
+
+
+def _token_hashes(
+    key: str, cache: dict[str, int], ngram_size: int | None
+) -> list[int]:
+    """Stable 64-bit hashes of a key's unique tokens (memoised)."""
+    out = []
+    for token in _key_tokens(key, ngram_size):
+        h = cache.get(token)
+        if h is None:
+            h = int.from_bytes(
+                blake2b(token.encode("utf-8"), digest_size=8).digest(), "little"
+            )
+            cache[token] = h
+        out.append(h)
+    return out
+
+
+def _band_keys(
+    store: RecordStore,
+    field: str,
+    bands: int,
+    rows: int,
+    params_a: np.ndarray,
+    params_b: np.ndarray,
+    token_cache: dict[str, int],
+    chunk_size: int,
+    ngram_size: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-record banded MinHash keys, computed chunk-by-chunk.
+
+    Returns ``(keys, valid)`` where ``keys`` is an ``(n, bands)`` uint64
+    array of band signatures and ``valid`` marks records whose key has
+    at least one token.  Only the compact band keys are retained — the
+    full ``bands * rows`` signature matrix exists per chunk only.
+    """
+    n_perm = bands * rows
+    key_blocks: list[np.ndarray] = []
+    valid_blocks: list[np.ndarray] = []
+    old = np.seterr(over="ignore")
+    try:
+        for chunk in store.iter_normalised_chunks(field, chunk_size):
+            lengths = np.empty(len(chunk), dtype=np.int64)
+            flat: list[int] = []
+            for i, key in enumerate(chunk):
+                hashes = _token_hashes(key, token_cache, ngram_size)
+                lengths[i] = len(hashes)
+                flat.extend(hashes)
+            valid = lengths > 0
+            keys = np.zeros((len(chunk), bands), dtype=np.uint64)
+            if flat:
+                x = np.array(flat, dtype=np.uint64)
+                # (tokens, n_perm) permuted hashes, min-reduced per record.
+                hashed = params_a[None, :] * x[:, None] + params_b[None, :]
+                offsets = np.zeros(int(valid.sum()), dtype=np.int64)
+                np.cumsum(lengths[valid][:-1], out=offsets[1:])
+                minima = np.minimum.reduceat(hashed, offsets, axis=0)
+                sig = minima.reshape(-1, bands, rows)
+                band = sig[:, :, 0].copy()
+                for r in range(1, rows):
+                    band = band * _MIX ^ sig[:, :, r]
+                keys[valid] = band
+            key_blocks.append(keys)
+            valid_blocks.append(valid)
+    finally:
+        np.seterr(**old)
+    if not key_blocks:
+        return (
+            np.empty((0, bands), dtype=np.uint64),
+            np.empty(0, dtype=bool),
+        )
+    return np.concatenate(key_blocks), np.concatenate(valid_blocks)
+
+
+def _bucket_join(
+    keys_a: np.ndarray,
+    keys_b: np.ndarray,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    n_b: int,
+    max_bucket_size: int | None,
+) -> np.ndarray:
+    """Encoded pair keys for every (a, b) sharing a band bucket.
+
+    A vectorised grouped cross product: both key columns are mapped to
+    shared integer codes, each side is grouped by code with one stable
+    argsort, and per-bucket blocks are expanded with
+    ``np.repeat`` + a grouped ``arange`` — no Python loop over buckets.
+    """
+    codes, inverse = np.unique(
+        np.concatenate([keys_a, keys_b]), return_inverse=True
+    )
+    codes_a = inverse[: len(keys_a)]
+    codes_b = inverse[len(keys_a):]
+    n_codes = len(codes)
+    counts_a = np.bincount(codes_a, minlength=n_codes)
+    counts_b = np.bincount(codes_b, minlength=n_codes)
+    keep = (counts_a > 0) & (counts_b > 0)
+    if max_bucket_size is not None:
+        keep &= (counts_a <= max_bucket_size) & (counts_b <= max_bucket_size)
+    if not keep.any():
+        return np.empty(0, dtype=np.int64)
+
+    order_b = np.argsort(codes_b, kind="stable")
+    starts_b = np.zeros(n_codes, dtype=np.int64)
+    np.cumsum(counts_b[:-1], out=starts_b[1:])
+
+    mask_a = keep[codes_a]
+    a_idx = idx_a[mask_a]
+    a_codes = codes_a[mask_a]
+    per_a = counts_b[a_codes]
+    total = int(per_a.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    lefts = np.repeat(a_idx, per_a)
+    # Grouped arange: position of each emitted pair within its bucket.
+    ends = np.cumsum(per_a)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - per_a, per_a)
+    rights = idx_b[order_b[np.repeat(starts_b[a_codes], per_a) + within]]
+    return lefts * n_b + rights
+
+
+def minhash_lsh_pairs(
+    store_a: RecordStore,
+    store_b: RecordStore,
+    field: str,
+    *,
+    bands: int = 16,
+    rows: int = 4,
+    seed: int = 0,
+    chunk_size: int = _LSH_CHUNK,
+    max_bucket_size: int | None = None,
+    ngram_size: int | None = None,
+) -> np.ndarray:
+    """Approximate candidate pairs via banded MinHash-LSH over tokens.
+
+    Each record's normalised ``field`` tokens are min-hashed under
+    ``bands * rows`` multiply-shift permutations; the signature is cut
+    into ``bands`` bands of ``rows`` values, and two records become a
+    candidate pair when *any* band key collides.  A pair with token
+    Jaccard similarity ``s`` is recalled with probability
+    ``1 - (1 - s**rows)**bands`` — more bands or fewer rows per band
+    raise recall (and candidate volume), the reverse raises precision.
+
+    Unlike :func:`token_blocking_pairs` this never builds a full
+    inverted index of exact tokens, consumes columns chunk-wise
+    (``iter_normalised_chunks``), and retains only ``bands`` uint64
+    keys per record, so it scales to pools where the exact pair space
+    is unmaterialisable.  Candidates are deduplicated with the same
+    ``a * n_b + b`` integer-key ``np.unique`` idiom as the exact
+    schemes; the result is always a subset of the full cross product
+    of records with non-empty keys.
+
+    Parameters
+    ----------
+    store_a, store_b:
+        The two record sources (in-memory or chunked).
+    field:
+        Schema field supplying the token key.
+    bands, rows:
+        Banding shape; ``bands * rows`` permutations total.
+    seed:
+        Seeds the permutation parameters; identical seeds give
+        identical candidates for identical inputs.
+    chunk_size:
+        Records per signature-computation chunk.
+    max_bucket_size:
+        Drop a band bucket holding more than this many records in
+        either source (the LSH analogue of ``max_block_size``).
+    ngram_size:
+        When set, sketch character ``ngram_size``-grams of the key
+        instead of whitespace words — typo-robust blocking at the cost
+        of denser token sets (the right setting for dirty text).
+
+    Returns a deduplicated (n, 2) array of index pairs, sorted
+    lexicographically.
+    """
+    if bands < 1 or rows < 1:
+        raise ValueError(f"bands and rows must be >= 1; got {bands}x{rows}")
+    n_b = len(store_b)
+    if len(store_a) == 0 or n_b == 0:
+        return np.empty((0, 2), dtype=np.int64)
+
+    rng = np.random.default_rng(seed)
+    n_perm = bands * rows
+    # Odd multipliers + arbitrary offsets: multiply-shift hash family.
+    params_a = rng.integers(0, 2**64, size=n_perm, dtype=np.uint64) | np.uint64(1)
+    params_b = rng.integers(0, 2**64, size=n_perm, dtype=np.uint64)
+
+    token_cache: dict[str, int] = {}
+    keys_a, valid_a = _band_keys(
+        store_a, field, bands, rows, params_a, params_b, token_cache,
+        chunk_size, ngram_size,
+    )
+    keys_b, valid_b = _band_keys(
+        store_b, field, bands, rows, params_a, params_b, token_cache,
+        chunk_size, ngram_size,
+    )
+    idx_a = np.flatnonzero(valid_a)
+    idx_b = np.flatnonzero(valid_b)
+    if len(idx_a) == 0 or len(idx_b) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+
+    key_chunks: list[np.ndarray] = []
+    for band in range(bands):
+        encoded = _bucket_join(
+            keys_a[idx_a, band],
+            keys_b[idx_b, band],
+            idx_a,
+            idx_b,
+            n_b,
+            max_bucket_size,
+        )
+        if len(encoded):
+            # Dedup per band before concatenating across bands.
+            key_chunks.append(np.unique(encoded))
+    if not key_chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    return _decode_pair_keys(np.concatenate(key_chunks), n_b)
+
+
+# -- External-memory sorted neighbourhood -----------------------------
+
+_DEFAULT_RUN_SIZE = 8_192
+
+
+def _write_run(directory: Path, index: int, run: list) -> Path:
+    """Persist one sorted run of (key, source, index) tuples."""
+    run.sort()
+    path = directory / f"run-{index:06d}.pkl"
+    with open(path, "wb") as handle:
+        for item in run:
+            pickle.dump(item, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def _read_run(path: Path):
+    """Stream one run file back as tuples."""
+    with open(path, "rb") as handle:
+        while True:
+            try:
+                yield pickle.load(handle)
+            except EOFError:
+                return
+
+
+def sorted_neighbourhood_pairs_external(
+    store_a: RecordStore,
+    store_b: RecordStore,
+    field: str,
+    *,
+    window: int = 5,
+    run_size: int = _DEFAULT_RUN_SIZE,
+    tmp_dir=None,
+) -> np.ndarray:
+    """External-memory sorted neighbourhood: disk runs + k-way merge.
+
+    Produces *exactly* the same candidate set as
+    :func:`sorted_neighbourhood_pairs` without ever holding the merged
+    key list in memory: normalised keys stream chunk-wise into sorted
+    runs of ``run_size`` tuples spilled to ``tmp_dir``, a
+    ``heapq.merge`` re-streams the global sort order, and a
+    ``window``-sized deque emits cross-source pairs on the fly.  The
+    tuple sort key ``(key, source, index)`` is a strict total order, so
+    the merged stream is identical to the in-memory sort and the two
+    variants are bit-identical by construction.
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2; got {window}")
+    if run_size < 1:
+        raise ValueError(f"run_size must be >= 1; got {run_size}")
+    n_b = len(store_b)
+    if len(store_a) == 0 or n_b == 0:
+        return np.empty((0, 2), dtype=np.int64)
+
+    with tempfile.TemporaryDirectory(dir=tmp_dir) as workdir:
+        workdir = Path(workdir)
+        run_paths: list[Path] = []
+        run: list = []
+        for source, store in ((0, store_a), (1, store_b)):
+            position = 0
+            for chunk in store.iter_normalised_chunks(field):
+                for key in chunk:
+                    run.append((key, source, position))
+                    position += 1
+                    if len(run) >= run_size:
+                        run_paths.append(_write_run(workdir, len(run_paths), run))
+                        run = []
+        if run:
+            run_paths.append(_write_run(workdir, len(run_paths), run))
+
+        merged = heapq.merge(*(_read_run(path) for path in run_paths))
+        recent: deque = deque(maxlen=window - 1)
+        buffer: list[int] = []
+        key_chunks: list[np.ndarray] = []
+        for __, src_y, idx_y in merged:
+            for __, src_x, idx_x in recent:
+                if src_x == src_y:
+                    continue
+                left, right = (
+                    (idx_x, idx_y) if src_x == 0 else (idx_y, idx_x)
+                )
+                buffer.append(left * n_b + right)
+            recent.append((None, src_y, idx_y))
+            if len(buffer) >= 4 * run_size:
+                key_chunks.append(np.unique(np.array(buffer, dtype=np.int64)))
+                buffer = []
+        if buffer:
+            key_chunks.append(np.unique(np.array(buffer, dtype=np.int64)))
     if not key_chunks:
         return np.empty((0, 2), dtype=np.int64)
     return _decode_pair_keys(np.concatenate(key_chunks), n_b)

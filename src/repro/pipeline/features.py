@@ -8,9 +8,14 @@ The scoring pass is array-backed end to end: ``fit`` encodes every text
 column into contiguous CSR structures (:class:`TokenSetMatrix` /
 :class:`SparseVectorMatrix` over a shared vocabulary) and ``transform``
 scores whole pair blocks with the batch kernels from
-:mod:`repro.pipeline.similarity`, chunked to bound peak memory.  The
-original per-pair semantics survive as :meth:`transform_reference`, the
-parity baseline for tests and benchmarks.
+:mod:`repro.pipeline.similarity`, chunked to bound peak memory.  Column
+encodings are built by streaming the stores' chunk-iterating accessors
+(:meth:`~repro.pipeline.records.BaseRecordStore.iter_normalised_chunks`),
+so fitting against a disk-backed
+:class:`~repro.pipeline.storage.ChunkedRecordStore` never materialises
+a whole raw column — only the compact CSR/float encodings are retained.
+The original per-pair semantics survive as :meth:`transform_reference`,
+the parity baseline for tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -19,8 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.pipeline.normalise import impute_missing_numeric, normalise_string
-from repro.pipeline.records import RecordStore
+from repro.pipeline.normalise import normalise_string, to_float
+from repro.pipeline.records import BaseRecordStore as RecordStore
 from repro.pipeline.similarity import (
     TfidfVectoriser,
     TokenSetMatrix,
@@ -51,6 +56,37 @@ _FIELD_KINDS = ("short_text", "long_text", "numeric")
 # a chunk's working set stays cache-resident on typical hardware.
 _DEFAULT_CHUNK_SIZE = 4096
 
+# Transient bytes a scored pair costs beyond its token payload
+# (feature row, gathered index arrays, bincount scratch).
+_PAIR_BASE_BYTES = 128.0
+# Transient bytes per gathered token of a pair (int64 sort key + the
+# stable sort's scratch copy + the gather itself).
+_TOKEN_BYTES = 48.0
+
+
+def _flat_normalised(store: RecordStore, field: str):
+    """Stream one normalised column value at a time, chunk-buffered."""
+    for chunk in store.iter_normalised_chunks(field):
+        yield from chunk
+
+
+def _numeric_column(store: RecordStore, field: str) -> np.ndarray:
+    """Float-coerce a column chunk-wise, then mean-impute.
+
+    Only the compact float64 array (8 bytes/record) is ever whole; the
+    raw Python objects stream through a bounded chunk buffer.
+    """
+    parts = [
+        np.asarray([to_float(v) for v in chunk], dtype=float)
+        for chunk in store.iter_field_chunks(field)
+    ]
+    arr = np.concatenate(parts) if parts else np.empty(0, dtype=float)
+    missing = np.isnan(arr)
+    if missing.all():
+        return np.zeros_like(arr)
+    arr[missing] = arr[~missing].mean()
+    return arr
+
 
 @dataclass(frozen=True)
 class FieldSpec:
@@ -74,12 +110,14 @@ class FieldSpec:
 class PairFeatureExtractor:
     """Turns record pairs into similarity feature vectors.
 
-    ``fit`` pre-computes normalised field values, imputed numerics and
-    array-encoded trigram/tf-idf columns for both stores; ``transform``
-    then maps an (n, 2) array of pair indices to an (n, n_features)
-    matrix with vectorised kernels.  Fitting once and transforming many
-    times keeps the full-pool scoring pass (the most expensive pipeline
-    stage, per the paper's background section) tractable.
+    ``fit`` pre-computes imputed numerics and array-encoded
+    trigram/tf-idf columns for both stores (streaming each column
+    chunk-wise — in-memory and disk-backed stores produce bit-identical
+    encodings); ``transform`` then maps an (n, 2) array of pair indices
+    to an (n, n_features) matrix with vectorised kernels.  Fitting once
+    and transforming many times keeps the full-pool scoring pass (the
+    most expensive pipeline stage, per the paper's background section)
+    tractable.
 
     Parameters
     ----------
@@ -89,9 +127,23 @@ class PairFeatureExtractor:
         Pairs scored per kernel call in :meth:`transform`.  Smaller
         values bound peak memory; larger values amortise per-call
         overhead.  Overridable per ``transform`` call.
+    memory_budget:
+        Optional transient-memory target in bytes for the scoring
+        pass.  When set (and ``chunk_size`` is not explicitly given to
+        ``transform``), the effective chunk size is derived from the
+        fitted columns' mean token payload so a kernel call's scratch
+        stays within the budget.  This bounds *scoring* transients; the
+        fitted encodings themselves are compact but proportional to the
+        pool.
     """
 
-    def __init__(self, field_specs, *, chunk_size: int = _DEFAULT_CHUNK_SIZE):
+    def __init__(
+        self,
+        field_specs,
+        *,
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+        memory_budget: int | None = None,
+    ):
         self.field_specs = list(field_specs)
         if not self.field_specs:
             raise ValueError("at least one FieldSpec is required")
@@ -100,7 +152,12 @@ class PairFeatureExtractor:
             raise ValueError(f"duplicate field names in specs: {names}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte; got {memory_budget}"
+            )
         self.chunk_size = int(chunk_size)
+        self.memory_budget = memory_budget
         self._fitted = False
 
     @property
@@ -112,60 +169,90 @@ class PairFeatureExtractor:
         return [f"{spec.name}:{spec.kind}" for spec in self.field_specs]
 
     def fit(self, store_a: RecordStore, store_b: RecordStore) -> "PairFeatureExtractor":
-        """Pre-process both stores for fast pairwise comparison."""
+        """Pre-process both stores for fast pairwise comparison.
+
+        Each column is consumed through the store's chunk-iterating
+        accessors; text fields take two streaming passes (vocabulary /
+        document frequencies, then encoding) so no whole raw column is
+        ever resident.  Both passes are order-preserving and the
+        vocabulary is order-independent, so the resulting encodings are
+        bit-identical to a single in-memory pass.
+        """
         # The hot path keeps only array encodings (numeric columns and
         # CSR matrices); the per-record sets/dicts that back
-        # ``transform_reference`` are rebuilt lazily from the cached
-        # normalised strings on first use.
+        # ``transform_reference`` are rebuilt lazily from the stores on
+        # first use.
+        self._store_a = store_a
+        self._store_b = store_b
         self._columns_a = {}
         self._columns_b = {}
-        self._norm_a = {}
-        self._norm_b = {}
+        self._norm_cache_a = {}
+        self._norm_cache_b = {}
         self._reference_a = {}
         self._reference_b = {}
         self._vectorisers = {}
         self._matrix_a = {}
         self._matrix_b = {}
         for spec in self.field_specs:
-            raw_a = store_a.field_values(spec.name)
-            raw_b = store_b.field_values(spec.name)
             if spec.kind == "numeric":
-                self._columns_a[spec.name] = impute_missing_numeric(raw_a)
-                self._columns_b[spec.name] = impute_missing_numeric(raw_b)
+                self._columns_a[spec.name] = _numeric_column(store_a, spec.name)
+                self._columns_b[spec.name] = _numeric_column(store_b, spec.name)
+            elif spec.kind == "long_text":
+                # Pass 1: document frequencies over both corpora.
+                vectoriser = TfidfVectoriser()
+                vectoriser.fit(
+                    text
+                    for store in (store_a, store_b)
+                    for text in _flat_normalised(store, spec.name)
+                )
+                self._vectorisers[spec.name] = vectoriser
+                # Pass 2: per-store CSR encodings (streaming rows).
+                self._matrix_a[spec.name] = vectoriser.transform_matrix(
+                    _flat_normalised(store_a, spec.name)
+                )
+                self._matrix_b[spec.name] = vectoriser.transform_matrix(
+                    _flat_normalised(store_b, spec.name)
+                )
             else:
-                norm_a = [normalise_string(v) for v in raw_a]
-                norm_b = [normalise_string(v) for v in raw_b]
-                self._norm_a[spec.name] = norm_a
-                self._norm_b[spec.name] = norm_b
-                if spec.kind == "long_text":
-                    vectoriser = TfidfVectoriser().fit(norm_a + norm_b)
-                    self._vectorisers[spec.name] = vectoriser
-                    self._matrix_a[spec.name] = vectoriser.transform_matrix(norm_a)
-                    self._matrix_b[spec.name] = vectoriser.transform_matrix(norm_b)
-                else:
-                    # Trigram sets are computed once per record here (to
-                    # build the shared vocabulary and the encodings) and
-                    # discarded; the reference path re-derives them.
-                    sets_a = [ngrams(text) for text in norm_a]
-                    sets_b = [ngrams(text) for text in norm_b]
-                    vocabulary = build_token_vocabulary(sets_a + sets_b)
-                    self._matrix_a[spec.name] = TokenSetMatrix.from_sets(
-                        sets_a, vocabulary
-                    )
-                    self._matrix_b[spec.name] = TokenSetMatrix.from_sets(
-                        sets_b, vocabulary
-                    )
+                # Pass 1: the shared trigram vocabulary (a set union, so
+                # order-independent); pass 2 re-derives each record's
+                # trigrams and encodes them against it.
+                vocabulary = build_token_vocabulary(
+                    ngrams(text)
+                    for store in (store_a, store_b)
+                    for text in _flat_normalised(store, spec.name)
+                )
+                self._matrix_a[spec.name] = TokenSetMatrix.from_sets(
+                    (ngrams(t) for t in _flat_normalised(store_a, spec.name)),
+                    vocabulary,
+                )
+                self._matrix_b[spec.name] = TokenSetMatrix.from_sets(
+                    (ngrams(t) for t in _flat_normalised(store_b, spec.name)),
+                    vocabulary,
+                )
         self._fitted = True
         return self
 
+    def _norm_column(self, name: str, side: str) -> list[str]:
+        """Whole normalised column for the reference path (lazy)."""
+        cache = self._norm_cache_a if side == "a" else self._norm_cache_b
+        if name not in cache:
+            store = self._store_a if side == "a" else self._store_b
+            cache[name] = [normalise_string(v) for v in store.field_values(name)]
+        return cache[name]
+
     def _reference_column(self, spec: FieldSpec, side: str):
-        """Per-record sets/dicts for the reference path, built lazily."""
+        """Per-record sets/dicts for the reference path, built lazily.
+
+        Deliberately materialises whole columns — the reference scorer
+        is the small-pool parity oracle, not the out-of-core path.
+        """
         if spec.kind == "numeric":
             columns = self._columns_a if side == "a" else self._columns_b
             return columns[spec.name]
         cache = self._reference_a if side == "a" else self._reference_b
         if spec.name not in cache:
-            norm = (self._norm_a if side == "a" else self._norm_b)[spec.name]
+            norm = self._norm_column(spec.name, side)
             if spec.kind == "long_text":
                 vectoriser = self._vectorisers[spec.name]
                 cache[spec.name] = [vectoriser.transform_one(t) for t in norm]
@@ -185,39 +272,85 @@ class PairFeatureExtractor:
             raise ValueError(f"pairs must have shape (n, 2); got {pairs.shape}")
         return pairs
 
+    def budget_chunk_size(self, memory_budget: int) -> int:
+        """Pairs per kernel call that fit a transient-byte budget.
+
+        Estimates the per-pair scratch cost from the fitted columns'
+        mean row lengths (each gathered token costs sort key + scratch
+        + gather bytes) and divides the budget by it.
+        """
+        if not self._fitted:
+            raise RuntimeError("extractor must be fitted before sizing chunks")
+        if memory_budget < 1:
+            raise ValueError(f"memory_budget must be >= 1; got {memory_budget}")
+        bytes_per_pair = _PAIR_BASE_BYTES
+        for spec in self.field_specs:
+            if spec.kind == "numeric":
+                bytes_per_pair += 3 * 8  # x, y and the output gather
+                continue
+            mat_a = self._matrix_a[spec.name]
+            mat_b = self._matrix_b[spec.name]
+            mean_a = len(mat_a.indices) / max(len(mat_a), 1)
+            mean_b = len(mat_b.indices) / max(len(mat_b), 1)
+            bytes_per_pair += _TOKEN_BYTES * (mean_a + mean_b)
+        return max(1, int(memory_budget / bytes_per_pair))
+
+    def _effective_chunk(self, chunk_size: int | None) -> int:
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+            return int(chunk_size)
+        if self.memory_budget is not None:
+            return self.budget_chunk_size(self.memory_budget)
+        return self.chunk_size
+
     def transform(self, pairs, *, chunk_size: int | None = None) -> np.ndarray:
         """Feature matrix for an (n, 2) array of (index_a, index_b) pairs.
 
         Runs the vectorised kernels in chunks of ``chunk_size`` pairs
-        (instance default when None).  An empty pair list yields a
+        (falling back to the ``memory_budget``-derived size, then the
+        instance default).  An empty pair list yields a
         ``(0, n_features)`` matrix.
         """
         pairs = self._validated_pairs(pairs)
-        chunk = self.chunk_size if chunk_size is None else int(chunk_size)
-        if chunk < 1:
-            raise ValueError(f"chunk_size must be >= 1; got {chunk}")
+        chunk = self._effective_chunk(chunk_size)
         features = np.empty((len(pairs), self.n_features), dtype=float)
         for start in range(0, len(pairs), chunk):
             stop = min(start + chunk, len(pairs))
-            rows_a = pairs[start:stop, 0]
-            rows_b = pairs[start:stop, 1]
-            for col, spec in enumerate(self.field_specs):
-                if spec.kind == "numeric":
-                    features[start:stop, col] = numeric_similarity_pairs(
-                        self._columns_a[spec.name][rows_a],
-                        self._columns_b[spec.name][rows_b],
-                    )
-                elif spec.kind == "long_text":
-                    features[start:stop, col] = cosine_pairs(
-                        self._matrix_a[spec.name], rows_a,
-                        self._matrix_b[spec.name], rows_b,
-                    )
-                else:
-                    features[start:stop, col] = jaccard_pairs(
-                        self._matrix_a[spec.name], rows_a,
-                        self._matrix_b[spec.name], rows_b,
-                    )
+            self._transform_block(
+                pairs[start:stop, 0], pairs[start:stop, 1], features[start:stop]
+            )
         return features
+
+    def _transform_block(self, rows_a, rows_b, out) -> None:
+        """Score one block of pairs into a pre-allocated output view."""
+        for col, spec in enumerate(self.field_specs):
+            if spec.kind == "numeric":
+                out[:, col] = numeric_similarity_pairs(
+                    self._columns_a[spec.name][rows_a],
+                    self._columns_b[spec.name][rows_b],
+                )
+            elif spec.kind == "long_text":
+                out[:, col] = cosine_pairs(
+                    self._matrix_a[spec.name], rows_a,
+                    self._matrix_b[spec.name], rows_b,
+                )
+            else:
+                out[:, col] = jaccard_pairs(
+                    self._matrix_a[spec.name], rows_a,
+                    self._matrix_b[spec.name], rows_b,
+                )
+
+    def transform_iter(self, pair_chunks, *, chunk_size: int | None = None):
+        """Yield one feature block per (n, 2) pair chunk.
+
+        The streaming counterpart of :meth:`transform` for candidate
+        generators (:func:`~repro.pipeline.records.iter_cross_product_pairs`
+        and friends): peak memory is one pair chunk plus one kernel
+        chunk, regardless of the total candidate count.
+        """
+        for pairs in pair_chunks:
+            yield self.transform(pairs, chunk_size=chunk_size)
 
     def transform_reference(self, pairs) -> np.ndarray:
         """Per-pair scalar scoring — the original Python semantics.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pipeline.features import PairFeatureExtractor
-from repro.pipeline.records import RecordStore
+from repro.pipeline.records import BaseRecordStore as RecordStore
 
 __all__ = ["threshold_match", "ERPipeline"]
 
@@ -46,6 +46,11 @@ class ERPipeline:
         Optional override for the extractor's scoring chunk size —
         pairs scored per vectorised kernel call (memory/throughput
         trade-off for full-pool scoring passes).
+    memory_budget:
+        Optional transient-memory target in bytes for scoring passes.
+        When set and ``chunk_size`` is not, the kernel chunk size is
+        derived from the fitted extractor via
+        :meth:`PairFeatureExtractor.budget_chunk_size` after ``fit``.
     """
 
     def __init__(
@@ -56,12 +61,22 @@ class ERPipeline:
         threshold: float = 0.0,
         use_probabilities: bool = False,
         chunk_size: int | None = None,
+        memory_budget: int | None = None,
     ):
         self.extractor = extractor
         self.classifier = classifier
         self.threshold = threshold
         self.use_probabilities = use_probabilities
         self.chunk_size = chunk_size
+        self.memory_budget = memory_budget
+
+    def _scoring_chunk(self) -> int | None:
+        """Chunk size for extractor calls: explicit beats budget-derived."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.memory_budget is not None:
+            return self.extractor.budget_chunk_size(self.memory_budget)
+        return None
 
     def fit(
         self,
@@ -78,13 +93,13 @@ class ERPipeline:
         not be representative (section 2.1.1).
         """
         self.extractor.fit(store_a, store_b)
-        features = self.extractor.transform(train_pairs, chunk_size=self.chunk_size)
+        features = self.extractor.transform(
+            train_pairs, chunk_size=self._scoring_chunk()
+        )
         self.classifier.fit(features, np.asarray(train_labels))
         return self
 
-    def score_pairs(self, pairs) -> np.ndarray:
-        """Similarity scores for pairs: margins or probabilities."""
-        features = self.extractor.transform(pairs, chunk_size=self.chunk_size)
+    def _score_features(self, features: np.ndarray) -> np.ndarray:
         if self.use_probabilities:
             if not hasattr(self.classifier, "predict_proba"):
                 raise AttributeError(
@@ -93,6 +108,22 @@ class ERPipeline:
                 )
             return self.classifier.predict_proba(features)
         return self.classifier.decision_function(features)
+
+    def score_pairs(self, pairs) -> np.ndarray:
+        """Similarity scores for pairs: margins or probabilities."""
+        features = self.extractor.transform(pairs, chunk_size=self._scoring_chunk())
+        return self._score_features(features)
+
+    def score_pairs_iter(self, pair_chunks):
+        """Yield one score block per (n, 2) pair chunk.
+
+        The streaming counterpart of :meth:`score_pairs` for candidate
+        generators: peak memory is one pair chunk's features, not the
+        whole pool's.
+        """
+        chunk = self._scoring_chunk()
+        for features in self.extractor.transform_iter(pair_chunks, chunk_size=chunk):
+            yield self._score_features(features)
 
     def predict_pairs(self, pairs, scores=None) -> np.ndarray:
         """Predicted match labels for pairs (R-hat membership)."""
@@ -111,3 +142,17 @@ class ERPipeline:
             "scores": scores,
             "predictions": threshold_match(scores, self.threshold),
         }
+
+    def resolve_iter(self, pair_chunks):
+        """Streamed :meth:`resolve`: one scores/predictions dict per chunk.
+
+        Aligns with the input chunking, so a caller can stream
+        candidates from :func:`~repro.pipeline.records.iter_cross_product_pairs`
+        or a blocking scheme, score them, and keep only what it needs
+        (e.g. predicted matches) without the full pool in memory.
+        """
+        for scores in self.score_pairs_iter(pair_chunks):
+            yield {
+                "scores": scores,
+                "predictions": threshold_match(scores, self.threshold),
+            }

@@ -1,9 +1,25 @@
 """Record and pair-space abstractions.
 
-A :class:`RecordStore` is a minimal in-memory database table: a schema
-(ordered field names) plus rows.  The pair space of two stores is the
-candidate set the ER classifier scores; the :class:`MatchRelation`
-holds the ground-truth relation R (paper Definition 1).
+A record store is a minimal database table: a schema (ordered field
+names) plus rows.  Two implementations share one interface
+(:class:`BaseRecordStore`): the in-memory :class:`RecordStore` (the
+small-pool fast path) and the disk-backed
+:class:`~repro.pipeline.storage.ChunkedRecordStore` (the out-of-core
+path for pools that do not fit in RAM).  Consumers that want to stay
+memory-bounded must use the chunk-iterating column accessors
+(:meth:`BaseRecordStore.iter_field_chunks` /
+:meth:`BaseRecordStore.iter_normalised_chunks`) rather than
+:meth:`BaseRecordStore.field_values`, which materialises a whole
+column.
+
+The pair space of two stores is the candidate set the ER classifier
+scores; the :class:`MatchRelation` holds the ground-truth relation R
+(paper Definition 1).  Exact pair spaces grow as ``n_a * n_b``, so the
+eager constructors (:func:`cross_product_pairs` / :func:`dedup_pairs`)
+guard against runaway allocations and the chunked generators
+(:func:`iter_cross_product_pairs` / :func:`iter_dedup_pairs`) plus
+:func:`sample_pair_pool` cover the sizes where eager construction is
+infeasible.
 """
 
 from __future__ import annotations
@@ -12,16 +28,47 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.pipeline.normalise import normalise_string
 from repro.utils import ensure_rng
 
 __all__ = [
     "Record",
+    "BaseRecordStore",
     "RecordStore",
     "MatchRelation",
+    "PairSpaceError",
+    "DEFAULT_MAX_PAIR_ELEMENTS",
     "cross_product_pairs",
     "dedup_pairs",
+    "iter_cross_product_pairs",
+    "iter_dedup_pairs",
     "build_pair_pool",
+    "sample_pair_pool",
 ]
+
+# Default ceiling on eagerly-materialised pair spaces: 50M index pairs
+# is an ~800 MB (n, 2) int64 array — roughly the largest allocation a
+# laptop-class machine absorbs without swapping.  Beyond it the caller
+# should block approximately or sample keys directly.
+DEFAULT_MAX_PAIR_ELEMENTS = 50_000_000
+
+# Rows per yielded block in the chunked pair generators.
+_PAIR_CHUNK = 65_536
+
+# Records per yielded block in the column chunk iterators.
+_COLUMN_CHUNK = 8_192
+
+
+class PairSpaceError(ValueError):
+    """An exact pair space is too large to materialise.
+
+    Raised by :func:`cross_product_pairs` / :func:`dedup_pairs` when the
+    requested pair space exceeds the element limit.  The remedies are
+    named in the message: approximate blocking
+    (:func:`~repro.pipeline.blocking.minhash_lsh_pairs`), streaming
+    (:func:`iter_cross_product_pairs`), or direct pool sampling
+    (:func:`sample_pair_pool`).
+    """
 
 
 @dataclass(frozen=True)
@@ -39,8 +86,105 @@ class Record:
         return self.fields.get(key, default)
 
 
-class RecordStore:
-    """An ordered collection of records sharing a schema.
+class BaseRecordStore:
+    """Shared interface of the in-memory and chunked record stores.
+
+    Subclasses provide ``__len__``, ``__getitem__``, ``__iter__`` and
+    the chunk-iterating column accessor :meth:`iter_field_chunks`; the
+    base class derives whole-column access, normalised-key caching and
+    entity-id extraction from those.  Layers that must stay
+    memory-bounded consume :meth:`iter_field_chunks` /
+    :meth:`iter_normalised_chunks`; :meth:`field_values` is the
+    explicit "materialise the whole column" escape hatch for small
+    pools.
+    """
+
+    schema: tuple
+    name: str
+
+    def _check_field(self, name: str) -> None:
+        if name not in self.schema:
+            raise KeyError(f"unknown field {name!r}; schema is {self.schema}")
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Record:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def iter_field_chunks(self, name: str, chunk_size: int | None = None):
+        """Yield one field's values in record order, one list per chunk.
+
+        The memory-bounded column accessor: no layer consuming it holds
+        more than ``chunk_size`` values at once.  Subclasses backed by
+        disk shards override this to stream chunks without loading the
+        column.
+        """
+        self._check_field(name)
+        chunk = _COLUMN_CHUNK if chunk_size is None else int(chunk_size)
+        if chunk < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk}")
+        block: list = []
+        for record in self:
+            block.append(record.get(name))
+            if len(block) >= chunk:
+                yield block
+                block = []
+        if block:
+            yield block
+
+    def iter_normalised_chunks(self, name: str, chunk_size: int | None = None):
+        """Yield normalised (blocking-key) values of a field, chunk-wise.
+
+        Normalisation runs once per record per field; implementations
+        cache the result (whole-column here, per-resident-chunk in the
+        disk-backed store) so repeated blocking runs do not re-normalise.
+        """
+        keys = self.normalised_field(name)
+        chunk = _COLUMN_CHUNK if chunk_size is None else int(chunk_size)
+        for start in range(0, len(keys), chunk):
+            yield keys[start : start + chunk]
+
+    def field_values(self, name: str) -> list:
+        """All values of one field, in record order (None if missing).
+
+        Materialises the whole column — fine for small pools, wrong for
+        out-of-core ones; prefer :meth:`iter_field_chunks` in code that
+        must honour a memory budget.
+        """
+        out: list = []
+        for block in self.iter_field_chunks(name):
+            out.extend(block)
+        return out
+
+    def normalised_field(self, name: str) -> list:
+        """Normalised blocking keys of a field, cached per (store, field).
+
+        Every blocking scheme keys on :func:`normalise_string` of a
+        field; caching here means N blocking runs over one store cost
+        one normalisation pass, not N.
+        """
+        cache = getattr(self, "_normalised_cache", None)
+        if cache is None:
+            cache = {}
+            self._normalised_cache = cache
+        if name not in cache:
+            self._check_field(name)
+            cache[name] = [
+                normalise_string(value) for value in self.field_values(name)
+            ]
+        return cache[name]
+
+    def entity_ids(self) -> np.ndarray:
+        return np.array([record.entity_id for record in self], dtype=np.int64)
+
+
+class RecordStore(BaseRecordStore):
+    """An ordered in-memory collection of records sharing a schema.
 
     Acts as one database (D1 or D2 in the paper).  Field access is
     validated against the schema so malformed generators fail fast.
@@ -50,6 +194,7 @@ class RecordStore:
         self.schema = tuple(schema)
         self.name = name
         self._records: list[Record] = []
+        self._normalised_cache: dict[str, list] = {}
         if records is not None:
             for record in records:
                 self.add(record)
@@ -62,6 +207,9 @@ class RecordStore:
                 f"outside schema {self.schema}"
             )
         self._records.append(record)
+        # Appending invalidates any cached whole-column normalisation.
+        if self._normalised_cache:
+            self._normalised_cache.clear()
 
     def __len__(self) -> int:
         return len(self._records)
@@ -74,8 +222,7 @@ class RecordStore:
 
     def field_values(self, name: str) -> list:
         """All values of one field, in record order (None if missing)."""
-        if name not in self.schema:
-            raise KeyError(f"unknown field {name!r}; schema is {self.schema}")
+        self._check_field(name)
         return [record.get(name) for record in self._records]
 
     def entity_ids(self) -> np.ndarray:
@@ -99,7 +246,7 @@ class MatchRelation:
             raise ValueError("pairs and labels must have equal length")
 
     @classmethod
-    def from_entity_ids(cls, store_a: RecordStore, store_b: RecordStore, pairs):
+    def from_entity_ids(cls, store_a: BaseRecordStore, store_b: BaseRecordStore, pairs):
         """Label each pair by entity-id equality."""
         pairs = np.asarray(pairs, dtype=np.int64)
         ids_a = store_a.entity_ids()
@@ -123,21 +270,90 @@ class MatchRelation:
         return (len(self) - matches) / matches
 
 
-def cross_product_pairs(n_a: int, n_b: int) -> np.ndarray:
-    """Full pair space D1 x D2 as an (n_a * n_b, 2) index array."""
+def _check_pair_space(n_pairs: int, what: str, max_elements: int | None) -> None:
+    if max_elements is not None and n_pairs > max_elements:
+        raise PairSpaceError(
+            f"{what} holds {n_pairs:,} pairs, above the {max_elements:,}-"
+            f"element limit for eager materialisation; use approximate "
+            f"blocking (minhash_lsh_pairs), the streaming generator "
+            f"(iter_cross_product_pairs / iter_dedup_pairs), or sample "
+            f"the pool directly (sample_pair_pool). Pass "
+            f"max_elements=None to override."
+        )
+
+
+def cross_product_pairs(
+    n_a: int, n_b: int, *, max_elements: int | None = DEFAULT_MAX_PAIR_ELEMENTS
+) -> np.ndarray:
+    """Full pair space D1 x D2 as an (n_a * n_b, 2) index array.
+
+    Raises :class:`PairSpaceError` when the pair space exceeds
+    ``max_elements`` (default 50M pairs, ~800 MB) — at that size use
+    :func:`~repro.pipeline.blocking.minhash_lsh_pairs`,
+    :func:`iter_cross_product_pairs` or :func:`sample_pair_pool`
+    instead of materialising the exact space.
+    """
+    _check_pair_space(n_a * n_b, f"cross product {n_a} x {n_b}", max_elements)
     left = np.repeat(np.arange(n_a), n_b)
     right = np.tile(np.arange(n_b), n_a)
     return np.column_stack([left, right])
 
 
-def dedup_pairs(n: int) -> np.ndarray:
+def dedup_pairs(
+    n: int, *, max_elements: int | None = DEFAULT_MAX_PAIR_ELEMENTS
+) -> np.ndarray:
     """All unordered distinct pairs of a single source (deduplication).
 
     The paper treats cora deduplication as ER of a DB matched with
-    itself; the candidate space is the set of pairs i < j.
+    itself; the candidate space is the set of pairs i < j.  The same
+    ``max_elements`` guard as :func:`cross_product_pairs` applies.
     """
+    _check_pair_space(n * (n - 1) // 2, f"dedup space of {n} records", max_elements)
     i, j = np.triu_indices(n, k=1)
     return np.column_stack([i, j])
+
+
+def iter_cross_product_pairs(n_a: int, n_b: int, chunk_size: int = _PAIR_CHUNK):
+    """Stream the full pair space D1 x D2 as (chunk, 2) blocks.
+
+    The chunked counterpart of :func:`cross_product_pairs`: peak memory
+    is one block of ``chunk_size`` pairs regardless of ``n_a * n_b``.
+    Pairs arrive in the same lexicographic order the eager constructor
+    produces.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+    total = n_a * n_b
+    for start in range(0, total, chunk_size):
+        keys = np.arange(start, min(start + chunk_size, total), dtype=np.int64)
+        yield np.column_stack([keys // n_b, keys % n_b])
+
+
+def iter_dedup_pairs(n: int, chunk_size: int = _PAIR_CHUNK):
+    """Stream all unordered pairs i < j of one source as (chunk, 2) blocks.
+
+    Same order as :func:`dedup_pairs`, peak memory bounded by
+    ``chunk_size``.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+    block: list[np.ndarray] = []
+    held = 0
+    for i in range(n - 1):
+        row = np.empty((n - 1 - i, 2), dtype=np.int64)
+        row[:, 0] = i
+        row[:, 1] = np.arange(i + 1, n)
+        block.append(row)
+        held += len(row)
+        while held >= chunk_size:
+            merged = np.concatenate(block) if len(block) > 1 else block[0]
+            yield merged[:chunk_size]
+            block = [merged[chunk_size:]]
+            held = len(block[0])
+    if held:
+        merged = np.concatenate(block) if len(block) > 1 else block[0]
+        if len(merged):
+            yield merged
 
 
 def build_pair_pool(
@@ -153,6 +369,11 @@ def build_pair_pool(
     candidate set.  ``guarantee_indices`` forces specific rows (e.g.
     known matches) into the pool, mirroring pools constructed to hit a
     target match count (paper Table 2).
+
+    This operates on an already-materialised candidate array; when the
+    candidate space is the full cross product of two large stores, use
+    :func:`sample_pair_pool`, which samples pair keys directly and
+    never allocates the exact space.
     """
     pairs = np.asarray(pairs)
     n = len(pairs)
@@ -174,3 +395,60 @@ def build_pair_pool(
         chosen = np.concatenate([guaranteed, extra])
     chosen.sort()
     return pairs[chosen]
+
+
+def sample_pair_pool(
+    n_a: int,
+    n_b: int,
+    pool_size: int,
+    *,
+    guarantee_pairs=None,
+    random_state=None,
+) -> np.ndarray:
+    """Uniform pair pool from D1 x D2 without materialising the space.
+
+    Samples ``pool_size`` distinct pairs uniformly from the
+    ``n_a * n_b`` cross product by drawing integer pair keys
+    ``a * n_b + b`` with rejection — peak memory is proportional to the
+    pool, never the pair space, so pools over billion-pair spaces are
+    cheap.  ``guarantee_pairs`` (an (m, 2) array, e.g. known matches)
+    forces specific pairs into the pool, mirroring
+    :func:`build_pair_pool`'s ``guarantee_indices``.
+
+    Returns the pool sorted lexicographically (a deterministic order
+    for a given seed).
+    """
+    total = n_a * n_b
+    if pool_size > total:
+        raise ValueError(
+            f"pool_size {pool_size} exceeds the {total}-pair space"
+        )
+    rng = ensure_rng(random_state)
+    if guarantee_pairs is None:
+        guaranteed = np.empty(0, dtype=np.int64)
+    else:
+        guarantee_pairs = np.asarray(guarantee_pairs, dtype=np.int64)
+        if guarantee_pairs.ndim != 2 or guarantee_pairs.shape[1] != 2:
+            raise ValueError(
+                f"guarantee_pairs must have shape (m, 2); "
+                f"got {guarantee_pairs.shape}"
+            )
+        guaranteed = np.unique(
+            guarantee_pairs[:, 0] * n_b + guarantee_pairs[:, 1]
+        )
+        if len(guaranteed) > pool_size:
+            raise ValueError(
+                f"{len(guaranteed)} guaranteed pairs exceed pool size {pool_size}"
+            )
+    keys = guaranteed
+    while len(keys) < pool_size:
+        deficit = pool_size - len(keys)
+        # Oversample to absorb collisions; loops again if unlucky.
+        draw = rng.integers(0, total, size=int(deficit * 1.3) + 16)
+        keys = np.unique(np.concatenate([keys, draw]))
+    if len(keys) > pool_size:
+        extra = np.setdiff1d(keys, guaranteed, assume_unique=False)
+        chosen = rng.choice(extra, size=pool_size - len(guaranteed), replace=False)
+        keys = np.concatenate([guaranteed, chosen])
+        keys.sort()
+    return np.column_stack([keys // n_b, keys % n_b])

@@ -264,11 +264,13 @@ class TfidfVectoriser:
         idf = np.zeros(len(token_ids), dtype=float)
         for token, token_id in token_ids.items():
             idf[token_id] = self.idf_[token]
-        corpus = list(corpus)
-        indptr = np.zeros(len(corpus) + 1, dtype=np.int64)
+        # ``corpus`` may be any iterable (e.g. a chunked-store column
+        # stream); rows are encoded one at a time, never materialising
+        # the document list.
+        indptr: list[int] = [0]
         row_indices: list[np.ndarray] = []
         row_data: list[np.ndarray] = []
-        for row, document in enumerate(corpus):
+        for document in corpus:
             ids: list[int] = []
             tfs: list[float] = []
             for token, count in Counter(document.split()).items():
@@ -284,14 +286,16 @@ class TfidfVectoriser:
             norm = math.sqrt(float(np.dot(weights, weights)))
             if norm > 0:
                 weights = weights / norm
-            indptr[row + 1] = indptr[row] + len(ids_arr)
+            indptr.append(indptr[-1] + len(ids_arr))
             row_indices.append(ids_arr)
             row_data.append(weights)
         indices = (
             np.concatenate(row_indices) if row_indices else np.empty(0, np.int64)
         )
         data = np.concatenate(row_data) if row_data else np.empty(0, float)
-        return SparseVectorMatrix(indptr, indices, data, len(token_ids))
+        return SparseVectorMatrix(
+            np.asarray(indptr, dtype=np.int64), indices, data, len(token_ids)
+        )
 
 
 def cosine_tfidf_similarity(a: str, b: str, vectoriser: TfidfVectoriser) -> float:
@@ -365,18 +369,23 @@ class TokenSetMatrix:
 
     @classmethod
     def from_sets(cls, token_sets, vocabulary: dict[str, int]) -> "TokenSetMatrix":
-        """Encode per-record token sets; tokens outside the vocabulary drop."""
-        indptr = np.zeros(len(token_sets) + 1, dtype=np.int64)
+        """Encode per-record token sets; tokens outside the vocabulary drop.
+
+        ``token_sets`` may be any iterable (a list, or a streaming
+        generator over a chunked column) — rows are encoded one at a
+        time and only the CSR arrays are retained.
+        """
+        indptr: list[int] = [0]
         rows: list[np.ndarray] = []
-        for i, tokens in enumerate(token_sets):
+        for tokens in token_sets:
             ids = np.asarray(
                 [vocabulary[t] for t in tokens if t in vocabulary], dtype=np.int64
             )
             ids.sort()
             rows.append(ids)
-            indptr[i + 1] = indptr[i] + len(ids)
+            indptr.append(indptr[-1] + len(ids))
         indices = np.concatenate(rows) if rows else np.empty(0, np.int64)
-        return cls(indptr, indices, len(vocabulary))
+        return cls(np.asarray(indptr, dtype=np.int64), indices, len(vocabulary))
 
     def __len__(self) -> int:
         return len(self.indptr) - 1

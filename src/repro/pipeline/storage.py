@@ -1,0 +1,368 @@
+"""Disk-backed columnar record storage for out-of-core pools.
+
+A :class:`ChunkedRecordStore` holds a record table as fixed-size
+columnar chunks on disk — one ``chunk-%08d.npz`` shard per
+``chunk_size`` records plus a ``manifest.json`` — and loads chunks
+lazily behind a small LRU cache, so a million-record pool costs a few
+chunks of resident memory rather than the whole table.  Shards are
+written with the same atomic-write idiom as the experiment checkpoint
+store (:class:`~repro.experiments.persistence.TrialStore`): a reader
+observes each shard either absent or complete, never torn.
+
+The store implements the shared
+:class:`~repro.pipeline.records.BaseRecordStore` interface, so every
+pipeline layer that consumes the chunk-iterating column accessors
+(:class:`~repro.pipeline.features.PairFeatureExtractor`, the blocking
+schemes) works identically — and, by the chunk-invariance test suite,
+bit-identically — over in-memory and disk-backed pools.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.pipeline.normalise import normalise_string
+from repro.pipeline.records import BaseRecordStore, Record
+from repro.utils import atomic_write_bytes, atomic_write_text
+
+__all__ = ["ChunkedRecordStore", "ChunkedStoreWriter"]
+
+_MANIFEST = "manifest.json"
+_CHUNK_FORMAT = "chunk-{index:08d}.npz"
+_DEFAULT_CHUNK_SIZE = 8_192
+_DEFAULT_CACHE_CHUNKS = 4
+
+
+def _chunk_payload(schema, record_ids, entity_ids, columns) -> bytes:
+    """Serialise one chunk's columns into npz bytes."""
+    arrays = {
+        "record_ids": np.asarray(record_ids, dtype=np.int64),
+        "entity_ids": np.asarray(entity_ids, dtype=np.int64),
+    }
+    for name in schema:
+        arrays[f"field_{name}"] = np.asarray(columns[name], dtype=object)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+class ChunkedStoreWriter:
+    """Streaming writer: append records, flush columnar chunks to disk.
+
+    Accumulates at most ``chunk_size`` records in memory; each full
+    chunk is serialised to an npz shard and atomically renamed into
+    place, so generators can stream arbitrarily large pools through a
+    bounded buffer.  :meth:`close` writes the trailing partial chunk
+    and the manifest, and returns the opened
+    :class:`ChunkedRecordStore`.
+    """
+
+    def __init__(
+        self,
+        directory,
+        schema,
+        *,
+        name: str = "db",
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    ):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.schema = tuple(schema)
+        self.name = name
+        self.chunk_size = int(chunk_size)
+        self._record_ids: list[int] = []
+        self._entity_ids: list[int] = []
+        self._columns: dict[str, list] = {f: [] for f in self.schema}
+        self._n_records = 0
+        self._n_chunks = 0
+        self._closed = False
+
+    def append(self, record: Record) -> None:
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        extra = set(record.fields) - set(self.schema)
+        if extra:
+            raise ValueError(
+                f"record {record.record_id} has fields {sorted(extra)} "
+                f"outside schema {self.schema}"
+            )
+        self._record_ids.append(record.record_id)
+        self._entity_ids.append(record.entity_id)
+        for name in self.schema:
+            self._columns[name].append(record.get(name))
+        self._n_records += 1
+        if len(self._record_ids) >= self.chunk_size:
+            self._flush_chunk()
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def _flush_chunk(self) -> None:
+        if not self._record_ids:
+            return
+        payload = _chunk_payload(
+            self.schema, self._record_ids, self._entity_ids, self._columns
+        )
+        path = self.directory / _CHUNK_FORMAT.format(index=self._n_chunks)
+        atomic_write_bytes(path, payload)
+        self._n_chunks += 1
+        self._record_ids = []
+        self._entity_ids = []
+        self._columns = {f: [] for f in self.schema}
+
+    def close(self) -> "ChunkedRecordStore":
+        """Flush the trailing chunk, write the manifest, open the store."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._flush_chunk()
+        manifest = {
+            "version": 1,
+            "name": self.name,
+            "schema": list(self.schema),
+            "chunk_size": self.chunk_size,
+            "n_records": self._n_records,
+            "n_chunks": self._n_chunks,
+        }
+        atomic_write_text(
+            self.directory / _MANIFEST,
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+        self._closed = True
+        return ChunkedRecordStore(self.directory)
+
+
+class _ResidentChunk:
+    """One loaded chunk: its column arrays plus lazy normalised text."""
+
+    __slots__ = ("record_ids", "entity_ids", "columns", "normalised")
+
+    def __init__(self, record_ids, entity_ids, columns):
+        self.record_ids = record_ids
+        self.entity_ids = entity_ids
+        self.columns = columns
+        self.normalised: dict[str, list] = {}
+
+
+class ChunkedRecordStore(BaseRecordStore):
+    """A record store backed by columnar npz chunks on disk.
+
+    Implements the same interface as the in-memory
+    :class:`~repro.pipeline.records.RecordStore` but keeps at most
+    ``cache_chunks`` chunks resident (LRU), so peak memory is
+    ``O(cache_chunks * chunk_size)`` records regardless of pool size.
+    Normalised blocking keys are cached per resident chunk — eviction
+    bounds that cache too — and :meth:`entity_ids` caches only the
+    compact int64 array (8 bytes per record).
+
+    Parameters
+    ----------
+    directory:
+        A directory previously written by :class:`ChunkedStoreWriter`
+        (or the :meth:`create` / :meth:`from_store` conveniences).
+    cache_chunks:
+        Resident-chunk budget of the LRU cache.
+    """
+
+    def __init__(self, directory, *, cache_chunks: int = _DEFAULT_CACHE_CHUNKS):
+        if cache_chunks < 1:
+            raise ValueError(f"cache_chunks must be >= 1; got {cache_chunks}")
+        self.directory = Path(directory)
+        manifest_path = self.directory / _MANIFEST
+        if not manifest_path.is_file():
+            raise FileNotFoundError(
+                f"{manifest_path} not found; not a chunked record store"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("version") != 1:
+            raise ValueError(
+                f"unsupported chunked-store version {manifest.get('version')!r}"
+            )
+        self.schema = tuple(manifest["schema"])
+        self.name = manifest["name"]
+        self.chunk_size = int(manifest["chunk_size"])
+        self._n_records = int(manifest["n_records"])
+        self._n_chunks = int(manifest["n_chunks"])
+        self.cache_chunks = int(cache_chunks)
+        self._cache: OrderedDict[int, _ResidentChunk] = OrderedDict()
+        self._entity_ids: np.ndarray | None = None
+
+    # -- construction conveniences ------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory,
+        schema,
+        records,
+        *,
+        name: str = "db",
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+        cache_chunks: int = _DEFAULT_CACHE_CHUNKS,
+    ) -> "ChunkedRecordStore":
+        """Stream ``records`` (any iterable) into a new on-disk store."""
+        writer = ChunkedStoreWriter(
+            directory, schema, name=name, chunk_size=chunk_size
+        )
+        writer.extend(records)
+        store = writer.close()
+        store.cache_chunks = int(cache_chunks)
+        return store
+
+    @classmethod
+    def from_store(
+        cls,
+        directory,
+        store: BaseRecordStore,
+        *,
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+        cache_chunks: int = _DEFAULT_CACHE_CHUNKS,
+    ) -> "ChunkedRecordStore":
+        """Spill an existing store to disk chunk by chunk."""
+        return cls.create(
+            directory,
+            store.schema,
+            iter(store),
+            name=store.name,
+            chunk_size=chunk_size,
+            cache_chunks=cache_chunks,
+        )
+
+    # -- chunk access --------------------------------------------------
+
+    @property
+    def n_chunks(self) -> int:
+        return self._n_chunks
+
+    def _load_chunk(self, index: int) -> _ResidentChunk:
+        if index in self._cache:
+            self._cache.move_to_end(index)
+            return self._cache[index]
+        path = self.directory / _CHUNK_FORMAT.format(index=index)
+        with np.load(path, allow_pickle=True) as payload:
+            chunk = _ResidentChunk(
+                payload["record_ids"],
+                payload["entity_ids"],
+                {name: payload[f"field_{name}"] for name in self.schema},
+            )
+        self._cache[index] = chunk
+        while len(self._cache) > self.cache_chunks:
+            self._cache.popitem(last=False)
+        return chunk
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    def __getitem__(self, index: int) -> Record:
+        if index < 0:
+            index += self._n_records
+        if not 0 <= index < self._n_records:
+            raise IndexError(f"record index {index} out of range")
+        chunk = self._load_chunk(index // self.chunk_size)
+        offset = index % self.chunk_size
+        return Record(
+            record_id=int(chunk.record_ids[offset]),
+            entity_id=int(chunk.entity_ids[offset]),
+            fields={
+                name: chunk.columns[name][offset]
+                for name in self.schema
+                if chunk.columns[name][offset] is not None
+            },
+        )
+
+    def __iter__(self):
+        for chunk_index in range(self._n_chunks):
+            chunk = self._load_chunk(chunk_index)
+            for offset in range(len(chunk.record_ids)):
+                yield Record(
+                    record_id=int(chunk.record_ids[offset]),
+                    entity_id=int(chunk.entity_ids[offset]),
+                    fields={
+                        name: chunk.columns[name][offset]
+                        for name in self.schema
+                        if chunk.columns[name][offset] is not None
+                    },
+                )
+
+    # -- columnar access ----------------------------------------------
+
+    def _iter_native_chunks(self, name: str, *, normalised: bool):
+        """Yield one list per on-disk chunk, optionally normalised."""
+        self._check_field(name)
+        for chunk_index in range(self._n_chunks):
+            chunk = self._load_chunk(chunk_index)
+            if not normalised:
+                yield list(chunk.columns[name])
+                continue
+            if name not in chunk.normalised:
+                chunk.normalised[name] = [
+                    normalise_string(value) for value in chunk.columns[name]
+                ]
+            yield chunk.normalised[name]
+
+    @staticmethod
+    def _rechunk(blocks, chunk_size: int | None):
+        """Re-slice native chunk blocks into ``chunk_size``-sized lists."""
+        if chunk_size is None:
+            yield from blocks
+            return
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+        buffer: list = []
+        for block in blocks:
+            buffer.extend(block)
+            while len(buffer) >= chunk_size:
+                yield buffer[:chunk_size]
+                buffer = buffer[chunk_size:]
+        if buffer:
+            yield buffer
+
+    def iter_field_chunks(self, name: str, chunk_size: int | None = None):
+        """Stream one field's values chunk-wise from disk."""
+        yield from self._rechunk(
+            self._iter_native_chunks(name, normalised=False), chunk_size
+        )
+
+    def iter_normalised_chunks(self, name: str, chunk_size: int | None = None):
+        """Stream normalised blocking keys chunk-wise from disk.
+
+        Normalised text is cached on the resident chunk, so the LRU
+        budget bounds this cache exactly like the raw columns.
+        """
+        yield from self._rechunk(
+            self._iter_native_chunks(name, normalised=True), chunk_size
+        )
+
+    def normalised_field(self, name: str) -> list:
+        """Whole-column normalised keys, materialised but never cached.
+
+        The disk-backed store deliberately keeps no whole-column caches
+        (that would defeat the resident-memory bound); exact blocking
+        schemes that need the full key list pay the materialisation on
+        every call, which is why they are the small-pool oracle and
+        :func:`~repro.pipeline.blocking.minhash_lsh_pairs` (which
+        consumes :meth:`iter_normalised_chunks`) is the at-scale path.
+        """
+        out: list = []
+        for block in self._iter_native_chunks(name, normalised=True):
+            out.extend(block)
+        return out
+
+    def entity_ids(self) -> np.ndarray:
+        if self._entity_ids is None:
+            parts = [
+                self._load_chunk(i).entity_ids for i in range(self._n_chunks)
+            ]
+            self._entity_ids = (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=np.int64)
+            ).astype(np.int64, copy=False)
+        return self._entity_ids

@@ -1,6 +1,12 @@
 """Shared utilities: RNG handling, numeric transforms, validation, IO."""
 
 from repro.utils.io import atomic_write_bytes, atomic_write_text, fsync_directory
+from repro.utils.memory import (
+    PeakRssTracker,
+    current_rss_bytes,
+    peak_rss_high_water_bytes,
+    rss_supported,
+)
 from repro.utils.random import (
     ensure_rng,
     rng_from_state_dict,
@@ -21,6 +27,10 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
+    "PeakRssTracker",
+    "current_rss_bytes",
+    "peak_rss_high_water_bytes",
+    "rss_supported",
     "ensure_rng",
     "rng_state_dict",
     "rng_from_state_dict",

@@ -1,0 +1,143 @@
+"""Process-memory measurement with layered, optional backends.
+
+The scale-ladder benchmark reports peak resident set size (RSS) per
+rung.  ``psutil`` is the preferred backend but deliberately an
+*optional* dependency; without it the module falls back to
+``/proc/self/statm`` (Linux) and finally to
+``resource.getrusage(...).ru_maxrss``.  When no backend exists (exotic
+platforms), measurement degrades gracefully: :func:`rss_supported`
+returns False and trackers report ``None`` instead of raising, so
+benchmarks still run — they just cannot assert memory bounds.
+
+``ru_maxrss`` is a process-lifetime high-water mark, so it cannot
+bracket a single phase; :class:`PeakRssTracker` therefore samples
+current RSS from a daemon thread while the measured block runs, and
+only falls back to ``ru_maxrss`` when no sampling backend is available.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only where psutil is installed
+    import psutil
+except ImportError:  # pragma: no cover
+    psutil = None
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+__all__ = [
+    "current_rss_bytes",
+    "peak_rss_high_water_bytes",
+    "rss_supported",
+    "PeakRssTracker",
+]
+
+_STATM = Path("/proc/self/statm")
+_PAGE_SIZE = 4096
+try:
+    import os
+
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover
+    pass
+
+
+def current_rss_bytes() -> int | None:
+    """Current resident set size in bytes, or None if unmeasurable.
+
+    Backend order: psutil (if installed), then ``/proc/self/statm``.
+    """
+    if psutil is not None:  # pragma: no cover - optional dependency
+        try:
+            return int(psutil.Process().memory_info().rss)
+        except Exception:
+            pass
+    try:
+        fields = _STATM.read_text().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def peak_rss_high_water_bytes() -> int | None:
+    """Process-lifetime peak RSS via ``getrusage``, or None.
+
+    Linux reports ``ru_maxrss`` in KiB; this is a whole-process
+    high-water mark, useful as a last-resort ceiling when sampling is
+    unavailable.
+    """
+    if resource is None:  # pragma: no cover
+        return None
+    try:
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except Exception:  # pragma: no cover
+        return None
+
+
+def rss_supported() -> bool:
+    """True when some backend can measure current RSS right now."""
+    return current_rss_bytes() is not None
+
+
+class PeakRssTracker:
+    """Samples RSS from a background thread to find a block's peak.
+
+    Usage::
+
+        with PeakRssTracker() as tracker:
+            run_the_memory_hungry_thing()
+        print(tracker.peak_bytes)   # None when no backend exists
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples.  The default (20 ms) bounds the error
+        on sustained allocations while keeping overhead negligible.
+    """
+
+    def __init__(self, interval: float = 0.02):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0; got {interval}")
+        self.interval = float(interval)
+        self.peak_bytes: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._sampling = False
+
+    def _sample(self) -> None:
+        rss = current_rss_bytes()
+        if rss is not None and (self.peak_bytes is None or rss > self.peak_bytes):
+            self.peak_bytes = rss
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._sample()
+            time.sleep(self.interval)
+
+    def __enter__(self) -> "PeakRssTracker":
+        self._stop.clear()
+        self.peak_bytes = None
+        self._sampling = rss_supported()
+        if self._sampling:
+            self._sample()
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._sampling:
+            self._sample()
+        elif self.peak_bytes is None:
+            # No sampling backend: fall back to the lifetime high-water
+            # mark so callers still get *an* upper bound where possible.
+            self.peak_bytes = peak_rss_high_water_bytes()

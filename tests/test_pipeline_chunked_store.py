@@ -1,0 +1,237 @@
+"""Tests for the disk-backed chunked record store.
+
+The load-bearing property is *backend transparency*: every pipeline
+layer must produce bit-identical output whether a pool lives in memory
+or in npz chunks on disk, for every chunk size.  The suites here prove
+the store round-trips records exactly, honours its LRU residency
+budget, and that blocking and feature extraction cannot tell the
+backends apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    ChunkedRecordStore,
+    ChunkedStoreWriter,
+    FieldSpec,
+    PairFeatureExtractor,
+    Record,
+    RecordStore,
+    minhash_lsh_pairs,
+    token_blocking_pairs,
+)
+
+SCHEMA = ("name", "description", "price")
+
+
+def make_records(n, seed=0):
+    rng = np.random.default_rng(seed)
+    words = ["acme", "zenith", "polar", "stellar", "rocket", "lamp", "fridge"]
+    records = []
+    for i in range(n):
+        fields = {
+            "name": " ".join(rng.choice(words, size=3)),
+            "description": " ".join(rng.choice(words, size=6)),
+            "price": round(float(rng.uniform(1, 500)), 2),
+        }
+        if rng.random() < 0.1:
+            del fields["price"]  # exercise missing values
+        records.append(Record(record_id=i, entity_id=i % 7, fields=fields))
+    return records
+
+
+def memory_store(records, name="db"):
+    store = RecordStore(SCHEMA, name=name)
+    for record in records:
+        store.add(record)
+    return store
+
+
+@pytest.fixture
+def records():
+    return make_records(100)
+
+
+class TestRoundTrip:
+    def test_records_identical(self, records, tmp_path):
+        store = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=16
+        )
+        assert len(store) == len(records)
+        for original, loaded in zip(records, store):
+            assert loaded.record_id == original.record_id
+            assert loaded.entity_id == original.entity_id
+            assert loaded.fields == original.fields
+
+    def test_getitem_and_negative_index(self, records, tmp_path):
+        store = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=16
+        )
+        assert store[5].record_id == records[5].record_id
+        assert store[-1].record_id == records[-1].record_id
+        with pytest.raises(IndexError):
+            store[len(records)]
+
+    def test_from_store_preserves_name_and_schema(self, records, tmp_path):
+        source = memory_store(records, name="pool-a")
+        store = ChunkedRecordStore.from_store(
+            tmp_path / "db", source, chunk_size=32
+        )
+        assert store.name == "pool-a"
+        assert store.schema == source.schema
+
+    def test_missing_fields_stay_missing(self, tmp_path):
+        records = [
+            Record(0, 0, {"name": "a", "price": 1.0}),
+            Record(1, 1, {"name": "b"}),
+        ]
+        store = ChunkedRecordStore.create(tmp_path / "db", SCHEMA, records)
+        assert "price" not in store[1].fields
+        assert store.field_values("price") == [1.0, None]
+
+    def test_entity_ids_cached_and_exact(self, records, tmp_path):
+        store = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=16
+        )
+        expected = np.array([r.entity_id for r in records], dtype=np.int64)
+        np.testing.assert_array_equal(store.entity_ids(), expected)
+        assert store.entity_ids() is store.entity_ids()  # cached array
+
+    def test_empty_store(self, tmp_path):
+        store = ChunkedRecordStore.create(tmp_path / "db", SCHEMA, [])
+        assert len(store) == 0
+        assert list(store) == []
+        assert store.entity_ids().shape == (0,)
+
+
+class TestWriter:
+    def test_chunk_size_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ChunkedStoreWriter(tmp_path / "db", SCHEMA, chunk_size=0)
+
+    def test_schema_violation_raises(self, tmp_path):
+        writer = ChunkedStoreWriter(tmp_path / "db", SCHEMA)
+        with pytest.raises(ValueError, match="outside schema"):
+            writer.append(Record(0, 0, {"bogus": 1}))
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = ChunkedStoreWriter(tmp_path / "db", SCHEMA)
+        writer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            writer.append(Record(0, 0, {"name": "x"}))
+        with pytest.raises(RuntimeError, match="closed"):
+            writer.close()
+
+    def test_chunk_files_on_disk(self, records, tmp_path):
+        ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=16
+        )
+        shards = sorted((tmp_path / "db").glob("chunk-*.npz"))
+        assert len(shards) == -(-len(records) // 16)
+
+    def test_open_without_manifest_raises(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            ChunkedRecordStore(tmp_path / "db")
+
+
+class TestResidency:
+    def test_lru_cache_bounded(self, records, tmp_path):
+        store = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=10, cache_chunks=2
+        )
+        for record in store:  # touch every chunk
+            pass
+        assert len(store._cache) <= 2
+
+    def test_cache_chunks_validated(self, records, tmp_path):
+        directory = tmp_path / "db"
+        ChunkedRecordStore.create(directory, SCHEMA, records)
+        with pytest.raises(ValueError, match="cache_chunks"):
+            ChunkedRecordStore(directory, cache_chunks=0)
+
+    def test_normalised_cache_lives_on_resident_chunks(self, records, tmp_path):
+        store = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=10, cache_chunks=2
+        )
+        list(store.iter_normalised_chunks("name"))
+        # Only resident chunks may carry a normalisation cache.
+        assert all("name" in c.normalised for c in store._cache.values())
+        assert len(store._cache) <= 2
+
+
+class TestChunkSizeInvariance:
+    """Every consumer is bit-identical for every chunk size."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 16, 64, 1000])
+    def test_column_iteration_matches_memory(self, records, tmp_path, chunk_size):
+        mem = memory_store(records)
+        disk = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=chunk_size
+        )
+        for field in SCHEMA:
+            assert disk.field_values(field) == mem.field_values(field)
+            assert disk.normalised_field(field) == mem.normalised_field(field)
+
+    @pytest.mark.parametrize("rechunk", [None, 1, 7, 500])
+    def test_rechunked_iteration_flattens_identically(
+        self, records, tmp_path, rechunk
+    ):
+        disk = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=16
+        )
+        flat = [
+            v for block in disk.iter_field_chunks("name", rechunk) for v in block
+        ]
+        assert flat == disk.field_values("name")
+        if rechunk is not None:
+            sizes = [
+                len(b) for b in disk.iter_field_chunks("name", rechunk)
+            ]
+            assert all(s == rechunk for s in sizes[:-1])
+
+    @pytest.mark.parametrize("chunk_size", [5, 17, 64])
+    def test_blocking_backend_parity(self, records, tmp_path, chunk_size):
+        mem = memory_store(records)
+        disk = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=chunk_size
+        )
+        np.testing.assert_array_equal(
+            token_blocking_pairs(mem, mem, "name"),
+            token_blocking_pairs(disk, disk, "name"),
+        )
+        np.testing.assert_array_equal(
+            minhash_lsh_pairs(mem, mem, "name", seed=3),
+            minhash_lsh_pairs(disk, disk, "name", seed=3),
+        )
+
+    @pytest.mark.parametrize("chunk_size", [7, 33, 256])
+    def test_scoring_bit_identical_for_every_chunk_size(
+        self, records, tmp_path, chunk_size
+    ):
+        """The tentpole guarantee: features off disk == features off RAM."""
+        mem = memory_store(records)
+        disk = ChunkedRecordStore.create(
+            tmp_path / "db", SCHEMA, records, chunk_size=chunk_size
+        )
+        specs = [
+            FieldSpec("name", "short_text"),
+            FieldSpec("description", "long_text"),
+            FieldSpec("price", "numeric"),
+        ]
+        rng = np.random.default_rng(0)
+        pairs = np.column_stack(
+            [
+                rng.integers(0, len(records), 300),
+                rng.integers(0, len(records), 300),
+            ]
+        )
+        reference = PairFeatureExtractor(specs).fit(mem, mem).transform(pairs)
+        for transform_chunk in (32, 301):
+            features = (
+                PairFeatureExtractor(specs, chunk_size=transform_chunk)
+                .fit(disk, disk)
+                .transform(pairs)
+            )
+            np.testing.assert_array_equal(features, reference)

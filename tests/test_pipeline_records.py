@@ -5,11 +5,15 @@ import pytest
 
 from repro.pipeline import (
     MatchRelation,
+    PairSpaceError,
     Record,
     RecordStore,
     build_pair_pool,
     cross_product_pairs,
     dedup_pairs,
+    iter_cross_product_pairs,
+    iter_dedup_pairs,
+    sample_pair_pool,
 )
 
 
@@ -130,3 +134,142 @@ class TestBuildPairPool:
         a = build_pair_pool(pairs, 10, random_state=5)
         b = build_pair_pool(pairs, 10, random_state=5)
         np.testing.assert_array_equal(a, b)
+
+
+class TestPairSpaceGuards:
+    def test_cross_product_guard_names_the_alternatives(self):
+        with pytest.raises(PairSpaceError, match="minhash_lsh_pairs"):
+            cross_product_pairs(100_000, 100_000)
+        with pytest.raises(PairSpaceError, match="sample_pair_pool"):
+            cross_product_pairs(100_000, 100_000)
+
+    def test_dedup_guard(self):
+        with pytest.raises(PairSpaceError, match="iter_dedup_pairs"):
+            dedup_pairs(500_000)
+
+    def test_guard_is_configurable(self):
+        with pytest.raises(PairSpaceError):
+            cross_product_pairs(10, 10, max_elements=99)
+        assert len(cross_product_pairs(10, 10, max_elements=100)) == 100
+
+    def test_none_disables_the_guard(self):
+        assert len(cross_product_pairs(300, 400, max_elements=None)) == 120_000
+
+    def test_guard_is_a_value_error(self):
+        # Callers that already catch ValueError keep working.
+        with pytest.raises(ValueError):
+            cross_product_pairs(100_000, 100_000)
+
+
+class TestStreamingPairSpaces:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 10_000])
+    def test_cross_product_stream_matches_eager(self, chunk_size):
+        eager = cross_product_pairs(13, 9)
+        streamed = np.concatenate(
+            list(iter_cross_product_pairs(13, 9, chunk_size))
+        )
+        np.testing.assert_array_equal(streamed, eager)
+
+    @pytest.mark.parametrize("chunk_size", [1, 5, 64, 10_000])
+    def test_dedup_stream_matches_eager(self, chunk_size):
+        eager = dedup_pairs(17)
+        streamed = np.concatenate(list(iter_dedup_pairs(17, chunk_size)))
+        np.testing.assert_array_equal(streamed, eager)
+
+    def test_stream_block_sizes_bounded(self):
+        blocks = list(iter_cross_product_pairs(20, 20, 64))
+        assert all(len(b) <= 64 for b in blocks)
+        assert all(len(b) == 64 for b in blocks[:-1])
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(iter_cross_product_pairs(2, 2, 0))
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(iter_dedup_pairs(4, 0))
+
+    def test_streams_a_guarded_size(self):
+        """The generator happily walks a space the eager path refuses."""
+        with pytest.raises(PairSpaceError):
+            cross_product_pairs(60_000, 60_000)
+        first = next(iter_cross_product_pairs(60_000, 60_000, 4))
+        np.testing.assert_array_equal(
+            first, [[0, 0], [0, 1], [0, 2], [0, 3]]
+        )
+
+
+class TestSamplePairPool:
+    def test_distinct_in_range_sorted(self):
+        pool = sample_pair_pool(1_000, 2_000, 500, random_state=0)
+        assert pool.shape == (500, 2)
+        keys = pool[:, 0] * 2_000 + pool[:, 1]
+        assert len(np.unique(keys)) == 500
+        assert np.all(np.diff(keys) > 0)
+        assert pool[:, 0].max() < 1_000 and pool[:, 1].max() < 2_000
+
+    def test_never_materialises_the_space(self):
+        # 3.6e9-pair space; the pool is tiny and fast.
+        pool = sample_pair_pool(60_000, 60_000, 100, random_state=1)
+        assert len(pool) == 100
+
+    def test_guaranteed_pairs_included(self):
+        wanted = np.array([[7, 8], [0, 0]])
+        pool = sample_pair_pool(
+            50, 50, 10, guarantee_pairs=wanted, random_state=2
+        )
+        pool_set = {tuple(p) for p in pool}
+        assert (7, 8) in pool_set and (0, 0) in pool_set
+
+    def test_pool_size_exceeding_space_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            sample_pair_pool(3, 3, 10)
+
+    def test_too_many_guarantees_raise(self):
+        with pytest.raises(ValueError, match="exceed pool size"):
+            sample_pair_pool(
+                50, 50, 2, guarantee_pairs=[[0, 0], [1, 1], [2, 2]]
+            )
+
+    def test_deterministic_given_seed(self):
+        a = sample_pair_pool(100, 100, 40, random_state=9)
+        b = sample_pair_pool(100, 100, 40, random_state=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBaseStoreAccessors:
+    def test_normalised_field_cached_per_store_and_field(self):
+        store = RecordStore(("f",))
+        store.add(Record(0, 0, {"f": "  Mixed CASE  "}))
+        first = store.normalised_field("f")
+        assert first == ["mixed case"]
+        assert store.normalised_field("f") is first  # cached list
+
+    def test_append_invalidates_normalised_cache(self):
+        store = RecordStore(("f",))
+        store.add(Record(0, 0, {"f": "A"}))
+        assert store.normalised_field("f") == ["a"]
+        store.add(Record(1, 1, {"f": "B"}))
+        assert store.normalised_field("f") == ["a", "b"]
+
+    def test_iter_field_chunks_bounded_and_complete(self):
+        store = make_store(list(range(10)))
+        blocks = list(store.iter_field_chunks("f", 3))
+        assert [len(b) for b in blocks] == [3, 3, 3, 1]
+        assert [v for b in blocks for v in b] == store.field_values("f")
+
+    def test_iter_normalised_chunks_match_whole_column(self):
+        store = RecordStore(("f",))
+        for i, text in enumerate(["Alpha", None, "  beta "]):
+            fields = {} if text is None else {"f": text}
+            store.add(Record(i, i, fields))
+        flat = [v for b in store.iter_normalised_chunks("f", 2) for v in b]
+        assert flat == store.normalised_field("f") == ["alpha", "", "beta"]
+
+    def test_chunk_size_validated(self):
+        store = make_store([1])
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(store.iter_field_chunks("f", 0))
+
+    def test_unknown_field_raises(self):
+        store = make_store([1])
+        with pytest.raises(KeyError, match="unknown field"):
+            next(store.iter_field_chunks("nope"))

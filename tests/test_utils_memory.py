@@ -1,0 +1,94 @@
+"""Tests for the layered RSS-measurement utilities.
+
+On the Linux CI/dev machines a backend always exists (psutil or
+``/proc/self/statm``), so the happy paths assert real measurements; the
+degraded paths are exercised by monkeypatching every backend away and
+checking that everything reports None instead of raising — the
+contract that lets the scale benchmark run on platforms it cannot
+meter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import memory
+from repro.utils.memory import (
+    PeakRssTracker,
+    current_rss_bytes,
+    peak_rss_high_water_bytes,
+    rss_supported,
+)
+
+
+class TestBackends:
+    def test_current_rss_positive_here(self):
+        rss = current_rss_bytes()
+        assert rss is not None and rss > 1024 * 1024
+
+    def test_high_water_at_least_current(self):
+        high = peak_rss_high_water_bytes()
+        rss = current_rss_bytes()
+        assert high is not None
+        assert high >= rss * 0.5  # same order; high-water can't be tiny
+
+    def test_supported_here(self):
+        assert rss_supported()
+
+    def test_statm_fallback_without_psutil(self, monkeypatch):
+        monkeypatch.setattr(memory, "psutil", None)
+        rss = current_rss_bytes()
+        assert rss is not None and rss > 1024 * 1024
+
+
+class TestTracker:
+    def test_tracks_an_allocation(self):
+        baseline = current_rss_bytes()
+        with PeakRssTracker(interval=0.001) as tracker:
+            ballast = np.ones(8 * 1024 * 1024, dtype=np.float64)  # 64 MB
+            ballast[::4096] += 1  # touch pages
+        assert tracker.peak_bytes is not None
+        assert tracker.peak_bytes >= baseline
+        del ballast
+
+    def test_reusable_and_resets_peak(self):
+        tracker = PeakRssTracker(interval=0.001)
+        with tracker:
+            pass
+        first = tracker.peak_bytes
+        with tracker:
+            pass
+        assert first is not None and tracker.peak_bytes is not None
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            PeakRssTracker(interval=0)
+
+    def test_peak_none_until_entered(self):
+        assert PeakRssTracker().peak_bytes is None
+
+
+class TestGracefulDegradation:
+    @pytest.fixture
+    def no_backends(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(memory, "psutil", None)
+        monkeypatch.setattr(memory, "_STATM", tmp_path / "absent")
+        return monkeypatch
+
+    def test_current_rss_none(self, no_backends):
+        assert current_rss_bytes() is None
+        assert not rss_supported()
+
+    def test_tracker_falls_back_to_high_water(self, no_backends):
+        with PeakRssTracker(interval=0.001) as tracker:
+            pass
+        # getrusage still exists on this platform, so the tracker
+        # degrades to the lifetime high-water mark rather than None.
+        assert tracker.peak_bytes == peak_rss_high_water_bytes()
+
+    def test_tracker_reports_none_with_nothing_at_all(
+        self, no_backends, monkeypatch
+    ):
+        monkeypatch.setattr(memory, "resource", None)
+        with PeakRssTracker(interval=0.001) as tracker:
+            pass
+        assert tracker.peak_bytes is None
