@@ -5,10 +5,14 @@ numbers compare like with like on whatever machine runs the suite:
 
 * **Journalling is nearly free.**  A session journalling through the
   group-commit WAL completes the same label budget within
-  ``SERVICE_BENCH_MAX_OVERHEAD`` (default 1.5x) of the identical
+  ``SERVICE_BENCH_MAX_OVERHEAD`` (default 1.75x) of the identical
   session running memory-only — and stays bit-identical to the raw
   sampler loop.  (The raw loop and the PR-4 per-event fsync journal
-  are measured alongside for the report.)
+  are measured alongside for the report.)  The ceiling leaves room
+  for the CRC32C frame on every shard and the journalled idempotency
+  keys — measured ~1.35-1.4x on a quiet machine vs ~1.2-1.35x for
+  the unchecksummed WAL — while still catching the failure mode it
+  exists for: falling back to per-event fsyncs is a 4-5x.
 * **The sharded tier is an order of magnitude faster under fleet
   load.**  With ``SERVICE_BENCH_CLIENTS`` (default 16) concurrent
   clients, the sharded multi-process tier (keep-alive + TCP_NODELAY
@@ -48,7 +52,7 @@ from repro.service import EvaluationSession, SessionManager
 from repro.service.http import make_server, make_sharded_backend
 from repro.service.wal import GroupCommitWAL
 
-MAX_OVERHEAD = float(os.environ.get("SERVICE_BENCH_MAX_OVERHEAD", "1.5"))
+MAX_OVERHEAD = float(os.environ.get("SERVICE_BENCH_MAX_OVERHEAD", "1.75"))
 MIN_SPEEDUP = float(os.environ.get("SERVICE_BENCH_MIN_SPEEDUP", "10"))
 N_CLIENTS = int(os.environ.get("SERVICE_BENCH_CLIENTS", "16"))
 OUT_PATH = os.environ.get("SERVICE_BENCH_OUT", "BENCH_service.json")

@@ -290,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--codec", choices=("json", "binary"), default="json",
         help="sharded mode: WAL shard serialisation",
     )
+    serve.add_argument(
+        "--rpc-timeout", type=float, default=None,
+        help="sharded mode: seconds the router waits for a shard's "
+        "answer before returning 504 (default 120; clients can lower "
+        "it per request with the X-Request-Timeout header)",
+    )
     return parser
 
 
@@ -487,6 +493,7 @@ def _cmd_serve(args) -> None:
             args.root, args.shards, codec=args.codec,
             flush_interval=args.flush_interval, max_batch=args.max_batch,
             max_queue=args.max_queue, capacity=args.capacity,
+            rpc_timeout=args.rpc_timeout,
         )
         serve(backend, host=args.host, port=args.port)
         return

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.pipeline.normalise import normalise_string
 from repro.pipeline.records import BaseRecordStore, Record
-from repro.utils import atomic_write_bytes, atomic_write_text
+from repro.utils import (
+    CorruptStateError,
+    atomic_write_bytes,
+    atomic_write_text,
+    file_digest,
+)
 
 __all__ = ["ChunkedRecordStore", "ChunkedStoreWriter"]
 
@@ -82,6 +87,7 @@ class ChunkedStoreWriter:
         self._columns: dict[str, list] = {f: [] for f in self.schema}
         self._n_records = 0
         self._n_chunks = 0
+        self._chunk_digests: list[str] = []
         self._closed = False
 
     def append(self, record: Record) -> None:
@@ -112,7 +118,11 @@ class ChunkedStoreWriter:
             self.schema, self._record_ids, self._entity_ids, self._columns
         )
         path = self.directory / _CHUNK_FORMAT.format(index=self._n_chunks)
-        atomic_write_bytes(path, payload)
+        # fsync_dir makes the chunk's *name* crash-durable too — without
+        # it a crash after the rename can roll the file back out of the
+        # directory on lazily-journalled filesystems.
+        atomic_write_bytes(path, payload, fsync_dir=True)
+        self._chunk_digests.append(file_digest(path))
         self._n_chunks += 1
         self._record_ids = []
         self._entity_ids = []
@@ -130,10 +140,14 @@ class ChunkedStoreWriter:
             "chunk_size": self.chunk_size,
             "n_records": self._n_records,
             "n_chunks": self._n_chunks,
+            # SHA-256 per chunk file; additive key, so stores written
+            # before it existed still open (loads just go unverified).
+            "chunk_digests": self._chunk_digests,
         }
         atomic_write_text(
             self.directory / _MANIFEST,
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            fsync_dir=True,
         )
         self._closed = True
         return ChunkedRecordStore(self.directory)
@@ -180,7 +194,12 @@ class ChunkedRecordStore(BaseRecordStore):
             raise FileNotFoundError(
                 f"{manifest_path} not found; not a chunked record store"
             )
-        manifest = json.loads(manifest_path.read_text())
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptStateError(
+                f"chunked-store manifest {manifest_path} is not valid "
+                f"JSON: {exc}", path=manifest_path) from exc
         if manifest.get("version") != 1:
             raise ValueError(
                 f"unsupported chunked-store version {manifest.get('version')!r}"
@@ -190,6 +209,9 @@ class ChunkedRecordStore(BaseRecordStore):
         self.chunk_size = int(manifest["chunk_size"])
         self._n_records = int(manifest["n_records"])
         self._n_chunks = int(manifest["n_chunks"])
+        # Absent in stores written before the integrity layer; chunks
+        # then load unverified.
+        self._chunk_digests = list(manifest.get("chunk_digests") or [])
         self.cache_chunks = int(cache_chunks)
         self._cache: OrderedDict[int, _ResidentChunk] = OrderedDict()
         self._entity_ids: np.ndarray | None = None
@@ -246,6 +268,13 @@ class ChunkedRecordStore(BaseRecordStore):
             self._cache.move_to_end(index)
             return self._cache[index]
         path = self.directory / _CHUNK_FORMAT.format(index=index)
+        if index < len(self._chunk_digests):
+            actual = file_digest(path)
+            if actual != self._chunk_digests[index]:
+                raise CorruptStateError(
+                    f"chunk {path} failed its SHA-256 check (manifest "
+                    f"records {self._chunk_digests[index][:12]}…, file "
+                    f"hashes {actual[:12]}…)", path=path)
         with np.load(path, allow_pickle=True) as payload:
             chunk = _ResidentChunk(
                 payload["record_ids"],

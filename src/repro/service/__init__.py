@@ -37,10 +37,21 @@ Layers, bottom up:
 * :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON
   front-end (``python -m repro.experiments serve``) over either an
   in-process manager or the shard router.
-* :mod:`repro.service.faults` — crash-point instrumentation (SIGKILL
-  at named durability stages) backing the fault-injection tests.
+* :mod:`repro.service.client` — :class:`EvaluationClient`, the
+  retrying, idempotency-keyed client library matching that failure
+  envelope.
+* :mod:`repro.service.faults` — fault instrumentation (SIGKILL at
+  named durability stages, injected ENOSPC, dropped acks, corruption
+  injectors) backing the fault and chaos tests.
+
+Integrity: every WAL shard is a CRC32C-checksummed frame and every
+manifest carries a digest sidecar, so restore distinguishes a torn
+tail (recoverable — only unacknowledged events drop) from real
+corruption (:class:`~repro.utils.CorruptStateError`, naming file and
+offset).
 """
 
+from repro.service.client import EvaluationClient, ServiceRequestError
 from repro.service.codec import (
     decode_state,
     dump_state,
@@ -51,10 +62,13 @@ from repro.service.codec import (
 )
 from repro.service.errors import (
     CapacityError,
+    CorruptStateError,
+    DeadlineExceededError,
     OverloadError,
     ServiceError,
     SessionConflictError,
     SessionNotFoundError,
+    StorageFullError,
 )
 from repro.service.manager import SessionManager
 from repro.service.session import EvaluationSession
@@ -72,8 +86,13 @@ __all__ = [
     "SessionNotFoundError",
     "CapacityError",
     "OverloadError",
+    "StorageFullError",
+    "DeadlineExceededError",
+    "CorruptStateError",
     "SessionWAL",
     "GroupCommitWAL",
     "EvaluationSession",
     "SessionManager",
+    "EvaluationClient",
+    "ServiceRequestError",
 ]

@@ -1,0 +1,353 @@
+"""A retrying, deadline-aware client for the evaluation service.
+
+:class:`EvaluationClient` is the supported way for label-collection
+code to talk to a served session.  It wraps the JSON-over-HTTP
+protocol (:mod:`repro.service.http`) with the retry discipline the
+service's failure envelope calls for, so callers see a plain method
+call where the wire sees crashes, backpressure and lost packets:
+
+* **Backpressure (503)** — sleep for the server's ``Retry-After``
+  suggestion (bounded by the client's own backoff cap) and resend.
+  A 503 means the request was *not* executed; resending is always
+  safe.
+* **Deadline exhaustion (504)** and **dropped connections** — the
+  request *may* have executed.  Blind resends would double-apply, so
+  every mutating call carries an **idempotency key** (auto-generated
+  unless the caller supplies one); the server replays the original
+  response for a key it has seen, making the retry exact-once.
+* **Worker restarts** — connections re-establish lazily; a refused or
+  reset connection is just another retryable event inside the
+  deadline.
+
+Retries back off exponentially with decorrelated jitter from a
+dedicated ``random.Random`` (seedable for deterministic tests) and are
+bounded both by ``max_retries`` and by the per-request ``deadline``
+(seconds), which also travels to the server as the
+``X-Request-Timeout`` header so the router gives up in step with the
+client instead of holding the request for its own configured timeout.
+
+The client is thread-safe: each thread keeps its own HTTP connection
+(the protocol is strictly request/response per connection), and the
+shared retry RNG is lock-protected.
+
+Quickstart::
+
+    from repro.service.client import EvaluationClient
+
+    with EvaluationClient("http://127.0.0.1:8765") as client:
+        session = client.create_session(predictions, scores,
+                                        sampler="oasis", seed=42)
+        sid = session["session_id"]
+        while client.status(sid)["labels_consumed"] < budget:
+            proposal = client.propose(sid, batch_size=10)
+            labels = label_pairs(proposal["pending"])   # your labeller
+            client.ingest(sid, proposal["ticket"], labels)
+        print(client.estimate(sid))
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+import uuid
+from urllib.parse import urlsplit
+
+from repro.service.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
+
+__all__ = ["EvaluationClient", "ServiceRequestError"]
+
+#: Statuses that mean "not executed; resend freely".
+_RETRY_STATUSES = frozenset({503})
+#: Statuses that mean "may have executed; resend only under a key".
+_MAYBE_STATUSES = frozenset({504})
+
+
+class ServiceRequestError(ServiceError):
+    """A non-retryable (or retries-exhausted) service response.
+
+    Carries the HTTP ``status`` and the decoded error ``payload`` so
+    callers can branch on 404 vs 409 vs 500 without string matching.
+    """
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(message or f"service returned HTTP {status}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class EvaluationClient:
+    """Synchronous, thread-safe client for a served evaluation tier.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the service (path prefixes are not
+        supported; the service owns its whole route table).
+    timeout:
+        Default per-request deadline in seconds: the budget for the
+        *whole* call including every retry, also sent to the server as
+        ``X-Request-Timeout`` (scaled to the time remaining) so the
+        two sides give up together.  Override per call via
+        ``deadline=``.
+    max_retries:
+        Upper bound on resends per call (connection failures and
+        retryable statuses combined).
+    backoff / backoff_cap:
+        Initial and maximum sleep between retries, seconds.  Sleeps
+        grow exponentially with decorrelated jitter; a server
+        ``Retry-After`` suggestion overrides the schedule (still
+        capped).
+    seed:
+        Seed for the jitter RNG — deterministic retry schedules for
+        tests; ``None`` seeds from the system.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 max_retries: int = 8, backoff: float = 0.05,
+                 backoff_cap: float = 2.0, seed: int | None = None):
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"//{base_url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(
+                f"only http:// service URLs are supported; got {base_url!r}")
+        if parts.path not in ("", "/") or parts.query or parts.fragment:
+            raise ValueError(
+                f"service URL must be bare http://host:port; got {base_url!r}")
+        if parts.hostname is None:
+            raise ValueError(f"service URL has no host: {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive; got {timeout}")
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._local = threading.local()
+        self._closed = False
+
+    # -- connection management ---------------------------------------------
+
+    def _connection(self, deadline: float) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            budget = max(deadline - time.monotonic(), 0.001)
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=budget)
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close this thread's connection; others close on GC/exit."""
+        self._closed = True
+        self._drop_connection()
+
+    def __enter__(self) -> "EvaluationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- retry engine -------------------------------------------------------
+
+    def _sleep_for(self, attempt: int, retry_after: float | None) -> float:
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), self.backoff_cap)
+        ceiling = min(self.backoff * (2 ** attempt), self.backoff_cap)
+        with self._rng_lock:
+            # Decorrelated jitter: full-range uniform below the
+            # exponential ceiling, so a fleet of clients thundering
+            # after one crash spreads itself out.
+            return self._rng.uniform(self.backoff / 2, ceiling)
+
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 *, deadline: float | None = None,
+                 idempotent: bool = False) -> dict:
+        """One logical call: send, classify, retry, decode.
+
+        ``idempotent`` marks requests safe to resend after a *maybe
+        executed* failure (504, connection lost mid-exchange) — either
+        naturally read-only or carrying an idempotency key.
+        """
+        if self._closed:
+            raise ValueError("client is closed")
+        budget = self.timeout if deadline is None else float(deadline)
+        if budget <= 0:
+            raise ValueError(f"deadline must be positive; got {deadline}")
+        give_up = time.monotonic() + budget
+        encoded = b"" if body is None else json.dumps(body).encode("utf-8")
+        attempt = 0
+        last_error: ServiceError | None = None
+        while True:
+            remaining = give_up - time.monotonic()
+            if remaining <= 0 or attempt > self.max_retries:
+                if last_error is not None:
+                    raise last_error
+                raise DeadlineExceededError(
+                    f"{method} {path} exhausted its {budget:g}s deadline")
+            sent = False
+            try:
+                conn = self._connection(give_up)
+                conn.timeout = max(remaining, 0.001)
+                if conn.sock is not None:
+                    conn.sock.settimeout(conn.timeout)
+                headers = {"Content-Type": "application/json",
+                           "X-Request-Timeout": f"{remaining:g}"}
+                conn.request(method, path, body=encoded, headers=headers)
+                sent = True
+                response = conn.getresponse()
+                status = response.status
+                retry_after = response.getheader("Retry-After")
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                # Refused/reset/torn — the worker or router is coming
+                # back.  If nothing was sent the request cannot have
+                # executed; if it was, only idempotent calls may retry.
+                self._drop_connection()
+                if sent and not idempotent:
+                    raise DeadlineExceededError(
+                        f"{method} {path}: connection lost after send "
+                        f"({exc}); outcome unknown and the request "
+                        "carries no idempotency key") from exc
+                last_error = OverloadError(
+                    f"{method} {path}: connection failed ({exc})")
+                attempt += 1
+                time.sleep(min(self._sleep_for(attempt, None),
+                               max(give_up - time.monotonic(), 0)))
+                continue
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if 200 <= status < 300:
+                return payload
+            if status in _RETRY_STATUSES or (
+                    status in _MAYBE_STATUSES and idempotent):
+                last_error = ServiceRequestError(status, payload)
+                attempt += 1
+                suggested = None
+                if retry_after is not None:
+                    try:
+                        suggested = float(retry_after)
+                    except ValueError:
+                        suggested = None
+                time.sleep(min(self._sleep_for(attempt, suggested),
+                               max(give_up - time.monotonic(), 0)))
+                continue
+            raise ServiceRequestError(status, payload)
+
+    # -- the protocol -------------------------------------------------------
+
+    def healthz(self, *, deadline: float | None = None) -> dict:
+        return self._request("GET", "/healthz", deadline=deadline,
+                             idempotent=True)
+
+    def list_sessions(self, *, deadline: float | None = None) -> list[dict]:
+        out = self._request("GET", "/sessions", deadline=deadline,
+                            idempotent=True)
+        return out.get("sessions", [])
+
+    def create_session(self, predictions, scores, *,
+                       session_id: str | None = None,
+                       deadline: float | None = None, **kwargs) -> dict:
+        """Create a session; returns its status payload.
+
+        ``predictions``/``scores`` are the pool arrays; the remaining
+        keyword arguments (``sampler``, ``sampler_kwargs``, ``measure``,
+        ``alpha``, ``seed``) pass through to the create body.  The
+        session id is assigned *client-side* when absent, so a retried
+        create lands on the same id and hits the server's idempotent
+        re-create path instead of making a twin.
+        """
+        if session_id is None:
+            session_id = uuid.uuid4().hex[:12]
+        body = {
+            "predictions": self._listify(predictions),
+            "scores": self._listify(scores),
+            "session_id": session_id,
+            **{key: value for key, value in kwargs.items()
+               if value is not None},
+        }
+        return self._request("POST", "/sessions", body,
+                             deadline=deadline, idempotent=True)
+
+    @staticmethod
+    def _listify(values):
+        tolist = getattr(values, "tolist", None)
+        return tolist() if callable(tolist) else list(values)
+
+    def status(self, session_id: str, *,
+               deadline: float | None = None) -> dict:
+        return self._request("GET", f"/sessions/{session_id}",
+                             deadline=deadline, idempotent=True)
+
+    def estimate(self, session_id: str, *,
+                 deadline: float | None = None) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/estimate",
+                             deadline=deadline, idempotent=True)
+
+    def propose(self, session_id: str, batch_size: int = 1, *,
+                idempotency_key: str | None = None,
+                deadline: float | None = None) -> dict:
+        """Propose a batch; returns ``{ticket, pending, ...}``.
+
+        An idempotency key is generated when not supplied, so retries
+        after lost acks replay the original proposal instead of
+        raising a conflict (or burning a second batch of randomness).
+        """
+        key = idempotency_key or f"propose-{uuid.uuid4().hex}"
+        return self._request(
+            "POST", f"/sessions/{session_id}/propose",
+            {"batch_size": int(batch_size), "key": key},
+            deadline=deadline, idempotent=True)
+
+    def ingest(self, session_id: str, ticket: int, labels, *,
+               idempotency_key: str | None = None,
+               deadline: float | None = None) -> dict:
+        """Ingest labels for a ticket; returns the post-commit status.
+
+        Keyed like :meth:`propose`: a retry of an ingest whose ack was
+        lost replays the original response — the labels are never
+        double-counted.
+        """
+        key = idempotency_key or f"ingest-{uuid.uuid4().hex}"
+        if isinstance(labels, dict):
+            labels = {str(index): int(label)
+                      for index, label in labels.items()}
+        else:
+            labels = [int(label) for label in self._listify(labels)]
+        return self._request(
+            "POST", f"/sessions/{session_id}/ingest",
+            {"ticket": int(ticket), "labels": labels, "key": key},
+            deadline=deadline, idempotent=True)
+
+    def checkpoint(self, session_id: str, *,
+                   deadline: float | None = None) -> dict:
+        # Checkpoints are naturally idempotent: a duplicate snapshot is
+        # a no-op for correctness (restore picks the latest).
+        return self._request("POST", f"/sessions/{session_id}/checkpoint",
+                             deadline=deadline, idempotent=True)
+
+    def close_session(self, session_id: str, *,
+                      deadline: float | None = None) -> dict:
+        return self._request("DELETE", f"/sessions/{session_id}",
+                             deadline=deadline, idempotent=True)

@@ -9,12 +9,17 @@ to 400 / 404 at the handler.
 
 from __future__ import annotations
 
+from repro.utils.io import CorruptStateError
+
 __all__ = [
     "ServiceError",
     "SessionNotFoundError",
     "SessionConflictError",
     "CapacityError",
     "OverloadError",
+    "StorageFullError",
+    "DeadlineExceededError",
+    "CorruptStateError",
 ]
 
 
@@ -66,3 +71,32 @@ class OverloadError(ServiceError):
     def __init__(self, message: str, *, retry_after: float = 0.05):
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class StorageFullError(OverloadError):
+    """The journal volume is out of space; the service is read-only.
+
+    Raised when a WAL write fails with ``ENOSPC``/``EDQUOT``.  Because
+    events are journalled *before* they mutate in-memory state (and a
+    shard worker that cannot flush discards the affected sessions and
+    reloads them from their journals), no state is corrupted: the
+    mutation simply did not happen.  Reads keep working; mutations are
+    refused with 503 until space returns — degradation, not damage.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 5.0):
+        super().__init__(message, retry_after=retry_after)
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before the backend answered.
+
+    The HTTP rendering is **504**: the request may or may not have
+    executed (the answer is simply late), which is exactly what
+    distinguishes it from the not-executed 503 backpressure family.
+    Clients recover the truth through the idempotency key or ticket on
+    retry — a keyed retry of a request that did land replays the
+    original response instead of double-applying.
+    """
+
+    status = 504

@@ -27,7 +27,16 @@ Stages, in the order one flushed batch passes through them:
                        recover from via ``status()``
 ``sock:torn_ack``      mid-way through writing a reply frame (the ack
                        itself is torn on the wire)
+``sock:drop_ack``      the reply frame vanishes entirely — written by
+                       the worker, never delivered (lost-ack network
+                       fault; the worker survives)
 =====================  =================================================
+
+Beyond kills, a plan can carry ``mode="enospc"``: instead of SIGKILL,
+every durability-stage write from the trigger point on raises
+``OSError(ENOSPC)`` — the worker must degrade to read-only 503s, not
+corrupt state.  :func:`flip_bits` and :func:`truncate_file` are the
+offline corruption injectors the integrity tests aim at restore.
 
 Nothing here is imported by the production path unless a fault spec is
 present in the worker options.
@@ -35,17 +44,27 @@ present in the worker options.
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
+import socket
 from collections import Counter
+from pathlib import Path
 
 from repro.service.wal import GroupCommitWAL
 
-__all__ = ["FaultPlan", "FaultingWAL", "FaultingSocket", "faulting_wal_factory"]
+__all__ = [
+    "FaultPlan",
+    "FaultingWAL",
+    "FaultingSocket",
+    "faulting_wal_factory",
+    "flip_bits",
+    "truncate_file",
+]
 
 
 class FaultPlan:
-    """Deterministic kill scheduler: SIGKILL self at the Nth hit of a stage.
+    """Deterministic fault scheduler, armed at the Nth hit of a stage.
 
     Parameters
     ----------
@@ -54,13 +73,24 @@ class FaultPlan:
         turns the instrumentation into pure counters.
     after:
         Fire on the ``after``-th time the stage is reached (1-based).
+    mode:
+        ``"kill"`` (default) SIGKILLs the process at the trigger —
+        nothing runs afterwards, like a power loss.  ``"enospc"``
+        instead raises ``OSError(ENOSPC)`` at the trigger *and on
+        every later crossing of the stage*: a volume that filled up
+        stays full until an operator intervenes, so the fault is
+        persistent, not one-shot.
     """
 
-    def __init__(self, stage: str | None, after: int = 1):
+    def __init__(self, stage: str | None, after: int = 1,
+                 mode: str = "kill"):
         if after < 1:
             raise ValueError(f"after must be >= 1; got {after}")
+        if mode not in ("kill", "enospc"):
+            raise ValueError(f"unknown fault mode {mode!r}")
         self.stage = stage
         self.after = int(after)
+        self.mode = mode
         self.counts: Counter[str] = Counter()
 
     @classmethod
@@ -68,17 +98,28 @@ class FaultPlan:
         """Build from the plain-dict form carried in shard options."""
         if not spec:
             return cls(None)
-        return cls(spec["stage"], int(spec.get("after", 1)))
+        return cls(spec["stage"], int(spec.get("after", 1)),
+                   spec.get("mode", "kill"))
 
     def trip(self, stage: str) -> None:
-        """Count a stage crossing; kill the process if the plan says so.
+        """Count a stage crossing; fire the armed fault if due.
 
-        SIGKILL, not an exception: the whole point is that nothing —
-        no ``finally``, no flush, no farewell frame — runs after the
-        crash point, exactly like a machine losing power there.
+        In ``kill`` mode: SIGKILL, not an exception — the whole point
+        is that nothing (no ``finally``, no flush, no farewell frame)
+        runs after the crash point, exactly like a machine losing
+        power there.  In ``enospc`` mode: raise ``OSError(ENOSPC)``
+        here and on every subsequent crossing, simulating a volume
+        that filled and stayed full.
         """
         self.counts[stage] += 1
-        if stage == self.stage and self.counts[stage] == self.after:
+        if stage != self.stage:
+            return
+        if self.mode == "enospc":
+            if self.counts[stage] >= self.after:
+                raise OSError(errno.ENOSPC, "no space left on device "
+                                            "(injected)")
+            return
+        if self.counts[stage] == self.after:
             os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -131,7 +172,54 @@ class FaultingSocket:
             if plan.counts["sock:torn_ack"] == plan.after:
                 self._sock.sendall(data[: max(1, len(data) // 2)])
                 os.kill(os.getpid(), signal.SIGKILL)
+        elif plan.stage == "sock:drop_ack":
+            plan.counts["sock:drop_ack"] += 1
+            if plan.counts["sock:drop_ack"] == plan.after:
+                # The ack evaporates: sever the connection without
+                # sending a byte of it.  Unlike torn_ack the worker
+                # lives on — the events behind the reply are durable,
+                # and only a keyed retry can prove to the client what
+                # actually happened.  shutdown(), not close(): the
+                # worker's own reader holds an io-ref on this socket,
+                # so close() would defer the FIN and the router would
+                # hang instead of seeing a dead connection.
+                try:
+                    self._sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                raise OSError(errno.EPIPE, "reply dropped (injected)")
         self._sock.sendall(data)
 
     def __getattr__(self, name):
         return getattr(self._sock, name)
+
+
+# -- offline corruption injectors ------------------------------------------
+
+def flip_bits(path, offsets, *, mask: int = 0x01) -> None:
+    """XOR ``mask`` into the byte at each offset of ``path`` in place.
+
+    The bit-rot injector: the file keeps its length and structure, so
+    only a checksum can tell.  Offsets index from the end when
+    negative.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    for offset in offsets:
+        data[offset] ^= mask & 0xFF
+    path.write_bytes(bytes(data))
+
+
+def truncate_file(path, keep: int) -> None:
+    """Cut ``path`` to its first ``keep`` bytes (simulated torn write).
+
+    ``keep`` may be negative to count back from the end.  Atomic-write
+    journals never produce this through the write path itself — it
+    models damage after the fact (fs repair, partial copy) and the torn
+    tails of non-atomic storage.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if keep < 0:
+        keep = max(0, len(data) + keep)
+    path.write_bytes(data[:keep])

@@ -61,7 +61,7 @@ import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.service.errors import ServiceError
+from repro.service.errors import CorruptStateError, ServiceError
 from repro.service.manager import SessionManager
 
 __all__ = ["ServiceServer", "LocalDispatcher", "make_server", "serve"]
@@ -88,7 +88,11 @@ class LocalDispatcher:
     def __init__(self, manager: SessionManager):
         self.manager = manager
 
-    def dispatch(self, method: str, path: str, body: bytes):
+    def dispatch(self, method: str, path: str, body: bytes,
+                 timeout: float | None = None):
+        # ``timeout`` is accepted for dispatcher-contract parity with
+        # the ShardRouter; in-process calls cannot be abandoned
+        # mid-execution, so it is advisory here.
         try:
             payload = self._route(method, path, body)
         except ServiceError as exc:
@@ -98,6 +102,10 @@ class LocalDispatcher:
                 headers["Retry-After"] = f"{float(retry_after):g}"
             return (exc.status, json.dumps({"error": str(exc)})
                     .encode("utf-8"), headers)
+        except CorruptStateError as exc:
+            return (exc.status, json.dumps({
+                "error": str(exc), "path": exc.path, "offset": exc.offset,
+            }).encode("utf-8"), {})
         except (ValueError, TypeError) as exc:
             return 400, json.dumps({"error": str(exc)}).encode("utf-8"), {}
         except KeyError as exc:
@@ -159,11 +167,13 @@ class LocalDispatcher:
         body = self._parse_json(raw_body)
         session = manager.get(session_id)
         if action == "propose":
-            return session.propose(body.get("batch_size", 1))
+            return session.propose(body.get("batch_size", 1),
+                                   idempotency_key=body.get("key"))
         if action == "ingest":
             if "ticket" not in body or "labels" not in body:
                 raise ValueError("ingest body needs 'ticket' and 'labels'")
-            return session.ingest(body["ticket"], body["labels"])
+            return session.ingest(body["ticket"], body["labels"],
+                                  idempotency_key=body.get("key"))
         if action == "checkpoint":
             return {"session_id": session_id, "seq": session.checkpoint()}
         raise KeyError(path)  # pragma: no cover - regex-unreachable
@@ -237,8 +247,23 @@ class _Handler(BaseHTTPRequestHandler):
             ).encode("utf-8"))
             return
         body = self.rfile.read(length) if length else b""
+        timeout = None
+        raw_timeout = self.headers.get("X-Request-Timeout")
+        if raw_timeout is not None:
+            try:
+                timeout = float(raw_timeout)
+            except ValueError:
+                self._reply(400, json.dumps(
+                    {"error": f"X-Request-Timeout is not a number: "
+                              f"{raw_timeout!r}"}).encode("utf-8"))
+                return
+            if timeout <= 0:
+                self._reply(400, json.dumps(
+                    {"error": "X-Request-Timeout must be positive"}
+                ).encode("utf-8"))
+                return
         status, payload, headers = self.server.dispatcher.dispatch(
-            method, self.path, body)
+            method, self.path, body, timeout)
         self._reply(status, payload, headers)
 
     def do_GET(self):  # noqa: N802 - stdlib naming
@@ -263,12 +288,16 @@ def make_server(manager, host: str = "127.0.0.1",
 
 def make_sharded_backend(root, shards: int, *, codec: str = "json",
                          flush_interval: float = 0.0, max_batch: int = 32,
-                         max_queue: int = 128, capacity: int | None = None):
+                         max_queue: int = 128, capacity: int | None = None,
+                         rpc_timeout: float | None = None):
     """Start a shard worker pool under ``root`` and return its router.
 
     Records (or verifies) the root's ``topology.json`` first — a shard
-    count disagreement is a hard error, not a silent re-route.  The
-    returned :class:`~repro.service.router.ShardRouter` plugs into
+    count disagreement is a hard error, not a silent re-route.
+    ``rpc_timeout`` (seconds, ``serve --rpc-timeout``) bounds how long
+    the router waits for a shard's answer before returning 504; a
+    client's ``X-Request-Timeout`` header overrides it per request.
+    The returned :class:`~repro.service.router.ShardRouter` plugs into
     :func:`make_server`; call its ``close()`` to drain and stop the
     pool.
     """
@@ -282,7 +311,7 @@ def make_sharded_backend(root, shards: int, *, codec: str = "json",
         "max_batch": max_batch,
         "max_queue": max_queue,
         "capacity": capacity,
-    }).start()
+    }, rpc_timeout=rpc_timeout).start()
     return ShardRouter(supervisor, HashRing(shards))
 
 

@@ -212,6 +212,26 @@ class SessionManager:
             self._sessions.pop(session_id, None)
             self._last_used.pop(session_id, None)
 
+    def discard(self, session_id: str) -> bool:
+        """Drop a resident session from memory *without* checkpointing.
+
+        The recovery primitive for write failures: when a group-commit
+        flush fails (disk full, I/O error), the in-memory session has
+        already applied events the journal never durably recorded — its
+        state has diverged from disk, and checkpointing it would
+        persist the divergence.  Discarding poisons the stale handle
+        and drops it; the next :meth:`get` restores the session from
+        its journal, i.e. from the last state that was actually
+        durable.  Returns False when the session was not resident.
+        """
+        with self._registry_lock:
+            session = self._sessions.pop(session_id, None)
+            self._last_used.pop(session_id, None)
+            if session is None:
+                return False
+            session.evicted = True
+            return True
+
     def drain_to_disk(self) -> list[str]:
         """Checkpoint and drop every resident journalled session.
 

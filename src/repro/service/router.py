@@ -47,7 +47,11 @@ import time
 import uuid
 from pathlib import Path
 
-from repro.service.errors import OverloadError, ServiceError
+from repro.service.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
 from repro.service.rpc import recv_frame, send_frame
 from repro.service.shard import SHARD_DEFAULTS, shard_dir_name, shard_worker_main
 from repro.utils import atomic_write_text
@@ -173,8 +177,18 @@ class ShardClient:
     next request reconnects lazily.
     """
 
-    def __init__(self, index: int, port: int | None = None):
+    #: Default per-request timeout (seconds); override per client via
+    #: the constructor (``serve --rpc-timeout``) or per request via
+    #: :meth:`request`'s ``timeout``.
+    DEFAULT_TIMEOUT = 120.0
+
+    def __init__(self, index: int, port: int | None = None, *,
+                 timeout: float | None = None):
         self.index = index
+        self.timeout = (
+            self.DEFAULT_TIMEOUT if timeout is None else float(timeout))
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive; got {timeout}")
         self._port = port
         self._sock = None
         self._rfile = None
@@ -257,13 +271,18 @@ class ShardClient:
                 waiter.event.set()
 
     def request(self, op: str, sid: str | None = None, body: bytes = b"",
-                timeout: float = 120.0):
+                timeout: float | None = None):
         """One RPC round trip; returns ``(status, payload, retry_after)``.
 
-        Raises :class:`OverloadError` when the shard cannot be reached
-        or does not answer in time — both are "back off and retry"
-        conditions, never silent failures.
+        ``timeout`` (seconds) defaults to the client's configured
+        timeout.  Raises :class:`OverloadError` when the shard cannot
+        be reached (not executed — safe to retry blindly) and
+        :class:`DeadlineExceededError` when it was reached but did not
+        answer in time (may have executed — retry with an idempotency
+        key).
         """
+        if timeout is None:
+            timeout = self.timeout
         sock = self._ensure_connected()
         waiter = _Waiter()
         with self._send_lock:
@@ -286,9 +305,9 @@ class ShardClient:
                     retry_after=0.2) from exc
         if not waiter.event.wait(timeout):
             self._pending.pop(request_id, None)
-            raise OverloadError(
-                f"shard {self.index} did not answer within {timeout:g}s",
-                retry_after=1.0)
+            raise DeadlineExceededError(
+                f"shard {self.index} did not answer within {timeout:g}s; "
+                "the request may still execute")
         return waiter.response
 
 
@@ -315,7 +334,8 @@ class ShardSupervisor:
     """
 
     def __init__(self, root, n_shards: int, *, options: dict | None = None,
-                 start_timeout: float = 60.0):
+                 start_timeout: float = 60.0,
+                 rpc_timeout: float | None = None):
         self.root = Path(root)
         self.n_shards = int(n_shards)
         options = dict(options or {})
@@ -324,6 +344,7 @@ class ShardSupervisor:
             raise ValueError(f"unknown shard options {sorted(unknown)}")
         self.options = options
         self.start_timeout = start_timeout
+        self.rpc_timeout = rpc_timeout
         self.clients: list[ShardClient] = []
         self.processes: list = [None] * self.n_shards
         self.restarts = [0] * self.n_shards
@@ -335,7 +356,10 @@ class ShardSupervisor:
     # -- lifecycle --
 
     def start(self) -> "ShardSupervisor":
-        self.clients = [ShardClient(index) for index in range(self.n_shards)]
+        self.clients = [
+            ShardClient(index, timeout=self.rpc_timeout)
+            for index in range(self.n_shards)
+        ]
         for index in range(self.n_shards):
             self._spawn(index)
         self._monitor = threading.Thread(target=self._watch, daemon=True)
@@ -476,17 +500,24 @@ class ShardRouter:
         self.ring = ring or HashRing(supervisor.n_shards)
 
     def _request(self, shard: int, op: str, sid: str | None = None,
-                 body: bytes = b""):
+                 body: bytes = b"", timeout: float | None = None):
         status, payload, retry_after = self.supervisor.clients[shard].request(
-            op, sid=sid, body=body)
+            op, sid=sid, body=body, timeout=timeout)
         headers = {}
         if retry_after is not None:
             headers["Retry-After"] = f"{max(float(retry_after), 0.0):g}"
         return status, json.dumps(payload).encode("utf-8"), headers
 
-    def dispatch(self, method: str, path: str, body: bytes):
+    def dispatch(self, method: str, path: str, body: bytes,
+                 timeout: float | None = None):
+        """Route one request; ``timeout`` is the caller's deadline.
+
+        ``timeout`` (seconds, from the ``X-Request-Timeout`` header)
+        overrides the configured RPC timeout for this request only;
+        deadline exhaustion renders as 504.
+        """
         try:
-            return self._dispatch(method, path, body)
+            return self._dispatch(method, path, body, timeout)
         except OverloadError as exc:
             payload = json.dumps({"error": str(exc)}).encode("utf-8")
             return exc.status, payload, {
@@ -500,17 +531,24 @@ class ShardRouter:
             return (404, json.dumps({"error": f"not found: {exc}"})
                     .encode("utf-8"), {})
 
-    def _dispatch(self, method: str, path: str, body: bytes):
+    def _dispatch(self, method: str, path: str, body: bytes,
+                  timeout: float | None = None):
         if path == "/healthz" and method == "GET":
             shards = self.supervisor.shard_stats()
             healthy = sum(1 for shard in shards if shard["status"] == "ok")
+            read_only = sum(
+                1 for shard in shards if shard.get("read_only"))
+            status_word = "ok" if healthy == len(shards) else "degraded"
+            if read_only:
+                status_word = "degraded"
             payload = {
-                "status": "ok" if healthy == len(shards) else "degraded",
+                "status": status_word,
                 "shards": shards,
                 "resident_sessions": sum(
                     shard.get("resident_sessions", 0) for shard in shards),
                 "queue_depth": sum(
                     shard.get("queue_depth", 0) for shard in shards),
+                "read_only_shards": read_only,
             }
             return 200, json.dumps(payload).encode("utf-8"), {}
         if path == "/sessions":
@@ -527,7 +565,7 @@ class ShardRouter:
                 return (200, json.dumps({"sessions": sessions})
                         .encode("utf-8"), {})
             if method == "POST":
-                return self._create(body)
+                return self._create(body, timeout)
             raise ValueError(f"unsupported method {method} for {path}")
         match = _SESSION_ROUTE.match(path)
         if not match:
@@ -536,19 +574,19 @@ class ShardRouter:
         shard = self.ring.shard_for(sid)
         if action is None:
             if method == "GET":
-                return self._request(shard, "status", sid)
+                return self._request(shard, "status", sid, timeout=timeout)
             if method == "DELETE":
-                return self._request(shard, "close", sid)
+                return self._request(shard, "close", sid, timeout=timeout)
             raise ValueError(f"unsupported method {method} for {path}")
         if action == "estimate":
             if method != "GET":
                 raise ValueError(f"unsupported method {method} for {path}")
-            return self._request(shard, "estimate", sid)
+            return self._request(shard, "estimate", sid, timeout=timeout)
         if method != "POST":
             raise ValueError(f"unsupported method {method} for {path}")
-        return self._request(shard, action, sid, body)
+        return self._request(shard, action, sid, body, timeout=timeout)
 
-    def _create(self, body: bytes):
+    def _create(self, body: bytes, timeout: float | None = None):
         # The one place the router parses a body: creation needs the
         # session id (assigned here if absent) to know its shard.
         try:
@@ -567,7 +605,7 @@ class ShardRouter:
                 f"session_id {sid!r} must be 1-64 filesystem-safe "
                 "characters (letters, digits, '.', '_', '-')")
         shard = self.ring.shard_for(sid)
-        return self._request(shard, "create", sid, body)
+        return self._request(shard, "create", sid, body, timeout=timeout)
 
     def close(self, *, graceful: bool = True) -> None:
         self.supervisor.stop(graceful=graceful)

@@ -28,21 +28,36 @@ re-running a logged propose re-draws the same pairs).
 
 from __future__ import annotations
 
+import errno
 import threading
 import uuid
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.oracle.base import BaseOracle
 from repro.service.codec import decode_state, encode_state
-from repro.service.errors import SessionConflictError, SessionNotFoundError
+from repro.service.errors import (
+    SessionConflictError,
+    SessionNotFoundError,
+    StorageFullError,
+)
 from repro.service.wal import SessionWAL
 from repro.measures.ratio import measure_from_spec
 from repro.utils import check_count
 
-__all__ = ["EvaluationSession", "session_sampler_kinds"]
+__all__ = ["EvaluationSession", "session_sampler_kinds", "DEDUP_WINDOW"]
 
 MANIFEST_FORMAT_VERSION = 1
+
+#: How many idempotency-keyed responses a session remembers.  The window
+#: bounds memory and checkpoint size; a client retrying within it gets
+#: the original response replayed, which is what makes a lost ack safe
+#: to retry.  256 comfortably covers any realistic in-flight retry set —
+#: a client retries its *latest* request, not one from hundreds ago.
+DEDUP_WINDOW = 256
+
+_ENOSPC_ERRNOS = (errno.ENOSPC, errno.EDQUOT)
 
 
 def _sampler_kinds() -> dict:
@@ -117,6 +132,11 @@ class EvaluationSession:
         self._lock = threading.RLock()
         self._ticket = 0
         self._pending: dict | None = None  # outstanding proposal context
+        # Idempotency key → the response originally returned for it.
+        # Bounded FIFO (DEDUP_WINDOW); journalled keys rebuild it on
+        # replay and checkpoints capture it, so the exactly-once
+        # guarantee survives crashes and eviction.
+        self._dedup: OrderedDict[str, dict] = OrderedDict()
 
     # -- construction ------------------------------------------------------
 
@@ -270,11 +290,19 @@ class EvaluationSession:
             replay = events
         for event in replay:
             if event["kind"] == "propose":
-                session._do_propose(int(event["batch_size"]),
-                                    expected_ticket=int(event["ticket"]))
+                response = session._do_propose(
+                    int(event["batch_size"]),
+                    expected_ticket=int(event["ticket"]))
             elif event["kind"] == "ingest":
-                session._do_ingest(int(event["ticket"]),
-                                   decode_state(event["labels"]))
+                response = session._do_ingest(int(event["ticket"]),
+                                              decode_state(event["labels"]))
+            else:
+                continue
+            # Journalled idempotency keys re-arm the dedup window, so a
+            # retry that arrives after a crash+restore still replays the
+            # original response instead of double-applying.
+            if event.get("key") is not None:
+                session._record_dedup(str(event["key"]), response)
         return session
 
     # -- the protocol ------------------------------------------------------
@@ -290,7 +318,43 @@ class EvaluationSession:
                 f"session {self.session_id} is closed"
             )
 
-    def propose(self, batch_size: int) -> dict:
+    def _record_dedup(self, key: str, response: dict) -> None:
+        self._dedup[key] = response
+        while len(self._dedup) > DEDUP_WINDOW:
+            self._dedup.popitem(last=False)
+
+    def _replay_dedup(self, key) -> dict | None:
+        """The cached response for ``key``, or None if never seen."""
+        if key is None:
+            return None
+        response = self._dedup.get(str(key))
+        if response is None:
+            return None
+        return dict(response)
+
+    def _journal(self, kind: str, payload: dict,
+                 idempotency_key=None) -> None:
+        """Append one event, mapping a full disk to backpressure.
+
+        The event is journalled *before* the in-memory mutation, so an
+        ``ENOSPC``/``EDQUOT`` here means the request simply did not
+        happen — rendered as the retryable 503
+        :class:`~repro.service.errors.StorageFullError`, never as
+        corrupted state.
+        """
+        if idempotency_key is not None:
+            payload = {**payload, "key": str(idempotency_key)}
+        try:
+            self.wal.append(kind, payload)
+        except OSError as exc:
+            if exc.errno in _ENOSPC_ERRNOS:
+                raise StorageFullError(
+                    f"journal volume full; session {self.session_id} "
+                    f"could not log its {kind} event ({exc})"
+                ) from exc
+            raise
+
+    def propose(self, batch_size: int, *, idempotency_key=None) -> dict:
         """Propose the next batch of draws; returns the pairs to label.
 
         Consumes the sampler's randomness for ``batch_size`` draws
@@ -304,9 +368,18 @@ class EvaluationSession:
         Exactly one proposal may be outstanding; proposing again before
         ingesting raises :class:`SessionConflictError` (the outstanding
         pairs are recoverable via :meth:`status`).
+
+        With ``idempotency_key`` (any string a client will not reuse
+        across distinct requests), a retry of a request that already
+        executed replays the original response instead of raising a
+        conflict — the exactly-once contract for clients whose ack was
+        lost to a crash or dropped connection.
         """
         with self._lock:
             self._require_open()
+            replayed = self._replay_dedup(idempotency_key)
+            if replayed is not None:
+                return replayed
             batch_size = check_count(batch_size, "batch_size")
             if self._pending is not None:
                 raise SessionConflictError(
@@ -316,10 +389,14 @@ class EvaluationSession:
                 )
             ticket = self._ticket + 1
             if self.wal is not None:
-                self.wal.append(
-                    "propose", {"ticket": ticket, "batch_size": batch_size}
+                self._journal(
+                    "propose", {"ticket": ticket, "batch_size": batch_size},
+                    idempotency_key,
                 )
-            return self._do_propose(batch_size, expected_ticket=ticket)
+            response = self._do_propose(batch_size, expected_ticket=ticket)
+            if idempotency_key is not None:
+                self._record_dedup(str(idempotency_key), response)
+            return response
 
     def _do_propose(self, batch_size: int, *, expected_ticket: int) -> dict:
         """The in-memory half of propose (shared with WAL replay)."""
@@ -344,7 +421,7 @@ class EvaluationSession:
             "pending": np.asarray(fresh).tolist(),
         }
 
-    def ingest(self, ticket: int, labels) -> dict:
+    def ingest(self, ticket: int, labels, *, idempotency_key=None) -> dict:
         """Ingest labels for an outstanding proposal; commits the batch.
 
         Parameters
@@ -355,11 +432,19 @@ class EvaluationSession:
             Binary labels aligned with the proposal's ``pending`` list,
             or a mapping ``{pool index: label}`` covering exactly those
             indices.
+        idempotency_key:
+            Optional client-supplied retry token (see :meth:`propose`).
+            A keyed retry of an ingest that already committed replays
+            the original response — labels are never double-counted,
+            even if the ack for the first attempt was lost.
 
         Returns the post-commit status (estimate, labels consumed).
         """
         with self._lock:
             self._require_open()
+            replayed = self._replay_dedup(idempotency_key)
+            if replayed is not None:
+                return replayed
             if self._pending is None:
                 raise SessionConflictError(
                     f"session {self.session_id} has no outstanding "
@@ -372,11 +457,15 @@ class EvaluationSession:
                 )
             labels = self._align_labels(labels)
             if self.wal is not None:
-                self.wal.append(
+                self._journal(
                     "ingest",
                     {"ticket": int(ticket), "labels": encode_state(labels)},
+                    idempotency_key,
                 )
-            return self._do_ingest(int(ticket), labels)
+            response = self._do_ingest(int(ticket), labels)
+            if idempotency_key is not None:
+                self._record_dedup(str(idempotency_key), response)
+            return response
 
     def _align_labels(self, labels) -> np.ndarray:
         """Validate client labels against the outstanding proposal."""
@@ -446,8 +535,23 @@ class EvaluationSession:
                 "state": encode_state(self.sampler.state_dict()),
                 "pending": self._encode_pending(),
             }
-            seq = self.wal.append("checkpoint", payload)
-            self.wal.flush()
+            if self._dedup:
+                # Replay starts after the latest checkpoint, so the
+                # dedup window must ride inside it or keyed retries
+                # would double-apply after a restore-from-checkpoint.
+                payload["dedup"] = [
+                    [key, response] for key, response in self._dedup.items()
+                ]
+            try:
+                seq = self.wal.append("checkpoint", payload)
+                self.wal.flush()
+            except OSError as exc:
+                if exc.errno in _ENOSPC_ERRNOS:
+                    raise StorageFullError(
+                        f"journal volume full; session {self.session_id} "
+                        f"could not checkpoint ({exc})"
+                    ) from exc
+                raise
             return seq
 
     def _encode_pending(self) -> dict | None:
@@ -462,6 +566,10 @@ class EvaluationSession:
     def _load_checkpoint_event(self, event: dict) -> None:
         self.sampler.load_state_dict(decode_state(event["state"]))
         self._ticket = int(event["ticket"])
+        self._dedup = OrderedDict(
+            (str(key), dict(response))
+            for key, response in event.get("dedup", [])
+        )
         pending = event.get("pending")
         if pending is None:
             self._pending = None

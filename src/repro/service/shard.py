@@ -39,6 +39,7 @@ is the crash path the journal exists for.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import queue
@@ -48,12 +49,20 @@ import sys
 import threading
 import time
 
-from repro.service.errors import ServiceError
+from repro.service.errors import (
+    CorruptStateError,
+    ServiceError,
+    StorageFullError,
+)
 from repro.service.manager import SessionManager
 from repro.service.rpc import recv_frame, send_frame
 from repro.service.wal import GroupCommitWAL, WAL_CODECS
 
 __all__ = ["shard_worker_main", "shard_dir_name", "SHARD_DEFAULTS"]
+
+#: Ops refused while the shard is read-only (journal volume full).
+_MUTATING_OPS = frozenset({"create", "propose", "ingest", "checkpoint",
+                           "close"})
 
 SHARD_DEFAULTS = {
     "codec": "json",          # WAL shard serialisation: "json" | "binary"
@@ -109,6 +118,17 @@ class _ShardState:
         self.flushes = 0
         self.events_flushed = 0
         self.overloads = 0
+        # Sticky degraded mode: once a journal write hits ENOSPC (or a
+        # flush fails outright), mutations are refused with 503 until
+        # the worker restarts.  Reads keep serving — degradation over
+        # damage.
+        self.read_only = False
+        self.read_only_reason: str | None = None
+
+    def enter_read_only(self, reason) -> None:
+        if not self.read_only:
+            self.read_only = True
+            self.read_only_reason = str(reason)
 
     def stats(self) -> dict:
         return {
@@ -122,14 +142,27 @@ class _ShardState:
             "flushes": self.flushes,
             "events_flushed": self.events_flushed,
             "overloads": self.overloads,
+            "read_only": self.read_only,
+            "read_only_reason": self.read_only_reason,
         }
 
 
 def _execute(state: _ShardState, header: dict, body: bytes):
-    """Run one request; returns (status, payload, dirty_session_or_None)."""
+    """Run one request.
+
+    Returns ``(status, payload, dirty_session_or_None, retry_after)``;
+    ``retry_after`` is non-None only for backpressure replies the
+    router should render with a ``Retry-After`` header.
+    """
     manager = state.manager
     op = header.get("op")
     sid = header.get("sid")
+    if state.read_only and op in _MUTATING_OPS:
+        state.overloads += 1
+        return 503, {
+            "error": f"shard is read-only ({state.read_only_reason}); "
+                     "mutating requests are refused until it restarts"
+        }, None, 5.0
     try:
         payload = json.loads(body) if body else {}
         if not isinstance(payload, dict):
@@ -148,38 +181,62 @@ def _execute(state: _ShardState, header: dict, body: bytes):
                 seed=payload.get("seed", 0),
                 session_id=payload.get("session_id") or sid,
             )
-            return 200, session.status(), None
+            return 200, session.status(), None, None
         if op == "status":
-            return 200, manager.get(sid).status(), None
+            return 200, manager.get(sid).status(), None, None
         if op == "estimate":
-            return 200, manager.get(sid).estimate_payload(), None
+            return 200, manager.get(sid).estimate_payload(), None, None
         if op == "propose":
             session = manager.get(sid)
-            result = session.propose(payload.get("batch_size", 1))
-            return 200, result, session
+            result = session.propose(
+                payload.get("batch_size", 1),
+                idempotency_key=payload.get("key"),
+            )
+            return 200, result, session, None
         if op == "ingest":
             if "ticket" not in payload or "labels" not in payload:
                 raise ValueError("ingest body needs 'ticket' and 'labels'")
             session = manager.get(sid)
-            result = session.ingest(payload["ticket"], payload["labels"])
-            return 200, result, session
+            result = session.ingest(
+                payload["ticket"], payload["labels"],
+                idempotency_key=payload.get("key"),
+            )
+            return 200, result, session, None
         if op == "checkpoint":
             seq = manager.get(sid).checkpoint()
-            return 200, {"session_id": sid, "seq": seq}, None
+            return 200, {"session_id": sid, "seq": seq}, None, None
         if op == "close":
             manager.close_session(sid)
-            return 200, {"session_id": sid, "closed": True}, None
+            return 200, {"session_id": sid, "closed": True}, None, None
         if op == "list":
-            return 200, {"sessions": manager.list_sessions()}, None
+            return 200, {"sessions": manager.list_sessions()}, None, None
         raise ValueError(f"unknown shard op {op!r}")
+    except StorageFullError as exc:
+        state.enter_read_only(exc)
+        state.overloads += 1
+        return exc.status, {"error": str(exc)}, None, exc.retry_after
+    except CorruptStateError as exc:
+        return exc.status, {
+            "error": str(exc), "path": exc.path, "offset": exc.offset,
+        }, None, None
     except ServiceError as exc:
-        return exc.status, {"error": str(exc)}, None
+        return exc.status, {"error": str(exc)}, None, getattr(
+            exc, "retry_after", None)
     except (ValueError, TypeError) as exc:
-        return 400, {"error": str(exc)}, None
+        return 400, {"error": str(exc)}, None, None
     except KeyError as exc:
-        return 404, {"error": f"not found: {exc}"}, None
+        return 404, {"error": f"not found: {exc}"}, None, None
+    except OSError as exc:
+        if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+            # A synchronous write (manifest, per-event shard) hit a
+            # full volume.  Journal-before-mutate means the request
+            # simply did not happen; degrade to read-only.
+            state.enter_read_only(exc)
+            state.overloads += 1
+            return 503, {"error": f"journal volume full: {exc}"}, None, 5.0
+        return 500, {"error": f"{type(exc).__name__}: {exc}"}, None, None
     except Exception as exc:  # pragma: no cover - last-resort guard
-        return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+        return 500, {"error": f"{type(exc).__name__}: {exc}"}, None, None
 
 
 def _conn_loop(state: _ShardState, conn: _Conn) -> None:
@@ -268,20 +325,46 @@ def _commit_loop(state: _ShardState) -> None:
         for position, (conn, header, body) in enumerate(batch):
             if position and plan is not None:
                 plan.trip("batch:mid")
-            status, payload, session = _execute(state, header, body)
+            status, payload, session, retry_after = _execute(
+                state, header, body)
+            sid = None
             if session is not None and session.wal is not None:
-                dirty[session.session_id] = session
-            replies.append((conn, header, status, payload))
+                sid = session.session_id
+                dirty[sid] = session
+            replies.append((conn, header, status, payload, retry_after, sid))
+        failed: set[str] = set()
         for session in dirty.values():
             with session._lock:
                 events = session.wal.pending_events
-                session.wal.flush()
+                try:
+                    session.wal.flush()
+                except OSError as exc:
+                    # The in-memory session has applied events the
+                    # journal could not record — its state has diverged
+                    # from disk.  Discard it (the next access restores
+                    # from the durable prefix) and fail its replies:
+                    # nothing un-durable may be acknowledged.
+                    failed.add(session.session_id)
+                    state.enter_read_only(exc)
+                    continue
             state.flushes += 1
             state.events_flushed += events
+        for session_id in failed:
+            state.manager.discard(session_id)
         if plan is not None:
             plan.trip("batch:pre_ack")
-        for conn, header, status, payload in replies:
-            conn.reply(header.get("id"), status, payload)
+        for conn, header, status, payload, retry_after, sid in replies:
+            if sid in failed and 200 <= status < 300:
+                status = 503
+                payload = {
+                    "error": "journal flush failed "
+                             f"({state.read_only_reason}); the request was "
+                             "rolled back and the shard is read-only"
+                }
+                retry_after = 5.0
+                state.overloads += 1
+            conn.reply(header.get("id"), status, payload,
+                       retry_after=retry_after)
         state.batches += 1
         state.requests += len(batch)
 
@@ -357,6 +440,10 @@ def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
 
     # Graceful drain: everything queued has been executed, flushed and
     # acknowledged; now park every resident session durably on disk.
-    manager.drain_to_disk()
+    # A read-only shard skips the checkpoint pass — its journal volume
+    # cannot take writes, and the durable prefix on disk is already the
+    # authoritative state.
+    if not state.read_only:
+        manager.drain_to_disk()
     listener.close()
     sys.exit(0)

@@ -48,11 +48,17 @@ from __future__ import annotations
 import json
 import os
 import re
+import struct
 import uuid
 from pathlib import Path
 
 from repro.service.codec import dump_state_binary, load_state_binary
-from repro.utils import atomic_write_text, fsync_directory
+from repro.utils import (
+    CorruptStateError,
+    atomic_write_text,
+    crc32c,
+    fsync_directory,
+)
 
 __all__ = ["SessionWAL", "GroupCommitWAL", "WAL_CODECS"]
 
@@ -66,6 +72,73 @@ _EVENT_KINDS = ("propose", "ingest", "checkpoint")
 
 WAL_CODECS = ("json", "binary")
 _EXTENSIONS = {"json": "json", "binary": "bin"}
+
+# Every shard written since the integrity layer landed is a checksummed
+# frame: magic, payload length, CRC32C of the payload, payload.  The
+# frame is what turns "a file exists with this name" into "this file
+# holds exactly the bytes the writer fsynced": restore can distinguish
+# a truncated tail (recoverable — the write never completed, so its
+# events were never acknowledged) from mid-log damage (not recoverable
+# without losing acknowledged events — a hard CorruptStateError).
+# Shards without the magic are pre-frame journals (committed fixtures,
+# live deployments from before the format change) and load unchecked.
+_FRAME_MAGIC = b"WFC1"
+_FRAME_HEADER = struct.Struct(">II")  # payload length, CRC32C(payload)
+_FRAME_PREFIX = len(_FRAME_MAGIC) + _FRAME_HEADER.size
+
+
+class _TornShard(Exception):
+    """A shard file ends before its frame does (internal to the WAL)."""
+
+    def __init__(self, message: str, offset: int):
+        super().__init__(message)
+        self.offset = offset
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap serialised shard bytes in a checksummed frame."""
+    return (_FRAME_MAGIC
+            + _FRAME_HEADER.pack(len(payload), crc32c(payload))
+            + payload)
+
+
+def unframe_payload(data: bytes, path) -> bytes:
+    """Verify and strip a shard frame; pass pre-frame shards through.
+
+    Raises :class:`_TornShard` when the file stops before the frame
+    does (a torn write — only ever legitimate at the log's tail) and
+    :class:`~repro.utils.CorruptStateError` when the bytes are all
+    there but wrong (bit rot, trailing garbage).
+    """
+    if data[:4] != _FRAME_MAGIC:
+        if len(data) < 4 and _FRAME_MAGIC[:len(data)] == data:
+            raise _TornShard(
+                f"shard {path} holds only {len(data)} bytes of frame "
+                "magic", offset=len(data))
+        return data  # pre-frame shard: no checksum recorded
+    if len(data) < _FRAME_PREFIX:
+        raise _TornShard(
+            f"shard {path} is truncated inside its frame header "
+            f"({len(data)}/{_FRAME_PREFIX} bytes)", offset=len(data))
+    length, checksum = _FRAME_HEADER.unpack_from(data, 4)
+    expected = _FRAME_PREFIX + length
+    if len(data) < expected:
+        raise _TornShard(
+            f"shard {path} is truncated at byte {len(data)} "
+            f"(frame declares {expected})", offset=len(data))
+    if len(data) > expected:
+        raise CorruptStateError(
+            f"WAL shard {path} carries {len(data) - expected} bytes of "
+            f"trailing garbage after its frame (offset {expected})",
+            path=path, offset=expected)
+    payload = data[_FRAME_PREFIX:]
+    actual = crc32c(payload)
+    if actual != checksum:
+        raise CorruptStateError(
+            f"WAL shard {path} failed its CRC32C check at offset "
+            f"{_FRAME_PREFIX} (recorded {checksum:#010x}, computed "
+            f"{actual:#010x})", path=path, offset=_FRAME_PREFIX)
+    return payload
 
 
 class SessionWAL:
@@ -83,6 +156,7 @@ class SessionWAL:
     """
 
     MANIFEST = "manifest.json"
+    MANIFEST_DIGEST = "manifest.crc32c"
 
     def __init__(self, directory, *, codec: str = "json"):
         if codec not in WAL_CODECS:
@@ -93,17 +167,46 @@ class SessionWAL:
         self.codec = codec
         self.event_dir = self.directory / "events"
         self.event_dir.mkdir(parents=True, exist_ok=True)
+        #: Torn-tail shards dropped during :meth:`events` scans, each a
+        #: ``{"file", "offset", "reason"}`` dict.  Only ever unacked
+        #: writes — surfaced so operators can see recovery happened.
+        self.recovered: list[dict] = []
         self._next_seq = self._scan_next_seq()
 
     @property
     def manifest_path(self) -> Path:
         return self.directory / self.MANIFEST
 
+    @property
+    def manifest_digest_path(self) -> Path:
+        return self.directory / self.MANIFEST_DIGEST
+
     def read_manifest(self) -> dict | None:
-        """The session's identity payload, or None before creation."""
+        """The session's identity payload, or None before creation.
+
+        When a ``manifest.crc32c`` sidecar exists (every session created
+        since the integrity layer), the manifest bytes are verified
+        against it; a mismatch or unparsable manifest raises
+        :class:`~repro.utils.CorruptStateError`.  Sessions without the
+        sidecar (pre-frame journals) load unchecked.
+        """
         if not self.manifest_path.is_file():
             return None
-        return json.loads(self.manifest_path.read_text())
+        raw = self.manifest_path.read_bytes()
+        if self.manifest_digest_path.is_file():
+            recorded = self.manifest_digest_path.read_text().strip()
+            actual = f"{crc32c(raw):08x}"
+            if recorded != actual:
+                raise CorruptStateError(
+                    f"session manifest {self.manifest_path} failed its "
+                    f"CRC32C check (recorded {recorded}, computed "
+                    f"{actual})", path=self.manifest_path, offset=0)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptStateError(
+                f"session manifest {self.manifest_path} is not valid "
+                f"JSON: {exc}", path=self.manifest_path) from exc
 
     def write_manifest(self, payload: dict) -> None:
         """Record the session identity; refuses to overwrite a different one.
@@ -113,7 +216,10 @@ class SessionWAL:
         re-create), anything else raises.  The write is made durable
         name-and-all: the session directory is fsynced after the
         rename, and the *parent* (service root) after that, so an
-        acknowledged create survives a crash on any filesystem.
+        acknowledged create survives a crash on any filesystem.  A
+        ``manifest.crc32c`` sidecar records the manifest's checksum;
+        it is written *after* the manifest, so a crash between the two
+        leaves a valid (merely unverifiable) session behind.
         """
         existing = self.read_manifest()
         if existing is not None:
@@ -122,12 +228,22 @@ class SessionWAL:
                     f"session directory {self.directory} already holds a "
                     "different session; choose a fresh directory"
                 )
+            if not self.manifest_digest_path.is_file():
+                self._write_manifest_digest()
             return
         atomic_write_text(
             self.manifest_path, json.dumps(payload, sort_keys=True),
             fsync_dir=True,
         )
+        self._write_manifest_digest()
         fsync_directory(self.directory.parent)
+
+    def _write_manifest_digest(self) -> None:
+        atomic_write_text(
+            self.manifest_digest_path,
+            f"{crc32c(self.manifest_path.read_bytes()):08x}\n",
+            fsync_dir=True,
+        )
 
     # -- write path --------------------------------------------------------
 
@@ -135,10 +251,17 @@ class SessionWAL:
         """Durably append one event; returns its sequence number.
 
         Synchronous: one data fsync and one directory fsync per call.
-        The event is durable when this returns.
+        The event is durable when this returns.  A failed write (disk
+        full, I/O error) rolls the sequence counter back so the journal
+        never develops a gap — a gap would silently truncate every
+        later event at replay.
         """
         record = self._make_record(kind, payload)
-        self._write_records([record])
+        try:
+            self._write_records([record])
+        except BaseException:
+            self._next_seq = record["seq"]
+            raise
         return record["seq"]
 
     def flush(self) -> int:
@@ -179,7 +302,7 @@ class SessionWAL:
             data = dump_state_binary(content)
         else:
             data = json.dumps(content).encode("utf-8")
-        self._write_durable(self.event_dir / name, data)
+        self._write_durable(self.event_dir / name, frame_payload(data))
 
     def _write_durable(self, path: Path, data: bytes) -> None:
         """tmp-write → fsync → rename → directory fsync, with stage hooks.
@@ -227,47 +350,99 @@ class SessionWAL:
         return last + 1
 
     def _load_shard(self, path: Path) -> dict:
-        if path.suffix == ".bin":
-            return load_state_binary(path.read_bytes())
-        return json.loads(path.read_text())
+        """Read, verify and decode one shard.
+
+        Raises :class:`_TornShard` for an incomplete tail write and
+        :class:`~repro.utils.CorruptStateError` for checksum failures
+        or shards whose (verified or legacy) payload will not decode.
+        """
+        payload = unframe_payload(path.read_bytes(), path)
+        try:
+            if path.suffix == ".bin":
+                return load_state_binary(payload)
+            return json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptStateError(
+                f"WAL shard {path} does not decode as its "
+                f"{path.suffix!r} codec: {exc}", path=path) from exc
 
     def events(self) -> list[dict]:
         """All durable events on disk, in sequence order.
 
-        Atomic writes guarantee no torn files; a gap in the sequence
-        (possible only through manual deletion) truncates the log at
-        the gap, because events after it no longer have a consistent
-        prefix to replay onto.  Buffered-but-unflushed events of a
-        :class:`GroupCommitWAL` are by definition absent.
+        Shard frames are verified as they load.  A torn write (the file
+        ends before its frame does) is legitimate only for the shard at
+        the very tail of the log — the crash interrupted a write whose
+        events were therefore never acknowledged — and recovery drops
+        it: the file is unlinked, the drop is recorded in
+        :attr:`recovered`, and the log continues from the last valid
+        prefix.  A torn or checksum-failed shard anywhere *before* the
+        tail means acknowledged events are damaged, which raises
+        :class:`~repro.utils.CorruptStateError` naming the file and
+        offset rather than silently serving a shortened history.
+
+        A gap in the sequence (possible only through manual deletion)
+        truncates the log at the gap, because events after it no longer
+        have a consistent prefix to replay onto.
+        Buffered-but-unflushed events of a :class:`GroupCommitWAL` are
+        by definition absent.
         """
-        found = {}
+        shards = []
         for path in sorted(self.event_dir.iterdir()):
             match = _EVENT_RE.match(path.name)
             if match:
-                record = self._load_shard(path)
-                if record.get("kind") != match.group("kind") or int(
-                    record.get("seq", -1)
-                ) != int(match.group("seq")):
-                    raise ValueError(
-                        f"WAL event {path.name} disagrees with its name"
-                    )
-                found[int(match.group("seq"))] = record
+                shards.append((int(match.group("seq")), path, match, False))
                 continue
             match = _BATCH_RE.match(path.name)
-            if not match:
+            if match:
+                shards.append((int(match.group("first")), path, match, True))
+        shards.sort(key=lambda item: item[0])
+        found = {}
+        for position, (_, path, match, is_batch) in enumerate(shards):
+            try:
+                content = self._load_shard(path)
+            except _TornShard as torn:
+                if position != len(shards) - 1:
+                    raise CorruptStateError(
+                        f"WAL shard {path} is torn mid-log: {torn} "
+                        "(later shards exist, so acknowledged events "
+                        "would be lost)", path=path, offset=torn.offset
+                    ) from torn
+                # Torn tail: the interrupted write was never
+                # acknowledged, so dropping it loses nothing a client
+                # was promised.  Unlink it so the sequence scan cannot
+                # skip numbers over a ghost file.
+                path.unlink()
+                fsync_directory(self.event_dir)
+                self.recovered.append({
+                    "file": path.name,
+                    "offset": torn.offset,
+                    "reason": str(torn),
+                })
+                self._next_seq = self._scan_next_seq()
                 continue
-            records = self._load_shard(path).get("records", [])
+            if not is_batch:
+                if content.get("kind") != match.group("kind") or int(
+                    content.get("seq", -1)
+                ) != int(match.group("seq")):
+                    raise CorruptStateError(
+                        f"WAL event {path.name} disagrees with its name",
+                        path=path,
+                    )
+                found[int(match.group("seq"))] = content
+                continue
+            records = content.get("records", [])
             first, last = int(match.group("first")), int(match.group("last"))
             seqs = [int(record.get("seq", -1)) for record in records]
             if seqs != list(range(first, last + 1)):
-                raise ValueError(
-                    f"WAL batch {path.name} disagrees with its name"
+                raise CorruptStateError(
+                    f"WAL batch {path.name} disagrees with its name",
+                    path=path,
                 )
             for record in records:
                 if record.get("kind") not in _EVENT_KINDS:
-                    raise ValueError(
+                    raise CorruptStateError(
                         f"WAL batch {path.name} holds unknown event kind "
-                        f"{record.get('kind')!r}"
+                        f"{record.get('kind')!r}", path=path,
                     )
                 found[int(record["seq"])] = record
         out = []
@@ -311,11 +486,22 @@ class GroupCommitWAL(SessionWAL):
         self._buffer: list[dict] = []
 
     def append(self, kind: str, payload: dict) -> int:
-        """Buffer one event; durable only after the next :meth:`flush`."""
+        """Buffer one event; durable only after the next :meth:`flush`.
+
+        If the append triggers a self-flush and that flush fails, the
+        event is un-buffered and the sequence counter rolled back: the
+        caller's request did not happen, and the journal must not later
+        flush an event whose in-memory half never ran.
+        """
         record = self._make_record(kind, payload)
         self._buffer.append(record)
         if len(self._buffer) >= self.max_batch:
-            self.flush()
+            try:
+                self.flush()
+            except BaseException:
+                self._buffer.pop()
+                self._next_seq = record["seq"]
+                raise
         return record["seq"]
 
     def flush(self) -> int:

@@ -1,6 +1,12 @@
 """Shared utilities: RNG handling, numeric transforms, validation, IO."""
 
-from repro.utils.io import atomic_write_bytes, atomic_write_text, fsync_directory
+from repro.utils.integrity import crc32c, file_digest
+from repro.utils.io import (
+    CorruptStateError,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
 from repro.utils.memory import (
     PeakRssTracker,
     current_rss_bytes,
@@ -27,6 +33,9 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "fsync_directory",
+    "CorruptStateError",
+    "crc32c",
+    "file_digest",
     "PeakRssTracker",
     "current_rss_bytes",
     "peak_rss_high_water_bytes",

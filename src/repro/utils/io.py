@@ -27,7 +27,36 @@ import os
 import uuid
 from pathlib import Path
 
-__all__ = ["atomic_write_text", "atomic_write_bytes", "fsync_directory"]
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "fsync_directory",
+    "CorruptStateError",
+]
+
+
+class CorruptStateError(Exception):
+    """Persisted state failed an integrity check.
+
+    Raised when a checksummed artefact — a WAL event frame, a
+    chunk-store column file, a session manifest — reads back damaged:
+    a CRC/digest mismatch, a truncation that cannot be attributed to a
+    torn tail, or structure that contradicts the file's own name.  The
+    message always names the file (and, where meaningful, the byte
+    offset) so an operator can locate the damage; ``path`` and
+    ``offset`` carry the same machine-readably.
+
+    Deliberately *not* a ``ValueError``: corruption is an environment
+    failure, not a caller mistake, and the service tier maps it to
+    HTTP 500 (via :attr:`status`) instead of 400.
+    """
+
+    status = 500
+
+    def __init__(self, message: str, *, path=None, offset: int | None = None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.offset = offset
 
 
 def fsync_directory(path) -> None:

@@ -1,0 +1,187 @@
+"""Randomised chaos: a client fleet vs kills, lost acks and torn tails.
+
+The dedicated fault tests each aim one failure at one code path.  This
+suite composes them the way a bad week does: a fleet of keyed
+:class:`~repro.service.client.EvaluationClient` threads drives several
+sessions through a 2-shard binary-codec service across multiple
+*incarnations* (full stop/start of the whole tier), while a seeded
+schedule SIGKILLs workers mid-drive, arms dropped-ack network faults,
+and plants torn half-written frames at each journal's tail between
+incarnations.
+
+Every injected fault respects the service's one promise — acknowledged
+events are durable — which is exactly what makes the final assertion
+possible: after all the chaos, every session's trajectory must be
+**bit-identical** to an uninterrupted in-process run at the same seed.
+The torn tails planted between incarnations imitate the only torn
+writes a real crash can produce (an in-flight, never-acknowledged
+append); they must be silently discarded by torn-tail recovery, never
+surfacing to clients at all.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.service.client import EvaluationClient
+from repro.service.wal import _BATCH_RE, _EVENT_RE, frame_payload
+
+from test_service_faults import (
+    ShardedService,
+    make_pool,
+    reference_status,
+)
+
+SESSIONS = 3
+BATCH = 5
+ROUNDS_PER_INCARNATION = 3
+# (armed fault spec or None, live mid-drive SIGKILL?) per incarnation;
+# torn tails are planted in every gap between incarnations.
+INCARNATIONS = [
+    (None, True),                                  # plain worker crash
+    ({"stage": "sock:drop_ack", "after": 4}, False),   # lost ack
+    (None, True),                                  # crash again, post-chaos
+]
+TOTAL_ROUNDS = ROUNDS_PER_INCARNATION * len(INCARNATIONS)
+
+
+def plant_torn_tail(root, session_id, rng) -> bool:
+    """Append a torn, half-written frame at the journal's next seq.
+
+    This is the footprint of a crash mid-append: a shard file whose
+    frame declares more bytes than the file holds.  It is planted at
+    the *tail* (a fresh, never-acknowledged sequence number), because
+    that is the only place the real write path can tear — everything
+    behind it was atomically renamed into place.
+    """
+    for directory in root.glob(f"shard-*/{session_id}"):
+        events = directory / "events"
+        if not events.is_dir():
+            continue
+        last = 0
+        for path in events.iterdir():
+            match = _EVENT_RE.match(path.name)
+            if match:
+                last = max(last, int(match.group("seq")))
+            match = _BATCH_RE.match(path.name)
+            if match:
+                last = max(last, int(match.group("last")))
+        frame = frame_payload(bytes(rng.getrandbits(8)
+                                    for _ in range(rng.randint(40, 200))))
+        cut = rng.randrange(1, len(frame) - 1)
+        (events / f"e{last + 1:08d}-ingest.bin").write_bytes(frame[:cut])
+        return True
+    return False
+
+
+def test_chaos_fleet_trajectories_stay_bit_identical(tmp_path):
+    rng = random.Random(0xC4A05)
+    predictions, scores, true_labels = make_pool(seed=41, n=150)
+    root = tmp_path / "root"
+    session_seeds = {f"c{index}": 100 + index for index in range(SESSIONS)}
+    errors: list[tuple[str, BaseException]] = []
+
+    def drive(port: int, session_id: str, start: int, stop: int) -> None:
+        try:
+            with EvaluationClient(f"http://127.0.0.1:{port}",
+                                  backoff=0.02, seed=start) as client:
+                for index in range(start, stop):
+                    proposal = client.propose(
+                        session_id, BATCH,
+                        idempotency_key=f"{session_id}-p{index}")
+                    client.ingest(
+                        session_id, proposal["ticket"],
+                        [int(true_labels[i]) for i in proposal["pending"]],
+                        idempotency_key=f"{session_id}-i{index}")
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append((session_id, exc))
+
+    for phase, (fault, live_kill) in enumerate(INCARNATIONS):
+        with ShardedService(root, shards=2, codec="binary",
+                            fault=fault) as service:
+            if phase == 0:
+                with EvaluationClient(
+                        f"http://127.0.0.1:{service.port}") as client:
+                    for session_id, seed in session_seeds.items():
+                        client.create_session(
+                            predictions, scores, sampler="oasis",
+                            seed=seed, session_id=session_id)
+            threads = [
+                threading.Thread(target=drive, args=(
+                    service.port, session_id,
+                    phase * ROUNDS_PER_INCARNATION,
+                    (phase + 1) * ROUNDS_PER_INCARNATION,
+                ))
+                for session_id in session_seeds
+            ]
+            for thread in threads:
+                thread.start()
+            if live_kill:
+                time.sleep(rng.uniform(0.02, 0.2))
+                pids = [pid for pid in service.supervisor.worker_pids()
+                        if pid is not None]
+                os.kill(rng.choice(pids), signal.SIGKILL)
+            for thread in threads:
+                thread.join(timeout=180)
+                assert not thread.is_alive(), "a driver thread hung"
+            assert not errors, errors
+            if live_kill:
+                # The watcher notices the corpse on its own schedule —
+                # possibly after the (fast) drive already finished.
+                stop_at = time.monotonic() + 30
+                while sum(service.supervisor.restarts) < 1:
+                    assert time.monotonic() < stop_at, "respawn never seen"
+                    time.sleep(0.05)
+            # close() drains gracefully; sessions checkpoint to disk.
+        planted = 0
+        for session_id in session_seeds:
+            if rng.random() < 0.8:
+                planted += plant_torn_tail(root, session_id, rng)
+        assert planted, "the schedule never exercised torn-tail recovery"
+
+    # The epilogue incarnation: every journal (some freshly torn)
+    # restores, and every trajectory equals its fault-free reference.
+    with ShardedService(root, shards=2, codec="binary") as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}") as client:
+            finals = {session_id: client.status(session_id)
+                      for session_id in session_seeds}
+    for session_id, seed in session_seeds.items():
+        reference = reference_status(
+            predictions, scores, true_labels,
+            seed=seed, rounds=TOTAL_ROUNDS, batch_size=BATCH)
+        final = finals[session_id]
+        assert final["estimate"] == reference["estimate"], session_id
+        assert final["draws"] == reference["draws"], session_id
+        assert final["labels_consumed"] == reference["labels_consumed"], \
+            session_id
+        assert final["outstanding"] is None, session_id
+
+
+def test_planted_torn_tail_is_discarded_silently(tmp_path):
+    """The chaos suite's corruption injector really produces the
+    recoverable-by-design shape: a service restarted over a planted
+    torn tail serves the session as if the tear never happened.
+    """
+    rng = random.Random(7)
+    predictions, scores, true_labels = make_pool(seed=43)
+    root = tmp_path / "root"
+    with ShardedService(root, shards=2, codec="binary") as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}") as client:
+            client.create_session(predictions, scores, sampler="oasis",
+                                  seed=9, session_id="t0")
+            proposal = client.propose("t0", BATCH)
+            client.ingest("t0", proposal["ticket"],
+                          [int(true_labels[i]) for i in proposal["pending"]])
+            before = client.status("t0")
+    assert plant_torn_tail(root, "t0", rng)
+    with ShardedService(root, shards=2, codec="binary") as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}") as client:
+            after = client.status("t0")
+    assert after["estimate"] == before["estimate"]
+    assert after["draws"] == before["draws"]

@@ -1,0 +1,289 @@
+"""EvaluationClient: the retry engine, and the client against live tiers.
+
+Two layers of test.  A scripted stub HTTP server exercises the retry
+engine's classification table in isolation — 503 means resend, 504
+means resend only under idempotency, ``Retry-After`` is honoured,
+connections lost after send are fatal exactly when the call carries no
+key.  Then the client drives a real sharded service, including across
+a worker SIGKILL, where every recovery leg (connection refused, router
+503, keyed replay) fires for real.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import EvaluationClient, ServiceRequestError
+from repro.service.errors import DeadlineExceededError
+
+from test_service_faults import (
+    ShardedService,
+    make_pool,
+    reference_status,
+)
+
+
+# -- scripted stub ---------------------------------------------------------
+
+class StubServer:
+    """An HTTP server answering from a script of (status, headers, body).
+
+    When the script runs dry the last entry repeats.  A ``"drop"``
+    entry closes the connection without answering — the
+    connection-lost-after-send case.  Every request (method, path,
+    decoded body, headers) is recorded for assertions.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        stub = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b""
+                stub.requests.append((
+                    self.command, self.path,
+                    json.loads(raw) if raw else None,
+                    dict(self.headers),
+                ))
+                entry = (stub.script.pop(0) if len(stub.script) > 1
+                         else stub.script[0])
+                if entry == "drop":
+                    # shutdown(), not close(): the handler's own
+                    # rfile/wfile hold io-refs, so close() would defer
+                    # the FIN and the client would block on its timeout
+                    # instead of seeing the connection die.
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                    self.close_connection = True
+                    return
+                status, headers, body = entry
+                payload = json.dumps(body).encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_GET = do_POST = do_DELETE = _serve
+
+            def log_message(self, *args):
+                pass
+
+        self.server = http.server.ThreadingHTTPServer(
+            ("127.0.0.1", 0), Handler)
+        self.port = self.server.server_address[1]
+        threading.Thread(target=self.server.serve_forever,
+                         daemon=True).start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def client(self, **kwargs):
+        kwargs.setdefault("backoff", 0.01)
+        kwargs.setdefault("backoff_cap", 0.05)
+        kwargs.setdefault("seed", 0)
+        return EvaluationClient(f"http://127.0.0.1:{self.port}", **kwargs)
+
+
+OK = (200, {}, {"ok": True})
+
+
+# -- constructor validation ------------------------------------------------
+
+@pytest.mark.parametrize("url", [
+    "https://example.com:1234",       # not http
+    "http://127.0.0.1:80/api",        # path prefix
+    "http://127.0.0.1:80?x=1",        # query
+    "http://",                        # no host
+])
+def test_rejects_malformed_urls(url):
+    with pytest.raises(ValueError):
+        EvaluationClient(url)
+
+
+def test_rejects_non_positive_timeouts():
+    with pytest.raises(ValueError):
+        EvaluationClient("http://127.0.0.1:1", timeout=0)
+    with StubServer([OK]) as stub:
+        with pytest.raises(ValueError):
+            stub.client().healthz(deadline=-1)
+
+
+def test_bare_host_port_is_accepted():
+    client = EvaluationClient("127.0.0.1:8765")
+    assert (client.host, client.port) == ("127.0.0.1", 8765)
+
+
+# -- the retry classification table ----------------------------------------
+
+def test_503_is_retried_until_success():
+    with StubServer([(503, {}, {"error": "busy"}),
+                     (503, {}, {"error": "busy"}), OK]) as stub:
+        with stub.client() as client:
+            assert client.healthz() == {"ok": True}
+        assert len(stub.requests) == 3
+
+
+def test_503_retries_exhaust_into_the_last_error():
+    with StubServer([(503, {}, {"error": "always busy"})]) as stub:
+        with stub.client(max_retries=2) as client:
+            with pytest.raises(ServiceRequestError) as excinfo:
+                client.healthz()
+    assert excinfo.value.status == 503
+    assert len(stub.requests) == 3  # initial + 2 retries
+
+
+def test_retry_after_header_is_honoured_but_capped():
+    with StubServer([(503, {"Retry-After": "0.2"}, {"error": "busy"}),
+                     OK]) as stub:
+        with stub.client(backoff_cap=0.05) as client:
+            started = time.monotonic()
+            client.healthz()
+            elapsed = time.monotonic() - started
+    # Slept, but by the client's own cap, not the server's 0.2s ask.
+    assert 0.01 < elapsed < 0.19
+
+
+def test_504_retries_only_under_idempotency():
+    with StubServer([(504, {}, {"error": "deadline"}), OK]) as stub:
+        with stub.client() as client:
+            with pytest.raises(ServiceRequestError) as excinfo:
+                client._request("POST", "/x", {}, idempotent=False)
+            assert excinfo.value.status == 504
+            assert client._request("POST", "/x", {}, idempotent=True) \
+                == {"ok": True}
+
+
+def test_connection_lost_after_send_is_fatal_without_a_key():
+    with StubServer(["drop", OK]) as stub:
+        with stub.client() as client:
+            with pytest.raises(DeadlineExceededError, match="outcome unknown"):
+                client._request("POST", "/x", {}, idempotent=False)
+            # The same failure under a key is just another retry.
+            assert client._request("POST", "/x", {}, idempotent=True) \
+                == {"ok": True}
+
+
+def test_non_retryable_statuses_raise_with_payload():
+    with StubServer([(404, {}, {"error": "no such session"})]) as stub:
+        with stub.client() as client:
+            with pytest.raises(ServiceRequestError) as excinfo:
+                client.status("nope")
+    assert excinfo.value.status == 404
+    assert excinfo.value.payload["error"] == "no such session"
+    assert len(stub.requests) == 1  # 4xx is never retried
+
+
+def test_mutating_calls_carry_auto_keys_and_deadline_header():
+    with StubServer([OK]) as stub:
+        with stub.client(timeout=5.0) as client:
+            client.propose("s", 4)
+            client.ingest("s", 0, [1, 0])
+            client.create_session([1], [0.5], sampler="oasis", seed=0)
+    propose, ingest, create = stub.requests
+    assert propose[2]["key"].startswith("propose-")
+    assert ingest[2]["key"].startswith("ingest-")
+    assert ingest[2]["labels"] == [1, 0]
+    # The create body got a client-side session id — retryable creates.
+    assert create[2]["session_id"]
+    for request in stub.requests:
+        assert 0 < float(request[3]["X-Request-Timeout"]) <= 5.0
+
+
+# -- against the real service ----------------------------------------------
+
+ROUNDS = 4
+BATCH = 6
+SEED = 23
+
+
+def test_full_protocol_against_live_sharded_service(tmp_path):
+    predictions, scores, true_labels = make_pool(seed=SEED)
+    with ShardedService(tmp_path / "root", shards=2) as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}",
+                              seed=4) as client:
+            assert client.healthz()["status"] == "ok"
+            created = client.create_session(
+                predictions, scores, sampler="oasis", seed=SEED)
+            sid = created["session_id"]
+            assert any(s["session_id"] == sid
+                       for s in client.list_sessions())
+            for _ in range(ROUNDS):
+                proposal = client.propose(sid, BATCH)
+                labels = {int(i): int(true_labels[i])
+                          for i in proposal["pending"]}
+                client.ingest(sid, proposal["ticket"], labels)
+            estimate = client.estimate(sid)
+            client.checkpoint(sid)
+            final = client.status(sid)
+            assert client.close_session(sid)["closed"]
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]
+    assert estimate["estimate"] == reference["estimate"]
+    assert final["labels_consumed"] == reference["labels_consumed"]
+
+
+def test_same_key_replays_the_same_proposal(tmp_path):
+    predictions, scores, _ = make_pool(seed=2)
+    with ShardedService(tmp_path / "root") as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}") as client:
+            sid = client.create_session(
+                predictions, scores, sampler="oasis", seed=1)["session_id"]
+            first = client.propose(sid, 5, idempotency_key="retry-me")
+            again = client.propose(sid, 5, idempotency_key="retry-me")
+            assert again == first  # replayed, not a 409 conflict
+
+
+def test_client_rides_through_a_worker_sigkill(tmp_path):
+    """Kill the worker under the client mid-trajectory: the next calls
+    see the router's 503s and refused connections, reconnect, and the
+    restored session finishes bit-identically — no caller-side
+    recovery code at all.
+    """
+    predictions, scores, true_labels = make_pool(seed=31)
+    with ShardedService(tmp_path / "root", shards=1) as service:
+        with EvaluationClient(f"http://127.0.0.1:{service.port}",
+                              backoff=0.02, seed=5) as client:
+            sid = client.create_session(
+                predictions, scores, sampler="oasis",
+                seed=SEED)["session_id"]
+            for _ in range(2):
+                proposal = client.propose(sid, BATCH)
+                client.ingest(sid, proposal["ticket"],
+                              [int(true_labels[i])
+                               for i in proposal["pending"]])
+            os.kill(service.supervisor.worker_pids()[0], signal.SIGKILL)
+            for _ in range(2, ROUNDS):
+                proposal = client.propose(sid, BATCH)
+                client.ingest(sid, proposal["ticket"],
+                              [int(true_labels[i])
+                               for i in proposal["pending"]])
+            final = client.status(sid)
+            assert service.supervisor.restarts == [1]
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]
+    assert final["draws"] == reference["draws"]

@@ -125,7 +125,10 @@ class RecoveringClient:
                 time.sleep(0.05)
                 continue
             fresh = False
-            if response.status == 503:
+            if response.status in (503, 504):
+                # 503: not executed, resend freely.  504: the answer is
+                # late — resending is safe *for this client* because its
+                # propose/ingest recovery paths absorb duplicates.
                 retry_after = float(response.headers.get("Retry-After", 0.1))
                 time.sleep(min(max(retry_after, 0.02), 0.5))
                 continue
@@ -312,3 +315,183 @@ def test_shard_count_is_pinned_across_restarts(tmp_path):
         pass
     with pytest.raises(ValueError, match="laid out for 2 shard"):
         ShardedService(root, shards=4)
+
+
+# -- disk-full degradation and keyed-retry recovery ------------------------
+#
+# These drive the service through repro.service.client.EvaluationClient —
+# the retrying, idempotency-keyed library the failure envelope is designed
+# for — instead of the hand-rolled RecoveringClient above, which predates
+# idempotency keys and recovers through the ticket/status protocol.
+
+import os as _os
+import signal as _signal
+
+from repro.service.client import EvaluationClient, ServiceRequestError
+
+
+def _await_restart(service, counts, timeout: float = 30.0) -> None:
+    stop_at = time.monotonic() + timeout
+    while service.supervisor.restarts != counts:
+        assert time.monotonic() < stop_at, \
+            f"restarts stuck at {service.supervisor.restarts}"
+        time.sleep(0.05)
+    # ...and the respawned worker is answering.
+    while True:
+        assert time.monotonic() < stop_at, "restarted worker never answered"
+        try:
+            if all(s.get("status") == "ok"
+                   for s in service.supervisor.shard_stats()):
+                return
+        except Exception:
+            pass
+        time.sleep(0.05)
+
+
+def test_enospc_degrades_to_read_only_until_restart(tmp_path):
+    """A journal volume that fills mid-run must *degrade*, not damage:
+    the un-flushable request rolls back (503), the shard pins itself
+    read-only so no later mutation can diverge memory from disk, reads
+    keep serving, and a worker restart over the (space-recovered)
+    volume resumes the exact acknowledged trajectory.
+    """
+    predictions, scores, true_labels = make_pool(seed=13)
+    with ShardedService(tmp_path / "root", shards=1,
+                        fault={"stage": "wal:pre_write", "mode": "enospc",
+                               "after": 5}) as service:
+        client = EvaluationClient(
+            f"http://127.0.0.1:{service.port}",
+            max_retries=4, backoff=0.02, backoff_cap=0.1, seed=1)
+        client.create_session(predictions, scores, sampler="oasis",
+                              seed=SEED, session_id="e0")
+        failed_round = None
+        for index in range(ROUNDS):
+            try:
+                proposal = client.propose(
+                    "e0", BATCH, idempotency_key=f"p{index}", deadline=3.0)
+                client.ingest(
+                    "e0", proposal["ticket"],
+                    [int(true_labels[i]) for i in proposal["pending"]],
+                    idempotency_key=f"i{index}", deadline=3.0)
+            except ServiceRequestError as exc:
+                assert exc.status == 503, exc.status
+                failed_round = index
+                break
+        assert failed_round is not None, "the injected ENOSPC never fired"
+
+        # Degraded, not dead: mutations refuse with 503, health names
+        # the read-only shard, reads still serve the durable state.
+        health = client.healthz()
+        assert health["status"] == "degraded"
+        assert health["read_only_shards"] == 1
+        assert "draws" in client.status("e0")
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.propose("e0", BATCH, idempotency_key="doomed",
+                           deadline=1.0)
+        assert excinfo.value.status == 503
+        assert "read-only" in str(excinfo.value)
+
+        # The operator clears space and bounces the worker (the respawn
+        # does not re-arm the fault — the volume has room again).
+        _os.kill(service.supervisor.worker_pids()[0], _signal.SIGKILL)
+        _await_restart(service, [1])
+
+        # Re-drive from the failed round with the *same* keys: whatever
+        # half-state the failure left is absorbed by the dedup window,
+        # and nothing is double-applied.
+        for index in range(failed_round, ROUNDS):
+            proposal = client.propose(
+                "e0", BATCH, idempotency_key=f"p{index}")
+            client.ingest(
+                "e0", proposal["ticket"],
+                [int(true_labels[i]) for i in proposal["pending"]],
+                idempotency_key=f"i{index}")
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["read_only_shards"] == 0
+        final = client.status("e0")
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]
+    assert final["draws"] == reference["draws"]
+    assert final["labels_consumed"] == reference["labels_consumed"]
+
+
+def test_dropped_ack_keyed_retry_does_not_double_count(tmp_path):
+    """The lying-503 case: the worker commits an ingest but its ack
+    evaporates on the wire (connection closed before a byte of the
+    reply).  The router can only render that teardown as a 503 —
+    *"not executed, resend freely"* — which is false here.  An unkeyed
+    resend would be a 409 at best and a double-count at worst; the
+    EvaluationClient's idempotency key makes the resend replay the
+    original response instead.  The worker never dies.
+    """
+    predictions, scores, true_labels = make_pool(seed=17)
+    with ShardedService(tmp_path / "root", shards=1,
+                        fault={"stage": "sock:drop_ack",
+                               "after": 3}) as service:
+        client = EvaluationClient(
+            f"http://127.0.0.1:{service.port}",
+            backoff=0.02, backoff_cap=0.2, seed=2)
+        client.create_session(predictions, scores, sampler="oasis",
+                              seed=SEED, session_id="d0")
+        for index in range(ROUNDS):
+            # Ack #3 — round 1's ingest — is the one that evaporates.
+            proposal = client.propose("d0", BATCH)
+            response = client.ingest(
+                "d0", proposal["ticket"],
+                [int(true_labels[i]) for i in proposal["pending"]])
+            assert response["outstanding"] is None
+        final = client.status("d0")
+        assert service.supervisor.restarts == [0]  # nobody crashed
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]
+    assert final["draws"] == reference["draws"]
+    assert final["labels_consumed"] == reference["labels_consumed"]
+
+
+def test_kill_between_commit_and_ack_keyed_retry_replays(tmp_path):
+    """Regression for the committed-but-unacked window: the worker is
+    SIGKILLed after the flush covering an ingest but before its reply
+    (``batch:pre_ack``).  The restarted worker replays the journal —
+    including the ingest's idempotency key — so the client's retry of
+    that exact request replays the original response off the rebuilt
+    dedup window rather than double-counting the labels.
+    """
+    predictions, scores, true_labels = make_pool(seed=19)
+    with ShardedService(tmp_path / "root", shards=1,
+                        fault={"stage": "batch:pre_ack",
+                               "after": 3}) as service:
+        client = EvaluationClient(
+            f"http://127.0.0.1:{service.port}",
+            backoff=0.02, backoff_cap=0.2, seed=3)
+        client.create_session(predictions, scores, sampler="oasis",
+                              seed=SEED, session_id="k0")
+        # Commit window #3 is round 1's ingest: committed, never acked,
+        # worker dead.  The client's keyed retry rides through the 503
+        # teardown and the restart window inside this one call.
+        proposal = client.propose("k0", BATCH)
+        response = client.ingest(
+            "k0", proposal["ticket"],
+            [int(true_labels[i]) for i in proposal["pending"]])
+        one_round = reference_status(
+            predictions, scores, true_labels,
+            seed=SEED, rounds=1, batch_size=BATCH)
+        assert response["labels_consumed"] == one_round["labels_consumed"]
+        assert response["draws"] == one_round["draws"]
+        assert service.supervisor.restarts == [1]
+        for _ in range(1, ROUNDS):
+            proposal = client.propose("k0", BATCH)
+            client.ingest(
+                "k0", proposal["ticket"],
+                [int(true_labels[i]) for i in proposal["pending"]])
+        final = client.status("k0")
+    reference = reference_status(
+        predictions, scores, true_labels,
+        seed=SEED, rounds=ROUNDS, batch_size=BATCH)
+    assert final["estimate"] == reference["estimate"]
+    assert final["draws"] == reference["draws"]
+    assert final["labels_consumed"] == reference["labels_consumed"]
