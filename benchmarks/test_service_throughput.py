@@ -53,6 +53,8 @@ from repro.service.http import make_server, make_sharded_backend
 from repro.service.wal import GroupCommitWAL
 
 MAX_OVERHEAD = float(os.environ.get("SERVICE_BENCH_MAX_OVERHEAD", "1.75"))
+MAX_OBS_OVERHEAD = float(
+    os.environ.get("SERVICE_BENCH_MAX_OBS_OVERHEAD", "1.05"))
 MIN_SPEEDUP = float(os.environ.get("SERVICE_BENCH_MIN_SPEEDUP", "10"))
 N_CLIENTS = int(os.environ.get("SERVICE_BENCH_CLIENTS", "16"))
 OUT_PATH = os.environ.get("SERVICE_BENCH_OUT", "BENCH_service.json")
@@ -162,6 +164,85 @@ def test_group_commit_overhead(tmp_path):
     assert overhead < MAX_OVERHEAD, (
         f"group-commit journalling is {overhead:.2f}x the memory-only "
         f"session (ceiling {MAX_OVERHEAD:g}x)"
+    )
+
+
+def test_observability_overhead(tmp_path):
+    """The metrics/logging instrumentation must be nearly free.
+
+    The same memory-only session schedule runs with a disabled
+    (``NULL_REGISTRY``-style) registry and with a real one — every
+    hot-path counter and histogram live.  Memory-only isolates the
+    instrumentation cost from fsync noise; min-of-``REPS`` suppresses
+    scheduler outliers.  The ceiling is ``SERVICE_BENCH_MAX_OBS_OVERHEAD``
+    (default 1.05x: ≤5% steady-state overhead on the request path).
+
+    Scraping — the per-session telemetry pass (CI widths cost a walk
+    over each session's observations) plus the Prometheus rendering —
+    is out-of-band work paid per poll, not per request, so it is timed
+    separately and reported rather than folded into the hot-path
+    ratio: at a realistic cadence (seconds between polls) its
+    amortised cost is negligible, while folding twelve scrapes into a
+    forty-millisecond drive would measure the scraper, not the tier."""
+    from repro.service.manager import SessionManager as _Manager
+    from repro.utils.metrics import MetricsRegistry, render_prometheus
+
+    pool = _pool()
+
+    def drive_via_manager(metrics_enabled: bool, rep: int):
+        registry = MetricsRegistry(enabled=metrics_enabled)
+        manager = _Manager(None, metrics=registry)
+        session = manager.create_session(
+            pool.predictions, pool.scores, sampler="oasis",
+            sampler_kwargs={"n_strata": 30}, seed=9,
+            session_id=f"obs-{metrics_enabled}-{rep}")
+        labels = np.asarray(pool.true_labels)
+        start = time.perf_counter()
+        for batch in BATCHES:
+            proposal = session.propose(batch)
+            session.ingest(proposal["ticket"],
+                           labels[proposal["pending"]].tolist())
+        return time.perf_counter() - start, manager, registry
+
+    # One untimed warmup of each variant, then interleaved timed reps:
+    # back-to-back pairs see the same allocator/cache/scheduler state,
+    # so a drift across the run (e.g. right after a heavier benchmark
+    # in this file) biases both variants equally instead of whichever
+    # happened to be timed first.
+    drive_via_manager(False, -1)
+    drive_via_manager(True, -1)
+    disabled_seconds = enabled_seconds = float("inf")
+    for rep in range(REPS):
+        disabled_seconds = min(disabled_seconds,
+                               drive_via_manager(False, rep)[0])
+        seconds, manager, registry = drive_via_manager(True, rep)
+        enabled_seconds = min(enabled_seconds, seconds)
+
+    # One full scrape of the loaded manager, timed on its own: the
+    # telemetry pass plus snapshot plus text rendering.
+    scrape_seconds = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        manager.observe_session_telemetry()
+        text = render_prometheus(registry.snapshot())
+        scrape_seconds = min(scrape_seconds, time.perf_counter() - start)
+    assert "oasis_session_draws_total" in text
+
+    overhead = enabled_seconds / disabled_seconds
+    payload = {
+        "draws": int(sum(BATCHES)),
+        "disabled_registry_seconds": disabled_seconds,
+        "enabled_registry_seconds": enabled_seconds,
+        "observability_overhead_factor": overhead,
+        "scrape_seconds": scrape_seconds,
+    }
+    print(f"\nobservability: disabled {disabled_seconds:.3f}s, enabled "
+          f"{enabled_seconds:.3f}s → {overhead:.3f}x (ceiling "
+          f"{MAX_OBS_OVERHEAD:g}x); full scrape {scrape_seconds * 1e3:.2f}ms")
+    _merge_report({"observability_overhead": payload})
+    assert overhead < MAX_OBS_OVERHEAD, (
+        f"metrics+logging cost {overhead:.3f}x the uninstrumented "
+        f"session (ceiling {MAX_OBS_OVERHEAD:g}x)"
     )
 
 

@@ -266,6 +266,29 @@ class AISEstimator:
         low, high = measure.bounds
         return (max(low, g_hat - half), min(high, g_hat + half))
 
+    def weight_ess(self) -> float:
+        """Kish effective sample size of the importance weights.
+
+        ``(sum w)^2 / sum w^2`` — equals the observation count when the
+        instrumental distribution matches the target exactly and decays
+        toward 1 as the weights degenerate, making it a direct
+        convergence signal for the sampling policy (the observability
+        layer exports it per session).  Requires
+        ``track_observations=True``; 0.0 before any observation.
+        """
+        if not self.track_observations:
+            raise RuntimeError("weight_ess requires track_observations=True")
+        if not self._observations:
+            return 0.0
+        weights = np.asarray(
+            [observation[0] for observation in self._observations],
+            dtype=float)
+        square_sum = float(np.sum(weights**2))
+        if square_sum <= 0.0:
+            return 0.0
+        total = float(np.sum(weights))
+        return total * total / square_sum
+
     def state(self) -> dict:
         """Snapshot of the running sums (for checkpoint/diagnostics)."""
         return {

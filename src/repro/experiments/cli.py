@@ -296,6 +296,51 @@ def build_parser() -> argparse.ArgumentParser:
         "answer before returning 504 (default 120; clients can lower "
         "it per request with the X-Request-Timeout header)",
     )
+    serve.add_argument(
+        "--log-format", choices=("json", "text"), default="text",
+        help="structured-log rendering: one JSON object per line, or "
+        "human-readable key=value text",
+    )
+    serve.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum severity emitted to stderr",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a convergence report (HTML + markdown) from "
+        "journalled trial stores or a live server",
+    )
+    source = report.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--store", default=None,
+        help="trial-store directory (a sweep root or a single "
+        "checkpoint dir with trials.jsonl shards)",
+    )
+    source.add_argument(
+        "--server", default=None,
+        help="base URL of a live service (http://host:port); sessions "
+        "are read via GET /sessions/{id}/history",
+    )
+    report.add_argument(
+        "--sessions", nargs="*", default=None,
+        help="with --server: restrict to these session ids "
+        "(default: every listed session)",
+    )
+    report.add_argument(
+        "--out", default="report",
+        help="output directory for report.html / report.md",
+    )
+    report.add_argument(
+        "--formats", nargs="+", choices=("html", "md"),
+        default=["html", "md"],
+        help="which renderings to write",
+    )
+    report.add_argument(
+        "--title", default="Convergence report",
+        help="heading used in the rendered report",
+    )
     return parser
 
 
@@ -494,12 +539,37 @@ def _cmd_serve(args) -> None:
             flush_interval=args.flush_interval, max_batch=args.max_batch,
             max_queue=args.max_queue, capacity=args.capacity,
             rpc_timeout=args.rpc_timeout,
+            log_format=args.log_format, log_level=args.log_level,
         )
-        serve(backend, host=args.host, port=args.port)
+        serve(backend, host=args.host, port=args.port,
+              log_format=args.log_format, log_level=args.log_level)
         return
     manager = SessionManager(args.root, capacity=args.capacity)
     serve(manager, host=args.host, port=args.port,
-          idle_timeout=args.idle_timeout)
+          idle_timeout=args.idle_timeout,
+          log_format=args.log_format, log_level=args.log_level)
+
+
+def _cmd_report(args) -> None:
+    # Deferred import: report generation pulls in the service client
+    # only when --server is used.
+    from repro.experiments.report import (
+        collect_series_from_server,
+        collect_series_from_store,
+        write_report,
+    )
+
+    if args.store is not None:
+        series = collect_series_from_store(args.store)
+    else:
+        series = collect_series_from_server(
+            args.server, session_ids=args.sessions)
+    if not series:
+        raise SystemExit("no convergence series found to report on")
+    paths = write_report(series, args.out, formats=tuple(args.formats),
+                         title=args.title)
+    for path in paths:
+        print(f"wrote {path}")
 
 
 _COMMANDS = {
@@ -510,6 +580,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
+    "report": _cmd_report,
 }
 
 

@@ -1,15 +1,39 @@
-"""ASCII rendering of experiment results.
+"""Rendering of experiment results: ASCII tables and convergence reports.
 
 Every benchmark prints the rows/series the corresponding paper table
-or figure reports; these helpers keep that output consistent and
-readable in test logs.
+or figure reports; the ``format_*`` helpers keep that output
+consistent and readable in test logs.
+
+The second half of this module is the **convergence report
+generator** behind ``python -m repro.experiments report``: it collects
+estimate-vs-budget trajectories either from journalled trial stores
+(a sweep root or a single checkpoint directory, see
+:class:`~repro.experiments.persistence.TrialStore`) or from a live
+service (``GET /sessions/{id}/history``), and renders them as a
+self-contained HTML page (inline SVG, zero external assets) and a
+markdown digest.  Both renderings embed the numeric series verbatim in
+a JSON data island, so downstream tooling can recover the exact floats
+without scraping markup, and both are **deterministic**: the same
+input bytes render the same output bytes — no timestamps, no
+environment leakage — which is what makes golden tests possible.
 """
 
 from __future__ import annotations
 
+import html as _html
+import json
 import math
+from pathlib import Path
 
-__all__ = ["format_table", "format_series"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "collect_series_from_store",
+    "collect_series_from_server",
+    "render_report_html",
+    "render_report_markdown",
+    "write_report",
+]
 
 
 def _cell(value, width: int) -> str:
@@ -91,3 +115,413 @@ def format_series(name: str, xs, ys, *, x_label: str = "budget",
         f"{x_label.ljust(label_width)}  {x_row}\n"
         f"{y_label.ljust(label_width)}  {y_row}"
     )
+
+
+# ---------------------------------------------------------------------------
+# convergence reports
+# ---------------------------------------------------------------------------
+
+#: Normal quantile for a two-sided 95% interval over repeats.
+_Z95 = 1.959963984540054
+
+
+def _build_series(name: str, source: str, budgets, rows,
+                  true_value=None, final=None) -> dict:
+    """Assemble one report series from raw per-repeat estimate rows.
+
+    ``rows`` is a list of equal-length estimate trajectories (``None``
+    marks an undefined estimate, e.g. precision before any positive
+    draw).  The per-budget mean/std/CI are computed in plain Python so
+    the emitted floats depend only on the input bytes — the data
+    island must round-trip bitwise for golden tests.
+    """
+    budgets = [int(b) for b in budgets]
+    rows = [list(row) for row in rows]
+    for row in rows:
+        if len(row) != len(budgets):
+            raise ValueError(
+                f"series {name!r}: row length {len(row)} != "
+                f"{len(budgets)} budgets")
+    mean, std, count, ci_low, ci_high = [], [], [], [], []
+    for column in range(len(budgets)):
+        values = [row[column] for row in rows
+                  if row[column] is not None
+                  and not math.isnan(row[column])]
+        count.append(len(values))
+        if not values:
+            mean.append(None)
+            std.append(None)
+            ci_low.append(None)
+            ci_high.append(None)
+            continue
+        m = sum(values) / len(values)
+        mean.append(m)
+        if len(values) > 1:
+            variance = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+            s = math.sqrt(variance)
+            half = _Z95 * s / math.sqrt(len(values))
+            std.append(s)
+            ci_low.append(m - half)
+            ci_high.append(m + half)
+        else:
+            std.append(None)
+            ci_low.append(None)
+            ci_high.append(None)
+    return {
+        "name": name,
+        "source": source,
+        "budgets": budgets,
+        "n_repeats": len(rows),
+        "rows": rows,
+        "mean": mean,
+        "std": std,
+        "count": count,
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+        "true_value": (None if true_value is None
+                       or (isinstance(true_value, float)
+                           and math.isnan(true_value))
+                       else float(true_value)),
+        "final": dict(final) if final else {},
+    }
+
+
+def _series_from_run_dir(directory, prefix: str) -> list[dict]:
+    """Series for one ``run_trials`` checkpoint directory.
+
+    Prefers the aggregated ``results.json`` (carries the true value);
+    falls back to reading the raw shards of an interrupted run.
+    """
+    directory = Path(directory)
+    results_path = directory / "results.json"
+    series = []
+    if results_path.is_file():
+        payload = json.loads(results_path.read_text())
+        for spec_name in sorted(payload):
+            entry = payload[spec_name]
+            n_repeats, n_budgets = entry["estimates_shape"]
+            flat = entry["estimates"]
+            rows = [flat[i * n_budgets:(i + 1) * n_budgets]
+                    for i in range(n_repeats)]
+            series.append(_build_series(
+                f"{prefix}/{spec_name}", "store", entry["budgets"], rows,
+                true_value=entry.get("true_value")))
+        return series
+    shard_dir = directory / "shards"
+    if not shard_dir.is_dir():
+        return []
+    by_spec: dict[str, dict] = {}
+    for path in sorted(shard_dir.glob("*.json")):
+        try:
+            shard = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue  # torn shard: the run would recompute it too
+        spec = by_spec.setdefault(
+            shard["spec"], {"budgets": shard["budgets"], "rows": {}})
+        if shard["budgets"] != spec["budgets"]:
+            continue  # stale grid: TrialStore.load_shard skips it too
+        spec["rows"][int(shard["repeat"])] = shard["estimates"]
+    for spec_name in sorted(by_spec):
+        spec = by_spec[spec_name]
+        rows = [spec["rows"][r] for r in sorted(spec["rows"])]
+        series.append(_build_series(
+            f"{prefix}/{spec_name}", "store", spec["budgets"], rows))
+    return series
+
+
+def collect_series_from_store(root) -> list[dict]:
+    """Collect convergence series from a journalled trial store.
+
+    ``root`` may be a **sweep root** (holds ``sweep.json`` plus one
+    subdirectory per job) or a single **checkpoint directory** (holds
+    ``manifest.json``/``shards/`` and optionally ``results.json``).
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no trial store at {root}")
+    if (root / "sweep.json").is_file():
+        series = []
+        for job_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+            series.extend(_series_from_run_dir(job_dir, prefix=job_dir.name))
+        return series
+    return _series_from_run_dir(root, prefix=root.name)
+
+
+def collect_series_from_server(base_url: str, *, session_ids=None,
+                               client=None) -> list[dict]:
+    """Collect one series per live session via ``GET .../history``.
+
+    A live session is a single trajectory (one repeat), so the mean
+    *is* the trajectory and the CI columns stay empty; the session's
+    own estimator telemetry (CI at the current budget, weight-ESS)
+    lands in the series' ``final`` block instead.
+    """
+    from repro.service.client import EvaluationClient
+
+    owns_client = client is None
+    if owns_client:
+        client = EvaluationClient(base_url)
+    try:
+        if session_ids is None:
+            session_ids = sorted(
+                entry["session_id"] for entry in client.list_sessions())
+        series = []
+        for session_id in session_ids:
+            payload = client.history(session_id)
+            final = {
+                key: payload.get(key)
+                for key in ("estimate", "ci", "ci_width", "weight_ess",
+                            "sampler", "measure", "labels_consumed")
+                if payload.get(key) is not None
+            }
+            series.append(_build_series(
+                str(session_id), "server",
+                payload.get("budget_history", []),
+                [payload.get("history", [])],
+                final=final))
+        return series
+    finally:
+        if owns_client:
+            client.close()
+
+
+def _fmt(value, digits: int = 6) -> str:
+    """Human-facing number for tables; the data island keeps the
+    exact floats."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def _report_payload(series: list[dict], title: str) -> str:
+    """The canonical JSON embedded in both renderings.
+
+    ``json.dumps`` prints floats with ``repr`` (shortest round-trip),
+    so parsing the island recovers bitwise-identical values.
+    """
+    return json.dumps({"title": title, "series": series},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def _svg_chart(entry: dict, *, width: int = 640, height: int = 300) -> str:
+    """Inline SVG: CI band, mean polyline, true-value rule, axes."""
+    pad_left, pad_right, pad_top, pad_bottom = 56, 16, 12, 32
+    budgets = entry["budgets"]
+    points = [(b, m) for b, m in zip(budgets, entry["mean"])
+              if m is not None]
+    if not points:
+        return ('<svg width="%d" height="%d" role="img">'
+                '<text x="16" y="24">no defined estimates</text></svg>'
+                % (width, height))
+    ys = [m for _, m in points]
+    for low, high in zip(entry["ci_low"], entry["ci_high"]):
+        if low is not None:
+            ys.append(low)
+        if high is not None:
+            ys.append(high)
+    if entry["true_value"] is not None:
+        ys.append(entry["true_value"])
+    x_min, x_max = min(budgets), max(budgets)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        span = abs(y_min) or 1.0
+        y_min, y_max = y_min - 0.05 * span, y_max + 0.05 * span
+    else:
+        margin = 0.05 * (y_max - y_min)
+        y_min, y_max = y_min - margin, y_max + margin
+
+    def sx(value):
+        frac = (value - x_min) / (x_max - x_min)
+        return pad_left + frac * (width - pad_left - pad_right)
+
+    def sy(value):
+        frac = (value - y_min) / (y_max - y_min)
+        return height - pad_bottom - frac * (height - pad_top - pad_bottom)
+
+    def coords(pairs):
+        return " ".join(f"{sx(x):.2f},{sy(y):.2f}" for x, y in pairs)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'viewBox="0 0 {width} {height}">'
+    ]
+    band_upper = [(b, h) for b, h in zip(budgets, entry["ci_high"])
+                  if h is not None]
+    band_lower = [(b, l) for b, l in zip(budgets, entry["ci_low"])
+                  if l is not None]
+    if band_upper and len(band_upper) == len(band_lower):
+        parts.append(
+            f'<polygon points="{coords(band_upper + band_lower[::-1])}" '
+            'fill="#9ecae1" fill-opacity="0.45" stroke="none"/>')
+    if entry["true_value"] is not None:
+        y = sy(entry["true_value"])
+        parts.append(
+            f'<line x1="{pad_left}" y1="{y:.2f}" '
+            f'x2="{width - pad_right}" y2="{y:.2f}" '
+            'stroke="#d62728" stroke-dasharray="6 4" stroke-width="1.5"/>')
+    parts.append(
+        f'<polyline points="{coords(points)}" fill="none" '
+        'stroke="#1f77b4" stroke-width="2"/>')
+    for x, y in points:
+        parts.append(
+            f'<circle cx="{sx(x):.2f}" cy="{sy(y):.2f}" r="2.5" '
+            'fill="#1f77b4"/>')
+    axis_y = height - pad_bottom
+    parts.append(
+        f'<line x1="{pad_left}" y1="{axis_y}" x2="{width - pad_right}" '
+        f'y2="{axis_y}" stroke="#333" stroke-width="1"/>')
+    parts.append(
+        f'<line x1="{pad_left}" y1="{pad_top}" x2="{pad_left}" '
+        f'y2="{axis_y}" stroke="#333" stroke-width="1"/>')
+    parts.append(
+        f'<text x="{pad_left}" y="{height - 8}" font-size="11" '
+        f'text-anchor="middle">{_fmt(x_min)}</text>')
+    parts.append(
+        f'<text x="{width - pad_right}" y="{height - 8}" font-size="11" '
+        f'text-anchor="middle">{_fmt(x_max)}</text>')
+    parts.append(
+        f'<text x="{pad_left - 6}" y="{axis_y}" font-size="11" '
+        f'text-anchor="end">{_fmt(y_min, 4)}</text>')
+    parts.append(
+        f'<text x="{pad_left - 6}" y="{pad_top + 10}" font-size="11" '
+        f'text-anchor="end">{_fmt(y_max, 4)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _final_defined(entry: dict, key: str):
+    """Last non-None value of a per-budget column."""
+    for value in reversed(entry[key]):
+        if value is not None:
+            return value
+    return None
+
+
+def render_report_html(series: list[dict],
+                       title: str = "Convergence report") -> str:
+    """Self-contained HTML: summary table, one SVG chart + numeric
+    table per series, and a machine-readable JSON data island under
+    ``<script type="application/json" id="report-data">``."""
+    esc = _html.escape
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        "<style>",
+        "body{font-family:system-ui,sans-serif;margin:2rem auto;"
+        "max-width:60rem;color:#1a1a1a;}",
+        "table{border-collapse:collapse;margin:0.75rem 0;}",
+        "th,td{border:1px solid #ccc;padding:0.25rem 0.6rem;"
+        "text-align:right;font-variant-numeric:tabular-nums;}",
+        "th:first-child,td:first-child{text-align:left;}",
+        "section{margin-bottom:2.5rem;}",
+        "h2{border-bottom:1px solid #ddd;padding-bottom:0.2rem;}",
+        ".legend{color:#555;font-size:0.85rem;}",
+        "</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        '<p class="legend">Solid line: mean estimate over repeats. '
+        "Shaded band: 95% CI of the mean. Dashed rule: true value "
+        "(when known).</p>",
+        "<table><tr><th>series</th><th>source</th><th>repeats</th>"
+        "<th>budgets</th><th>final estimate</th><th>true value</th>"
+        "</tr>",
+    ]
+    for entry in series:
+        out.append(
+            "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td>"
+            "<td>%s</td><td>%s</td></tr>" % (
+                esc(entry["name"]), esc(entry["source"]),
+                entry["n_repeats"], len(entry["budgets"]),
+                _fmt(_final_defined(entry, "mean")),
+                _fmt(entry["true_value"])))
+    out.append("</table>")
+    for entry in series:
+        out.append(f'<section><h2>{esc(entry["name"])}</h2>')
+        out.append(_svg_chart(entry))
+        if entry["final"]:
+            bits = ", ".join(
+                f"{esc(str(key))}={esc(_fmt(entry['final'][key]))}"
+                if not isinstance(entry["final"][key], list)
+                else f"{esc(str(key))}=[%s]" % ", ".join(
+                    _fmt(v) for v in entry["final"][key])
+                for key in sorted(entry["final"]))
+            out.append(f'<p class="legend">session telemetry: {bits}</p>')
+        out.append(
+            "<table><tr><th>budget</th><th>mean</th><th>std</th>"
+            "<th>n</th><th>ci low</th><th>ci high</th></tr>")
+        for i, budget in enumerate(entry["budgets"]):
+            out.append(
+                "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td>"
+                "<td>%s</td><td>%s</td></tr>" % (
+                    budget, _fmt(entry["mean"][i]), _fmt(entry["std"][i]),
+                    entry["count"][i], _fmt(entry["ci_low"][i]),
+                    _fmt(entry["ci_high"][i])))
+        out.append("</table></section>")
+    island = _report_payload(series, title).replace("</", "<\\/")
+    out.append(
+        f'<script type="application/json" id="report-data">{island}'
+        "</script>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def render_report_markdown(series: list[dict],
+                           title: str = "Convergence report") -> str:
+    """Markdown digest with the same JSON payload in a fenced block."""
+    out = [f"# {title}", ""]
+    for entry in series:
+        out.append(f"## {entry['name']}")
+        out.append("")
+        out.append(f"- source: {entry['source']}")
+        out.append(f"- repeats: {entry['n_repeats']}")
+        if entry["true_value"] is not None:
+            out.append(f"- true value: {_fmt(entry['true_value'])}")
+        for key in sorted(entry["final"]):
+            value = entry["final"][key]
+            if isinstance(value, list):
+                value = "[%s]" % ", ".join(_fmt(v) for v in value)
+            else:
+                value = _fmt(value)
+            out.append(f"- {key}: {value}")
+        out.append("")
+        out.append("| budget | mean | std | n | ci low | ci high |")
+        out.append("| ---: | ---: | ---: | ---: | ---: | ---: |")
+        for i, budget in enumerate(entry["budgets"]):
+            out.append("| %d | %s | %s | %d | %s | %s |" % (
+                budget, _fmt(entry["mean"][i]), _fmt(entry["std"][i]),
+                entry["count"][i], _fmt(entry["ci_low"][i]),
+                _fmt(entry["ci_high"][i])))
+        out.append("")
+    out.append("## Data")
+    out.append("")
+    out.append("```json")
+    out.append(_report_payload(series, title))
+    out.append("```")
+    out.append("")
+    return "\n".join(out)
+
+
+def write_report(series: list[dict], out_dir, *,
+                 formats=("html", "md"),
+                 title: str = "Convergence report") -> list[Path]:
+    """Render ``series`` into ``out_dir``; returns the written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    renderers = {"html": ("report.html", render_report_html),
+                 "md": ("report.md", render_report_markdown)}
+    paths = []
+    for kind in formats:
+        if kind not in renderers:
+            raise ValueError(f"unknown report format {kind!r}; "
+                             f"expected one of {sorted(renderers)}")
+        filename, renderer = renderers[kind]
+        path = out_dir / filename
+        path.write_text(renderer(series, title), encoding="utf-8")
+        paths.append(path)
+    return paths

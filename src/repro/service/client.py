@@ -76,11 +76,18 @@ class ServiceRequestError(ServiceError):
     callers can branch on 404 vs 409 vs 500 without string matching.
     """
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(self, status: int, payload: dict,
+                 request_id: str | None = None, retries: int = 0):
         message = payload.get("error") if isinstance(payload, dict) else None
-        super().__init__(message or f"service returned HTTP {status}")
+        message = message or f"service returned HTTP {status}"
+        if request_id is not None:
+            message = (f"{message} [request-id {request_id}, "
+                       f"{int(retries)} retries]")
+        super().__init__(message)
         self.status = int(status)
         self.payload = payload
+        self.request_id = request_id
+        self.retries = int(retries)
 
 
 class EvaluationClient:
@@ -195,6 +202,10 @@ class EvaluationClient:
             raise ValueError(f"deadline must be positive; got {deadline}")
         give_up = time.monotonic() + budget
         encoded = b"" if body is None else json.dumps(body).encode("utf-8")
+        # One request id per *logical* call: every resend carries the
+        # same id, so the server's logs stitch the retries together and
+        # every error names the trace to go look for.
+        request_id = uuid.uuid4().hex[:16]
         attempt = 0
         last_error: ServiceError | None = None
         while True:
@@ -202,8 +213,12 @@ class EvaluationClient:
             if remaining <= 0 or attempt > self.max_retries:
                 if last_error is not None:
                     raise last_error
-                raise DeadlineExceededError(
-                    f"{method} {path} exhausted its {budget:g}s deadline")
+                error = DeadlineExceededError(
+                    f"{method} {path} exhausted its {budget:g}s deadline "
+                    f"[request-id {request_id}, {attempt} retries]")
+                error.request_id = request_id
+                error.retries = attempt
+                raise error
             sent = False
             try:
                 conn = self._connection(give_up)
@@ -211,6 +226,7 @@ class EvaluationClient:
                 if conn.sock is not None:
                     conn.sock.settimeout(conn.timeout)
                 headers = {"Content-Type": "application/json",
+                           "X-Request-Id": request_id,
                            "X-Request-Timeout": f"{remaining:g}"}
                 conn.request(method, path, body=encoded, headers=headers)
                 sent = True
@@ -224,12 +240,19 @@ class EvaluationClient:
                 # executed; if it was, only idempotent calls may retry.
                 self._drop_connection()
                 if sent and not idempotent:
-                    raise DeadlineExceededError(
+                    error = DeadlineExceededError(
                         f"{method} {path}: connection lost after send "
                         f"({exc}); outcome unknown and the request "
-                        "carries no idempotency key") from exc
+                        "carries no idempotency key "
+                        f"[request-id {request_id}, {attempt} retries]")
+                    error.request_id = request_id
+                    error.retries = attempt
+                    raise error from exc
                 last_error = OverloadError(
-                    f"{method} {path}: connection failed ({exc})")
+                    f"{method} {path}: connection failed ({exc}) "
+                    f"[request-id {request_id}, {attempt} retries]")
+                last_error.request_id = request_id
+                last_error.retries = attempt
                 attempt += 1
                 time.sleep(min(self._sleep_for(attempt, None),
                                max(give_up - time.monotonic(), 0)))
@@ -242,7 +265,8 @@ class EvaluationClient:
                 return payload
             if status in _RETRY_STATUSES or (
                     status in _MAYBE_STATUSES and idempotent):
-                last_error = ServiceRequestError(status, payload)
+                last_error = ServiceRequestError(
+                    status, payload, request_id=request_id, retries=attempt)
                 attempt += 1
                 suggested = None
                 if retry_after is not None:
@@ -253,7 +277,8 @@ class EvaluationClient:
                 time.sleep(min(self._sleep_for(attempt, suggested),
                                max(give_up - time.monotonic(), 0)))
                 continue
-            raise ServiceRequestError(status, payload)
+            raise ServiceRequestError(status, payload,
+                                      request_id=request_id, retries=attempt)
 
     # -- the protocol -------------------------------------------------------
 
@@ -303,6 +328,14 @@ class EvaluationClient:
     def estimate(self, session_id: str, *,
                  deadline: float | None = None) -> dict:
         return self._request("GET", f"/sessions/{session_id}/estimate",
+                             deadline=deadline, idempotent=True)
+
+    def history(self, session_id: str, *,
+                deadline: float | None = None) -> dict:
+        """Full convergence trajectory: per-update estimates, budgets,
+        and current CI/weight-ESS telemetry — the feed the report
+        generator consumes in ``--server`` mode."""
+        return self._request("GET", f"/sessions/{session_id}/history",
                              deadline=deadline, idempotent=True)
 
     def propose(self, session_id: str, batch_size: int = 1, *,

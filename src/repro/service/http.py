@@ -29,9 +29,17 @@ GET       ``/sessions/{id}``              session status
 POST      ``/sessions/{id}/propose``      propose a batch → pairs to label
 POST      ``/sessions/{id}/ingest``       ingest labels for a ticket
 GET       ``/sessions/{id}/estimate``     current estimate + intervals
+GET       ``/sessions/{id}/history``      estimate/CI trajectory (for reports)
 POST      ``/sessions/{id}/checkpoint``   journal a full snapshot
 DELETE    ``/sessions/{id}``              close (checkpoint + drop from memory)
+GET       ``/metrics``                    Prometheus text exposition
 ========  ==============================  =======================================
+
+Every response carries an ``X-Request-Id`` header — the value of the
+request's own ``X-Request-Id`` if it sent one (letters, digits,
+``._-``, at most 64 chars), otherwise a server-generated id.  The id
+rides the router→shard RPC frames and appears in structured log events,
+so one client-reported failure is greppable across every tier.
 
 The create body::
 
@@ -59,19 +67,33 @@ from __future__ import annotations
 
 import json
 import re
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.errors import CorruptStateError, ServiceError
 from repro.service.manager import SessionManager
+from repro.utils import (
+    bind_request_id,
+    configure_logging,
+    get_logger,
+    render_prometheus,
+)
+from repro.utils.metrics import PROMETHEUS_CONTENT_TYPE
 
 __all__ = ["ServiceServer", "LocalDispatcher", "make_server", "serve"]
 
 _SESSION_ROUTE = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9._-]+)"
-    r"(?:/(?P<action>propose|ingest|estimate|checkpoint))?$"
+    r"(?:/(?P<action>propose|ingest|estimate|checkpoint|history))?$"
 )
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Content type of the ``/metrics`` exposition (the Prometheus text
+#: format version every scraper accepts).
+METRICS_CONTENT_TYPE = PROMETHEUS_CONTENT_TYPE
 
 
 class LocalDispatcher:
@@ -87,12 +109,29 @@ class LocalDispatcher:
 
     def __init__(self, manager: SessionManager):
         self.manager = manager
+        self._http_requests = manager.metrics.counter(
+            "oasis_http_requests_total",
+            "HTTP requests served, by method and response status.",
+            ("method", "status"))
 
     def dispatch(self, method: str, path: str, body: bytes,
-                 timeout: float | None = None):
+                 timeout: float | None = None, *,
+                 request_id: str | None = None):
         # ``timeout`` is accepted for dispatcher-contract parity with
         # the ShardRouter; in-process calls cannot be abandoned
-        # mid-execution, so it is advisory here.
+        # mid-execution, so it is advisory here.  ``request_id`` is the
+        # trace id the HTTP front door minted (or accepted); it rides
+        # the logging context, which the front door already bound.
+        status, payload, headers = self._dispatch(method, path, body)
+        self._http_requests.inc(method=method, status=str(status))
+        return status, payload, headers
+
+    def _dispatch(self, method: str, path: str, body: bytes):
+        if method == "GET" and path == "/metrics":
+            self.manager.observe_session_telemetry()
+            text = render_prometheus(self.manager.metrics.snapshot())
+            return (200, text.encode("utf-8"),
+                    {"Content-Type": METRICS_CONTENT_TYPE})
         try:
             payload = self._route(method, path, body)
         except ServiceError as exc:
@@ -142,6 +181,7 @@ class LocalDispatcher:
                 "status": "ok",
                 "resident_sessions": manager.resident_count,
                 "capacity": manager.capacity,
+                "wal": {"recovered": list(manager.wal_recoveries)},
             }
         if path == "/sessions":
             if method == "GET":
@@ -162,6 +202,8 @@ class LocalDispatcher:
             raise ValueError(f"unsupported method {method} for {path}")
         if action == "estimate" and method == "GET":
             return manager.get(session_id).estimate_payload()
+        if action == "history" and method == "GET":
+            return manager.get(session_id).history_payload()
         if method != "POST":
             raise ValueError(f"unsupported method {method} for {path}")
         body = self._parse_json(raw_body)
@@ -231,15 +273,36 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # request logging is the operator's job, not stderr spam
 
     def _reply(self, status: int, body: bytes, headers: dict | None = None) -> None:
+        headers = dict(headers or {})
+        content_type = headers.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None and "X-Request-Id" not in headers:
+            self.send_header("X-Request-Id", request_id)
+        for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
+        # The trace id is minted here, at the front door: accepted from
+        # the client when well-formed (so a caller can stamp its own id
+        # across systems), generated otherwise, echoed on every reply
+        # and bound into the logging context for the request's duration.
+        client_id = self.headers.get("X-Request-Id")
+        if client_id is not None and _REQUEST_ID_RE.match(client_id):
+            self._request_id = client_id
+        else:
+            self._request_id = uuid.uuid4().hex[:16]
+        token = bind_request_id(self._request_id)
+        try:
+            self._dispatch_traced(method)
+        finally:
+            token.var.reset(token)
+
+    def _dispatch_traced(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY_BYTES:
             self._reply(400, json.dumps(
@@ -263,7 +326,8 @@ class _Handler(BaseHTTPRequestHandler):
                 ).encode("utf-8"))
                 return
         status, payload, headers = self.server.dispatcher.dispatch(
-            method, self.path, body, timeout)
+            method, self.path, body, timeout,
+            request_id=self._request_id)
         self._reply(status, payload, headers)
 
     def do_GET(self):  # noqa: N802 - stdlib naming
@@ -289,7 +353,9 @@ def make_server(manager, host: str = "127.0.0.1",
 def make_sharded_backend(root, shards: int, *, codec: str = "json",
                          flush_interval: float = 0.0, max_batch: int = 32,
                          max_queue: int = 128, capacity: int | None = None,
-                         rpc_timeout: float | None = None):
+                         rpc_timeout: float | None = None,
+                         log_format: str | None = None,
+                         log_level: str | None = None):
     """Start a shard worker pool under ``root`` and return its router.
 
     Records (or verifies) the root's ``topology.json`` first — a shard
@@ -311,12 +377,16 @@ def make_sharded_backend(root, shards: int, *, codec: str = "json",
         "max_batch": max_batch,
         "max_queue": max_queue,
         "capacity": capacity,
+        "log_format": log_format,
+        "log_level": log_level,
     }, rpc_timeout=rpc_timeout).start()
     return ShardRouter(supervisor, HashRing(shards))
 
 
 def serve(manager, host: str = "127.0.0.1",
-          port: int = 8765, *, idle_timeout: float | None = None) -> None:
+          port: int = 8765, *, idle_timeout: float | None = None,
+          log_format: str | None = None,
+          log_level: str | None = None) -> None:
     """Run the service until interrupted (the CLI ``serve`` entry point).
 
     ``manager`` is a :class:`SessionManager` for in-process serving or
@@ -329,26 +399,38 @@ def serve(manager, host: str = "127.0.0.1",
     background sweeper periodically evicts journalled sessions idle
     longer than the timeout, bounding resident memory under bursty
     multi-user traffic.
+
+    ``log_format`` (``"json"``/``"text"``) and ``log_level`` configure
+    the process-wide structured logger (``serve --log-format json``);
+    ``None`` leaves the current configuration untouched.
     """
     import signal
     import threading
 
+    configure_logging(log_format, log_level)
+    log = get_logger("http")
     server = make_server(manager, host, port)
     bound_host, bound_port = server.server_address[:2]
     backend = server.manager if server.manager is not None else manager
     root = getattr(backend, "root_dir", None)
     if root is None:
         root = getattr(getattr(manager, "supervisor", None), "root", None)
+    # The stdout line is a startup contract — the smoke scripts and
+    # benchmark harness parse the bound address out of it — so it stays
+    # a plain print regardless of the structured-log settings.
     print(f"serving evaluation sessions on http://{bound_host}:{bound_port} "
           f"(root={root}, capacity={getattr(backend, 'capacity', None)})",
           flush=True)
+    log.info("serving", host=str(bound_host), port=int(bound_port),
+             root=None if root is None else str(root),
+             capacity=getattr(backend, "capacity", None))
     stop = threading.Event()
     if (idle_timeout is not None and server.manager is not None
             and server.manager.root_dir is not None):
         def sweeper():
             while not stop.wait(min(idle_timeout, 60.0)):
                 for session_id in server.manager.evict_idle(idle_timeout):
-                    print(f"evicted idle session {session_id}", flush=True)
+                    log.info("idle_session_evicted", session=session_id)
 
         threading.Thread(target=sweeper, daemon=True).start()
 
@@ -369,3 +451,4 @@ def serve(manager, host: str = "127.0.0.1",
             closer(graceful=True)
         server.server_close()
         print("service drained and stopped", flush=True)
+        log.info("stopped")

@@ -22,11 +22,17 @@ import time
 
 from repro.service.errors import CapacityError, SessionNotFoundError
 from repro.service.session import EvaluationSession
-from repro.utils import check_count
+from repro.service.wal import SessionWAL
+from repro.utils import MetricsRegistry, check_count, get_logger
 
 __all__ = ["SessionManager"]
 
 _ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: How many WAL recovery records a manager retains for ``/healthz``.
+#: Recoveries are rare (one per torn-tail crash); the cap only guards
+#: against a pathological journal churning forever.
+_MAX_RECOVERY_RECORDS = 256
 
 
 class SessionManager:
@@ -44,12 +50,19 @@ class SessionManager:
     wal_factory:
         Journal constructor for created and restored sessions,
         ``callable(directory) -> SessionWAL``; ``None`` uses the
-        synchronous per-event :class:`~repro.service.wal.SessionWAL`.
+        synchronous per-event :class:`~repro.service.wal.SessionWAL`
+        wired into this manager's metrics registry.
         Shard workers install a group-commit builder here.
+    metrics:
+        The :class:`~repro.utils.metrics.MetricsRegistry` every hosted
+        session and (default-factory) WAL records into; ``None``
+        creates a fresh registry — pass
+        :data:`~repro.utils.metrics.NULL_REGISTRY` to disable
+        collection entirely.
     """
 
     def __init__(self, root_dir=None, *, capacity: int | None = None,
-                 wal_factory=None):
+                 wal_factory=None, metrics=None):
         from pathlib import Path
 
         if capacity is not None:
@@ -58,7 +71,26 @@ class SessionManager:
         if self.root_dir is not None:
             self.root_dir.mkdir(parents=True, exist_ok=True)
         self.capacity = capacity
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        if wal_factory is None:
+            wal_factory = lambda directory: SessionWAL(  # noqa: E731
+                directory, metrics=self.metrics)
         self.wal_factory = wal_factory
+        self._log = get_logger("manager")
+        #: WAL torn-tail recoveries observed while restoring sessions,
+        #: each ``{"session", "file", "offset", "reason"}`` — surfaced
+        #: through ``/healthz`` so silent data-loss events are visible.
+        self.wal_recoveries: list[dict] = []
+        self._sessions_created = self.metrics.counter(
+            "oasis_sessions_created_total", "Sessions created.")
+        self._sessions_evicted = self.metrics.counter(
+            "oasis_sessions_evicted_total",
+            "Sessions checkpointed to disk and dropped from memory.")
+        self._sessions_restored = self.metrics.counter(
+            "oasis_sessions_restored_total",
+            "Sessions restored from their journal.")
+        self._resident_gauge = self.metrics.gauge(
+            "oasis_resident_sessions", "Sessions currently in memory.")
         self._registry_lock = threading.RLock()
         self._sessions: dict[str, EvaluationSession] = {}
         self._last_used: dict[str, float] = {}
@@ -98,10 +130,13 @@ class SessionManager:
             session = EvaluationSession.create(
                 predictions, scores,
                 directory=directory, session_id=session_id,
-                wal_factory=self.wal_factory, **kwargs,
+                wal_factory=self.wal_factory, metrics=self.metrics,
+                **kwargs,
             )
             self._sessions[session.session_id] = session
             self._last_used[session.session_id] = time.monotonic()
+            self._sessions_created.inc()
+            self._log.info("session_created", session=session.session_id)
             return session
 
     def _exists(self, session_id: str) -> bool:
@@ -145,12 +180,28 @@ class SessionManager:
                     self._last_used[session_id] = time.monotonic()
                     return session
             session = EvaluationSession.restore(
-                directory, wal_factory=self.wal_factory)
+                directory, wal_factory=self.wal_factory,
+                metrics=self.metrics)
+            self._sessions_restored.inc()
+            self._log.info("session_restored", session=session_id)
+            if session.wal is not None and session.wal.recovered:
+                self._record_recoveries(session_id, session.wal.recovered)
             with self._registry_lock:
                 self._make_room()
                 self._sessions[session_id] = session
                 self._last_used[session_id] = time.monotonic()
                 return session
+
+    def _record_recoveries(self, session_id: str, entries: list[dict]) -> None:
+        """Note torn-tail WAL drops for the health endpoint."""
+        with self._registry_lock:
+            for entry in entries:
+                self.wal_recoveries.append({"session": session_id, **entry})
+                self._log.warning(
+                    "wal_recovered", session=session_id,
+                    file=entry.get("file"), offset=entry.get("offset"),
+                    reason=entry.get("reason"))
+            del self.wal_recoveries[:-_MAX_RECOVERY_RECORDS]
 
     def close_session(self, session_id: str) -> None:
         """Checkpoint (if journalled), mark closed, and drop from memory."""
@@ -211,6 +262,8 @@ class SessionManager:
                 session.evicted = True
             self._sessions.pop(session_id, None)
             self._last_used.pop(session_id, None)
+            self._sessions_evicted.inc()
+            self._log.info("session_evicted", session=session_id)
 
     def discard(self, session_id: str) -> bool:
         """Drop a resident session from memory *without* checkpointing.
@@ -296,3 +349,43 @@ class SessionManager:
     def resident_count(self) -> int:
         with self._registry_lock:
             return len(self._sessions)
+
+    def observe_session_telemetry(self) -> None:
+        """Refresh per-session estimator gauges (called at scrape time).
+
+        Estimator telemetry (current estimate, CI width, labels
+        consumed, weight-ESS) is pulled when ``/metrics`` is scraped
+        rather than pushed on every ingest: confidence intervals cost a
+        pass over the observation history, which has no business on the
+        hot path.
+        """
+        estimate_gauge = self.metrics.gauge(
+            "oasis_session_estimate",
+            "Current point estimate, per resident session.", ("session",))
+        ci_gauge = self.metrics.gauge(
+            "oasis_session_ci_width",
+            "Width of the 95% confidence interval, per resident session.",
+            ("session",))
+        labels_gauge = self.metrics.gauge(
+            "oasis_session_labels_consumed",
+            "Distinct labels consumed, per resident session.", ("session",))
+        ess_gauge = self.metrics.gauge(
+            "oasis_session_weight_ess",
+            "Kish effective sample size of the importance weights, per "
+            "resident session.", ("session",))
+        with self._registry_lock:
+            sessions = list(self._sessions.values())
+            self._resident_gauge.set(len(sessions))
+        for session in sessions:
+            try:
+                telemetry = session.telemetry()
+            except Exception:  # a racing close must not fail a scrape
+                continue
+            sid = telemetry["session_id"]
+            labels_gauge.set(telemetry["labels_consumed"], session=sid)
+            if telemetry["estimate"] is not None:
+                estimate_gauge.set(telemetry["estimate"], session=sid)
+            if telemetry["ci_width"] is not None:
+                ci_gauge.set(telemetry["ci_width"], session=sid)
+            if telemetry["weight_ess"] is not None:
+                ess_gauge.set(telemetry["weight_ess"], session=sid)

@@ -54,7 +54,15 @@ from repro.service.errors import (
 )
 from repro.service.rpc import recv_frame, send_frame
 from repro.service.shard import SHARD_DEFAULTS, shard_dir_name, shard_worker_main
-from repro.utils import atomic_write_text
+from repro.utils import (
+    CounterResetAccumulator,
+    MetricsRegistry,
+    add_snapshot_label,
+    atomic_write_text,
+    current_request_id,
+    get_logger,
+)
+from repro.utils.metrics import PROMETHEUS_CONTENT_TYPE
 
 __all__ = [
     "HashRing",
@@ -69,7 +77,7 @@ _ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 _SESSION_ROUTE = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9._-]+)"
-    r"(?:/(?P<action>propose|ingest|estimate|checkpoint))?$"
+    r"(?:/(?P<action>propose|ingest|estimate|checkpoint|history))?$"
 )
 
 TOPOLOGY_FILE = "topology.json"
@@ -271,31 +279,39 @@ class ShardClient:
                 waiter.event.set()
 
     def request(self, op: str, sid: str | None = None, body: bytes = b"",
-                timeout: float | None = None):
+                timeout: float | None = None,
+                request_id: str | None = None):
         """One RPC round trip; returns ``(status, payload, retry_after)``.
 
         ``timeout`` (seconds) defaults to the client's configured
-        timeout.  Raises :class:`OverloadError` when the shard cannot
-        be reached (not executed — safe to retry blindly) and
-        :class:`DeadlineExceededError` when it was reached but did not
-        answer in time (may have executed — retry with an idempotency
-        key).
+        timeout.  ``request_id`` is the HTTP front door's trace id; it
+        defaults to the id bound in the logging context (set by the
+        handler thread), so tracing survives this hop without every
+        caller threading it through.  Raises :class:`OverloadError`
+        when the shard cannot be reached (not executed — safe to retry
+        blindly) and :class:`DeadlineExceededError` when it was reached
+        but did not answer in time (may have executed — retry with an
+        idempotency key).
         """
         if timeout is None:
             timeout = self.timeout
+        if request_id is None:
+            request_id = current_request_id()
         sock = self._ensure_connected()
         waiter = _Waiter()
         with self._send_lock:
             self._next_id += 1
-            request_id = self._next_id
-            self._pending[request_id] = waiter
-            header = {"id": request_id, "op": op}
+            frame_id = self._next_id
+            self._pending[frame_id] = waiter
+            header = {"id": frame_id, "op": op}
             if sid is not None:
                 header["sid"] = sid
+            if request_id is not None:
+                header["rid"] = request_id
             try:
                 send_frame(sock, header, body)
             except OSError as exc:
-                self._pending.pop(request_id, None)
+                self._pending.pop(frame_id, None)
                 with self._state_lock:
                     if self._sock is sock:
                         self._teardown_locked(
@@ -304,7 +320,7 @@ class ShardClient:
                     f"shard {self.index} went away mid-send; retry",
                     retry_after=0.2) from exc
         if not waiter.event.wait(timeout):
-            self._pending.pop(request_id, None)
+            self._pending.pop(frame_id, None)
             raise DeadlineExceededError(
                 f"shard {self.index} did not answer within {timeout:g}s; "
                 "the request may still execute")
@@ -352,6 +368,7 @@ class ShardSupervisor:
         self._stopping = threading.Event()
         self._monitor = None
         self._lock = threading.Lock()
+        self._log = get_logger("supervisor")
 
     # -- lifecycle --
 
@@ -417,6 +434,8 @@ class ShardSupervisor:
                     process.join()
                     self.processes[index] = None
                 self.restarts[index] += 1
+                self._log.warning("worker_restarting", shard=index,
+                                  restarts=self.restarts[index])
                 try:
                     self._spawn(index)
                 except RuntimeError:  # pragma: no cover - spawn timeout
@@ -492,12 +511,27 @@ class ShardRouter:
     """
 
     # Paths every shard answers; anything else routes by session id.
-    _ACTIONS = {"propose", "ingest", "estimate", "checkpoint"}
+    _ACTIONS = {"propose", "ingest", "estimate", "checkpoint", "history"}
 
     def __init__(self, supervisor: ShardSupervisor,
                  ring: HashRing | None = None):
         self.supervisor = supervisor
         self.ring = ring or HashRing(supervisor.n_shards)
+        #: The router's own registry (HTTP counters, restart gauges).
+        #: Shard registries are scraped over the RPC and merged in.
+        self.metrics = MetricsRegistry()
+        self._accumulator = CounterResetAccumulator()
+        # Last successfully adjusted snapshot per shard: rendered in
+        # place of a shard that cannot answer a scrape, so restart
+        # windows freeze its series instead of denting them.
+        self._last_shard_snapshots: dict[int, dict] = {}
+        self._http_requests = self.metrics.counter(
+            "oasis_http_requests_total",
+            "HTTP requests served, by method and response status.",
+            ("method", "status"))
+        self._restart_gauge = self.metrics.gauge(
+            "oasis_worker_restarts",
+            "Times each shard worker has been restarted.", ("shard",))
 
     def _request(self, shard: int, op: str, sid: str | None = None,
                  body: bytes = b"", timeout: float | None = None):
@@ -509,13 +543,23 @@ class ShardRouter:
         return status, json.dumps(payload).encode("utf-8"), headers
 
     def dispatch(self, method: str, path: str, body: bytes,
-                 timeout: float | None = None):
+                 timeout: float | None = None, *,
+                 request_id: str | None = None):
         """Route one request; ``timeout`` is the caller's deadline.
 
         ``timeout`` (seconds, from the ``X-Request-Timeout`` header)
         overrides the configured RPC timeout for this request only;
-        deadline exhaustion renders as 504.
+        deadline exhaustion renders as 504.  ``request_id`` (the front
+        door's trace id) rides the shard RPC frames via the logging
+        context the HTTP handler bound.
         """
+        status, payload, headers = self._dispatch_guarded(
+            method, path, body, timeout)
+        self._http_requests.inc(method=method, status=str(status))
+        return status, payload, headers
+
+    def _dispatch_guarded(self, method: str, path: str, body: bytes,
+                          timeout: float | None = None):
         try:
             return self._dispatch(method, path, body, timeout)
         except OverloadError as exc:
@@ -533,6 +577,8 @@ class ShardRouter:
 
     def _dispatch(self, method: str, path: str, body: bytes,
                   timeout: float | None = None):
+        if path == "/metrics" and method == "GET":
+            return self._scrape(timeout)
         if path == "/healthz" and method == "GET":
             shards = self.supervisor.shard_stats()
             healthy = sum(1 for shard in shards if shard["status"] == "ok")
@@ -541,6 +587,11 @@ class ShardRouter:
             status_word = "ok" if healthy == len(shards) else "degraded"
             if read_only:
                 status_word = "degraded"
+            recovered = [
+                {"shard": shard["shard"], **entry}
+                for shard in shards
+                for entry in (shard.get("wal_recovered") or [])
+            ]
             payload = {
                 "status": status_word,
                 "shards": shards,
@@ -549,6 +600,7 @@ class ShardRouter:
                 "queue_depth": sum(
                     shard.get("queue_depth", 0) for shard in shards),
                 "read_only_shards": read_only,
+                "wal": {"recovered": recovered},
             }
             return 200, json.dumps(payload).encode("utf-8"), {}
         if path == "/sessions":
@@ -578,13 +630,48 @@ class ShardRouter:
             if method == "DELETE":
                 return self._request(shard, "close", sid, timeout=timeout)
             raise ValueError(f"unsupported method {method} for {path}")
-        if action == "estimate":
+        if action in ("estimate", "history"):
             if method != "GET":
                 raise ValueError(f"unsupported method {method} for {path}")
-            return self._request(shard, "estimate", sid, timeout=timeout)
+            return self._request(shard, action, sid, timeout=timeout)
         if method != "POST":
             raise ValueError(f"unsupported method {method} for {path}")
         return self._request(shard, action, sid, body, timeout=timeout)
+
+    def _scrape(self, timeout: float | None = None):
+        """Fan ``/metrics`` out to every worker and merge the registries.
+
+        Counters from a restarted worker restart from zero; the
+        accumulator banks each dead instance's final values (keyed by
+        the registry ``instance`` id in its snapshot) so the merged
+        series stay monotonic across crashes — a SIGKILLed shard's
+        request counts are never lost and never double-counted.  A
+        shard that cannot answer is simply absent from this scrape; its
+        banked totals still render.
+        """
+        for index in range(self.supervisor.n_shards):
+            self._restart_gauge.set(
+                self.supervisor.restarts[index], shard=str(index))
+        snapshots = []
+        for index, client in enumerate(self.supervisor.clients):
+            try:
+                status, payload, _ = client.request(
+                    "metrics", timeout=timeout if timeout else 5.0)
+            except ServiceError:
+                status, payload = 0, None
+            if status == 200 and isinstance(payload, dict):
+                adjusted = self._accumulator.adjust(
+                    f"shard-{index}", payload)
+                labelled = add_snapshot_label(adjusted, "shard", str(index))
+                self._last_shard_snapshots[index] = labelled
+                snapshots.append(labelled)
+            else:
+                cached = self._last_shard_snapshots.get(index)
+                if cached is not None:
+                    snapshots.append(cached)
+        text = self.metrics.render(snapshots)
+        return (200, text.encode("utf-8"),
+                {"Content-Type": PROMETHEUS_CONTENT_TYPE})
 
     def _create(self, body: bytes, timeout: float | None = None):
         # The one place the router parses a body: creation needs the

@@ -44,7 +44,7 @@ from repro.service.errors import (
 )
 from repro.service.wal import SessionWAL
 from repro.measures.ratio import measure_from_spec
-from repro.utils import check_count
+from repro.utils import NULL_REGISTRY, check_count
 
 __all__ = ["EvaluationSession", "session_sampler_kinds", "DEDUP_WINDOW"]
 
@@ -111,10 +111,14 @@ class EvaluationSession:
     wal:
         Optional journal; ``None`` keeps the session memory-only
         (no durability, no eviction to disk).
+    metrics:
+        A :class:`~repro.utils.metrics.MetricsRegistry` to count draws,
+        ingested labels and dedup-window hits into; defaults to the
+        no-op registry.
     """
 
     def __init__(self, session_id: str, sampler, config: dict,
-                 wal: SessionWAL | None = None):
+                 wal: SessionWAL | None = None, *, metrics=None):
         if not sampler.supports_propose_ingest:
             raise ValueError(
                 f"{type(sampler).__name__} does not implement the "
@@ -137,6 +141,17 @@ class EvaluationSession:
         # replay and checkpoints capture it, so the exactly-once
         # guarantee survives crashes and eviction.
         self._dedup: OrderedDict[str, dict] = OrderedDict()
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._draws_total = registry.counter(
+            "oasis_session_draws_total",
+            "Sampler draws consumed, per session.", ("session",))
+        self._labels_total = registry.counter(
+            "oasis_session_labels_total",
+            "Fresh labels ingested, per session.", ("session",))
+        self._dedup_hits = registry.counter(
+            "oasis_dedup_hits_total",
+            "Requests answered from the idempotency dedup window.",
+            ("op",))
 
     # -- construction ------------------------------------------------------
 
@@ -154,6 +169,7 @@ class EvaluationSession:
         directory=None,
         session_id: str | None = None,
         wal_factory=None,
+        metrics=None,
     ) -> "EvaluationSession":
         """Create a fresh session over a pool.
 
@@ -232,7 +248,7 @@ class EvaluationSession:
         if directory is not None:
             wal = (wal_factory or SessionWAL)(directory)
             wal.write_manifest(config)
-        return cls(session_id, instance, config, wal)
+        return cls(session_id, instance, config, wal, metrics=metrics)
 
     @staticmethod
     def _build_sampler(config: dict):
@@ -254,7 +270,8 @@ class EvaluationSession:
         )
 
     @classmethod
-    def restore(cls, directory, *, wal_factory=None) -> "EvaluationSession":
+    def restore(cls, directory, *, wal_factory=None,
+                metrics=None) -> "EvaluationSession":
         """Rebuild a session from its journal directory.
 
         The sampler is reconstructed from the manifest, fast-forwarded
@@ -276,7 +293,8 @@ class EvaluationSession:
                 f"{manifest.get('format_version')!r}"
             )
         sampler = cls._build_sampler(manifest)
-        session = cls(manifest["session_id"], sampler, manifest, wal)
+        session = cls(manifest["session_id"], sampler, manifest, wal,
+                      metrics=metrics)
 
         events = wal.events()
         start = 0
@@ -379,6 +397,7 @@ class EvaluationSession:
             self._require_open()
             replayed = self._replay_dedup(idempotency_key)
             if replayed is not None:
+                self._dedup_hits.inc(op="propose")
                 return replayed
             batch_size = check_count(batch_size, "batch_size")
             if self._pending is not None:
@@ -394,6 +413,7 @@ class EvaluationSession:
                     idempotency_key,
                 )
             response = self._do_propose(batch_size, expected_ticket=ticket)
+            self._draws_total.inc(batch_size, session=self.session_id)
             if idempotency_key is not None:
                 self._record_dedup(str(idempotency_key), response)
             return response
@@ -444,6 +464,7 @@ class EvaluationSession:
             self._require_open()
             replayed = self._replay_dedup(idempotency_key)
             if replayed is not None:
+                self._dedup_hits.inc(op="ingest")
                 return replayed
             if self._pending is None:
                 raise SessionConflictError(
@@ -463,6 +484,7 @@ class EvaluationSession:
                     idempotency_key,
                 )
             response = self._do_ingest(int(ticket), labels)
+            self._labels_total.inc(len(labels), session=self.session_id)
             if idempotency_key is not None:
                 self._record_dedup(str(idempotency_key), response)
             return response
@@ -628,6 +650,70 @@ class EvaluationSession:
                 if value is not None:
                     out[name] = None if np.isnan(value) else float(value)
             return out
+
+    def telemetry(self) -> dict:
+        """Convergence telemetry for the observability layer.
+
+        Everything here degrades gracefully: samplers without a
+        confidence interval or without observation tracking (the plain
+        importance sampler) report ``None`` for the signals they cannot
+        produce, so the metrics endpoint never 500s over a sampler
+        choice.
+        """
+        with self._lock:
+            sampler = self.sampler
+            estimate = sampler.estimate
+            out = {
+                "session_id": self.session_id,
+                "estimate": None if np.isnan(estimate) else float(estimate),
+                "labels_consumed": int(sampler.labels_consumed),
+                "draws": len(sampler.history),
+                "ci_width": None,
+                "weight_ess": None,
+            }
+            interval = getattr(sampler, "confidence_interval", None)
+            if callable(interval):
+                low, high = interval(0.95)
+                if not (np.isnan(low) or np.isnan(high)):
+                    out["ci"] = [float(low), float(high)]
+                    out["ci_width"] = float(high - low)
+            ess = getattr(getattr(sampler, "_estimator", None),
+                          "weight_ess", None)
+            if callable(ess):
+                try:
+                    out["weight_ess"] = float(ess())
+                except RuntimeError:
+                    pass  # estimator not tracking observations
+            return out
+
+    def history_payload(self) -> dict:
+        """The estimate trajectory, for live convergence reports.
+
+        ``history[i]`` is the estimate after draw ``i+1`` and
+        ``budget_history[i]`` the distinct labels consumed at that
+        point — plotting one against the other is the paper's
+        convergence curve.  NaN estimates (undefined early ratios)
+        serialise as ``None``.
+        """
+        with self._lock:
+            sampler = self.sampler
+            history = [
+                None if np.isnan(value) else float(value)
+                for value in sampler.history
+            ]
+            payload = {
+                "session_id": self.session_id,
+                "sampler": self.config["sampler"],
+                "measure": sampler.measure.name,
+                "history": history,
+                "budget_history": [int(v) for v in sampler.budget_history],
+                "labels_consumed": int(sampler.labels_consumed),
+            }
+            telemetry = self.telemetry()
+            for key in ("estimate", "ci", "ci_width", "weight_ess"):
+                if key in telemetry:
+                    payload[key] = telemetry[key]
+            return payload
 
     @property
     def estimate(self) -> float:

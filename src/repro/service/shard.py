@@ -57,6 +57,13 @@ from repro.service.errors import (
 from repro.service.manager import SessionManager
 from repro.service.rpc import recv_frame, send_frame
 from repro.service.wal import GroupCommitWAL, WAL_CODECS
+from repro.utils import (
+    MetricsRegistry,
+    bind_request_id,
+    configure_logging,
+    get_logger,
+)
+from repro.utils.metrics import SIZE_BUCKETS
 
 __all__ = ["shard_worker_main", "shard_dir_name", "SHARD_DEFAULTS"]
 
@@ -71,6 +78,8 @@ SHARD_DEFAULTS = {
     "max_queue": 128,         # inbox bound; beyond it -> backpressure
     "capacity": None,         # resident-session cap per shard
     "fault": None,            # crash-point spec (tests only)
+    "log_format": None,       # structured-log format: "json" | "text"
+    "log_level": None,        # structured-log level
 }
 
 
@@ -118,6 +127,20 @@ class _ShardState:
         self.flushes = 0
         self.events_flushed = 0
         self.overloads = 0
+        self.log = get_logger("shard")
+        metrics = manager.metrics
+        self._request_seconds = metrics.histogram(
+            "oasis_request_seconds",
+            "Shard request execution latency, by op.", ("op",))
+        self._batch_sizes = metrics.histogram(
+            "oasis_commit_batch_size",
+            "Requests executed per group-commit window.",
+            buckets=SIZE_BUCKETS)
+        self._overloads_total = metrics.counter(
+            "oasis_overloads_total",
+            "Requests refused with backpressure (503).")
+        self._queue_gauge = metrics.gauge(
+            "oasis_queue_depth", "Requests waiting in the shard inbox.")
         # Sticky degraded mode: once a journal write hits ENOSPC (or a
         # flush fails outright), mutations are refused with 503 until
         # the worker restarts.  Reads keep serving — degradation over
@@ -129,6 +152,17 @@ class _ShardState:
         if not self.read_only:
             self.read_only = True
             self.read_only_reason = str(reason)
+            self.log.error("shard_read_only", reason=str(reason))
+
+    def note_overload(self) -> None:
+        self.overloads += 1
+        self._overloads_total.inc()
+
+    def metrics_snapshot(self) -> dict:
+        """The registry snapshot shipped to the router on a scrape."""
+        self._queue_gauge.set(self.inbox.qsize())
+        self.manager.observe_session_telemetry()
+        return self.manager.metrics.snapshot()
 
     def stats(self) -> dict:
         return {
@@ -144,6 +178,7 @@ class _ShardState:
             "overloads": self.overloads,
             "read_only": self.read_only,
             "read_only_reason": self.read_only_reason,
+            "wal_recovered": list(self.manager.wal_recoveries),
         }
 
 
@@ -158,7 +193,7 @@ def _execute(state: _ShardState, header: dict, body: bytes):
     op = header.get("op")
     sid = header.get("sid")
     if state.read_only and op in _MUTATING_OPS:
-        state.overloads += 1
+        state.note_overload()
         return 503, {
             "error": f"shard is read-only ({state.read_only_reason}); "
                      "mutating requests are refused until it restarts"
@@ -186,6 +221,8 @@ def _execute(state: _ShardState, header: dict, body: bytes):
             return 200, manager.get(sid).status(), None, None
         if op == "estimate":
             return 200, manager.get(sid).estimate_payload(), None, None
+        if op == "history":
+            return 200, manager.get(sid).history_payload(), None, None
         if op == "propose":
             session = manager.get(sid)
             result = session.propose(
@@ -213,7 +250,7 @@ def _execute(state: _ShardState, header: dict, body: bytes):
         raise ValueError(f"unknown shard op {op!r}")
     except StorageFullError as exc:
         state.enter_read_only(exc)
-        state.overloads += 1
+        state.note_overload()
         return exc.status, {"error": str(exc)}, None, exc.retry_after
     except CorruptStateError as exc:
         return exc.status, {
@@ -232,7 +269,7 @@ def _execute(state: _ShardState, header: dict, body: bytes):
             # full volume.  Journal-before-mutate means the request
             # simply did not happen; degrade to read-only.
             state.enter_read_only(exc)
-            state.overloads += 1
+            state.note_overload()
             return 503, {"error": f"journal volume full: {exc}"}, None, 5.0
         return 500, {"error": f"{type(exc).__name__}: {exc}"}, None, None
     except Exception as exc:  # pragma: no cover - last-resort guard
@@ -256,12 +293,17 @@ def _conn_loop(state: _ShardState, conn: _Conn) -> None:
             # jammed inbox — observability under overload is the point.
             conn.reply(header.get("id"), 200, state.stats())
             continue
+        if op == "metrics":
+            # Scrapes are read-only and must work while the inbox is
+            # jammed, for the same reason as stats.
+            conn.reply(header.get("id"), 200, state.metrics_snapshot())
+            continue
         if op == "drain":
             state.draining.set()
             conn.reply(header.get("id"), 200, {"draining": True})
             continue
         if state.draining.is_set():
-            state.overloads += 1
+            state.note_overload()
             conn.reply(header.get("id"), 503,
                        {"error": "shard is draining for shutdown"},
                        retry_after=1.0)
@@ -269,7 +311,7 @@ def _conn_loop(state: _ShardState, conn: _Conn) -> None:
         try:
             state.inbox.put_nowait((conn, header, body))
         except queue.Full:
-            state.overloads += 1
+            state.note_overload()
             conn.reply(header.get("id"), 503,
                        {"error": "shard queue is full; retry"},
                        retry_after=retry_after)
@@ -325,8 +367,20 @@ def _commit_loop(state: _ShardState) -> None:
         for position, (conn, header, body) in enumerate(batch):
             if position and plan is not None:
                 plan.trip("batch:mid")
-            status, payload, session, retry_after = _execute(
-                state, header, body)
+            # The router forwards the front door's request id in the
+            # frame header; binding it here means every log event the
+            # request triggers (eviction, restore, read-only flip)
+            # carries the same trace id the client saw.
+            token = bind_request_id(header.get("rid"))
+            started = time.perf_counter()
+            try:
+                status, payload, session, retry_after = _execute(
+                    state, header, body)
+            finally:
+                state._request_seconds.observe(
+                    time.perf_counter() - started,
+                    op=str(header.get("op")))
+                token.var.reset(token)
             sid = None
             if session is not None and session.wal is not None:
                 sid = session.session_id
@@ -362,11 +416,12 @@ def _commit_loop(state: _ShardState) -> None:
                              "rolled back and the shard is read-only"
                 }
                 retry_after = 5.0
-                state.overloads += 1
+                state.note_overload()
             conn.reply(header.get("id"), status, payload,
                        retry_after=retry_after)
         state.batches += 1
         state.requests += len(batch)
+        state._batch_sizes.observe(len(batch))
 
 
 def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
@@ -390,6 +445,9 @@ def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
     if options["codec"] not in WAL_CODECS:
         raise ValueError(f"unknown WAL codec {options['codec']!r}")
 
+    configure_logging(options["log_format"], options["log_level"])
+    registry = MetricsRegistry()
+
     plan = None
     wrap_socket = None
     if options["fault"]:
@@ -408,10 +466,12 @@ def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
         def wal_factory(directory):
             return GroupCommitWAL(
                 directory, codec=options["codec"],
-                max_batch=max(64, 2 * options["max_batch"]))
+                max_batch=max(64, 2 * options["max_batch"]),
+                metrics=registry)
 
     manager = SessionManager(
-        shard_dir, capacity=options["capacity"], wal_factory=wal_factory)
+        shard_dir, capacity=options["capacity"], wal_factory=wal_factory,
+        metrics=registry)
     state = _ShardState(manager, options, plan)
 
     signal.signal(signal.SIGTERM, lambda *_: state.draining.set())
@@ -435,6 +495,8 @@ def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
     threading.Thread(target=accept_loop, daemon=True).start()
     bootstrap.send({"port": port, "pid": os.getpid()})
     bootstrap.close()
+    state.log.info("shard_started", shard=os.path.basename(str(shard_dir)),
+                   pid=os.getpid(), port=port)
 
     _commit_loop(state)
 
@@ -446,4 +508,6 @@ def shard_worker_main(bootstrap, shard_dir, options: dict | None = None):
     if not state.read_only:
         manager.drain_to_disk()
     listener.close()
+    state.log.info("shard_drained", shard=os.path.basename(str(shard_dir)),
+                   requests=state.requests, batches=state.batches)
     sys.exit(0)

@@ -49,16 +49,19 @@ import json
 import os
 import re
 import struct
+import time
 import uuid
 from pathlib import Path
 
 from repro.service.codec import dump_state_binary, load_state_binary
 from repro.utils import (
+    NULL_REGISTRY,
     CorruptStateError,
     atomic_write_text,
     crc32c,
     fsync_directory,
 )
+from repro.utils.metrics import SIZE_BUCKETS
 
 __all__ = ["SessionWAL", "GroupCommitWAL", "WAL_CODECS"]
 
@@ -153,18 +156,35 @@ class SessionWAL:
         Serialisation for *new* shards: ``"json"`` or ``"binary"``.
         Reading auto-detects per file, so a journal written under one
         codec restores under any.
+    metrics:
+        A :class:`~repro.utils.metrics.MetricsRegistry` to record
+        append/fsync latency, flush batch sizes and torn-tail
+        recoveries into; defaults to the no-op registry.
     """
 
     MANIFEST = "manifest.json"
     MANIFEST_DIGEST = "manifest.crc32c"
 
-    def __init__(self, directory, *, codec: str = "json"):
+    def __init__(self, directory, *, codec: str = "json", metrics=None):
         if codec not in WAL_CODECS:
             raise ValueError(
                 f"unknown WAL codec {codec!r}; choose from {WAL_CODECS}"
             )
         self.directory = Path(directory)
         self.codec = codec
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._append_seconds = registry.histogram(
+            "oasis_wal_append_seconds",
+            "Latency of durable WAL append/flush calls.")
+        self._fsync_seconds = registry.histogram(
+            "oasis_wal_fsync_seconds",
+            "Latency of individual fsync calls issued by the WAL.")
+        self._flush_events = registry.histogram(
+            "oasis_wal_flush_events",
+            "Events made durable per WAL flush.", buckets=SIZE_BUCKETS)
+        self._recovered_total = registry.counter(
+            "oasis_wal_recovered_total",
+            "Torn-tail WAL shards dropped during recovery scans.")
         self.event_dir = self.directory / "events"
         self.event_dir.mkdir(parents=True, exist_ok=True)
         #: Torn-tail shards dropped during :meth:`events` scans, each a
@@ -257,11 +277,14 @@ class SessionWAL:
         later event at replay.
         """
         record = self._make_record(kind, payload)
+        started = time.perf_counter()
         try:
             self._write_records([record])
         except BaseException:
             self._next_seq = record["seq"]
             raise
+        self._append_seconds.observe(time.perf_counter() - started)
+        self._flush_events.observe(1)
         return record["seq"]
 
     def flush(self) -> int:
@@ -322,14 +345,18 @@ class SessionWAL:
                 handle.write(data)
                 handle.flush()
                 self._stage("pre_fsync", path=path)
+                started = time.perf_counter()
                 os.fsync(handle.fileno())
+                self._fsync_seconds.observe(time.perf_counter() - started)
             self._stage("pre_rename", path=path)
             os.replace(tmp, path)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
         self._stage("post_rename", path=path)
+        started = time.perf_counter()
         fsync_directory(path.parent)
+        self._fsync_seconds.observe(time.perf_counter() - started)
         self._stage("post_durable", path=path)
 
     def _stage(self, stage: str, **context) -> None:
@@ -418,6 +445,7 @@ class SessionWAL:
                     "offset": torn.offset,
                     "reason": str(torn),
                 })
+                self._recovered_total.inc()
                 self._next_seq = self._scan_next_seq()
                 continue
             if not is_batch:
@@ -478,10 +506,10 @@ class GroupCommitWAL(SessionWAL):
     """
 
     def __init__(self, directory, *, codec: str = "json",
-                 max_batch: int = 32):
+                 max_batch: int = 32, metrics=None):
         if int(max_batch) < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
-        super().__init__(directory, codec=codec)
+        super().__init__(directory, codec=codec, metrics=metrics)
         self.max_batch = int(max_batch)
         self._buffer: list[dict] = []
 
@@ -507,7 +535,10 @@ class GroupCommitWAL(SessionWAL):
     def flush(self) -> int:
         """Write all buffered events as one batch shard; returns last seq."""
         if self._buffer:
+            started = time.perf_counter()
             self._write_records(self._buffer)
+            self._append_seconds.observe(time.perf_counter() - started)
+            self._flush_events.observe(len(self._buffer))
             self._buffer = []
         return self._next_seq - 1
 

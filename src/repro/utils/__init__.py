@@ -1,6 +1,22 @@
 """Shared utilities: RNG handling, numeric transforms, validation, IO."""
 
 from repro.utils.integrity import crc32c, file_digest
+from repro.utils.logging import (
+    StructuredLogger,
+    bind_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+)
+from repro.utils.metrics import (
+    NULL_REGISTRY,
+    CounterResetAccumulator,
+    MetricsRegistry,
+    add_snapshot_label,
+    merge_snapshots,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.utils.io import (
     CorruptStateError,
     atomic_write_bytes,
@@ -36,6 +52,18 @@ __all__ = [
     "CorruptStateError",
     "crc32c",
     "file_digest",
+    "StructuredLogger",
+    "bind_request_id",
+    "configure_logging",
+    "current_request_id",
+    "get_logger",
+    "NULL_REGISTRY",
+    "CounterResetAccumulator",
+    "MetricsRegistry",
+    "add_snapshot_label",
+    "merge_snapshots",
+    "parse_prometheus_text",
+    "render_prometheus",
     "PeakRssTracker",
     "current_rss_bytes",
     "peak_rss_high_water_bytes",

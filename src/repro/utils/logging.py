@@ -1,0 +1,173 @@
+"""Structured logging: one event per line, JSON or key=value text.
+
+The service tier logs *events*, not prose: every line carries a
+timestamp, level, component and event name plus whatever structured
+fields the call site attaches (``session``, ``shard``, ``request_id``,
+durations, counts).  JSON format emits one object per line — machine-
+parseable for log shippers; text format renders the same fields as
+``key=value`` pairs for humans.
+
+The module is process-global (``configure_logging``), matching how the
+CLI wires it: ``serve --log-format json --log-level debug`` configures
+the router process, and shard workers receive the same settings through
+their options dict.  Libraries default to ``warning`` so importing the
+service layer never spams a notebook; the serve entry points raise the
+level to ``info``.
+
+Request ids propagate through a :class:`contextvars.ContextVar`: the
+HTTP handler binds the id for the duration of a request and every log
+event on that (thread's) context picks it up automatically — no
+threading of ``request_id`` arguments through the call stack.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import sys
+import threading
+import time
+
+__all__ = [
+    "LOG_LEVELS",
+    "configure_logging",
+    "logging_config",
+    "get_logger",
+    "StructuredLogger",
+    "bind_request_id",
+    "current_request_id",
+]
+
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_request_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None)
+
+_config_lock = threading.Lock()
+_config = {"format": "text", "level": LOG_LEVELS["warning"], "stream": None}
+
+_UNSET = object()
+
+
+def configure_logging(log_format: str | None = None,
+                      log_level: str | None = None, *,
+                      stream=_UNSET) -> None:
+    """Set the process-wide log format/level (``None`` leaves as-is).
+
+    ``log_format`` is ``"json"`` or ``"text"``; ``log_level`` one of
+    :data:`LOG_LEVELS`.  ``stream`` overrides the output stream;
+    passing ``None`` explicitly restores the default (``sys.stderr``
+    resolved at emit time, so pytest capture works).
+    """
+    with _config_lock:
+        if log_format is not None:
+            if log_format not in ("json", "text"):
+                raise ValueError(
+                    f"log format must be 'json' or 'text'; got "
+                    f"{log_format!r}")
+            _config["format"] = log_format
+        if log_level is not None:
+            if log_level not in LOG_LEVELS:
+                raise ValueError(
+                    f"log level must be one of {sorted(LOG_LEVELS)}; got "
+                    f"{log_level!r}")
+            _config["level"] = LOG_LEVELS[log_level]
+        if stream is not _UNSET:
+            _config["stream"] = stream
+
+
+def logging_config() -> dict:
+    """The current global configuration (for tests and introspection)."""
+    with _config_lock:
+        level_name = next(name for name, value in LOG_LEVELS.items()
+                          if value == _config["level"])
+        return {"format": _config["format"], "level": level_name}
+
+
+def bind_request_id(request_id: str | None):
+    """Bind the context's request id; returns a token for ``reset``."""
+    return _request_id.set(request_id)
+
+
+def current_request_id() -> str | None:
+    return _request_id.get()
+
+
+def _timestamp() -> str:
+    now = time.time()
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now))
+    return f"{base}.{int((now % 1) * 1000):03d}Z"
+
+
+def _render_text(payload: dict) -> str:
+    head = (f"{payload['ts']} {payload['level'].upper():<7} "
+            f"{payload['component']} {payload['event']}")
+    fields = []
+    for key, value in payload.items():
+        if key in ("ts", "level", "component", "event"):
+            continue
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        fields.append(f"{key}={value}")
+    return head + (" " + " ".join(fields) if fields else "")
+
+
+class StructuredLogger:
+    """A component-bound emitter of structured log events.
+
+    ``bound`` fields (e.g. ``shard=3``) ride on every event; per-call
+    fields override them.  The active request id joins automatically.
+    """
+
+    def __init__(self, component: str, bound: dict | None = None):
+        self.component = component
+        self.bound = dict(bound or {})
+
+    def bind(self, **fields) -> "StructuredLogger":
+        return StructuredLogger(self.component, {**self.bound, **fields})
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        with _config_lock:
+            if LOG_LEVELS[level] < _config["level"]:
+                return
+            log_format = _config["format"]
+            stream = _config["stream"]
+        payload = {
+            "ts": _timestamp(),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        request_id = _request_id.get()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        for source in (self.bound, fields):
+            for key, value in source.items():
+                if value is not None:
+                    payload[key] = value
+        if log_format == "json":
+            line = json.dumps(payload, default=str)
+        else:
+            line = _render_text(payload)
+        target = stream if stream is not None else sys.stderr
+        try:
+            print(line, file=target, flush=True)
+        except (OSError, ValueError):  # closed stream during shutdown
+            pass
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(component: str, **bound) -> StructuredLogger:
+    """A logger for one component (``http``, ``router``, ``shard``, …)."""
+    return StructuredLogger(component, bound)

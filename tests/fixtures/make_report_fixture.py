@@ -1,0 +1,87 @@
+"""Regenerate the committed convergence-report fixture.
+
+Produces ``tests/fixtures/report_sweep/``: a seeded mini run of
+:func:`repro.experiments.runner.run_trials` (OASIS vs Passive on a
+tiny synthetic pool) checkpointed through
+:class:`~repro.experiments.persistence.TrialStore`, with the
+aggregated ``results.json`` written alongside — exactly the directory
+shape ``python -m repro.experiments report --store`` consumes.  The
+golden report test renders this fixture and asserts the output is
+byte-stable and that the data island round-trips the stored estimates
+bitwise.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/make_report_fixture.py
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import OASISSampler
+from repro.datasets.benchmark import BenchmarkPool
+from repro.experiments import SamplerSpec, run_trials
+from repro.experiments.persistence import save_results
+from repro.measures.fmeasure import pool_performance
+from repro.samplers import PassiveSampler
+
+HERE = Path(__file__).resolve().parent
+
+POOL_SEED = 17
+POOL_SIZE = 160
+RUN_SEED = 7
+BUDGETS = (20, 40, 60, 80)
+N_REPEATS = 4
+BATCH_SIZE = 4
+
+
+def make_pool() -> BenchmarkPool:
+    rng = np.random.default_rng(POOL_SEED)
+    labels = (rng.random(POOL_SIZE) < 0.2).astype(np.int8)
+    scores = rng.normal(size=POOL_SIZE) + 2.0 * labels
+    predictions = (scores > 0.5).astype(np.int8)
+    return BenchmarkPool(
+        name="report-fixture",
+        scores=scores,
+        scores_calibrated=1.0 / (1.0 + np.exp(-scores)),
+        predictions=predictions,
+        true_labels=labels,
+        performance=pool_performance(labels, predictions),
+    )
+
+
+def main() -> None:
+    root = HERE / "report_sweep"
+    if root.exists():
+        shutil.rmtree(root)
+    pool = make_pool()
+    specs = [
+        SamplerSpec(
+            "OASIS",
+            lambda p, s, o, r, **kw: OASISSampler(p, s, o, random_state=r),
+        ),
+        SamplerSpec(
+            "Passive",
+            lambda p, s, o, r, **kw: PassiveSampler(p, s, o, random_state=r),
+        ),
+    ]
+    results = run_trials(
+        pool,
+        specs,
+        budgets=list(BUDGETS),
+        n_repeats=N_REPEATS,
+        batch_size=BATCH_SIZE,
+        random_state=RUN_SEED,
+        checkpoint_dir=root,
+    )
+    save_results(results, root / "results.json")
+    shards = sorted(p.name for p in (root / "shards").glob("*.json"))
+    print(f"wrote {root} ({len(shards)} shards + results.json)")
+
+
+if __name__ == "__main__":
+    main()

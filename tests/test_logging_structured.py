@@ -1,0 +1,143 @@
+"""Tests for structured logging: format, levels, request-id binding."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.utils.logging import (
+    LOG_LEVELS,
+    StructuredLogger,
+    bind_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    logging_config,
+)
+
+
+@pytest.fixture
+def capture():
+    """Route logs to a buffer for the test, then restore the defaults."""
+    saved = logging_config()
+    buffer = io.StringIO()
+    configure_logging("json", "debug", stream=buffer)
+    yield buffer
+    configure_logging(saved["format"], saved["level"], stream=None)
+
+
+def events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in
+            buffer.getvalue().splitlines() if line]
+
+
+class TestConfiguration:
+    def test_defaults_are_quiet_text(self):
+        config = logging_config()
+        assert config["format"] in ("json", "text")
+        assert config["level"] in LOG_LEVELS
+
+    def test_invalid_format_raises(self):
+        with pytest.raises(ValueError, match="log format"):
+            configure_logging("xml")
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging(log_level="chatty")
+
+    def test_none_leaves_settings_alone(self, capture):
+        before = logging_config()
+        configure_logging(None, None)
+        assert logging_config() == before
+
+
+class TestJsonEvents:
+    def test_event_carries_structure(self, capture):
+        get_logger("shard", shard=3).info("shard_started", port=1234)
+        (event,) = events(capture)
+        assert event["component"] == "shard"
+        assert event["event"] == "shard_started"
+        assert event["shard"] == 3
+        assert event["port"] == 1234
+        assert event["level"] == "info"
+        assert event["ts"].endswith("Z")
+
+    def test_level_filtering(self, capture):
+        configure_logging(log_level="warning")
+        log = get_logger("x")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        log.error("loud")
+        assert [e["level"] for e in events(capture)] == ["warning", "error"]
+
+    def test_bound_fields_ride_every_event(self, capture):
+        log = get_logger("mgr").bind(session="s1")
+        log.info("a")
+        log.info("b", session="s2")  # per-call overrides bound
+        first, second = events(capture)
+        assert first["session"] == "s1"
+        assert second["session"] == "s2"
+
+    def test_none_valued_fields_are_dropped(self, capture):
+        get_logger("x").info("e", missing=None, present=0)
+        (event,) = events(capture)
+        assert "missing" not in event
+        assert event["present"] == 0
+
+    def test_bind_returns_new_logger(self):
+        base = get_logger("x")
+        bound = base.bind(shard=1)
+        assert isinstance(bound, StructuredLogger)
+        assert bound is not base
+        assert base.bound == {}
+
+
+class TestRequestIdContext:
+    def test_bound_request_id_joins_events(self, capture):
+        token = bind_request_id("deadbeef")
+        try:
+            assert current_request_id() == "deadbeef"
+            get_logger("http").info("request")
+        finally:
+            token.var.reset(token)
+        (event,) = events(capture)
+        assert event["request_id"] == "deadbeef"
+
+    def test_unbound_context_has_no_request_id(self, capture):
+        assert current_request_id() is None
+        get_logger("http").info("request")
+        (event,) = events(capture)
+        assert "request_id" not in event
+
+    def test_reset_restores_previous_binding(self):
+        outer = bind_request_id("outer")
+        inner = bind_request_id("inner")
+        assert current_request_id() == "inner"
+        inner.var.reset(inner)
+        assert current_request_id() == "outer"
+        outer.var.reset(outer)
+        assert current_request_id() is None
+
+
+class TestTextFormat:
+    def test_text_line_is_key_value(self, capture):
+        configure_logging("text")
+        get_logger("http").info("served", status=200, took=0.12345678)
+        line = capture.getvalue().strip()
+        assert " INFO " in line
+        assert "http served" in line
+        assert "status=200" in line
+        assert "took=0.123457" in line  # floats render %.6g
+
+    def test_closed_stream_is_swallowed(self):
+        saved = logging_config()
+        buffer = io.StringIO()
+        configure_logging("text", "debug", stream=buffer)
+        try:
+            buffer.close()
+            get_logger("x").info("after_close")  # must not raise
+        finally:
+            configure_logging(saved["format"], saved["level"], stream=None)

@@ -1,0 +1,365 @@
+"""Unit tests for the dependency-free metrics stack.
+
+Covers the registry (families, labels, thread-safety of the public
+contract), snapshot algebra (merge, shard labelling), the
+counter-reset accumulator that makes worker restarts invisible to
+scrapers, and the hand-rolled Prometheus text renderer/parser pair.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.utils.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
+    CounterResetAccumulator,
+    MetricsRegistry,
+    add_snapshot_label,
+    log_spaced_buckets,
+    merge_snapshots,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "reqs", ("op",))
+        requests.inc(op="propose")
+        requests.inc(2.0, op="propose")
+        requests.inc(op="ingest")
+        assert requests.value(op="propose") == 3.0
+        assert requests.value(op="ingest") == 1.0
+
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_counter_rejects_wrong_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("op",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(method="GET")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("queue_depth")
+        depth.set(7)
+        assert depth.value() == 7.0
+        depth.inc(-3)
+        assert depth.value() == 4.0
+
+    def test_histogram_buckets_and_totals(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        state = hist.value()
+        assert state["count"] == 5
+        assert state["sum"] == pytest.approx(56.05)
+        # per-bucket internal storage: (<=0.1, <=1, <=10, +Inf)
+        assert state["buckets"] == [1, 2, 1, 1]
+
+    def test_histogram_boundary_lands_in_lower_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.value()["buckets"] == [1, 0, 0]
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", "hits", ("op",))
+        b = registry.counter("hits_total", "hits", ("op",))
+        assert a is b
+
+    def test_reregistration_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "", ("op",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", "", ("method",))
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help a", ("op",)).inc(op="x")
+        registry.histogram("b", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped == snapshot
+        assert round_tripped["instance"] == registry.instance
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("anything_total").inc(5)
+        NULL_REGISTRY.gauge("g").set(1)
+        NULL_REGISTRY.histogram("h").observe(0.2)
+        assert NULL_REGISTRY.snapshot()["families"] == {}
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(500)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000.0
+
+
+class TestBuckets:
+    def test_log_spaced_buckets_cover_range(self):
+        edges = log_spaced_buckets(1e-3, 1.0, per_decade=1)
+        assert edges[0] <= 1e-3
+        assert edges[-1] >= 1.0
+        assert list(edges) == sorted(edges)
+
+    def test_default_latency_buckets_span_micro_to_seconds(self):
+        assert LATENCY_BUCKETS[0] <= 1e-5
+        assert LATENCY_BUCKETS[-1] >= 10.0
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            log_spaced_buckets(1.0, 0.5)
+
+
+class TestSnapshotAlgebra:
+    def _snap(self, **counts):
+        registry = MetricsRegistry()
+        for name, value in counts.items():
+            registry.counter(f"{name}_total").inc(value)
+        return registry.snapshot()
+
+    def test_merge_adds_counters(self):
+        merged = merge_snapshots([self._snap(a=2), self._snap(a=3)])
+        samples = merged["families"]["a_total"]["samples"]
+        assert samples == [[[], 5.0]]
+
+    def test_merge_gauges_last_win(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("g").set(1)
+        second.gauge("g").set(9)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["families"]["g"]["samples"] == [[[], 9.0]]
+
+    def test_merge_histograms_elementwise(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        for registry, values in ((first, (0.05, 0.5)), (second, (5.0,))):
+            hist = registry.histogram("h", buckets=(0.1, 1.0))
+            for value in values:
+                hist.observe(value)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        (_, state), = merged["families"]["h"]["samples"]
+        assert state["count"] == 3
+        assert state["buckets"] == [1, 1, 1]
+
+    def test_merge_type_mismatch_raises(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("x")
+        first.counter("x").inc()
+        second.gauge("x").set(1)
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_snapshots([first.snapshot(), second.snapshot()])
+
+    def test_add_snapshot_label_prepends(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "", ("op",)).inc(op="x")
+        labelled = add_snapshot_label(registry.snapshot(), "shard", "3")
+        family = labelled["families"]["a_total"]
+        assert family["labelnames"] == ["shard", "op"]
+        assert family["samples"] == [[["3", "x"], 1.0]]
+
+    def test_shard_labelled_snapshots_merge_without_collision(self):
+        shards = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.counter("req_total").inc(index + 1)
+            shards.append(add_snapshot_label(
+                registry.snapshot(), "shard", str(index)))
+        merged = merge_snapshots(shards)
+        samples = merged["families"]["req_total"]["samples"]
+        assert sorted(tuple(k) for k, _ in samples) == [
+            ("0",), ("1",), ("2",)]
+
+
+class TestCounterResetAccumulator:
+    def test_within_instance_passthrough(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        accumulator = CounterResetAccumulator()
+        counter.inc(3)
+        out = accumulator.adjust("s", registry.snapshot())
+        assert out["families"]["n_total"]["samples"] == [[[], 3.0]]
+
+    def test_restart_banks_previous_instance(self):
+        accumulator = CounterResetAccumulator()
+        first = MetricsRegistry()
+        first.counter("n_total").inc(10)
+        accumulator.adjust("s", first.snapshot())
+        # the worker restarts: fresh instance id, counters reset
+        second = MetricsRegistry()
+        second.counter("n_total").inc(2)
+        out = accumulator.adjust("s", second.snapshot())
+        assert out["families"]["n_total"]["samples"] == [[[], 12.0]]
+
+    def test_double_restart_accumulates_carry(self):
+        accumulator = CounterResetAccumulator()
+        total = 0.0
+        for increment in (5, 7, 3):
+            registry = MetricsRegistry()
+            registry.counter("n_total").inc(increment)
+            out = accumulator.adjust("s", registry.snapshot())
+            total += increment
+        assert out["families"]["n_total"]["samples"] == [[[], total]]
+
+    def test_out_of_order_scrape_stays_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        accumulator = CounterResetAccumulator()
+        counter.inc(5)
+        newer = registry.snapshot()
+        accumulator.adjust("s", newer)
+        # a stale snapshot (taken before the inc) arrives late
+        stale = json.loads(json.dumps(newer))
+        stale["families"]["n_total"]["samples"] = [[[], 2.0]]
+        out = accumulator.adjust("s", stale)
+        assert out["families"]["n_total"]["samples"] == [[[], 5.0]]
+
+    def test_gauges_pass_through_unadjusted(self):
+        accumulator = CounterResetAccumulator()
+        first = MetricsRegistry()
+        first.gauge("g").set(10)
+        accumulator.adjust("s", first.snapshot())
+        second = MetricsRegistry()
+        second.gauge("g").set(4)
+        out = accumulator.adjust("s", second.snapshot())
+        assert out["families"]["g"]["samples"] == [[[], 4.0]]
+
+    def test_histogram_survives_restart(self):
+        accumulator = CounterResetAccumulator()
+        first = MetricsRegistry()
+        hist = first.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        accumulator.adjust("s", first.snapshot())
+        second = MetricsRegistry()
+        second.histogram("h", buckets=(1.0,)).observe(0.1)
+        out = accumulator.adjust("s", second.snapshot())
+        (_, state), = out["families"]["h"]["samples"]
+        assert state["count"] == 3
+        assert state["buckets"] == [2, 1]
+
+    def test_banked_series_render_when_live_snapshot_lacks_them(self):
+        accumulator = CounterResetAccumulator()
+        first = MetricsRegistry()
+        first.counter("n_total", "", ("op",)).inc(4, op="ingest")
+        accumulator.adjust("s", first.snapshot())
+        # after restart the worker has only seen proposes so far; the
+        # ingest series it counted before must still render
+        second = MetricsRegistry()
+        second.counter("n_total", "", ("op",)).inc(1, op="propose")
+        out = accumulator.adjust("s", second.snapshot())
+        samples = {tuple(k): v
+                   for k, v in out["families"]["n_total"]["samples"]}
+        assert samples == {("propose",): 1.0, ("ingest",): 4.0}
+
+    def test_banked_family_renders_when_absent_from_live_snapshot(self):
+        # after a restart the fresh registry may not have re-registered
+        # a family at all (e.g. per-session counters before any session
+        # is resident); the bank must still render it
+        accumulator = CounterResetAccumulator()
+        first = MetricsRegistry()
+        first.counter("draws_total", "draws", ("session",)).inc(
+            9, session="s1")
+        accumulator.adjust("s", first.snapshot())
+        second = MetricsRegistry()
+        second.counter("other_total").inc(1)
+        out = accumulator.adjust("s", second.snapshot())
+        family = out["families"]["draws_total"]
+        assert family["type"] == "counter"
+        assert family["labelnames"] == ["session"]
+        assert family["samples"] == [[["s1"], 9.0]]
+
+    def test_sources_are_independent(self):
+        accumulator = CounterResetAccumulator()
+        for source, amount in (("a", 1), ("b", 100)):
+            registry = MetricsRegistry()
+            registry.counter("n_total").inc(amount)
+            out = accumulator.adjust(source, registry.snapshot())
+            assert out["families"]["n_total"]["samples"] == [
+                [[], float(amount)]]
+
+
+class TestExpositionText:
+    def test_content_type_constant(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", ("op",)).inc(3, op="x")
+        registry.gauge("depth", "queue depth").set(2)
+        hist = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus_text(text)
+        assert parsed["req_total"]["type"] == "counter"
+        assert parsed["req_total"]["samples"][
+            ("req_total", (("op", "x"),))] == 3.0
+        assert parsed["depth"]["samples"][("depth", ())] == 2.0
+        lat = parsed["lat"]["samples"]
+        assert lat[("lat_count", ())] == 3.0
+        assert lat[("lat_sum", ())] == pytest.approx(5.55)
+        # cumulative le series: 1 at <=0.1, 2 at <=1, 3 at +Inf
+        assert lat[("lat_bucket", (("le", "0.1"),))] == 1.0
+        assert lat[("lat_bucket", (("le", "1.0"),))] == 2.0
+        assert lat[("lat_bucket", (("le", "+Inf"),))] == 3.0
+
+    def test_histogram_bucket_counts_are_cumulative_and_consistent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 9.0):
+            hist.observe(value)
+        parsed = parse_prometheus_text(render_prometheus(registry.snapshot()))
+        samples = parsed["h"]["samples"]
+        buckets = sorted(
+            (value for (metric, _), value in samples.items()
+             if metric == "h_bucket"))
+        assert buckets == sorted(buckets), "le series must be cumulative"
+        assert buckets[-1] == samples[("h_count", ())]
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("path",)).inc(
+            path='with "quotes" and \\slash')
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus_text(text)
+        assert parsed["c_total"]["type"] == "counter"
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not exposition format")
+        with pytest.raises(ValueError):
+            parse_prometheus_text('x{unclosed="1 5\n')
+
+    def test_render_merge_across_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("n_total").inc(1)
+        second.counter("n_total").inc(2)
+        text = first.render([second.snapshot()])
+        parsed = parse_prometheus_text(text)
+        assert parsed["n_total"]["samples"][("n_total", ())] == 3.0

@@ -1,0 +1,257 @@
+"""Golden tests for the convergence-report generator.
+
+The committed fixture (``tests/fixtures/report_sweep/``, regenerated
+by ``tests/fixtures/make_report_fixture.py``) is a seeded mini-run of
+``run_trials``.  The report over it must be **deterministic** (two
+renders are byte-identical), its JSON data island must round-trip the
+stored estimates **bitwise**, and those estimates must equal what
+``estimate_at_budgets`` produces when the same seeded run is executed
+fresh — i.e. the report shows the exact trajectory the estimator
+computed, not a lossy re-derivation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    collect_series_from_server,
+    collect_series_from_store,
+    render_report_html,
+    render_report_markdown,
+    write_report,
+)
+
+HERE = Path(__file__).resolve().parent
+FIXTURE = HERE / "fixtures" / "report_sweep"
+
+_ISLAND = re.compile(
+    r'<script type="application/json" id="report-data">(.*?)</script>',
+    re.DOTALL)
+_FENCE = re.compile(r"```json\n(.*?)\n```", re.DOTALL)
+
+
+def _fixture_module():
+    spec = importlib.util.spec_from_file_location(
+        "make_report_fixture", HERE / "fixtures" / "make_report_fixture.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def html_island(text: str) -> dict:
+    (blob,) = _ISLAND.findall(text)
+    return json.loads(blob.replace("<\\/", "</"))
+
+
+def markdown_island(text: str) -> dict:
+    (blob,) = _FENCE.findall(text)
+    return json.loads(blob)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return collect_series_from_store(FIXTURE)
+
+
+class TestFixtureCollection:
+    def test_fixture_yields_both_specs(self, series):
+        assert [entry["name"] for entry in series] == [
+            "report_sweep/OASIS", "report_sweep/Passive"]
+        for entry in series:
+            assert entry["budgets"] == [20, 40, 60, 80]
+            assert entry["n_repeats"] == 4
+            assert entry["true_value"] is not None
+
+    def test_shard_fallback_matches_results_json(self, series, tmp_path):
+        # Strip results.json: collection must rebuild the same rows
+        # from the raw checkpoint shards.
+        import shutil
+        clone = tmp_path / "report_sweep"
+        shutil.copytree(FIXTURE, clone)
+        (clone / "results.json").unlink()
+        from_shards = collect_series_from_store(clone)
+        assert [e["name"] for e in from_shards] == [
+            e["name"] for e in series]
+        for a, b in zip(from_shards, series):
+            assert a["rows"] == b["rows"]
+            assert a["mean"] == b["mean"]
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_series_from_store(tmp_path / "nope")
+
+
+class TestDeterminism:
+    def test_html_renders_byte_identical(self):
+        first = render_report_html(collect_series_from_store(FIXTURE))
+        second = render_report_html(collect_series_from_store(FIXTURE))
+        assert first == second
+
+    def test_markdown_renders_byte_identical(self):
+        first = render_report_markdown(collect_series_from_store(FIXTURE))
+        second = render_report_markdown(collect_series_from_store(FIXTURE))
+        assert first == second
+
+    def test_both_formats_embed_the_same_payload(self, series):
+        html_payload = html_island(render_report_html(series))
+        md_payload = markdown_island(render_report_markdown(series))
+        assert html_payload == md_payload
+
+
+class TestBitwiseFidelity:
+    def test_island_round_trips_stored_estimates_bitwise(self, series):
+        """Data island floats == the shard files' floats, exactly."""
+        island = html_island(render_report_html(series))
+        stored = json.loads((FIXTURE / "results.json").read_text())
+        for entry in island["series"]:
+            spec = entry["name"].split("/", 1)[1]
+            n_repeats, n_budgets = stored[spec]["estimates_shape"]
+            flat = stored[spec]["estimates"]
+            rows = [flat[i * n_budgets:(i + 1) * n_budgets]
+                    for i in range(n_repeats)]
+            assert entry["rows"] == rows  # bitwise: == on floats
+            assert entry["true_value"] == stored[spec]["true_value"]
+
+    def test_fixture_matches_fresh_estimate_at_budgets(self):
+        """The committed trajectories are exactly what a fresh seeded
+        run of the estimator produces — budget column by budget
+        column, bit for bit."""
+        from repro.experiments import run_trials
+
+        module = _fixture_module()
+        pool = module.make_pool()
+        specs = [
+            module.SamplerSpec(
+                "OASIS",
+                lambda p, s, o, r, **kw: module.OASISSampler(
+                    p, s, o, random_state=r)),
+            module.SamplerSpec(
+                "Passive",
+                lambda p, s, o, r, **kw: module.PassiveSampler(
+                    p, s, o, random_state=r)),
+        ]
+        fresh = run_trials(
+            pool, specs, budgets=list(module.BUDGETS),
+            n_repeats=module.N_REPEATS, batch_size=module.BATCH_SIZE,
+            random_state=module.RUN_SEED)
+        island = html_island(render_report_html(
+            collect_series_from_store(FIXTURE)))
+        for entry in island["series"]:
+            spec = entry["name"].split("/", 1)[1]
+            expected = fresh[spec].estimates
+            got = np.array(
+                [[math.nan if v is None else v for v in row]
+                 for row in entry["rows"]])
+            np.testing.assert_array_equal(got, expected)
+
+    def test_ci_trajectory_matches_rows_bitwise(self, series):
+        """mean/std/CI columns are pure functions of the rows, with no
+        float drift between summary and data."""
+        z = 1.959963984540054
+        for entry in series:
+            for column in range(len(entry["budgets"])):
+                values = [row[column] for row in entry["rows"]
+                          if row[column] is not None]
+                assert entry["count"][column] == len(values)
+                mean = sum(values) / len(values)
+                assert entry["mean"][column] == mean
+                variance = sum((v - mean) ** 2 for v in values) / (
+                    len(values) - 1)
+                std = math.sqrt(variance)
+                assert entry["std"][column] == std
+                half = z * std / math.sqrt(len(values))
+                assert entry["ci_low"][column] == mean - half
+                assert entry["ci_high"][column] == mean + half
+
+
+class TestWriteReport:
+    def test_writes_requested_formats(self, series, tmp_path):
+        paths = write_report(series, tmp_path / "out")
+        assert [p.name for p in paths] == ["report.html", "report.md"]
+        html = paths[0].read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert html_island(html)["series"]
+
+    def test_single_format_and_title(self, series, tmp_path):
+        (path,) = write_report(series, tmp_path / "out", formats=("md",),
+                               title="My sweep")
+        assert path.name == "report.md"
+        assert path.read_text(encoding="utf-8").startswith("# My sweep")
+
+    def test_unknown_format_raises(self, series, tmp_path):
+        with pytest.raises(ValueError, match="unknown report format"):
+            write_report(series, tmp_path / "out", formats=("pdf",))
+
+
+class TestCli:
+    def test_report_command_renders_fixture(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["report", "--store", str(FIXTURE),
+                     "--out", str(tmp_path / "r")]) == 0
+        out = capsys.readouterr().out
+        assert "report.html" in out and "report.md" in out
+        assert (tmp_path / "r" / "report.html").is_file()
+        assert (tmp_path / "r" / "report.md").is_file()
+
+    def test_empty_store_exits_with_message(self, tmp_path):
+        from repro.experiments.cli import main
+
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SystemExit, match="no convergence series"):
+            main(["report", "--store", str(tmp_path / "empty"),
+                  "--out", str(tmp_path / "r")])
+
+
+class TestServerMode:
+    def test_collects_live_session_history(self, tmp_path):
+        import threading
+
+        from repro.service import SessionManager
+        from repro.service.http import make_server
+
+        rng = np.random.default_rng(23)
+        labels = (rng.random(120) < 0.25).astype(np.int8)
+        scores = rng.normal(size=120) + 1.5 * labels
+        predictions = (scores > 0.5).astype(np.int8)
+
+        manager = SessionManager(tmp_path / "root")
+        server = make_server(manager, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            session = manager.create_session(
+                predictions.tolist(), scores.tolist(),
+                sampler="oasis", seed=3, session_id="live1")
+            for _ in range(3):
+                proposal = session.propose(5)
+                session.ingest(
+                    proposal["ticket"],
+                    [int(labels[i]) for i in proposal["pending"]])
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            series = collect_series_from_server(url)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        (entry,) = series
+        assert entry["name"] == "live1"
+        assert entry["source"] == "server"
+        assert entry["n_repeats"] == 1
+        # single trajectory: the mean IS the history
+        assert entry["mean"] == [None if v is None else v
+                                 for v in entry["rows"][0]]
+        assert entry["final"]["labels_consumed"] > 0
+        assert "estimate" in entry["final"]
+        # and it renders
+        html = render_report_html(series, title="Live")
+        assert "live1" in html
